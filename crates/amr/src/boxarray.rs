@@ -1,0 +1,178 @@
+//! Box arrays: a domain chopped into rectangular grids ("boxes").
+//!
+//! Each refinement level in the paper's code consists of a union of
+//! rectangular grid patches; domain decomposition assigns those patches to
+//! ranks (§V-C). `BoxArray` owns the patch geometry; ownership lives in
+//! [`crate::DistributionMapping`].
+
+use crate::{ibox::IndexBox, ivec::IntVect};
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of disjoint cell boxes covering (part of) a domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxArray {
+    boxes: Vec<IndexBox>,
+}
+
+impl BoxArray {
+    /// Build from explicit boxes. Debug builds assert disjointness.
+    pub fn from_boxes(boxes: Vec<IndexBox>) -> Self {
+        #[cfg(debug_assertions)]
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                debug_assert!(a.intersect(b).is_none(), "overlapping boxes {a:?} {b:?}");
+            }
+        }
+        Self { boxes }
+    }
+
+    /// Chop `domain` into boxes with at most `max_size` cells per axis.
+    ///
+    /// Axes are split into `ceil(n / max)` nearly equal pieces, so box
+    /// sizes differ by at most one cell per axis — the AMReX `maxSize`
+    /// behaviour the paper's block sizes (e.g. Frontier 256³, Summit 128³)
+    /// refer to.
+    pub fn chop(domain: IndexBox, max_size: IntVect) -> Self {
+        assert!(!domain.is_empty(), "cannot chop an empty domain");
+        assert!(IntVect::ZERO.all_lt(max_size), "max_size must be positive");
+        let n = domain.size();
+        let mut cuts: [Vec<i64>; 3] = [vec![], vec![], vec![]];
+        for d in 0..3 {
+            let pieces = (n[d] + max_size[d] - 1) / max_size[d];
+            let base = n[d] / pieces;
+            let rem = n[d] % pieces;
+            let mut edges = Vec::with_capacity(pieces as usize + 1);
+            let mut at = domain.lo[d];
+            edges.push(at);
+            for p in 0..pieces {
+                at += base + i64::from(p < rem);
+                edges.push(at);
+            }
+            debug_assert_eq!(at, domain.hi[d]);
+            cuts[d] = edges;
+        }
+        let mut boxes = Vec::new();
+        for kz in 0..cuts[2].len() - 1 {
+            for jy in 0..cuts[1].len() - 1 {
+                for ix in 0..cuts[0].len() - 1 {
+                    boxes.push(IndexBox::new(
+                        IntVect::new(cuts[0][ix], cuts[1][jy], cuts[2][kz]),
+                        IntVect::new(cuts[0][ix + 1], cuts[1][jy + 1], cuts[2][kz + 1]),
+                    ));
+                }
+            }
+        }
+        Self { boxes }
+    }
+
+    /// Single box covering the whole domain.
+    pub fn single(domain: IndexBox) -> Self {
+        Self {
+            boxes: vec![domain],
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> IndexBox {
+        self.boxes[i]
+    }
+
+    #[inline]
+    pub fn boxes(&self) -> &[IndexBox] {
+        &self.boxes
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &IndexBox> {
+        self.boxes.iter()
+    }
+
+    /// Total cells over all boxes.
+    pub fn total_cells(&self) -> i64 {
+        self.boxes.iter().map(|b| b.num_cells()).sum()
+    }
+
+    /// Smallest box containing every box.
+    pub fn bounding(&self) -> IndexBox {
+        self.boxes
+            .iter()
+            .fold(IndexBox::new(IntVect::ZERO, IntVect::ZERO), |acc, b| {
+                acc.bounding(b)
+            })
+    }
+
+    /// Index of the box containing cell `p`, if any.
+    pub fn find_cell(&self, p: IntVect) -> Option<usize> {
+        self.boxes.iter().position(|b| b.contains(p))
+    }
+
+    /// Refine every box by `r`.
+    pub fn refine(&self, r: IntVect) -> BoxArray {
+        Self {
+            boxes: self.boxes.iter().map(|b| b.refine(r)).collect(),
+        }
+    }
+
+    /// Coarsen every box by `r`. Valid only when each box is coarsenable
+    /// (edges aligned to `r`), which `chop` guarantees when sizes are
+    /// multiples of `r`.
+    pub fn coarsen(&self, r: IntVect) -> BoxArray {
+        Self {
+            boxes: self.boxes.iter().map(|b| b.coarsen(r)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chop_covers_exactly() {
+        let dom = IndexBox::new(IntVect::new(-3, 0, 2), IntVect::new(17, 9, 30));
+        let ba = BoxArray::chop(dom, IntVect::new(8, 4, 16));
+        assert_eq!(ba.total_cells(), dom.num_cells());
+        assert_eq!(ba.bounding(), dom);
+        // Every cell is in exactly one box (disjointness is asserted in
+        // from_boxes for debug builds; here check a sample of cells).
+        for p in [
+            IntVect::new(-3, 0, 2),
+            IntVect::new(16, 8, 29),
+            IntVect::new(0, 4, 15),
+        ] {
+            assert!(ba.find_cell(p).is_some());
+        }
+        assert!(ba.find_cell(IntVect::new(17, 0, 2)).is_none());
+    }
+
+    #[test]
+    fn chop_respects_max_size() {
+        let dom = IndexBox::from_size(IntVect::new(100, 1, 7));
+        let ba = BoxArray::chop(dom, IntVect::new(32, 32, 32));
+        assert_eq!(ba.len(), 4); // 100 -> 4 pieces of 25
+        for b in ba.iter() {
+            assert!(b.size().x <= 32 && b.size().y <= 32 && b.size().z <= 32);
+        }
+        // Near-equal split: sizes differ by at most 1.
+        let sizes: Vec<i64> = ba.iter().map(|b| b.size().x).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn refine_coarsen() {
+        let dom = IndexBox::from_size(IntVect::splat(8));
+        let ba = BoxArray::chop(dom, IntVect::splat(4));
+        let r = IntVect::splat(2);
+        assert_eq!(ba.refine(r).total_cells(), 8 * ba.total_cells());
+        assert_eq!(ba.refine(r).coarsen(r), ba);
+    }
+}

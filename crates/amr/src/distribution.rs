@@ -1,0 +1,262 @@
+//! Distribution mappings: which rank owns which box.
+//!
+//! Implements the three strategies described in §V-C of the paper:
+//!
+//! * **round robin** — loop over the boxes in order, one per rank;
+//! * **space-filling curve** — place the boxes in Z-sorted (Morton) order
+//!   and split the curve into per-rank segments of nearly equal cost, so
+//!   spatially close boxes share a rank;
+//! * **knapsack** — evenly distribute measured costs with no locality
+//!   consideration, via the classic greedy heuristic (largest cost to the
+//!   currently least-loaded rank).
+//!
+//! Dynamic load balancing re-runs a strategy with *measured* per-box costs
+//! and adopts the new mapping when it improves the balance enough.
+
+use crate::{boxarray::BoxArray, ivec::IntVect, morton};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Load-balancing strategy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    RoundRobin,
+    /// Z-order curve split by cumulative cost.
+    SpaceFillingCurve,
+    /// Greedy knapsack on costs, ignoring locality.
+    Knapsack,
+}
+
+/// Assignment of each box in a [`BoxArray`] to a rank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributionMapping {
+    owners: Vec<usize>,
+    nranks: usize,
+}
+
+impl DistributionMapping {
+    /// Build a mapping with the given strategy. `costs` (one per box) is
+    /// used by the SFC and knapsack strategies; pass uniform costs (or an
+    /// empty slice) when no runtime measurements exist yet.
+    pub fn build(ba: &BoxArray, nranks: usize, strategy: Strategy, costs: &[f64]) -> Self {
+        assert!(nranks > 0);
+        let n = ba.len();
+        let costs_owned;
+        let costs: &[f64] = if costs.len() == n {
+            costs
+        } else {
+            costs_owned = vec![1.0; n];
+            &costs_owned
+        };
+        let owners = match strategy {
+            Strategy::RoundRobin => (0..n).map(|i| i % nranks).collect(),
+            Strategy::SpaceFillingCurve => sfc_owners(ba, nranks, costs),
+            Strategy::Knapsack => knapsack_owners(nranks, costs),
+        };
+        Self { owners, nranks }
+    }
+
+    /// All boxes on a single rank (serial runs).
+    pub fn all_on_rank0(nboxes: usize) -> Self {
+        Self {
+            owners: vec![0; nboxes],
+            nranks: 1,
+        }
+    }
+
+    #[inline]
+    pub fn owner(&self, box_id: usize) -> usize {
+        self.owners[box_id]
+    }
+
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    #[inline]
+    pub fn owners(&self) -> &[usize] {
+        &self.owners
+    }
+
+    /// Box ids owned by `rank`.
+    pub fn boxes_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.owners.len())
+            .filter(|&i| self.owners[i] == rank)
+            .collect()
+    }
+
+    /// Per-rank summed cost.
+    pub fn rank_loads(&self, costs: &[f64]) -> Vec<f64> {
+        let mut loads = vec![0.0; self.nranks];
+        for (i, &o) in self.owners.iter().enumerate() {
+            loads[o] += costs[i];
+        }
+        loads
+    }
+
+    /// Load imbalance: `max(rank load) / mean(rank load)`. 1.0 is perfect.
+    pub fn imbalance(&self, costs: &[f64]) -> f64 {
+        let loads = self.rank_loads(costs);
+        let total: f64 = loads.iter().sum();
+        let mean = total / self.nranks as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        loads.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+fn sfc_owners(ba: &BoxArray, nranks: usize, costs: &[f64]) -> Vec<usize> {
+    let origin = ba.bounding().lo;
+    let centers: Vec<IntVect> = ba
+        .iter()
+        .map(|b| (b.lo + b.hi).coarsen(IntVect::splat(2)))
+        .collect();
+    let order = morton::order_by_key(&centers, origin);
+    // Split the ordered list into nranks contiguous chunks of ~equal cost.
+    let total: f64 = costs.iter().sum();
+    let target = total / nranks as f64;
+    let mut owners = vec![0usize; ba.len()];
+    let mut rank = 0usize;
+    let mut acc = 0.0;
+    for (pos, &bi) in order.iter().enumerate() {
+        let remaining_boxes = order.len() - pos;
+        // Ranks that would still need a box after advancing past `rank`.
+        let ranks_after = nranks - 1 - rank;
+        // Never strand later ranks without boxes, never run past the end.
+        if acc >= target && rank + 1 < nranks && remaining_boxes >= ranks_after {
+            rank += 1;
+            acc = 0.0;
+        }
+        owners[bi] = rank;
+        acc += costs[bi];
+    }
+    owners
+}
+
+fn knapsack_owners(nranks: usize, costs: &[f64]) -> Vec<usize> {
+    // Greedy LPT heuristic: sort by descending cost, always assign to the
+    // least-loaded rank. Guarantees max load <= mean + max single cost.
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    // Min-heap keyed on (load, rank). f64 isn't Ord; use total_cmp via bits
+    // on a wrapper of (load as ordered, rank).
+    #[derive(PartialEq)]
+    struct Load(f64, usize);
+    impl Eq for Load {}
+    impl PartialOrd for Load {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Load {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<Load>> =
+        (0..nranks).map(|r| Reverse(Load(0.0, r))).collect();
+    let mut owners = vec![0usize; costs.len()];
+    for bi in order {
+        let Reverse(Load(load, rank)) = heap.pop().expect("nranks > 0");
+        owners[bi] = rank;
+        heap.push(Reverse(Load(load + costs[bi], rank)));
+    }
+    owners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibox::IndexBox;
+
+    fn ba_16() -> BoxArray {
+        BoxArray::chop(
+            IndexBox::from_size(IntVect::new(64, 64, 16)),
+            IntVect::new(16, 16, 16),
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ba = ba_16();
+        let dm = DistributionMapping::build(&ba, 4, Strategy::RoundRobin, &[]);
+        assert_eq!(dm.owner(0), 0);
+        assert_eq!(dm.owner(5), 1);
+        for r in 0..4 {
+            assert_eq!(dm.boxes_of(r).len(), 4);
+        }
+    }
+
+    #[test]
+    fn knapsack_balances_skewed_costs() {
+        let ba = ba_16();
+        // One very expensive box (a laser-solid hotspot), others cheap.
+        let mut costs = vec![1.0; ba.len()];
+        costs[3] = 10.0;
+        let dm = DistributionMapping::build(&ba, 4, Strategy::Knapsack, &costs);
+        // The hot box must be alone-ish: its rank gets no other large share.
+        let loads = dm.rank_loads(&costs);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= 11.0, "loads: {loads:?}");
+        assert!(dm.imbalance(&costs) < 1.8);
+        // LPT bound: max <= mean + max_cost.
+        let mean: f64 = costs.iter().sum::<f64>() / 4.0;
+        assert!(max <= mean + 10.0 + 1e-12);
+    }
+
+    #[test]
+    fn sfc_assigns_contiguous_curve_segments() {
+        let ba = ba_16();
+        let dm = DistributionMapping::build(&ba, 4, Strategy::SpaceFillingCurve, &[]);
+        // Each rank gets 4 of the 16 equal-cost boxes.
+        for r in 0..4 {
+            assert_eq!(dm.boxes_of(r).len(), 4, "rank {r}");
+        }
+        // Spatial locality: boxes on the same rank have a smaller average
+        // pairwise center distance than boxes on different ranks.
+        let centers: Vec<IntVect> = ba.iter().map(|b| (b.lo + b.hi) / 2).collect();
+        let dist = |a: IntVect, b: IntVect| {
+            let d = a - b;
+            ((d.x * d.x + d.y * d.y + d.z * d.z) as f64).sqrt()
+        };
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0, 0.0, 0);
+        for i in 0..ba.len() {
+            for j in i + 1..ba.len() {
+                let d = dist(centers[i], centers[j]);
+                if dm.owner(i) == dm.owner(j) {
+                    same += d;
+                    same_n += 1;
+                } else {
+                    diff += d;
+                    diff_n += 1;
+                }
+            }
+        }
+        assert!(same / (same_n as f64) < diff / (diff_n as f64));
+    }
+
+    #[test]
+    fn every_rank_gets_work_when_possible() {
+        let ba = ba_16();
+        for strat in [
+            Strategy::RoundRobin,
+            Strategy::SpaceFillingCurve,
+            Strategy::Knapsack,
+        ] {
+            let dm = DistributionMapping::build(&ba, 16, strat, &[]);
+            for r in 0..16 {
+                assert!(!dm.boxes_of(r).is_empty(), "{strat:?} starves rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        let ba = ba_16();
+        let dm = DistributionMapping::build(&ba, 4, Strategy::Knapsack, &[]);
+        assert!((dm.imbalance(&vec![1.0; ba.len()]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,503 @@
+//! `FabArray`: one field component distributed over a box array.
+
+use crate::{
+    boxarray::BoxArray,
+    comm::{CommStats, ExchangePlan},
+    fab::Fab,
+    ibox::IndexBox,
+    ivec::IntVect,
+    stagger::Stagger,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Domain periodicity description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Periodicity {
+    pub domain: IndexBox,
+    pub periodic: [bool; 3],
+}
+
+impl Periodicity {
+    pub fn new(domain: IndexBox, periodic: [bool; 3]) -> Self {
+        Self { domain, periodic }
+    }
+
+    pub fn none(domain: IndexBox) -> Self {
+        Self::new(domain, [false; 3])
+    }
+
+    pub fn all(domain: IndexBox) -> Self {
+        Self::new(domain, [true; 3])
+    }
+
+    /// All periodic image shifts including the zero shift (first),
+    /// reaching one period per axis. Sufficient when guard widths do not
+    /// exceed the domain extent; use [`Self::shifts_for`] otherwise.
+    pub fn shifts_with_zero(&self) -> Vec<IntVect> {
+        self.shifts_for(IntVect::ONE)
+    }
+
+    /// Periodic image shifts covering guard regions up to `reach` cells
+    /// wide per axis (multiple periods when the guards are wider than the
+    /// domain, e.g. thin domains with deep interpolation stencils).
+    pub fn shifts_for(&self, reach: IntVect) -> Vec<IntVect> {
+        let n = self.domain.size();
+        let opts = |d: usize| -> Vec<i64> {
+            if !self.periodic[d] {
+                return vec![0];
+            }
+            // Number of periods needed to cover `reach` guard cells.
+            let k = ((reach[d].max(1) + n[d] - 1) / n[d]).max(1);
+            let mut v = vec![0];
+            for m in 1..=k {
+                v.push(m * n[d]);
+                v.push(-m * n[d]);
+            }
+            v
+        };
+        let (xs, ys, zs) = (opts(0), opts(1), opts(2));
+        let mut out = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+        for &z in &zs {
+            for &y in &ys {
+                for &x in &xs {
+                    out.push(IntVect::new(x, y, z));
+                }
+            }
+        }
+        // Zero shift first (it is the common case).
+        out.sort_by_key(|s| (s.x != 0 || s.y != 0 || s.z != 0) as i64);
+        out
+    }
+}
+
+/// A multi-component staggered field over all boxes of a [`BoxArray`].
+#[derive(Clone, Debug)]
+pub struct FabArray {
+    ba: BoxArray,
+    stagger: Stagger,
+    ncomp: usize,
+    ngrow: IntVect,
+    fabs: Vec<Fab>,
+    stats: CommStats,
+}
+
+impl FabArray {
+    pub fn new(ba: BoxArray, stagger: Stagger, ncomp: usize, ngrow: i64) -> Self {
+        Self::new_vec(ba, stagger, ncomp, IntVect::splat(ngrow))
+    }
+
+    /// Per-axis guard widths (zero y guards for collapsed 2-D arrays).
+    pub fn new_vec(ba: BoxArray, stagger: Stagger, ncomp: usize, ngrow: IntVect) -> Self {
+        let fabs = ba
+            .iter()
+            .map(|b| Fab::new_vec(*b, stagger, ncomp, ngrow))
+            .collect();
+        Self {
+            ba,
+            stagger,
+            ncomp,
+            ngrow,
+            fabs,
+            stats: CommStats::default(),
+        }
+    }
+
+    #[inline]
+    pub fn boxarray(&self) -> &BoxArray {
+        &self.ba
+    }
+
+    #[inline]
+    pub fn stagger(&self) -> Stagger {
+        self.stagger
+    }
+
+    #[inline]
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    #[inline]
+    pub fn ngrow(&self) -> IntVect {
+        self.ngrow
+    }
+
+    #[inline]
+    pub fn nfabs(&self) -> usize {
+        self.fabs.len()
+    }
+
+    #[inline]
+    pub fn fab(&self, i: usize) -> &Fab {
+        &self.fabs[i]
+    }
+
+    #[inline]
+    pub fn fab_mut(&mut self, i: usize) -> &mut Fab {
+        &mut self.fabs[i]
+    }
+
+    #[inline]
+    pub fn fabs(&self) -> &[Fab] {
+        &self.fabs
+    }
+
+    #[inline]
+    pub fn fabs_mut(&mut self) -> &mut [Fab] {
+        &mut self.fabs
+    }
+
+    /// Parallel mutable iteration over (box id, fab), the on-node parallel
+    /// layer (the stand-in for the paper's GPU/OpenMP `ParallelFor`).
+    pub fn par_fabs_mut(&mut self) -> impl ParallelIterator<Item = (usize, &mut Fab)> {
+        self.fabs.par_iter_mut().enumerate()
+    }
+
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Set all data (valid + guards) of all fabs.
+    pub fn fill(&mut self, v: f64) {
+        for f in &mut self.fabs {
+            f.fill(v);
+        }
+    }
+
+    /// Zero all data.
+    pub fn zero(&mut self) {
+        self.fill(0.0);
+    }
+
+    /// Copy valid data into guard regions of neighboring boxes (including
+    /// periodic images). Call after every field update so stencils near
+    /// box edges see fresh neighbor data.
+    pub fn fill_boundary(&mut self, period: &Periodicity) {
+        let plan = ExchangePlan::fill(&self.ba, self.stagger, self.ngrow, period);
+        self.execute_copy(&plan);
+    }
+
+    /// Execute a prebuilt fill-style (copy) plan.
+    pub fn execute_copy(&mut self, plan: &ExchangePlan) {
+        let mut moved_points = 0i64;
+        for it in &plan.items {
+            if it.src == it.dst {
+                // Self periodic copy: snapshot the region to avoid aliasing.
+                let src_clone = self.fabs[it.src].clone();
+                let dst = &mut self.fabs[it.dst];
+                for c in 0..self.ncomp {
+                    dst.copy_region_from(&src_clone, &it.region, it.shift, c, c);
+                }
+            } else {
+                let (a, b) = two_mut(&mut self.fabs, it.src, it.dst);
+                for c in 0..self.ncomp {
+                    b.copy_region_from(a, &it.region, it.shift, c, c);
+                }
+            }
+            moved_points += it.region.num_cells();
+            self.stats.messages += u64::from(it.src != it.dst);
+        }
+        self.stats.bytes += moved_points as u64 * 8 * self.ncomp as u64;
+        self.stats.exchanges += 1;
+    }
+
+    /// Accumulate deposited guard data into the valid region of the owning
+    /// boxes (including periodic images). Used after charge/current
+    /// deposition; afterwards every box's valid region holds the total.
+    pub fn sum_boundary(&mut self, period: &Periodicity) {
+        let plan = ExchangePlan::sum(&self.ba, self.stagger, self.ngrow, period);
+        // All additions must read pre-sum values: snapshot sources.
+        let snapshot: Vec<Fab> = plan
+            .items
+            .iter()
+            .map(|it| it.src)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|s| self.fabs[s].clone())
+            .collect();
+        let snap_ids: Vec<usize> = plan
+            .items
+            .iter()
+            .map(|it| it.src)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let lookup = |s: usize| -> &Fab {
+            let pos = snap_ids.binary_search(&s).expect("snapshotted");
+            &snapshot[pos]
+        };
+        let mut moved_points = 0i64;
+        for it in &plan.items {
+            let src = lookup(it.src);
+            let dst = &mut self.fabs[it.dst];
+            for c in 0..self.ncomp {
+                dst.add_region_from(src, &it.region, it.shift, c, c);
+            }
+            moved_points += it.region.num_cells();
+            self.stats.messages += u64::from(it.src != it.dst);
+        }
+        self.stats.bytes += moved_points as u64 * 8 * self.ncomp as u64;
+        self.stats.exchanges += 1;
+    }
+
+    /// Shift all data by `s` points across the whole array (moving
+    /// window): new value at point `p` = old global value at `p + s`;
+    /// uncovered points become 0. Guards are left stale — call
+    /// `fill_boundary` afterwards.
+    pub fn shift_data(&mut self, s: IntVect) {
+        if s == IntVect::ZERO {
+            return;
+        }
+        if self.fabs.len() == 1 {
+            self.fabs[0].shift_data(s);
+            return;
+        }
+        let old: Vec<Fab> = self.fabs.clone();
+        let valid: Vec<IndexBox> = old.iter().map(|f| f.valid_pts()).collect();
+        for dst in self.fabs.iter_mut() {
+            // Zero everything, then pull shifted valid data from all fabs.
+            dst.fill(0.0);
+            let want = dst.valid_pts();
+            for (si, src) in old.iter().enumerate() {
+                // Source points q with q - s inside dst valid.
+                if let Some(region) = valid[si].intersect(&want.shift(s)) {
+                    for c in 0..self.ncomp {
+                        dst.copy_region_from(src, &region, -s, c, c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regions of points *owned* by box `i`: its valid points minus points
+    /// already owned by lower-id boxes (nodal faces are shared). Use for
+    /// reductions that must count each physical point once.
+    pub fn owned_regions(&self, i: usize) -> Vec<IndexBox> {
+        let mine = self.fabs[i].valid_pts();
+        let mut regions = vec![mine];
+        for j in 0..i {
+            let other = self.fabs[j].valid_pts();
+            let mut next = Vec::new();
+            for r in regions {
+                if r.intersect(&other).is_some() {
+                    next.extend(r.subtract(&other));
+                } else {
+                    next.push(r);
+                }
+            }
+            regions = next;
+        }
+        regions
+    }
+
+    /// Sum of a component over owned points of all boxes (each physical
+    /// point counted once).
+    pub fn sum_comp(&self, c: usize) -> f64 {
+        (0..self.fabs.len())
+            .map(|i| {
+                self.owned_regions(i)
+                    .iter()
+                    .map(|r| self.fabs[i].sum_region(c, r))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Sum of f(value) over owned points (e.g. squares for energy).
+    pub fn sum_comp_map(&self, c: usize, f: impl Fn(f64) -> f64 + Sync) -> f64 {
+        (0..self.fabs.len())
+            .map(|i| {
+                let fab = &self.fabs[i];
+                let ix = fab.indexer();
+                let comp = fab.comp(c);
+                self.owned_regions(i)
+                    .iter()
+                    .map(|r| {
+                        let mut acc = 0.0;
+                        for k in r.lo.z..r.hi.z {
+                            for j in r.lo.y..r.hi.y {
+                                let row = ix.at(r.lo.x, j, k);
+                                for v in &comp[row..row + (r.hi.x - r.lo.x) as usize] {
+                                    acc += f(*v);
+                                }
+                            }
+                        }
+                        acc
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Max |v| of a component over valid points of all boxes.
+    pub fn max_abs(&self, c: usize) -> f64 {
+        self.fabs
+            .iter()
+            .map(|f| f.max_abs_region(c, &f.valid_pts()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Value at a point, read from the first box whose valid region holds
+    /// it (panics if nowhere valid).
+    pub fn at(&self, c: usize, p: IntVect) -> f64 {
+        for f in &self.fabs {
+            if f.valid_pts().contains(p) {
+                return f.get(c, p);
+            }
+        }
+        panic!("point {p:?} not in any valid region");
+    }
+}
+
+/// Disjoint mutable references to two fabs.
+fn two_mut(fabs: &mut [Fab], a: usize, b: usize) -> (&mut Fab, &mut Fab) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = fabs.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = fabs.split_at_mut(a);
+        let (x, y) = (&mut hi[0], &mut lo[b]);
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> IndexBox {
+        IndexBox::from_size(IntVect::new(8, 8, 4))
+    }
+
+    fn mk(ngrow: i64, stagger: Stagger) -> FabArray {
+        let ba = BoxArray::chop(dom(), IntVect::new(4, 4, 4));
+        FabArray::new(ba, stagger, 1, ngrow)
+    }
+
+    #[test]
+    fn fill_boundary_transports_values() {
+        let mut fa = mk(2, Stagger::CELL);
+        // Paint each fab with its box id, then fill guards.
+        for i in 0..fa.nfabs() {
+            let r = fa.fab(i).valid_pts();
+            fa.fab_mut(i).apply_region(0, &r, move |_| i as f64 + 1.0);
+        }
+        fa.fill_boundary(&Periodicity::none(dom()));
+        // A guard point of box 0 lying inside box 1's valid region equals 2.
+        let b1 = fa.boxarray().get(1);
+        let probe = IntVect::new(b1.lo.x, b1.lo.y, b1.lo.z);
+        assert!(fa.fab(0).grown_pts().contains(probe));
+        assert_eq!(fa.fab(0).get(0, probe), 2.0);
+        assert!(fa.stats().bytes > 0);
+    }
+
+    #[test]
+    fn periodic_fill_wraps() {
+        let mut fa = mk(1, Stagger::CELL);
+        for i in 0..fa.nfabs() {
+            let r = fa.fab(i).valid_pts();
+            fa.fab_mut(i).apply_region(0, &r, move |_| i as f64 + 1.0);
+        }
+        fa.fill_boundary(&Periodicity::all(dom()));
+        // Guard at x = -1 of box 0 wraps to the far-x box at x = 7.
+        let owner = fa
+            .boxarray()
+            .find_cell(IntVect::new(7, 0, 0))
+            .unwrap() as f64
+            + 1.0;
+        assert_eq!(fa.fab(0).get(0, IntVect::new(-1, 0, 0)), owner);
+    }
+
+    #[test]
+    fn sum_boundary_accumulates_once() {
+        // Deposit 1.0 at a nodal point shared by several boxes (in each
+        // box's local data), then sum: every owner must see the total.
+        let mut fa = mk(1, Stagger::NODAL);
+        let shared = IntVect::new(4, 4, 0); // corner shared by 4 boxes
+        let mut holders = 0;
+        for i in 0..fa.nfabs() {
+            if fa.fab(i).grown_pts().contains(shared) {
+                fa.fab_mut(i).add(0, shared, 1.0);
+                holders += 1;
+            }
+        }
+        assert!(holders >= 4);
+        fa.sum_boundary(&Periodicity::none(dom()));
+        for i in 0..fa.nfabs() {
+            if fa.fab(i).valid_pts().contains(shared) {
+                assert_eq!(fa.fab(i).get(0, shared), holders as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_regions_partition_points() {
+        let fa = mk(1, Stagger::NODAL);
+        let total: i64 = (0..fa.nfabs())
+            .map(|i| {
+                fa.owned_regions(i)
+                    .iter()
+                    .map(|r| r.num_cells())
+                    .sum::<i64>()
+            })
+            .sum();
+        // Nodal points over the whole 8x8x4 domain: 9*9*5.
+        assert_eq!(total, 9 * 9 * 5);
+    }
+
+    #[test]
+    fn sum_comp_counts_each_point_once() {
+        let mut fa = mk(1, Stagger::NODAL);
+        for i in 0..fa.nfabs() {
+            let r = fa.fab(i).valid_pts();
+            fa.fab_mut(i).apply_region(0, &r, |_| 1.0);
+        }
+        assert_eq!(fa.sum_comp(0), (9 * 9 * 5) as f64);
+    }
+
+    #[test]
+    fn shift_data_across_boxes() {
+        let mut fa = mk(1, Stagger::CELL);
+        // Single marked cell in box at high x.
+        let p = IntVect::new(6, 1, 1);
+        let owner = fa.boxarray().find_cell(p).unwrap();
+        fa.fab_mut(owner).set(0, p, 5.0);
+        // Shift data by +4 in x: value should appear at x=2 (another box).
+        fa.shift_data(IntVect::new(4, 0, 0));
+        let q = IntVect::new(2, 1, 1);
+        assert_eq!(fa.at(0, q), 5.0);
+        // Old location now zero.
+        assert_eq!(fa.at(0, p), 0.0);
+    }
+
+    #[test]
+    fn multi_box_equals_single_box_after_fill() {
+        // fill_boundary on a chopped array reproduces the single-box
+        // picture of a smooth function.
+        let f = |p: IntVect| (p.x * 100 + p.y * 10 + p.z) as f64;
+        let mut multi = mk(2, Stagger::NODAL);
+        for i in 0..multi.nfabs() {
+            let r = multi.fab(i).valid_pts();
+            for p in r.cells().collect::<Vec<_>>() {
+                multi.fab_mut(i).set(0, p, f(p));
+            }
+        }
+        multi.fill_boundary(&Periodicity::none(dom()));
+        // Every interior guard point matches the analytic value.
+        for i in 0..multi.nfabs() {
+            let fab = multi.fab(i);
+            let interior = Stagger::NODAL.point_box(&dom());
+            for p in fab.grown_pts().cells().collect::<Vec<_>>() {
+                if interior.contains(p) && !fab.valid_pts().contains(p) {
+                    assert_eq!(fab.get(0, p), f(p), "at {p:?} of fab {i}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! 3-component integer vectors indexing the structured mesh.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A point in the 3-D integer index space.
+///
+/// Two-dimensional (x–z) simulations use the same type with a unit extent
+/// in `y`; all index algebra is dimension-agnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntVect {
+    pub x: i64,
+    pub y: i64,
+    pub z: i64,
+}
+
+impl std::fmt::Debug for IntVect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+impl IntVect {
+    pub const ZERO: IntVect = IntVect { x: 0, y: 0, z: 0 };
+    pub const ONE: IntVect = IntVect { x: 1, y: 1, z: 1 };
+
+    #[inline]
+    pub const fn new(x: i64, y: i64, z: i64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Vector with the same value in every component.
+    #[inline]
+    pub const fn splat(v: i64) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Unit vector along axis `d` (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn unit(d: usize) -> Self {
+        let mut v = Self::ZERO;
+        v[d] = 1;
+        v
+    }
+
+    #[inline]
+    pub fn min(self, o: Self) -> Self {
+        Self::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    #[inline]
+    pub fn max(self, o: Self) -> Self {
+        Self::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise product (number of cells for an extent vector).
+    #[inline]
+    pub fn prod(self) -> i64 {
+        self.x * self.y * self.z
+    }
+
+    /// True if every component of `self` is `<=` the matching one of `o`.
+    #[inline]
+    pub fn all_le(self, o: Self) -> bool {
+        self.x <= o.x && self.y <= o.y && self.z <= o.z
+    }
+
+    /// True if every component of `self` is `<` the matching one of `o`.
+    #[inline]
+    pub fn all_lt(self, o: Self) -> bool {
+        self.x < o.x && self.y < o.y && self.z < o.z
+    }
+
+    /// Floor division by a positive refinement ratio, component-wise.
+    ///
+    /// Unlike Rust's `/`, this rounds toward negative infinity, which is
+    /// what cell-index coarsening requires for negative indices.
+    #[inline]
+    pub fn coarsen(self, r: Self) -> Self {
+        #[inline]
+        fn fdiv(a: i64, b: i64) -> i64 {
+            debug_assert!(b > 0);
+            a.div_euclid(b)
+        }
+        Self::new(fdiv(self.x, r.x), fdiv(self.y, r.y), fdiv(self.z, r.z))
+    }
+
+    #[inline]
+    pub fn to_array(self) -> [i64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[i64; 3]> for IntVect {
+    #[inline]
+    fn from(a: [i64; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl Index<usize> for IntVect {
+    type Output = i64;
+    #[inline]
+    fn index(&self, d: usize) -> &i64 {
+        match d {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("IntVect index out of range: {d}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for IntVect {
+    #[inline]
+    fn index_mut(&mut self, d: usize) -> &mut i64 {
+        match d {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("IntVect index out of range: {d}"),
+        }
+    }
+}
+
+impl Add for IntVect {
+    type Output = Self;
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for IntVect {
+    type Output = Self;
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for IntVect {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl AddAssign for IntVect {
+    #[inline]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for IntVect {
+    #[inline]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<i64> for IntVect {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: i64) -> Self {
+        Self::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<IntVect> for IntVect {
+    type Output = Self;
+    #[inline]
+    fn mul(self, o: IntVect) -> Self {
+        Self::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+}
+
+impl Div<i64> for IntVect {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: i64) -> Self {
+        Self::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = IntVect::new(1, 2, 3);
+        let b = IntVect::new(4, 5, 6);
+        assert_eq!(a + b, IntVect::new(5, 7, 9));
+        assert_eq!(b - a, IntVect::new(3, 3, 3));
+        assert_eq!(a * 2, IntVect::new(2, 4, 6));
+        assert_eq!(a * b, IntVect::new(4, 10, 18));
+        assert_eq!(-a, IntVect::new(-1, -2, -3));
+    }
+
+    #[test]
+    fn indexing_and_unit() {
+        let mut a = IntVect::ZERO;
+        a[1] = 7;
+        assert_eq!(a, IntVect::new(0, 7, 0));
+        assert_eq!(IntVect::unit(2), IntVect::new(0, 0, 1));
+        assert_eq!(a[1], 7);
+    }
+
+    #[test]
+    fn min_max_prod() {
+        let a = IntVect::new(1, 9, 3);
+        let b = IntVect::new(4, 2, 6);
+        assert_eq!(a.min(b), IntVect::new(1, 2, 3));
+        assert_eq!(a.max(b), IntVect::new(4, 9, 6));
+        assert_eq!(IntVect::new(2, 3, 4).prod(), 24);
+    }
+
+    #[test]
+    fn coarsen_rounds_toward_neg_infinity() {
+        let r = IntVect::splat(2);
+        assert_eq!(IntVect::new(-1, -2, -3).coarsen(r), IntVect::new(-1, -1, -2));
+        assert_eq!(IntVect::new(3, 4, 5).coarsen(r), IntVect::new(1, 2, 2));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(IntVect::new(1, 1, 1).all_le(IntVect::new(1, 2, 3)));
+        assert!(!IntVect::new(1, 3, 1).all_lt(IntVect::new(2, 3, 2)));
+        assert!(IntVect::new(0, 0, 0).all_lt(IntVect::ONE));
+    }
+}

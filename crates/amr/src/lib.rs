@@ -1,0 +1,45 @@
+//! `mrpic-amr` — a from-scratch block-structured mesh substrate.
+//!
+//! This crate provides the data model that the rest of the `mrpic`
+//! workspace is built on, mirroring the subset of the AMReX library that
+//! the paper's PIC code relies on:
+//!
+//! * an integer index space ([`IntVect`], [`IndexBox`]) with half-open cell
+//!   boxes,
+//! * domain chopping into box arrays ([`BoxArray`]),
+//! * distribution mappings with round-robin, space-filling-curve and
+//!   knapsack load-balancing strategies ([`DistributionMapping`]),
+//! * Yee staggering descriptors ([`Stagger`]),
+//! * multi-component per-box field arrays with guard cells ([`Fab`],
+//!   [`FabArray`]) including `fill_boundary` (copy valid → guard) and
+//!   `sum_boundary` (accumulate guard → valid, used by charge/current
+//!   deposition),
+//! * communication plans with byte/message accounting ([`comm`]), which the
+//!   cluster simulator uses to price halo exchanges.
+//!
+//! Everything is deterministic: iteration orders are fixed and no
+//! `HashMap` iteration reaches numerical results.
+
+// Stencil and particle loops index several parallel arrays by the same
+// counter; iterator zips would obscure the numerics. Silence the style
+// lint crate-wide rather than per-loop.
+#![allow(clippy::needless_range_loop)]
+
+pub mod boxarray;
+pub mod comm;
+pub mod distribution;
+pub mod fab;
+pub mod fabarray;
+pub mod ibox;
+pub mod ivec;
+pub mod morton;
+pub mod stagger;
+
+pub use boxarray::BoxArray;
+pub use comm::{CommStats, ExchangePlan};
+pub use distribution::{DistributionMapping, Strategy};
+pub use fab::Fab;
+pub use fabarray::{FabArray, Periodicity};
+pub use ibox::IndexBox;
+pub use ivec::IntVect;
+pub use stagger::Stagger;

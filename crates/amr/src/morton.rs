@@ -1,0 +1,112 @@
+//! Morton (Z-order) space-filling-curve keys.
+//!
+//! The paper's default distribution strategy orders boxes along a
+//! space-filling curve so spatially close boxes land on the same rank,
+//! minimizing halo-exchange traffic (§V-C). We use the classic Morton
+//! curve: interleave the bits of the (x, y, z) coordinates.
+
+use crate::ivec::IntVect;
+
+/// Spread the low 21 bits of `v` so that they occupy every third bit.
+#[inline]
+fn spread3(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Morton key of a non-negative index triple (each component < 2^21).
+#[inline]
+pub fn key(p: IntVect) -> u64 {
+    debug_assert!(
+        p.x >= 0 && p.y >= 0 && p.z >= 0,
+        "morton::key requires non-negative indices; offset by the domain lo first"
+    );
+    spread3(p.x as u64) | (spread3(p.y as u64) << 1) | (spread3(p.z as u64) << 2)
+}
+
+/// Morton key of `p` relative to an origin (e.g. the domain lower corner).
+#[inline]
+pub fn key_from(origin: IntVect, p: IntVect) -> u64 {
+    key(p - origin)
+}
+
+/// Sort indices `0..n` by the Morton key of the associated points.
+pub fn order_by_key(points: &[IntVect], origin: IntVect) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by_key(|&i| key_from(origin, points[i]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cube_order() {
+        // The 8 corners of the unit cube enumerate in Z order:
+        // (0,0,0),(1,0,0),(0,1,0),(1,1,0),(0,0,1),(1,0,1),(0,1,1),(1,1,1)
+        let expect = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (0, 0, 1),
+            (1, 0, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ];
+        let mut keys: Vec<(u64, (i64, i64, i64))> = expect
+            .iter()
+            .map(|&(x, y, z)| (key(IntVect::new(x, y, z)), (x, y, z)))
+            .collect();
+        keys.sort();
+        for (i, &(_, p)) in keys.iter().enumerate() {
+            assert_eq!(p, expect[i]);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_on_a_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for z in 0..8 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    assert!(seen.insert(key(IntVect::new(x, y, z))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locality_neighbors_have_close_keys() {
+        // Average key distance of face neighbors must be far below the
+        // average distance of random pairs -- the whole point of SFC.
+        let n = 16i64;
+        let mut neigh = 0u128;
+        let mut cnt = 0u128;
+        for z in 0..n - 1 {
+            for y in 0..n - 1 {
+                for x in 0..n - 1 {
+                    let k0 = key(IntVect::new(x, y, z));
+                    let k1 = key(IntVect::new(x + 1, y, z));
+                    neigh += k0.abs_diff(k1) as u128;
+                    cnt += 1;
+                }
+            }
+        }
+        let far = key(IntVect::new(0, 0, 0)).abs_diff(key(IntVect::new(n - 1, n - 1, n - 1)));
+        assert!((neigh / cnt) < far as u128 / 4);
+    }
+
+    #[test]
+    fn key_from_offsets_negative_domains() {
+        let origin = IntVect::new(-8, -8, -8);
+        assert_eq!(key_from(origin, origin), 0);
+        assert!(key_from(origin, IntVect::new(-7, -8, -8)) > 0);
+    }
+}

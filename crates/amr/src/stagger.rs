@@ -1,0 +1,116 @@
+//! Yee-grid staggering descriptors.
+//!
+//! Each field component lives on its own set of points within a cell. We
+//! use the cell-centered convention: a component that is *nodal* along an
+//! axis sits on the grid lines of that axis (coordinate `lo + i*dx`), and a
+//! component that is *half* (staggered) sits at cell centers along that
+//! axis (coordinate `lo + (i + 1/2)*dx`). Over `n` cells a nodal axis has
+//! `n + 1` points and a half axis has `n` points.
+
+use crate::{ibox::IndexBox, ivec::IntVect};
+use serde::{Deserialize, Serialize};
+
+/// Per-axis nodality of a field component. `true` = nodal (on grid lines),
+/// `false` = half (cell-centered along that axis).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Stagger(pub [bool; 3]);
+
+impl Stagger {
+    /// Fully nodal (e.g. charge density on the Yee grid).
+    pub const NODAL: Stagger = Stagger([true, true, true]);
+    /// Fully cell-centered.
+    pub const CELL: Stagger = Stagger([false, false, false]);
+
+    /// Yee staggering of the electric field / current component along `d`:
+    /// half in `d`, nodal elsewhere (edge-centered for E on the dual view).
+    pub const fn efield(d: usize) -> Stagger {
+        let mut s = [true, true, true];
+        s[d] = false;
+        Stagger(s)
+    }
+
+    /// Yee staggering of the magnetic field component along `d`:
+    /// nodal in `d`, half elsewhere (face-centered).
+    pub const fn bfield(d: usize) -> Stagger {
+        let mut s = [false, false, false];
+        s[d] = true;
+        Stagger(s)
+    }
+
+    pub const EX: Stagger = Self::efield(0);
+    pub const EY: Stagger = Self::efield(1);
+    pub const EZ: Stagger = Self::efield(2);
+    pub const BX: Stagger = Self::bfield(0);
+    pub const BY: Stagger = Self::bfield(1);
+    pub const BZ: Stagger = Self::bfield(2);
+
+    #[inline]
+    pub fn is_nodal(&self, d: usize) -> bool {
+        self.0[d]
+    }
+
+    /// Extra points beyond the cell count along each axis (1 if nodal).
+    #[inline]
+    pub fn extra(&self) -> IntVect {
+        IntVect::new(self.0[0] as i64, self.0[1] as i64, self.0[2] as i64)
+    }
+
+    /// The *point* index box for this staggering over cell box `cells`:
+    /// point index `i` along a nodal axis covers `lo..=hi`, along a half
+    /// axis `lo..hi` (still stored half-open, so hi is bumped by `extra`).
+    #[inline]
+    pub fn point_box(&self, cells: &IndexBox) -> IndexBox {
+        IndexBox::new(cells.lo, cells.hi + self.extra())
+    }
+
+    /// Physical offset of point `i` along axis `d`, in units of the cell
+    /// size: 0.0 for nodal, 0.5 for half.
+    #[inline]
+    pub fn offset(&self, d: usize) -> f64 {
+        if self.0[d] {
+            0.0
+        } else {
+            0.5
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yee_layout_sizes() {
+        // 4x4x4 cells: Ex is half in x, nodal in y,z -> 4*5*5 points.
+        let cells = IndexBox::from_size(IntVect::splat(4));
+        assert_eq!(Stagger::EX.point_box(&cells).num_cells(), 4 * 5 * 5);
+        assert_eq!(Stagger::EY.point_box(&cells).num_cells(), 5 * 4 * 5);
+        assert_eq!(Stagger::EZ.point_box(&cells).num_cells(), 5 * 5 * 4);
+        assert_eq!(Stagger::BX.point_box(&cells).num_cells(), 5 * 4 * 4);
+        assert_eq!(Stagger::NODAL.point_box(&cells).num_cells(), 125);
+        assert_eq!(Stagger::CELL.point_box(&cells).num_cells(), 64);
+    }
+
+    #[test]
+    fn offsets() {
+        assert_eq!(Stagger::EX.offset(0), 0.5);
+        assert_eq!(Stagger::EX.offset(1), 0.0);
+        assert_eq!(Stagger::BX.offset(0), 0.0);
+        assert_eq!(Stagger::BX.offset(2), 0.5);
+    }
+
+    #[test]
+    fn e_b_duality() {
+        // E and B staggering are exact complements on the Yee lattice.
+        for d in 0..3 {
+            for a in 0..3 {
+                assert_eq!(
+                    Stagger::efield(d).is_nodal(a),
+                    !Stagger::bfield(d).is_nodal(a),
+                );
+            }
+        }
+        assert_eq!(Stagger::EX.extra(), IntVect::new(0, 1, 1));
+        assert_eq!(Stagger::BX.extra(), IntVect::new(1, 0, 0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the mesh substrate's conservation and consistency
+//! invariants.
+
+use mrpic_amr::{BoxArray, FabArray, IndexBox, IntVect, Periodicity, Stagger};
+use proptest::prelude::*;
+
+fn arb_dom() -> impl Strategy<Value = IndexBox> {
+    (4i64..20, 1i64..8, 4i64..20)
+        .prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `sum_boundary` conserves the total deposited quantity: the sum
+    /// over owned points after the exchange equals the sum of all local
+    /// contributions before it (fully periodic domain).
+    #[test]
+    fn sum_boundary_conserves_total(
+        dom in arb_dom(),
+        seed in 0u64..500,
+        ng in 1i64..4,
+    ) {
+        // Cell-centered staggering: unlike nodal data, no point is a
+        // duplicated periodic image of another, so the owned-sum is an
+        // exact census of physical points.
+        let ba = BoxArray::chop(dom, IntVect::new(4, 4, 4));
+        let mut fa = FabArray::new(ba, Stagger::CELL, 1, ng);
+        let per = Periodicity::all(dom);
+        // Deposit pseudo-random values everywhere (valid + guards).
+        let mut state = seed | 1;
+        let mut total_in = 0.0;
+        for i in 0..fa.nfabs() {
+            let grown = fa.fab(i).grown_pts();
+            let fab = fa.fab_mut(i);
+            for p in grown.cells().collect::<Vec<_>>() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = ((state >> 33) % 100) as f64 / 10.0;
+                fab.add(0, p, v);
+                total_in += v;
+            }
+        }
+        fa.sum_boundary(&per);
+        // Each physical point counted once (owned regions): the guard
+        // contributions wrapped onto valid points, so the owned total
+        // equals everything deposited... except guard points that wrap
+        // OUTSIDE the periodic domain images of any valid point cannot
+        // exist on a fully periodic domain: every guard point maps to a
+        // valid point. Hence exact conservation.
+        let total_out = fa.sum_comp(0);
+        prop_assert!(
+            (total_out - total_in).abs() < 1e-9 * total_in.max(1.0),
+            "{total_out} vs {total_in}"
+        );
+    }
+
+    /// Shifting data twice equals shifting once by the sum.
+    #[test]
+    fn shift_data_composes(
+        dom in arb_dom(),
+        s1 in -3i64..4,
+        s2 in -3i64..4,
+    ) {
+        let ba = BoxArray::chop(dom, IntVect::new(4, 4, 4));
+        let mut a = FabArray::new(ba.clone(), Stagger::CELL, 1, 2);
+        // Paint valid cells with a position hash.
+        for i in 0..a.nfabs() {
+            let vb = a.fab(i).valid_pts();
+            let fab = a.fab_mut(i);
+            for p in vb.cells().collect::<Vec<_>>() {
+                fab.set(0, p, (p.x * 131 + p.y * 17 + p.z) as f64);
+            }
+        }
+        let mut b = a.clone();
+        a.shift_data(IntVect::new(s1, 0, 0));
+        a.shift_data(IntVect::new(s2, 0, 0));
+        b.shift_data(IntVect::new(s1 + s2, 0, 0));
+        // Compare the interior where neither path lost data to the edge.
+        let margin = s1.abs() + s2.abs();
+        let interior = IndexBox::new(
+            dom.lo + IntVect::new(margin, 0, 0),
+            dom.hi - IntVect::new(margin, 0, 0),
+        );
+        if !interior.is_empty() {
+            for p in interior.cells() {
+                prop_assert_eq!(a.at(0, p), b.at(0, p), "at {:?}", p);
+            }
+        }
+    }
+
+    /// `fill_boundary` is idempotent: a second exchange changes nothing.
+    #[test]
+    fn fill_boundary_idempotent(dom in arb_dom(), px in any::<bool>()) {
+        let ba = BoxArray::chop(dom, IntVect::new(4, 2, 4));
+        let mut fa = FabArray::new(ba, Stagger::EX, 1, 2);
+        let per = Periodicity::new(dom, [px, false, false]);
+        for i in 0..fa.nfabs() {
+            let vb = fa.fab(i).valid_pts();
+            let fab = fa.fab_mut(i);
+            for p in vb.cells().collect::<Vec<_>>() {
+                fab.set(0, p, (p.x * 7 - p.z * 3 + p.y) as f64);
+            }
+        }
+        fa.fill_boundary(&per);
+        let snapshot: Vec<Vec<f64>> =
+            (0..fa.nfabs()).map(|i| fa.fab(i).raw().to_vec()).collect();
+        fa.fill_boundary(&per);
+        for i in 0..fa.nfabs() {
+            prop_assert_eq!(fa.fab(i).raw(), snapshot[i].as_slice());
+        }
+    }
+
+    /// Refine-then-coarsen of a chop is the identity on box arrays when
+    /// sizes divide evenly.
+    #[test]
+    fn boxarray_refine_coarsen_roundtrip(
+        nx in 1i64..6,
+        ny in 1i64..4,
+        nz in 1i64..6,
+    ) {
+        let dom = IndexBox::from_size(IntVect::new(4 * nx, 4 * ny, 4 * nz));
+        let ba = BoxArray::chop(dom, IntVect::splat(4));
+        let r = IntVect::splat(2);
+        prop_assert_eq!(ba.refine(r).coarsen(r), ba);
+    }
+}

@@ -1,0 +1,194 @@
+//! Bench for the §V-A.1 kernel-optimization table: baseline vs
+//! restructured gather and current deposition, per shape order.
+//!
+//! Run with: `cargo bench -p mrpic-bench --bench kernel_opt`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrpic_kernels::deposit::{esirkepov3, esirkepov3_blocked, JViews};
+use mrpic_kernels::gather::{gather3, gather3_blocked, EmOut, EmViews};
+use mrpic_kernels::shape::{Cubic, Quadratic, Shape};
+use mrpic_kernels::view::{FieldView, FieldViewMut, Geom};
+
+const N: i64 = 48;
+const NP: usize = 40_000;
+
+struct Setup {
+    fields: Vec<Vec<f64>>,
+    x0: Vec<f64>,
+    y0: Vec<f64>,
+    z0: Vec<f64>,
+    x1: Vec<f64>,
+    y1: Vec<f64>,
+    z1: Vec<f64>,
+    w: Vec<f64>,
+    geom: Geom,
+}
+
+fn flags(i: usize) -> [bool; 3] {
+    [
+        [true, false, false],
+        [false, true, false],
+        [false, false, true],
+        [false, true, true],
+        [true, false, true],
+        [true, true, false],
+    ][i]
+}
+
+fn setup() -> Setup {
+    let len = (N * N * N) as usize;
+    let fields = (0..6)
+        .map(|c| {
+            (0..len)
+                .map(|i| ((i * (c + 3)) as f64 * 1.3e-4).sin())
+                .collect()
+        })
+        .collect();
+    let mut state = 7u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    let mut s = Setup {
+        fields,
+        x0: vec![0.0; NP],
+        y0: vec![0.0; NP],
+        z0: vec![0.0; NP],
+        x1: vec![0.0; NP],
+        y1: vec![0.0; NP],
+        z1: vec![0.0; NP],
+        w: vec![1.0e5; NP],
+        geom: Geom {
+            xmin: [0.0; 3],
+            dx: [1.0e-6; 3],
+        },
+    };
+    let side = (N - 16) as usize;
+    for p in 0..NP {
+        let cell = p / 8;
+        let cx = (cell % side) as f64;
+        let cz = ((cell / side) % side) as f64;
+        let cy = ((cell / (side * side)) % side) as f64;
+        s.x0[p] = (8.0 + cx + rng()) * 1.0e-6;
+        s.y0[p] = (8.0 + cy + rng()) * 1.0e-6;
+        s.z0[p] = (8.0 + cz + rng()) * 1.0e-6;
+        s.x1[p] = s.x0[p] + (rng() - 0.5) * 0.9e-6;
+        s.y1[p] = s.y0[p] + (rng() - 0.5) * 0.9e-6;
+        s.z1[p] = s.z0[p] + (rng() - 0.5) * 0.9e-6;
+    }
+    s
+}
+
+fn bench_gather<S: Shape>(c: &mut Criterion, s: &Setup, label: &str) {
+    let mut group = c.benchmark_group(format!("gather_{label}"));
+    group.throughput(Throughput::Elements(NP as u64));
+    group.sample_size(20);
+    let mk_view = |i: usize| FieldView {
+        data: s.fields[i].as_slice(),
+        lo: [0, 0, 0],
+        nx: N,
+        nxy: N * N,
+        half: flags(i),
+    };
+    let views = EmViews {
+        ex: mk_view(0),
+        ey: mk_view(1),
+        ez: mk_view(2),
+        bx: mk_view(3),
+        by: mk_view(4),
+        bz: mk_view(5),
+    };
+    let mut out = vec![vec![0.0f64; NP]; 6];
+    for (name, blocked) in [("baseline", false), ("optimized", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let (o0, rest) = out.split_at_mut(1);
+                let (o1, rest) = rest.split_at_mut(1);
+                let (o2, rest) = rest.split_at_mut(1);
+                let (o3, rest) = rest.split_at_mut(1);
+                let (o4, o5) = rest.split_at_mut(1);
+                let mut eo = EmOut {
+                    ex: &mut o0[0],
+                    ey: &mut o1[0],
+                    ez: &mut o2[0],
+                    bx: &mut o3[0],
+                    by: &mut o4[0],
+                    bz: &mut o5[0],
+                };
+                if blocked {
+                    gather3_blocked::<S, f64>(&s.x0, &s.y0, &s.z0, &s.geom, &views, &mut eo);
+                } else {
+                    gather3::<S, f64>(&s.x0, &s.y0, &s.z0, &s.geom, &views, &mut eo);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deposit<S: Shape>(c: &mut Criterion, s: &Setup, label: &str) {
+    let mut group = c.benchmark_group(format!("deposit_{label}"));
+    group.throughput(Throughput::Elements(NP as u64));
+    group.sample_size(20);
+    let len = (N * N * N) as usize;
+    let mut j = vec![vec![0.0f64; len]; 3];
+    for (name, blocked) in [("baseline", false), ("optimized", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                for comp in j.iter_mut() {
+                    comp.fill(0.0);
+                }
+                let (jx, rest) = j.split_at_mut(1);
+                let (jy, jz) = rest.split_at_mut(1);
+                let mut jv = JViews {
+                    jx: FieldViewMut {
+                        data: &mut jx[0],
+                        lo: [0, 0, 0],
+                        nx: N,
+                        nxy: N * N,
+                        half: flags(0),
+                    },
+                    jy: FieldViewMut {
+                        data: &mut jy[0],
+                        lo: [0, 0, 0],
+                        nx: N,
+                        nxy: N * N,
+                        half: flags(1),
+                    },
+                    jz: FieldViewMut {
+                        data: &mut jz[0],
+                        lo: [0, 0, 0],
+                        nx: N,
+                        nxy: N * N,
+                        half: flags(2),
+                    },
+                };
+                if blocked {
+                    esirkepov3_blocked::<S, f64>(
+                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15,
+                        &s.geom, &mut jv,
+                    );
+                } else {
+                    esirkepov3::<S, f64>(
+                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15,
+                        &s.geom, &mut jv,
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let s = setup();
+    bench_gather::<Cubic>(c, &s, "order3");
+    bench_gather::<Quadratic>(c, &s, "order2");
+    bench_deposit::<Cubic>(c, &s, "order3");
+    bench_deposit::<Quadratic>(c, &s, "order2");
+}
+
+criterion_group!(kernel_opt, benches);
+criterion_main!(kernel_opt);

@@ -1,0 +1,52 @@
+//! Bench for the §V-C load-balancing machinery: strategy construction
+//! cost on production-sized box arrays and the guard-exchange planning.
+//!
+//! Run with: `cargo bench -p mrpic-bench --bench load_balance`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrpic_amr::{BoxArray, DistributionMapping, IndexBox, IntVect, Periodicity, Stagger, Strategy};
+use mrpic_cluster::lb::solid_slab_costs;
+
+fn benches(c: &mut Criterion) {
+    // 4096 boxes, as a large per-rank AMReX layout.
+    let dom = IndexBox::from_size(IntVect::new(512, 512, 16));
+    let ba = BoxArray::chop(dom, IntVect::new(32, 32, 4));
+    let slab = IndexBox::new(IntVect::new(256, 0, 0), IntVect::new(288, 512, 16));
+    let costs = solid_slab_costs(&ba, &slab, 50.0);
+    let mut group = c.benchmark_group("distribution_build");
+    group.sample_size(20);
+    for strat in [
+        Strategy::RoundRobin,
+        Strategy::SpaceFillingCurve,
+        Strategy::Knapsack,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strat:?}")),
+            &strat,
+            |b, &strat| {
+                b.iter(|| DistributionMapping::build(&ba, 64, strat, &costs));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exchange_planning");
+    group.sample_size(10);
+    let small_dom = IndexBox::from_size(IntVect::new(128, 128, 8));
+    let small_ba = BoxArray::chop(small_dom, IntVect::new(32, 32, 4));
+    let per = Periodicity::all(small_dom);
+    group.bench_function("fill_plan_64_boxes", |b| {
+        b.iter(|| {
+            mrpic_amr::comm::ExchangePlan::fill(&small_ba, Stagger::EX, IntVect::splat(3), &per)
+        })
+    });
+    group.bench_function("sum_plan_64_boxes", |b| {
+        b.iter(|| {
+            mrpic_amr::comm::ExchangePlan::sum(&small_ba, Stagger::EX, IntVect::splat(3), &per)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(load_balance, benches);
+criterion_main!(load_balance);

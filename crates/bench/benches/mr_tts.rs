@@ -1,0 +1,94 @@
+//! Bench for Fig. 6: per-step cost of the mesh-refined configuration vs
+//! the uniformly-refined alternatives, in the two phases of the run
+//! (patch present / patch removed).
+//!
+//! Run with: `cargo bench -p mrpic-bench --bench mr_tts`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrpic_amr::{IndexBox, IntVect};
+use mrpic_core::laser::antenna_for_a0;
+use mrpic_core::mr::MrConfig;
+use mrpic_core::profile::Profile;
+use mrpic_core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic_core::species::Species;
+use mrpic_field::fieldset::Dim;
+use mrpic_kernels::constants::critical_density;
+
+const UM: f64 = 1.0e-6;
+
+fn build(fine_everywhere: bool, with_patch: bool, ppc: [usize; 3]) -> Simulation {
+    let dx = 0.1 * UM;
+    let (h, nx, nz) = if fine_everywhere {
+        (dx / 2.0, 256, 64)
+    } else {
+        (dx, 128, 32)
+    };
+    let nc = critical_density(0.8 * UM);
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(nx, 1, nz), [h, h, h], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(Species::electrons(
+            "solid",
+            Profile::Slab {
+                n0: 5.0 * nc,
+                axis: 0,
+                x0: 7.0 * UM,
+                x1: 8.0 * UM,
+            },
+            ppc,
+        ))
+        .add_species(Species::electrons(
+            "gas",
+            Profile::Ramped {
+                n0: 2.0e25,
+                axis: 0,
+                up_start: 2.0 * UM,
+                up_end: 3.0 * UM,
+                down_start: 7.0 * UM,
+                down_end: 7.0 * UM,
+            },
+            [1, 1, 1],
+        ))
+        .add_laser(antenna_for_a0(2.0, 0.8 * UM, 8.0e-15, 1.0 * UM, 1.6 * UM, 2.0 * UM))
+        .build();
+    if with_patch {
+        let i0 = (6.0 * UM / h) as i64;
+        let i1 = (9.0 * UM / h) as i64;
+        let nzc = sim.fs.domain().hi.z;
+        sim.add_mr_patch(MrConfig {
+            patch: IndexBox::new(IntVect::new(i0, 0, 0), IntVect::new(i1, 1, nzc)),
+            rr: 2,
+            n_transition: 3,
+            npml: 8,
+            subcycle: false,
+        });
+    }
+    sim
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_step_cost");
+    group.sample_size(10);
+    // Phase 1: patch present.
+    let mut mr = build(false, true, [2, 1, 2]);
+    group.bench_function("with_mr_patch_active", |b| b.iter(|| mr.step()));
+    // Phase 2: patch removed (the post-star regime of Fig. 6).
+    let mut mr2 = build(false, true, [2, 1, 2]);
+    mr2.run(5);
+    mr2.remove_mr_patch();
+    group.bench_function("with_mr_patch_removed", |b| b.iter(|| mr2.step()));
+    // The no-MR alternatives at 2x resolution.
+    let mut fine_quarter = build(true, false, [1, 1, 1]);
+    fine_quarter.dt = mr.dt;
+    group.bench_function("no_mr_2xres_ppc_quarter", |b| b.iter(|| fine_quarter.step()));
+    let mut fine_full = build(true, false, [2, 1, 2]);
+    fine_full.dt = mr.dt;
+    group.bench_function("no_mr_2xres", |b| b.iter(|| fine_full.step()));
+    group.finish();
+}
+
+criterion_group!(mr_tts, benches);
+criterion_main!(mr_tts);

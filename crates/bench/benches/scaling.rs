@@ -1,0 +1,34 @@
+//! Bench for Fig. 5: evaluation cost of the machine scaling model and
+//! the per-step cost breakdown of the four machines.
+//!
+//! Run with: `cargo bench -p mrpic-bench --bench scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrpic_cluster::machine::MachineModel;
+use mrpic_cluster::roofline::{step_cost, Workload};
+use mrpic_cluster::scaling::{paper_weak_nodes, strong_scaling, weak_scaling};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_model");
+    for m in MachineModel::paper_machines() {
+        let nodes = paper_weak_nodes(&m);
+        group.bench_with_input(
+            BenchmarkId::new("weak_scaling_sweep", m.name),
+            &m,
+            |b, m| b.iter(|| weak_scaling(m, &nodes, 8.0)),
+        );
+    }
+    let summit = MachineModel::summit();
+    group.bench_function("strong_scaling_sweep_summit", |b| {
+        b.iter(|| strong_scaling(&summit, &[512, 1024, 2048, 4096], 8.0))
+    });
+    group.bench_function("single_step_cost_frontier", |b| {
+        let m = MachineModel::frontier();
+        let w = Workload::bench(&m, 8.0);
+        b.iter(|| step_cost(&m, &w, 8576))
+    });
+    group.finish();
+}
+
+criterion_group!(scaling, benches);
+criterion_main!(scaling);

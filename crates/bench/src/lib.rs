@@ -1,0 +1,1 @@
+//! Bench support crate; see `benches/` for the criterion targets.

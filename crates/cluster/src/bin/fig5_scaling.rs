@@ -1,0 +1,52 @@
+//! Figure 5 reproduction: weak and strong scaling of the PIC loop on
+//! Frontier, Fugaku, Summit and Perlmutter (modeled; see DESIGN.md for
+//! the substitution).
+//!
+//! Run with: `cargo run --release -p mrpic-cluster --bin fig5_scaling`
+
+use mrpic_cluster::machine::MachineModel;
+use mrpic_cluster::scaling::{paper_weak_nodes, strong_scaling, weak_scaling};
+use mrpic_cluster::tables::{pct, print_table};
+
+fn main() {
+    println!("=== Fig. 5 (left): weak scaling, uniform plasma, DP ===\n");
+    let mut rows = Vec::new();
+    for m in MachineModel::paper_machines() {
+        let nodes = paper_weak_nodes(&m);
+        let pts = weak_scaling(&m, &nodes, 8.0);
+        for p in pts {
+            rows.push(vec![
+                m.name.to_string(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.time_per_step),
+                pct(p.efficiency),
+            ]);
+        }
+    }
+    print_table(&["machine", "nodes", "s/step", "efficiency"], &rows);
+
+    println!("\npaper end points: Frontier 80% @8576, Fugaku 84% @152064,");
+    println!("                  Summit 74% @4263 (with a 2-8 node dip), Perlmutter 62% @1088\n");
+
+    println!("=== Fig. 5 (right): strong scaling ===\n");
+    let mut rows = Vec::new();
+    let cases: [(MachineModel, Vec<u64>); 4] = [
+        (MachineModel::frontier(), vec![512, 1024, 2048, 4096, 8192]),
+        (MachineModel::fugaku(), vec![6144, 12288, 24576, 49152, 98304, 152064]),
+        (MachineModel::summit(), vec![512, 1024, 2048, 4096]),
+        (MachineModel::perlmutter(), vec![15, 30, 60, 120, 240, 480]),
+    ];
+    for (m, nodes) in cases {
+        let pts = strong_scaling(&m, &nodes, 8.0);
+        for p in pts {
+            rows.push(vec![
+                m.name.to_string(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.time_per_step),
+                pct(p.efficiency),
+            ]);
+        }
+    }
+    print_table(&["machine", "nodes", "s/step", "parallel eff."], &rows);
+    println!("\npaper: ~30% efficiency loss per order of magnitude of nodes");
+}

@@ -1,0 +1,57 @@
+//! Table II + Table III reproduction: machine characteristics and the
+//! sustained Flop/s of the PIC loop per device and at scale.
+//!
+//! Run with: `cargo run --release -p mrpic-cluster --bin table3_flops`
+
+use mrpic_cluster::machine::MachineModel;
+use mrpic_cluster::tables::{flops_table, paper_table3, pct, print_table, sci};
+
+fn main() {
+    println!("=== Table II: machines ===\n");
+    let rows: Vec<Vec<String>> = MachineModel::paper_machines()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.nodes_total.to_string(),
+                m.devices_per_node.to_string(),
+                format!("{:.2}", m.peak_dp / 1e12),
+                format!("{:.2}", m.peak_sp / 1e12),
+                format!("{:.1}", m.mem_bw / 1e12),
+                m.hpcg.map(sci).unwrap_or_else(|| "n/a".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["machine", "nodes", "dev/node", "DP TF/dev", "SP TF/dev", "TB/s/dev", "HPCG F/s"],
+        &rows,
+    );
+
+    println!("\n=== Table III: sustained Flop/s (modeled) ===\n");
+    let rows: Vec<Vec<String>> = flops_table()
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.to_string(),
+                r.mode.to_string(),
+                format!("{:.3}", r.per_device / 1e12),
+                pct(r.frac_peak),
+                format!("{:.2}", r.at_scale / 1e15),
+                r.frac_hpcg.map(pct).unwrap_or_else(|| "n/a".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["machine", "mode", "TF/s/dev", "% peak", "PF/s at scale", "% HPCG"],
+        &rows,
+    );
+
+    println!("\npaper Table III (DP rows) for comparison:");
+    let rows: Vec<Vec<String>> = paper_table3()
+        .iter()
+        .map(|(m, mode, tf, pf)| {
+            vec![m.to_string(), mode.to_string(), format!("{tf}"), format!("{pf}")]
+        })
+        .collect();
+    print_table(&["machine", "mode", "TF/s/dev", "PF/s at scale"], &rows);
+}

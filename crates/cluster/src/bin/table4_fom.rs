@@ -1,0 +1,48 @@
+//! Table IV reproduction: the ECP figure of merit — the 2019→2022
+//! optimization history (modeled stages) and the July-2022 endpoints.
+//!
+//! Run with: `cargo run --release -p mrpic-cluster --bin table4_fom`
+
+use mrpic_cluster::fom::{history, modeled_2022_rows, paper_2022_rows, stage_fom};
+use mrpic_cluster::tables::{print_table, sci};
+
+fn main() {
+    let ppc = 2.0;
+    println!("=== Table IV: FOM history (modeled optimization stages) ===\n");
+    let rows: Vec<Vec<String>> = history()
+        .iter()
+        .map(|s| {
+            let r = stage_fom(s, ppc);
+            vec![
+                s.date.to_string(),
+                s.machine.to_string(),
+                sci(s.cells_per_node),
+                s.nodes.to_string(),
+                sci(r.fom),
+            ]
+        })
+        .collect();
+    print_table(&["date", "machine", "Nc/node", "nodes", "FOM"], &rows);
+
+    println!("\n=== July-2022 endpoints: modeled vs paper ===\n");
+    let modeled = modeled_2022_rows(ppc);
+    let rows: Vec<Vec<String>> = paper_2022_rows()
+        .iter()
+        .map(|(name, cpn, nodes, _, paper)| {
+            let m = modeled.iter().find(|r| &r.machine == name).unwrap();
+            vec![
+                name.to_string(),
+                sci(*cpn),
+                nodes.to_string(),
+                sci(m.fom),
+                sci(*paper),
+                format!("{:.2}", m.fom / paper),
+            ]
+        })
+        .collect();
+    print_table(
+        &["machine", "Nc/node", "nodes", "FOM (model)", "FOM (paper)", "ratio"],
+        &rows,
+    );
+    println!("\nexpected shape: Frontier > Fugaku(MP) > Summit > Perlmutter, each within ~3x");
+}

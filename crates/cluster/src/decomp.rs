@@ -1,0 +1,138 @@
+//! Rank-grid decomposition and halo-traffic geometry.
+//!
+//! For uniform-plasma scaling runs (the paper's §VII-A setup), ranks form
+//! a 3-D process grid chosen to minimize surface area. From it we count
+//! communication pairs exactly — the quantity the paper invokes to
+//! explain Summit's small-node efficiency dip ("average communication
+//! pairs for next-neighbor synchronizations in 3D decrease for runs
+//! smaller than 3×3×3 = 27 ranks") — and compute halo bytes per rank.
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D process grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankGrid {
+    pub p: [u64; 3],
+}
+
+impl RankGrid {
+    /// Most cubic factorization of `n` ranks.
+    pub fn build(n: u64) -> Self {
+        assert!(n > 0);
+        let mut best = [n, 1, 1];
+        let mut best_score = f64::INFINITY;
+        let mut i = 1;
+        while i * i * i <= n {
+            if n.is_multiple_of(i) {
+                let rem = n / i;
+                let mut j = i;
+                while j * j <= rem {
+                    if rem.is_multiple_of(j) {
+                        let k = rem / j;
+                        // surface score: sum of pairwise products
+                        let s = (i * j + j * k + i * k) as f64;
+                        if s < best_score {
+                            best_score = s;
+                            best = [k, j, i];
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+        Self { p: best }
+    }
+
+    pub fn nranks(&self) -> u64 {
+        self.p[0] * self.p[1] * self.p[2]
+    }
+
+    /// Average number of neighbor messages per rank (26-point stencil,
+    /// non-periodic): `prod(3 p_d - 2) / n - 1` by separability.
+    pub fn avg_neighbor_msgs(&self) -> f64 {
+        let prod: u64 = self.p.iter().map(|&p| 3 * p - 2).product();
+        prod as f64 / self.nranks() as f64 - 1.0
+    }
+
+    /// Fraction of each rank's guard surface that has a real neighbor
+    /// (boundary ranks exchange less).
+    pub fn surface_fraction(&self) -> f64 {
+        // Per axis, the average number of communicating faces is
+        // 2 (p-1)/p; full interior would be 2.
+        let mut f = 0.0;
+        for &p in &self.p {
+            f += 2.0 * (p as f64 - 1.0) / p as f64;
+        }
+        f / 6.0
+    }
+}
+
+/// Halo bytes one rank exchanges per step for a local block of
+/// `block[d]` cells with `ng` guards and `ncomp` exchanged scalars
+/// (E, B fills + J sums over a full step), assuming full 26-neighbor
+/// surface (scaled by [`RankGrid::surface_fraction`] by callers).
+pub fn halo_bytes_per_rank(block: [u64; 3], ng: u64, ncomp: u64, wsize: u64) -> f64 {
+    let (bx, by, bz) = (block[0] as f64, block[1] as f64, block[2] as f64);
+    let g = ng as f64;
+    // Grown-box shell volume (faces + edges + corners), both directions.
+    let shell =
+        (bx + 2.0 * g) * (by + 2.0 * g) * (bz + 2.0 * g) - bx * by * bz;
+    shell * ncomp as f64 * wsize as f64
+}
+
+/// Number of guard-exchange passes in one PIC step: 3 E fills + 3 B
+/// fills (around the three field sub-advances) + 1 J sum, each moving
+/// 3 components.
+pub const EXCHANGES_PER_STEP: f64 = 7.0;
+pub const COMPS_PER_EXCHANGE: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_factorizations() {
+        assert_eq!(RankGrid::build(27).p, [3, 3, 3]);
+        assert_eq!(RankGrid::build(64).p, [4, 4, 4]);
+        let g = RankGrid::build(12);
+        assert_eq!(g.nranks(), 12);
+        // 3x2x2 is the most cubic.
+        let mut p = g.p;
+        p.sort();
+        assert_eq!(p, [2, 2, 3]);
+    }
+
+    #[test]
+    fn neighbor_counts_saturate_at_26() {
+        // The <27-rank effect: message counts grow to 26 as the grid
+        // reaches 3 per axis, then saturate.
+        let single = RankGrid::build(1).avg_neighbor_msgs();
+        assert_eq!(single, 0.0);
+        let twelve = RankGrid::build(12).avg_neighbor_msgs();
+        let tt7 = RankGrid::build(27).avg_neighbor_msgs();
+        let big = RankGrid::build(13824).avg_neighbor_msgs(); // 24^3
+        assert!(twelve < tt7, "{twelve} vs {tt7}");
+        assert!(tt7 < big);
+        assert!(big < 26.0);
+        assert!(big > 23.0);
+        // Exact small case: 2x1x1 -> each rank has exactly 1 neighbor.
+        assert_eq!(RankGrid::build(2).avg_neighbor_msgs(), 1.0);
+    }
+
+    #[test]
+    fn halo_bytes_scale_with_surface() {
+        let small = halo_bytes_per_rank([64, 64, 64], 3, 3, 8);
+        let large = halo_bytes_per_rank([128, 128, 128], 3, 3, 8);
+        // Quadrupling surface (8x volume) -> ~4x halo.
+        let ratio = large / small;
+        assert!(ratio > 3.5 && ratio < 4.5, "{ratio}");
+    }
+
+    #[test]
+    fn surface_fraction_limits() {
+        assert_eq!(RankGrid::build(1).surface_fraction(), 0.0);
+        let big = RankGrid::build(32768).surface_fraction(); // 32^3
+        assert!(big > 0.9 && big < 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Machine models of the paper's systems (Table II) plus Cori (Table IV
+//! history).
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect characteristics (per node).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Network {
+    /// Per-message latency \[s\].
+    pub latency: f64,
+    /// Injection bandwidth per node \[B/s\].
+    pub bw_per_node: f64,
+}
+
+/// A machine: devices, peaks, memory bandwidth, network, noise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineModel {
+    pub name: &'static str,
+    pub nodes_total: u64,
+    pub devices_per_node: u64,
+    /// Vendor peak per device \[Flop/s\], double precision.
+    pub peak_dp: f64,
+    /// Vendor peak per device \[Flop/s\], single precision.
+    pub peak_sp: f64,
+    /// Device memory bandwidth \[B/s\].
+    pub mem_bw: f64,
+    /// Device memory capacity \[B\].
+    pub mem_cap: f64,
+    /// Fixed overhead per launched kernel / per prepared message \[s\]
+    /// (GPUs pay this on every halo buffer pack, cf. the paper's Summit
+    /// analysis).
+    pub per_message_overhead: f64,
+    /// Fraction of vendor peak Flop/s sustainable on PIC-style code
+    /// (instruction mix, occupancy; A64FX without SVE-tuned kernels is
+    /// issue-limited at ~1 % — the paper's fipp data shows a 2.3 % SIMD
+    /// rate before the §V-A.1 optimization).
+    pub flop_efficiency: f64,
+    /// Same, for the architecture-tuned kernel variant where one exists
+    /// (the paper's A64FX-optimized build: SIMD rate 2.3 % -> 24 %).
+    pub flop_efficiency_opt: Option<f64>,
+    /// Fraction of vendor memory bandwidth achieved by the PIC kernels
+    /// (STREAM-like efficiency; the paper notes HIP kernels on MI250X
+    /// leave headroom vs the 2x bandwidth ratio to A100).
+    pub bw_efficiency: f64,
+    pub network: Network,
+    /// Effective system-noise/contention parameter of the max-of-N
+    /// extreme-value term, calibrated once per machine against the
+    /// paper's full-machine weak-scaling efficiency (see DESIGN.md;
+    /// Perlmutter's large value reflects its pre-production Slingshot-10
+    /// state during the paper's runs).
+    pub jitter_sigma: f64,
+    /// Published full-machine HPCG \[Flop/s\] (2021/11 list), if any.
+    pub hpcg: Option<f64>,
+}
+
+impl MachineModel {
+    pub fn frontier() -> Self {
+        Self {
+            name: "Frontier",
+            nodes_total: 9472,
+            devices_per_node: 4, // MI250X cards
+            peak_dp: 47.9e12,
+            peak_sp: 95.7e12,
+            mem_bw: 3.3e12,
+            mem_cap: 128.0e9,
+            per_message_overhead: 6.0e-6,
+            flop_efficiency: 0.30,
+            flop_efficiency_opt: None,
+            bw_efficiency: 0.48,
+            network: Network {
+                latency: 2.0e-6,
+                bw_per_node: 100.0e9, // Slingshot-11, 4x25 GB/s
+            },
+            jitter_sigma: 0.327,
+            hpcg: None, // "not yet available" at submission
+        }
+    }
+
+    pub fn fugaku() -> Self {
+        Self {
+            name: "Fugaku",
+            nodes_total: 158_976,
+            devices_per_node: 1, // A64FX
+            peak_dp: 3.38e12,
+            peak_sp: 6.76e12,
+            mem_bw: 1.0e12,
+            mem_cap: 32.0e9,
+            per_message_overhead: 1.0e-6, // CPU: no device-side packing
+            flop_efficiency: 0.011,       // scalar A64FX issue rate
+            flop_efficiency_opt: Some(0.036), // SVE/NEON-tuned kernels
+            bw_efficiency: 0.80,
+            network: Network {
+                latency: 0.9e-6,
+                bw_per_node: 40.8e9, // TofuD, 6 x 6.8 GB/s
+            },
+            jitter_sigma: 0.151,
+            hpcg: Some(16.0e15),
+        }
+    }
+
+    pub fn summit() -> Self {
+        Self {
+            name: "Summit",
+            nodes_total: 4608,
+            devices_per_node: 6, // V100
+            peak_dp: 7.5e12,
+            peak_sp: 15.0e12,
+            mem_bw: 0.9e12,
+            mem_cap: 16.0e9,
+            per_message_overhead: 18.0e-6, // the paper's buffer-prep effect
+            flop_efficiency: 0.35,
+            flop_efficiency_opt: None,
+            bw_efficiency: 0.70,
+            network: Network {
+                latency: 1.5e-6,
+                bw_per_node: 25.0e9, // dual EDR IB
+            },
+            jitter_sigma: 0.378,
+            hpcg: Some(2.93e15),
+        }
+    }
+
+    pub fn perlmutter() -> Self {
+        Self {
+            name: "Perlmutter",
+            nodes_total: 1526,
+            devices_per_node: 4, // A100 40GB
+            peak_dp: 9.7e12,
+            peak_sp: 19.5e12,
+            mem_bw: 1.6e12,
+            mem_cap: 40.0e9,
+            per_message_overhead: 10.0e-6,
+            flop_efficiency: 0.35,
+            flop_efficiency_opt: None,
+            bw_efficiency: 0.79,
+            network: Network {
+                latency: 2.0e-6,
+                bw_per_node: 12.5e9, // Slingshot 10 (the tested config)
+            },
+            jitter_sigma: 1.000,
+            hpcg: Some(1.91e15),
+        }
+    }
+
+    /// Cori KNL (Table IV history; pre-GPU baseline).
+    pub fn cori() -> Self {
+        Self {
+            name: "Cori",
+            nodes_total: 9668,
+            devices_per_node: 1, // KNL socket
+            peak_dp: 3.05e12,
+            peak_sp: 6.1e12,
+            mem_bw: 0.45e12, // MCDRAM
+            mem_cap: 16.0e9,
+            per_message_overhead: 1.5e-6,
+            flop_efficiency: 0.02,
+            flop_efficiency_opt: None,
+            bw_efficiency: 0.50,
+            network: Network {
+                latency: 1.3e-6,
+                bw_per_node: 10.0e9, // Aries
+            },
+            jitter_sigma: 0.15,
+            hpcg: Some(0.355e15),
+        }
+    }
+
+    /// The four benchmark machines of the paper, in Table II order.
+    pub fn paper_machines() -> Vec<MachineModel> {
+        vec![
+            Self::frontier(),
+            Self::fugaku(),
+            Self::summit(),
+            Self::perlmutter(),
+        ]
+    }
+
+    pub fn total_devices(&self) -> u64 {
+        self.nodes_total * self.devices_per_node
+    }
+
+    /// Peak per device for a scalar width (8 = DP, 4 = SP).
+    pub fn peak(&self, wsize: f64) -> f64 {
+        if wsize >= 8.0 {
+            self.peak_dp
+        } else {
+            self.peak_sp
+        }
+    }
+
+    /// Sustainable Flop/s on PIC code (peak x efficiency), optionally
+    /// with the architecture-tuned kernels.
+    pub fn sustained_flops(&self, wsize: f64, tuned: bool) -> f64 {
+        let eff = if tuned {
+            self.flop_efficiency_opt.unwrap_or(self.flop_efficiency)
+        } else {
+            self.flop_efficiency
+        };
+        self.peak(wsize) * eff
+    }
+
+    /// Achieved memory bandwidth \[B/s\].
+    pub fn sustained_bw(&self) -> f64 {
+        self.mem_bw * self.bw_efficiency
+    }
+
+    /// Cells per device of the paper's benchmark/science runs (Table IV
+    /// N_c/node divided by devices): the workload the scaling and FOM
+    /// studies price.
+    pub fn bench_cells_per_device(&self) -> f64 {
+        match self.name {
+            "Frontier" => 8.1e8 / 4.0,
+            "Fugaku" => 3.1e6,
+            "Summit" => 2.0e8 / 6.0,
+            "Perlmutter" => 4.4e8 / 4.0,
+            _ => 4.0e6, // Cori
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        // Spot-check against the paper's Table II.
+        let f = MachineModel::frontier();
+        assert_eq!(f.peak_dp, 47.9e12);
+        assert_eq!(f.mem_bw, 3.3e12);
+        assert_eq!(f.nodes_total, 9472);
+        let g = MachineModel::fugaku();
+        assert_eq!(g.peak_dp, 3.38e12);
+        assert_eq!(g.nodes_total, 158_976);
+        assert_eq!(g.hpcg, Some(16.0e15));
+        let s = MachineModel::summit();
+        assert_eq!(s.peak_dp, 7.5e12);
+        assert_eq!(s.total_devices(), 4608 * 6);
+        let p = MachineModel::perlmutter();
+        assert_eq!(p.peak_sp, 19.5e12);
+        assert_eq!(p.hpcg, Some(1.91e15));
+    }
+
+    #[test]
+    fn bandwidth_ratio_favors_a100() {
+        // The paper explains Perlmutter's higher relative Flop rate by
+        // the 1.37x higher bw per peak flop of A100 vs V100.
+        let s = MachineModel::summit();
+        let p = MachineModel::perlmutter();
+        let ratio = (p.mem_bw / p.peak_dp) / (s.mem_bw / s.peak_dp);
+        assert!((ratio - 1.37).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sp_peak_doubles_dp() {
+        for m in MachineModel::paper_machines() {
+            assert!((m.peak(4.0) / m.peak(8.0) - 2.0).abs() < 0.02);
+        }
+    }
+}

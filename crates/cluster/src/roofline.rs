@@ -1,0 +1,244 @@
+//! Per-step time model: roofline compute + geometric communication +
+//! extreme-value jitter.
+
+use crate::decomp::{halo_bytes_per_rank, RankGrid, COMPS_PER_EXCHANGE, EXCHANGES_PER_STEP};
+use crate::machine::MachineModel;
+use mrpic_kernels::flops::KernelCosts;
+use serde::{Deserialize, Serialize};
+
+/// One device's workload for a uniform-plasma benchmark step.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    /// Local region cells per device, per axis.
+    pub block: [u64; 3],
+    /// Macroparticles per cell (the uniform benchmark uses 2).
+    pub ppc: f64,
+    /// Particle shape order (the science runs use 3).
+    pub order: usize,
+    /// Scalar width in bytes: 8 = DP, 4 = SP/mixed.
+    pub wsize: f64,
+    /// Cache-reuse factor for particle grid traffic (sorted particles).
+    pub reuse: f64,
+    /// AMReX blocks per device (each block's halo is packed separately,
+    /// multiplying per-message costs; 1-4 typical, paper §VII-A).
+    pub blocks_per_device: f64,
+    /// Use the architecture-tuned kernel build (the paper's A64FX SIMD
+    /// variant) where the machine has one.
+    pub tuned: bool,
+}
+
+impl Workload {
+    /// A uniform-plasma benchmark at an explicit block size.
+    pub fn uniform(block: [u64; 3], ppc: f64, wsize: f64) -> Self {
+        Self {
+            block,
+            ppc,
+            order: 3,
+            wsize,
+            reuse: 0.35,
+            blocks_per_device: 2.0,
+            tuned: false,
+        }
+    }
+
+    /// The paper's benchmark workload on a machine: cells/device from
+    /// the Table IV problem sizes, 2 particles per cell.
+    pub fn bench(machine: &MachineModel, wsize: f64) -> Self {
+        let side = machine.bench_cells_per_device().cbrt().round() as u64;
+        Self::uniform([side; 3], 2.0, wsize)
+    }
+
+    pub fn cells(&self) -> f64 {
+        (self.block[0] * self.block[1] * self.block[2]) as f64
+    }
+
+    pub fn particles(&self) -> f64 {
+        self.cells() * self.ppc
+    }
+}
+
+/// Breakdown of a modeled step.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StepCost {
+    pub compute: f64,
+    pub comm_bytes_time: f64,
+    pub comm_msg_time: f64,
+    pub jitter: f64,
+    pub total: f64,
+    pub flops: f64,
+}
+
+/// Time of one PIC step on `machine` for `workload` per device, when the
+/// job spans `nodes` nodes.
+pub fn step_cost(machine: &MachineModel, w: &Workload, nodes: u64) -> StepCost {
+    let costs = KernelCosts::for_order(w.order, 3, w.wsize);
+    let np = w.particles();
+    let nc = w.cells();
+    let flops = costs.step_flops(np, nc);
+    let bytes = costs.step_bytes(np, nc, w.reuse);
+    let t_flops = flops / machine.sustained_flops(w.wsize, w.tuned);
+    let t_bytes = bytes / machine.sustained_bw();
+    // Memory-bound kernels: the roofline max, plus a small additive tail
+    // of the minor term (kernels are not perfectly overlapped).
+    let compute = t_flops.max(t_bytes) + 0.15 * t_flops.min(t_bytes);
+    let nranks = nodes * machine.devices_per_node;
+    let grid = RankGrid::build(nranks);
+    let msgs = grid.avg_neighbor_msgs();
+    let halo = halo_bytes_per_rank(
+        w.block,
+        (w.order + 2) as u64,
+        COMPS_PER_EXCHANGE,
+        w.wsize as u64,
+    ) * EXCHANGES_PER_STEP
+        * grid.surface_fraction();
+    // Per-node injection bandwidth is shared by the node's devices.
+    let bw_per_dev = machine.network.bw_per_node / machine.devices_per_node as f64;
+    let comm_bytes_time = halo / bw_per_dev;
+    let comm_msg_time = msgs
+        * EXCHANGES_PER_STEP
+        * w.blocks_per_device
+        * (machine.network.latency + machine.per_message_overhead);
+    // Extreme-value jitter: max over N ranks of per-step noise.
+    let jitter = if nranks > 1 {
+        machine.jitter_sigma * (2.0 * (nranks as f64).ln()).sqrt() / 4.0 * compute
+    } else {
+        0.0
+    };
+    let total = compute + comm_bytes_time + comm_msg_time + jitter;
+    StepCost {
+        compute,
+        comm_bytes_time,
+        comm_msg_time,
+        jitter,
+        total,
+        flops,
+    }
+}
+
+/// Achieved Flop/s per device for a workload on one node.
+pub fn achieved_flops_per_device(machine: &MachineModel, w: &Workload) -> f64 {
+    let c = step_cost(machine, w, 1);
+    c.flops / c.total
+}
+
+/// Largest block (cubic, capped at the practical AMReX box size of 256)
+/// that fits in device memory for a workload pattern.
+pub fn max_block_for_memory(machine: &MachineModel, ppc: f64, wsize: f64) -> u64 {
+    // Bytes per cell: 9 field comps + PML slack, per particle: 7 attrs.
+    let per_cell = 12.0 * wsize;
+    let per_particle = 8.0 * wsize;
+    let budget = 0.85 * machine.mem_cap;
+    let cells = budget / (per_cell + ppc * per_particle);
+    let side = cells.cbrt().floor() as u64;
+    (side / 32 * 32).clamp(32, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pic_steps_take_order_a_second() {
+        // The paper: steps of ~0.5-1 s (GPUs) and 1-2 s (Fugaku).
+        for m in MachineModel::paper_machines() {
+            let w = Workload::bench(&m, 8.0);
+            let c = step_cost(&m, &w, 64);
+            assert!(
+                c.total > 0.1 && c.total < 4.0,
+                "{}: {} s",
+                m.name,
+                c.total
+            );
+        }
+    }
+
+    #[test]
+    fn per_device_flops_match_table3() {
+        // Table III DP per-device: Frontier 1.58, Fugaku 0.037,
+        // Summit 0.62, Perlmutter 1.26 TFlop/s (+-50 % for the model).
+        let want = [
+            (MachineModel::frontier(), 1.58e12),
+            (MachineModel::fugaku(), 0.037e12),
+            (MachineModel::summit(), 0.62e12),
+            (MachineModel::perlmutter(), 1.26e12),
+        ];
+        for (m, paper) in want {
+            let w = Workload::bench(&m, 8.0);
+            let got = achieved_flops_per_device(&m, &w);
+            assert!(
+                got / paper > 0.5 && got / paper < 2.0,
+                "{}: modeled {:.3e} vs paper {paper:.3e}",
+                m.name,
+                got
+            );
+        }
+    }
+
+    #[test]
+    fn flops_fraction_in_pic_range() {
+        // Sustained DP fraction of peak: the 1-13 % PIC range
+        // (paper §VII-B; Fugaku scalar build sits at ~1 %).
+        for m in MachineModel::paper_machines() {
+            let w = Workload::bench(&m, 8.0);
+            let f = achieved_flops_per_device(&m, &w);
+            let frac = f / m.peak_dp;
+            assert!(
+                frac > 0.005 && frac < 0.15,
+                "{}: {:.1}% of peak",
+                m.name,
+                frac * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn perlmutter_beats_summit_in_relative_flops() {
+        // Table III: A100's higher bw/flop ratio gives Perlmutter a
+        // higher % of peak than Summit (12.9 % vs 8.3 %).
+        let s = MachineModel::summit();
+        let p = MachineModel::perlmutter();
+        let fs = achieved_flops_per_device(&s, &Workload::bench(&s, 8.0)) / s.peak_dp;
+        let fp = achieved_flops_per_device(&p, &Workload::bench(&p, 8.0)) / p.peak_dp;
+        assert!(fp > fs, "Perlmutter {fp} <= Summit {fs}");
+    }
+
+    #[test]
+    fn tuned_a64fx_kernels_speed_up_fugaku() {
+        // The paper's SIMD-optimized build: Flop rate rises ~3x.
+        let m = MachineModel::fugaku();
+        let mut w = Workload::bench(&m, 4.0);
+        let base = step_cost(&m, &w, 16).total;
+        w.tuned = true;
+        let tuned = step_cost(&m, &w, 16).total;
+        assert!(base / tuned > 1.5, "tuned speedup {}", base / tuned);
+    }
+
+    #[test]
+    fn sp_is_faster_than_dp() {
+        let m = MachineModel::summit();
+        let dp = step_cost(&m, &Workload::bench(&m, 8.0), 8);
+        let sp = step_cost(&m, &Workload::bench(&m, 4.0), 8);
+        assert!(sp.total < dp.total);
+    }
+
+    #[test]
+    fn memory_blocks_match_paper_scale() {
+        // Paper block sizes: Frontier 256^3, Summit/Perlmutter 128^3,
+        // Fugaku 64-96^3 — our memory-capacity bound reproduces the
+        // order of magnitude (capped at the practical 256 limit).
+        let f = max_block_for_memory(&MachineModel::frontier(), 8.0, 8.0);
+        let s = max_block_for_memory(&MachineModel::summit(), 8.0, 8.0);
+        assert_eq!(f, 256);
+        assert!((96..=288).contains(&s), "Summit {s}");
+    }
+
+    #[test]
+    fn jitter_grows_with_scale() {
+        let m = MachineModel::frontier();
+        let w = Workload::bench(&m, 8.0);
+        let small = step_cost(&m, &w, 2);
+        let large = step_cost(&m, &w, 8000);
+        assert!(large.jitter > small.jitter);
+        assert!(large.total > small.total);
+    }
+}

@@ -1,0 +1,175 @@
+//! Table generators: sustained Flop/s (paper Table III) and shared
+//! formatting helpers for the experiment binaries.
+
+use crate::machine::MachineModel;
+use crate::roofline::{step_cost, Workload};
+use crate::scaling::weak_scaling;
+use serde::{Deserialize, Serialize};
+
+/// One row of the sustained-Flop/s table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlopsRow {
+    pub machine: &'static str,
+    pub mode: &'static str,
+    /// Sustained Flop/s per device.
+    pub per_device: f64,
+    /// Fraction of vendor peak (DP peak for DP mode, SP for MP).
+    pub frac_peak: f64,
+    /// Achieved Flop/s of the largest weak-scaling run.
+    pub at_scale: f64,
+    /// Ratio to the machine's published HPCG, if available.
+    pub frac_hpcg: Option<f64>,
+}
+
+/// Generate Table III: per-device and at-scale sustained Flop/s in DP
+/// and mixed-precision modes.
+pub fn flops_table() -> Vec<FlopsRow> {
+    let mut rows = Vec::new();
+    for m in MachineModel::paper_machines() {
+        for (mode, wsize) in [("DP", 8.0), ("MP", 4.0)] {
+            let mut w = Workload::bench(&m, wsize);
+            // The MP science configuration uses the tuned kernels where
+            // the machine has them (the paper's Fugaku dagger rows).
+            w.tuned = wsize < 8.0;
+            let c = step_cost(&m, &w, 1);
+            let per_device = c.flops / c.total;
+            let frac_peak = per_device / m.peak(wsize);
+            // Largest weak-scaling run: scale by efficiency x devices.
+            let top_nodes = crate::scaling::paper_weak_nodes(&m)
+                .last()
+                .cloned()
+                .unwrap_or(m.nodes_total);
+            let eff = weak_scaling(&m, &[1, top_nodes], wsize)[1].efficiency;
+            let at_scale =
+                per_device * (top_nodes * m.devices_per_node) as f64 * eff;
+            rows.push(FlopsRow {
+                machine: m.name,
+                mode,
+                per_device,
+                frac_peak,
+                at_scale,
+                frac_hpcg: m.hpcg.map(|h| at_scale / h),
+            });
+        }
+    }
+    rows
+}
+
+/// Paper Table III reference values for comparison in EXPERIMENTS.md:
+/// (machine, mode, TFlop/s per device, achieved PFlop/s).
+pub fn paper_table3() -> Vec<(&'static str, &'static str, f64, f64)> {
+    vec![
+        ("Frontier", "DP", 1.58, 43.45),
+        ("Fugaku", "DP", 0.037, 5.31),
+        ("Summit", "DP", 0.62, 11.785),
+        ("Perlmutter", "DP", 1.26, 3.38),
+    ]
+}
+
+/// Simple fixed-width table printing for the experiment binaries.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for r in rows {
+        line(r);
+    }
+}
+
+/// Format helpers.
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shape_holds() {
+        let rows = flops_table();
+        assert_eq!(rows.len(), 8);
+        let get = |m: &str, mode: &str| {
+            rows.iter()
+                .find(|r| r.machine == m && r.mode == mode)
+                .unwrap()
+        };
+        // Per-device DP fraction of peak: in the 1-15 % PIC range, and
+        // Perlmutter > Summit relative (Table III: 12.9 % vs 8.3 %).
+        for m in ["Frontier", "Fugaku", "Summit", "Perlmutter"] {
+            let r = get(m, "DP");
+            assert!(r.frac_peak > 0.005 && r.frac_peak < 0.2, "{m}: {}", r.frac_peak);
+        }
+        assert!(get("Perlmutter", "DP").frac_peak > get("Summit", "DP").frac_peak);
+        // At scale, Frontier leads in absolute achieved Flop/s.
+        assert!(get("Frontier", "DP").at_scale > get("Summit", "DP").at_scale);
+        assert!(get("Summit", "DP").at_scale > get("Perlmutter", "DP").at_scale);
+    }
+
+    #[test]
+    fn modeled_at_scale_within_3x_of_paper() {
+        let rows = flops_table();
+        for (m, mode, _, paper_pflops) in paper_table3() {
+            let r = rows
+                .iter()
+                .find(|r| r.machine == m && r.mode == mode)
+                .unwrap();
+            let ratio = r.at_scale / (paper_pflops * 1.0e15);
+            assert!(
+                ratio > 1.0 / 3.0 && ratio < 3.0,
+                "{m} {mode}: modeled {:.2e} vs paper {:.2e}",
+                r.at_scale,
+                paper_pflops * 1.0e15
+            );
+        }
+    }
+
+    #[test]
+    fn hpcg_ratio_summit_exceeds_one() {
+        // Table III: Summit achieves >100 % of its HPCG (435 %) — PIC
+        // extracts more than the HPCG proxy.
+        let rows = flops_table();
+        let s = rows
+            .iter()
+            .find(|r| r.machine == "Summit" && r.mode == "DP")
+            .unwrap();
+        assert!(s.frac_hpcg.unwrap() > 1.0);
+        // Fugaku's HPCG is exceptionally strong: ratio < 1 (34.7 %).
+        let f = rows
+            .iter()
+            .find(|r| r.machine == "Fugaku" && r.mode == "DP")
+            .unwrap();
+        assert!(f.frac_hpcg.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        assert_eq!(sci(1234.5), "1.23e3");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

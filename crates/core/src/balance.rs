@@ -1,0 +1,154 @@
+//! Dynamic load balancing from measured per-box costs (paper §V-C).
+//!
+//! The driver measures the wall time spent on each box's particle work
+//! every step (the stand-in for the paper's in-situ GPU cost
+//! measurement). [`CostTracker`] smooths those samples; `rebalance`
+//! builds a new [`DistributionMapping`] and reports whether adopting it
+//! clears the improvement threshold — mirroring WarpX's policy of
+//! redistributing only when the imbalance gain justifies the particle
+//! redistribution traffic.
+
+use mrpic_amr::{BoxArray, DistributionMapping, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Exponentially smoothed per-box cost measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CostTracker {
+    costs: Vec<f64>,
+    alpha: f64,
+}
+
+impl CostTracker {
+    pub fn new(nboxes: usize) -> Self {
+        Self {
+            costs: vec![1.0; nboxes],
+            alpha: 0.3,
+        }
+    }
+
+    /// Record one step's measured costs (seconds or any consistent unit).
+    pub fn record(&mut self, sample: &[f64]) {
+        assert_eq!(sample.len(), self.costs.len());
+        for (c, s) in self.costs.iter_mut().zip(sample) {
+            *c = (1.0 - self.alpha) * *c + self.alpha * s.max(1e-12);
+        }
+    }
+
+    /// Heuristic cost from counts when no timer data exists: the paper's
+    /// FOM weighting `alpha N_c + beta N_p` with alpha 0.1 / beta 0.9.
+    pub fn record_heuristic(&mut self, cells: &[i64], particles: &[usize]) {
+        let sample: Vec<f64> = cells
+            .iter()
+            .zip(particles)
+            .map(|(&c, &p)| 0.1 * c as f64 + 0.9 * p as f64)
+            .collect();
+        self.record(&sample);
+    }
+
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    pub fn resize(&mut self, nboxes: usize) {
+        self.costs.resize(nboxes, 1.0);
+    }
+}
+
+/// Result of a rebalance evaluation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RebalanceDecision {
+    pub old_imbalance: f64,
+    pub new_imbalance: f64,
+    pub adopted: bool,
+    pub mapping: DistributionMapping,
+}
+
+/// Build a candidate mapping and decide whether to adopt it: adopt when
+/// it improves the max/mean imbalance by at least `min_gain`
+/// (e.g. 0.1 = 10 %).
+pub fn rebalance(
+    ba: &BoxArray,
+    current: &DistributionMapping,
+    tracker: &CostTracker,
+    strategy: Strategy,
+    min_gain: f64,
+) -> RebalanceDecision {
+    let costs = tracker.costs();
+    let old_imbalance = current.imbalance(costs);
+    let candidate = DistributionMapping::build(ba, current.nranks(), strategy, costs);
+    let new_imbalance = candidate.imbalance(costs);
+    let adopted = new_imbalance < old_imbalance * (1.0 - min_gain);
+    RebalanceDecision {
+        old_imbalance,
+        new_imbalance,
+        adopted,
+        mapping: if adopted {
+            candidate
+        } else {
+            current.clone()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpic_amr::{IndexBox, IntVect};
+
+    fn ba() -> BoxArray {
+        BoxArray::chop(
+            IndexBox::from_size(IntVect::new(64, 64, 1)),
+            IntVect::new(16, 16, 1),
+        )
+    }
+
+    #[test]
+    fn smoothing_converges_to_steady_costs() {
+        let mut t = CostTracker::new(4);
+        for _ in 0..50 {
+            t.record(&[4.0, 1.0, 1.0, 1.0]);
+        }
+        assert!((t.costs()[0] - 4.0).abs() < 1e-3);
+        assert!((t.costs()[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn heuristic_uses_fom_weights() {
+        let mut t = CostTracker::new(2);
+        for _ in 0..100 {
+            t.record_heuristic(&[1000, 1000], &[0, 1000]);
+        }
+        // Box 1 has 0.1*1000 + 0.9*1000 = 1000; box 0 has 100.
+        assert!((t.costs()[1] / t.costs()[0] - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rebalance_adopts_on_imbalance() {
+        let ba = ba();
+        // Round-robin start with a hotspot concentrated on rank 0's boxes.
+        let dm = DistributionMapping::build(&ba, 4, Strategy::RoundRobin, &[]);
+        let mut t = CostTracker::new(ba.len());
+        let mut costs = vec![1.0; ba.len()];
+        // Boxes owned by rank 0 are 100x hotter.
+        for b in dm.boxes_of(0) {
+            costs[b] = 100.0;
+        }
+        for _ in 0..60 {
+            t.record(&costs);
+        }
+        let d = rebalance(&ba, &dm, &t, Strategy::Knapsack, 0.1);
+        assert!(d.adopted, "{d:?}");
+        assert!(d.new_imbalance < 0.5 * d.old_imbalance);
+        assert!(d.mapping.imbalance(t.costs()) < 1.5);
+    }
+
+    #[test]
+    fn rebalance_keeps_balanced_mapping() {
+        let ba = ba();
+        let t = CostTracker::new(ba.len()); // uniform costs
+        let dm = DistributionMapping::build(&ba, 4, Strategy::Knapsack, t.costs());
+        let d = rebalance(&ba, &dm, &t, Strategy::Knapsack, 0.1);
+        assert!(!d.adopted);
+        assert_eq!(&d.mapping, &dm);
+    }
+}

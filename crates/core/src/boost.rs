@@ -1,0 +1,125 @@
+//! Lorentz boosted-frame transforms (paper Table I, "Boosted frame").
+//!
+//! Modeling a wakefield stage in a frame moving with the laser shrinks
+//! the scale separation between the plasma wavelength and the stage
+//! length by factors of gamma² — "several orders of magnitude speedups
+//! over standard laboratory-frame modeling" \[50\]. These helpers
+//! transform the simulation inputs (plasma density/drift, laser
+//! frequency, time step budgets) into the boosted frame.
+
+use mrpic_kernels::constants::C;
+use serde::{Deserialize, Serialize};
+
+/// A boost along +x with Lorentz factor `gamma`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Boost {
+    pub gamma: f64,
+}
+
+impl Boost {
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma >= 1.0);
+        Self { gamma }
+    }
+
+    /// beta = v/c of the frame.
+    pub fn beta(&self) -> f64 {
+        (1.0 - 1.0 / (self.gamma * self.gamma)).sqrt()
+    }
+
+    /// A plasma at rest with density n transforms to density
+    /// `gamma * n` drifting at `-beta c` (length contraction).
+    pub fn plasma(&self, n_lab: f64) -> (f64, f64) {
+        let beta = self.beta();
+        let u_drift = -self.gamma * beta * C;
+        (self.gamma * n_lab, u_drift)
+    }
+
+    /// A counter-propagating (+x) laser of wavelength lambda is
+    /// red-shifted: lambda' = lambda * gamma (1 + beta).
+    pub fn laser_wavelength(&self, lambda_lab: f64) -> f64 {
+        lambda_lab * self.gamma * (1.0 + self.beta())
+    }
+
+    /// Lab length of a stage contracts to L / gamma.
+    pub fn stage_length(&self, l_lab: f64) -> f64 {
+        l_lab / self.gamma
+    }
+
+    /// Time-to-solution scaling estimate: the number of steps to model a
+    /// stage of lab length L with laser wavelength lambda scales as
+    /// (L/lambda) * (1+beta)² gamma² in the lab over the boosted frame —
+    /// the "orders of magnitude" speedup quoted by the paper.
+    pub fn step_count_speedup(&self) -> f64 {
+        let b = self.beta();
+        (1.0 + b) * (1.0 + b) * self.gamma * self.gamma
+    }
+
+    /// Transform a lab-frame (t, x) event.
+    pub fn event(&self, t: f64, x: f64) -> (f64, f64) {
+        let b = self.beta();
+        (
+            self.gamma * (t - b * x / C),
+            self.gamma * (x - b * C * t),
+        )
+    }
+
+    /// Transform u = gamma_p v of a particle (x component; transverse u
+    /// is invariant).
+    pub fn u_x(&self, ux_lab: f64, uy: f64, uz: f64) -> f64 {
+        let gp = mrpic_kernels::push::gamma_of_u(ux_lab, uy, uz);
+        self.gamma * (ux_lab - self.beta() * gp * C)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_boost() {
+        let b = Boost::new(1.0);
+        assert_eq!(b.beta(), 0.0);
+        let (n, u) = b.plasma(1.0e24);
+        assert_eq!(n, 1.0e24);
+        assert_eq!(u, 0.0);
+        assert_eq!(b.laser_wavelength(0.8e-6), 0.8e-6);
+    }
+
+    #[test]
+    fn plasma_contraction_and_drift() {
+        let b = Boost::new(10.0);
+        let (n, u) = b.plasma(1.0e24);
+        assert!((n / 1.0e25 - 1.0).abs() < 1e-12);
+        // Drift backward at nearly -c with |u| = gamma beta c.
+        assert!(u < 0.0);
+        assert!((u.abs() / (10.0 * b.beta() * C) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doppler_and_speedup() {
+        let b = Boost::new(5.0);
+        let lam = b.laser_wavelength(0.8e-6);
+        assert!(lam > 7.8e-6 && lam < 8.0e-6); // ~ 2 gamma lambda
+        let s = b.step_count_speedup();
+        assert!(s > 90.0 && s < 100.1, "{s}"); // ~ 4 gamma^2
+    }
+
+    #[test]
+    fn event_transform_preserves_interval() {
+        let b = Boost::new(3.0);
+        let (t, x) = (1.0e-12, 200.0e-6);
+        let (tp, xp) = b.event(t, x);
+        let s_lab = (C * t) * (C * t) - x * x;
+        let s_boost = (C * tp) * (C * tp) - xp * xp;
+        assert!((s_lab - s_boost).abs() < 1e-9 * s_lab.abs().max(1e-12));
+    }
+
+    #[test]
+    fn u_transform_at_rest() {
+        let b = Boost::new(2.0);
+        // Particle at rest in the lab: u' = -gamma beta c.
+        let u = b.u_x(0.0, 0.0, 0.0);
+        assert!((u + 2.0 * b.beta() * C).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,392 @@
+//! Declarative run configuration (JSON), for the `mrpic_run` CLI.
+//!
+//! Everything the builder API exposes can be described in a config file:
+//! domain, species with profiles, lasers, moving window, MR patches,
+//! diagnostics cadence. See `configs/` at the repository root for
+//! annotated samples.
+
+use crate::laser::{LaserAntenna, Polarization};
+use crate::mr::MrConfig;
+use crate::profile::Profile;
+use crate::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use crate::species::Species;
+use mrpic_amr::{IndexBox, IntVect};
+use mrpic_field::fieldset::Dim;
+use mrpic_kernels::constants::{field_from_a0, M_E, M_P, Q_E};
+use serde::{Deserialize, Serialize};
+
+/// Top-level run description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// "2d" or "3d".
+    pub dimension: String,
+    pub cells: [i64; 3],
+    /// Cell size \[m\] per axis.
+    pub dx: [f64; 3],
+    #[serde(default)]
+    pub origin: [f64; 3],
+    #[serde(default)]
+    pub periodic: [bool; 3],
+    #[serde(default = "default_cfl")]
+    pub cfl: f64,
+    /// 1, 2 or 3.
+    #[serde(default = "default_order")]
+    pub shape_order: usize,
+    /// PML thickness in cells; 0 disables.
+    #[serde(default)]
+    pub pml: i64,
+    /// Moving-window start time \[s\]; absent = no window.
+    #[serde(default)]
+    pub moving_window_start: Option<f64>,
+    #[serde(default)]
+    pub filter_passes: usize,
+    #[serde(default)]
+    pub optimized_kernels: bool,
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    #[serde(default)]
+    pub species: Vec<SpeciesConfig>,
+    #[serde(default)]
+    pub lasers: Vec<LaserConfig>,
+    #[serde(default)]
+    pub mr_patches: Vec<MrPatchConfig>,
+    /// Stop after this physical time \[s\].
+    pub t_end: f64,
+    /// Diagnostics cadence in steps (0 = only at the end).
+    #[serde(default)]
+    pub diag_interval: u64,
+}
+
+fn default_cfl() -> f64 {
+    0.7
+}
+fn default_order() -> usize {
+    2
+}
+fn default_seed() -> u64 {
+    20220101
+}
+
+/// One species entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpeciesConfig {
+    pub name: String,
+    /// "electron", "proton", or "custom".
+    #[serde(default = "default_kind")]
+    pub kind: String,
+    /// For `kind = "custom"`: charge \[C\] and mass \[kg\].
+    #[serde(default)]
+    pub charge: Option<f64>,
+    #[serde(default)]
+    pub mass: Option<f64>,
+    pub ppc: [usize; 3],
+    pub profile: ProfileConfig,
+    #[serde(default)]
+    pub u_drift: [f64; 3],
+    #[serde(default)]
+    pub u_thermal: [f64; 3],
+}
+
+fn default_kind() -> String {
+    "electron".into()
+}
+
+/// Serializable density profile mirror of [`Profile`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ProfileConfig {
+    Uniform { n0: f64 },
+    Slab { n0: f64, axis: usize, x0: f64, x1: f64 },
+    Ramped {
+        n0: f64,
+        axis: usize,
+        up_start: f64,
+        up_end: f64,
+        down_start: f64,
+        down_end: f64,
+    },
+    Gaussian { n0: f64, axis: usize, x0: f64, sigma: f64 },
+    Sum { parts: Vec<ProfileConfig> },
+}
+
+impl ProfileConfig {
+    pub fn build(&self) -> Profile {
+        match self {
+            ProfileConfig::Uniform { n0 } => Profile::Uniform { n0: *n0 },
+            ProfileConfig::Slab { n0, axis, x0, x1 } => Profile::Slab {
+                n0: *n0,
+                axis: *axis,
+                x0: *x0,
+                x1: *x1,
+            },
+            ProfileConfig::Ramped {
+                n0,
+                axis,
+                up_start,
+                up_end,
+                down_start,
+                down_end,
+            } => Profile::Ramped {
+                n0: *n0,
+                axis: *axis,
+                up_start: *up_start,
+                up_end: *up_end,
+                down_start: *down_start,
+                down_end: *down_end,
+            },
+            ProfileConfig::Gaussian { n0, axis, x0, sigma } => Profile::Gaussian {
+                n0: *n0,
+                axis: *axis,
+                x0: *x0,
+                sigma: *sigma,
+            },
+            ProfileConfig::Sum { parts } => {
+                Profile::Sum(parts.iter().map(|p| p.build()).collect())
+            }
+        }
+    }
+}
+
+/// One laser antenna entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LaserConfig {
+    /// Normalized amplitude.
+    pub a0: f64,
+    pub wavelength: f64,
+    /// Intensity-FWHM duration \[s\].
+    pub tau_fwhm: f64,
+    pub t_peak: f64,
+    /// Emission plane x \[m\].
+    pub x_plane: f64,
+    /// Transverse center \[m\].
+    #[serde(default)]
+    pub z0: f64,
+    /// 3-D transverse (y) center \[m\].
+    #[serde(default)]
+    pub y0: f64,
+    /// Waist \[m\]; absent = plane wave.
+    #[serde(default)]
+    pub waist: Option<f64>,
+    /// Incidence angle \[deg\] from the x axis.
+    #[serde(default)]
+    pub angle_deg: f64,
+    /// "s" or "p".
+    #[serde(default = "default_pol")]
+    pub polarization: String,
+}
+
+fn default_pol() -> String {
+    "s".into()
+}
+
+/// One mesh-refinement patch entry.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MrPatchConfig {
+    pub lo: [i64; 3],
+    pub hi: [i64; 3],
+    #[serde(default = "default_rr")]
+    pub rr: i64,
+    #[serde(default = "default_ntrans")]
+    pub n_transition: i64,
+    #[serde(default = "default_patch_pml")]
+    pub npml: i64,
+    #[serde(default)]
+    pub subcycle: bool,
+    /// Remove the patch at this time \[s\], if set.
+    #[serde(default)]
+    pub remove_at: Option<f64>,
+}
+
+fn default_rr() -> i64 {
+    2
+}
+fn default_ntrans() -> i64 {
+    2
+}
+fn default_patch_pml() -> i64 {
+    8
+}
+
+impl RunConfig {
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    pub fn dim(&self) -> Dim {
+        match self.dimension.as_str() {
+            "2d" | "2D" => Dim::Two,
+            "3d" | "3D" => Dim::Three,
+            other => panic!("dimension must be 2d or 3d, got {other}"),
+        }
+    }
+
+    /// Build the simulation (MR patch removal times are returned for the
+    /// run loop to act on).
+    pub fn build(&self) -> (Simulation, Vec<f64>) {
+        let dim = self.dim();
+        let mut b = SimulationBuilder::new(dim)
+            .domain(
+                IntVect::new(self.cells[0], self.cells[1], self.cells[2]),
+                self.dx,
+                self.origin,
+            )
+            .periodic(self.periodic)
+            .cfl(self.cfl)
+            .order(match self.shape_order {
+                1 => ShapeOrder::Linear,
+                2 => ShapeOrder::Quadratic,
+                3 => ShapeOrder::Cubic,
+                o => panic!("shape_order must be 1..=3, got {o}"),
+            })
+            .seed(self.seed)
+            .filter_passes(self.filter_passes)
+            .optimized_kernels(self.optimized_kernels);
+        if self.pml > 0 {
+            b = b.pml(self.pml);
+        }
+        if let Some(t) = self.moving_window_start {
+            b = b.moving_window(t);
+        }
+        for sc in &self.species {
+            let (q, m) = match sc.kind.as_str() {
+                "electron" => (-Q_E, M_E),
+                "proton" => (Q_E, M_P),
+                "custom" => (
+                    sc.charge.expect("custom species needs charge"),
+                    sc.mass.expect("custom species needs mass"),
+                ),
+                k => panic!("unknown species kind {k}"),
+            };
+            let mut sp = Species::electrons(&sc.name, sc.profile.build(), sc.ppc)
+                .with_drift(sc.u_drift)
+                .with_thermal(sc.u_thermal);
+            sp.charge = q;
+            sp.mass = m;
+            b = b.add_species(sp);
+        }
+        for lc in &self.lasers {
+            let ant = LaserAntenna {
+                x_plane: lc.x_plane,
+                e0: field_from_a0(lc.a0, lc.wavelength),
+                lambda: lc.wavelength,
+                tau_fwhm: lc.tau_fwhm,
+                t_peak: lc.t_peak,
+                z0: lc.z0,
+                y0: lc.y0,
+                waist: lc.waist.unwrap_or(f64::INFINITY),
+                theta: lc.angle_deg.to_radians(),
+                pol: match lc.polarization.as_str() {
+                    "p" | "P" => Polarization::P,
+                    _ => Polarization::S,
+                },
+            };
+            b = b.add_laser(ant);
+        }
+        let mut sim = b.build();
+        let mut removals = Vec::new();
+        for mp in &self.mr_patches {
+            sim.add_mr_patch(MrConfig {
+                patch: IndexBox::new(mp.lo.into(), mp.hi.into()),
+                rr: mp.rr,
+                n_transition: mp.n_transition,
+                npml: mp.npml,
+                subcycle: mp.subcycle,
+            });
+            removals.push(mp.remove_at.unwrap_or(f64::INFINITY));
+        }
+        (sim, removals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "dimension": "2d",
+        "cells": [64, 1, 16],
+        "dx": [1e-7, 1e-7, 1e-7],
+        "periodic": [false, false, true],
+        "pml": 8,
+        "cfl": 0.6,
+        "shape_order": 2,
+        "t_end": 2e-14,
+        "filter_passes": 1,
+        "species": [
+            {
+                "name": "gas",
+                "ppc": [1, 1, 2],
+                "profile": {"type": "uniform", "n0": 1e24},
+                "u_thermal": [1e6, 0.0, 0.0]
+            }
+        ],
+        "lasers": [
+            {
+                "a0": 1.0,
+                "wavelength": 8e-7,
+                "tau_fwhm": 5e-15,
+                "t_peak": 8e-15,
+                "x_plane": 1e-6
+            }
+        ],
+        "mr_patches": [
+            {"lo": [24, 0, 0], "hi": [48, 1, 16], "remove_at": 1.5e-14}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_builds_sample() {
+        let cfg = RunConfig::from_json(SAMPLE).unwrap();
+        assert_eq!(cfg.dim(), Dim::Two);
+        assert_eq!(cfg.shape_order, 2);
+        let (sim, removals) = cfg.build();
+        assert_eq!(sim.species.len(), 1);
+        assert_eq!(sim.lasers.len(), 1);
+        assert!(sim.mr.is_some());
+        assert_eq!(removals, vec![1.5e-14]);
+        assert!(sim.total_particles() > 0);
+        assert!((sim.lasers[0].a0() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_run_executes() {
+        let cfg = RunConfig::from_json(SAMPLE).unwrap();
+        let (mut sim, _) = cfg.build();
+        sim.run(3);
+        assert_eq!(sim.istep, 3);
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let cfg = RunConfig::from_json(SAMPLE).unwrap();
+        let text = serde_json::to_string(&cfg).unwrap();
+        let back = RunConfig::from_json(&text).unwrap();
+        assert_eq!(back.cells, cfg.cells);
+        assert_eq!(back.species.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_dimension() {
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.dimension = "4d".into();
+        cfg.dim();
+    }
+
+    #[test]
+    fn profile_configs_match_profiles() {
+        let p = ProfileConfig::Sum {
+            parts: vec![
+                ProfileConfig::Uniform { n0: 1.0 },
+                ProfileConfig::Gaussian {
+                    n0: 2.0,
+                    axis: 0,
+                    x0: 0.0,
+                    sigma: 1.0,
+                },
+            ],
+        }
+        .build();
+        assert!((p.density(0.0, 0.0, 0.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,712 @@
+//! Electromagnetic mesh refinement (paper §V-B).
+//!
+//! A refinement patch carries **three** grid sets:
+//!
+//! * `fine` — the refined grid (ratio `rr`) collocated with the patch,
+//!   terminated by its own PML; it sees *only* the current of particles
+//!   that evolve inside the patch;
+//! * `coarse` — a patch-collocated grid at the *parent* resolution, also
+//!   PML-terminated, driven by the restriction of the fine current: it
+//!   represents the same interior sources at parent resolution;
+//! * `aux` — the auxiliary grid on which the full solution is
+//!   reconstructed by linearity: `F(a) = F(r) + I[F(s) − F(c)]`, where
+//!   `F(s)` is the parent solution restricted to the patch region and
+//!   `I` interpolates parent-resolution data to the fine lattice. The
+//!   parent field contains contributions from *all* sources at coarse
+//!   resolution; subtracting `F(c)` removes the interior-source part at
+//!   coarse resolution and adding `F(r)` reinstates it at fine
+//!   resolution.
+//!
+//! Particles inside the patch deposit to `fine`; the fine current is
+//! restricted onto `coarse` and added to the parent, which therefore
+//! always holds the complete coarse solution (this is what makes patch
+//! *removal* trivial). Particles gather from `aux`, except within a
+//! transition zone of `n_transition` coarse cells inside the patch
+//! boundary, where they gather from the parent only — mitigating the
+//! spurious-force artifacts near the interface.
+
+use mrpic_amr::{BoxArray, Fab, IndexBox, IntVect, Periodicity, Stagger};
+use mrpic_field::fieldset::{Dim, FieldSet, GridGeom};
+use mrpic_field::pml::Pml;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one refinement patch.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MrConfig {
+    /// Patch region in parent cell indices.
+    pub patch: IndexBox,
+    /// Refinement ratio (2 is the production value).
+    pub rr: i64,
+    /// Transition-zone width in parent cells.
+    pub n_transition: i64,
+    /// PML thickness (in each grid's own cells).
+    pub npml: i64,
+    /// Subcycle the refined levels: the patch grids advance `rr`
+    /// sub-steps of `dt/rr` per parent step, letting the parent keep the
+    /// coarse-grid Courant step (the paper's efficiency option, §V-B;
+    /// described without time interpolation here — the aux grid is
+    /// rebuilt at step boundaries where all levels are synchronized).
+    pub subcycle: bool,
+}
+
+/// One refinement level.
+#[derive(Clone, Debug)]
+pub struct MrLevel {
+    pub cfg: MrConfig,
+    pub fine: FieldSet,
+    pub fine_pml: Pml,
+    pub coarse: FieldSet,
+    pub coarse_pml: Pml,
+    pub aux: FieldSet,
+    dim: Dim,
+}
+
+impl MrLevel {
+    /// Build a patch on `parent` covering `cfg.patch`.
+    pub fn new(parent: &FieldSet, cfg: MrConfig, ngrow: i64) -> Self {
+        let dim = parent.dim;
+        assert!(
+            parent.domain().contains_box(&cfg.patch),
+            "patch must lie inside the parent domain"
+        );
+        let rvec = match dim {
+            Dim::Three => IntVect::splat(cfg.rr),
+            Dim::Two => IntVect::new(cfg.rr, 1, cfg.rr),
+        };
+        let fine_box = cfg.patch.refine(rvec);
+        let fine_geom = parent.geom.refine(rvec);
+        // Patch grids are never periodic: they are PML-terminated.
+        let fine_period = Periodicity::none(fine_box);
+        let fine = FieldSet::new(dim, BoxArray::single(fine_box), fine_geom, fine_period, ngrow);
+        let fine_pml = Pml::new(dim, fine_box, fine_geom, [false; 3], cfg.npml);
+        let coarse_period = Periodicity::none(cfg.patch);
+        let coarse = FieldSet::new(
+            dim,
+            BoxArray::single(cfg.patch),
+            parent.geom,
+            coarse_period,
+            ngrow,
+        );
+        let coarse_pml = Pml::new(dim, cfg.patch, parent.geom, [false; 3], cfg.npml);
+        let aux = FieldSet::new(dim, BoxArray::single(fine_box), fine_geom, fine_period, ngrow);
+        Self {
+            cfg,
+            fine,
+            fine_pml,
+            coarse,
+            coarse_pml,
+            aux,
+            dim,
+        }
+    }
+
+    /// Refinement ratio as a vector (1 along collapsed y in 2-D).
+    pub fn rvec(&self) -> IntVect {
+        match self.dim {
+            Dim::Three => IntVect::splat(self.cfg.rr),
+            Dim::Two => IntVect::new(self.cfg.rr, 1, self.cfg.rr),
+        }
+    }
+
+    /// Physical bounds of the patch (deposit region).
+    pub fn patch_phys(&self, geom: &GridGeom) -> ([f64; 3], [f64; 3]) {
+        crate::particles::box_phys_region(geom, &self.cfg.patch)
+    }
+
+    /// Physical bounds of the aux-gather region (patch minus transition).
+    pub fn gather_phys(&self, geom: &GridGeom) -> ([f64; 3], [f64; 3]) {
+        let mut shrink = IntVect::splat(self.cfg.n_transition);
+        if self.dim == Dim::Two {
+            shrink.y = 0;
+        }
+        let inner = self.cfg.patch.grow_vec(-shrink);
+        crate::particles::box_phys_region(geom, &inner)
+    }
+
+    /// Zero the fine current before deposition.
+    pub fn zero_j(&mut self) {
+        self.fine.zero_j();
+    }
+
+    /// After deposition: restrict the fine current onto the coarse patch
+    /// and add it onto the parent (both over the patch grown by `margin`
+    /// parent cells to catch boundary-straddling deposition clouds).
+    pub fn couple_currents(&mut self, parent: &mut FieldSet, margin: i64) {
+        let rvec = self.rvec();
+        for c in 0..3 {
+            let fine_fab = self.fine.j[c].fab(0).clone();
+            let stag = fine_fab.stagger();
+            // Region at parent resolution.
+            let mut region = self.cfg.patch.grow(margin);
+            if self.dim == Dim::Two {
+                region.lo.y = self.cfg.patch.lo.y;
+                region.hi.y = self.cfg.patch.hi.y;
+            }
+            let pts = stag.point_box(&region);
+            // Coarse patch J = restriction (its stored region only).
+            {
+                let cfab = self.coarse.j[c].fab_mut(0);
+                let store = cfab.grown_pts();
+                if let Some(overlap) = store.intersect(&pts) {
+                    for p in overlap.cells() {
+                        let v = restrict_point(&fine_fab, stag, p, rvec);
+                        cfab.set(0, p, v);
+                    }
+                }
+            }
+            // Parent J += restriction, in every fab's stored region that
+            // holds the point (valid and guards stay consistent).
+            for fi in 0..parent.j[c].nfabs() {
+                let pfab = parent.j[c].fab_mut(fi);
+                let store = pfab.valid_pts();
+                let Some(overlap) = store.intersect(&pts) else {
+                    continue;
+                };
+                for p in overlap.cells() {
+                    let v = restrict_point(&fine_fab, stag, p, rvec);
+                    pfab.add(0, p, v);
+                }
+            }
+        }
+    }
+
+    /// Advance the patch Maxwell systems by one full parent step: one
+    /// leapfrog step of `dt` (B half / E / B half), or `rr` sub-steps of
+    /// `dt/rr` when subcycling, with the deposited current held constant
+    /// across the sub-steps.
+    pub fn advance_fields(&mut self, dt: f64) {
+        let nsub = if self.cfg.subcycle { self.cfg.rr.max(1) } else { 1 };
+        for _ in 0..nsub {
+            self.advance_fields_once(dt / nsub as f64);
+        }
+    }
+
+    fn advance_fields_once(&mut self, dt: f64) {
+        for (fs, pml) in [
+            (&mut self.fine, &mut self.fine_pml),
+            (&mut self.coarse, &mut self.coarse_pml),
+        ] {
+            fs.fill_e_boundaries();
+            pml.exchange_e(fs);
+            mrpic_field::yee::advance_b(fs, 0.5 * dt);
+            pml.advance_b(0.5 * dt);
+            fs.fill_b_boundaries();
+            pml.exchange_b(fs);
+            mrpic_field::yee::advance_e(fs, dt);
+            pml.advance_e(dt);
+            fs.fill_e_boundaries();
+            pml.exchange_e(fs);
+            mrpic_field::yee::advance_b(fs, 0.5 * dt);
+            pml.advance_b(0.5 * dt);
+            fs.fill_b_boundaries();
+            pml.exchange_b(fs);
+        }
+    }
+
+    /// Rebuild the auxiliary grid: `aux = fine + I[parent − coarse]`.
+    pub fn build_aux(&mut self, parent: &FieldSet) {
+        let MrLevel {
+            cfg,
+            fine,
+            coarse,
+            aux,
+            dim,
+            ..
+        } = self;
+        let dim = *dim;
+        let rvec = match dim {
+            Dim::Three => IntVect::splat(cfg.rr),
+            Dim::Two => IntVect::new(cfg.rr, 1, cfg.rr),
+        };
+        // Margin of parent data needed around the patch for interpolation
+        // over the aux guard region.
+        let margin = aux.ngrow / cfg.rr + 2;
+        for (comp, which) in [(0usize, FieldKind::E), (1, FieldKind::E), (2, FieldKind::E),
+                              (0, FieldKind::B), (1, FieldKind::B), (2, FieldKind::B)]
+        {
+            let (pfa, cfa, ffa, afa) = match which {
+                FieldKind::E => (
+                    &parent.e[comp],
+                    &coarse.e[comp],
+                    &fine.e[comp],
+                    &mut aux.e[comp],
+                ),
+                FieldKind::B => (
+                    &parent.b[comp],
+                    &coarse.b[comp],
+                    &fine.b[comp],
+                    &mut aux.b[comp],
+                ),
+            };
+            let stag = pfa.stagger();
+            // Materialize the parent data over patch + margin into one
+            // scratch fab (parent may be multi-box).
+            let mut region = cfg.patch.grow(margin);
+            if dim == Dim::Two {
+                region.lo.y = cfg.patch.lo.y;
+                region.hi.y = cfg.patch.hi.y;
+            }
+            let mut scratch = Fab::new(region, stag, 1, 0);
+            for fi in 0..pfa.nfabs() {
+                let src = pfa.fab(fi);
+                // Use valid data plus (filled) guards so the margin is
+                // covered even at the domain edge.
+                scratch.copy_region_from(src, &src.grown_pts(), IntVect::ZERO, 0, 0);
+            }
+            for fi in 0..pfa.nfabs() {
+                let src = pfa.fab(fi);
+                scratch.copy_region_from(src, &src.valid_pts(), IntVect::ZERO, 0, 0);
+            }
+            // parent and coarse live on the same lattice, so
+            // I[parent] - I[coarse] = I[parent - coarse]: build the
+            // difference once, then interpolate it to the fine lattice
+            // with per-axis precomputed weight tables (rr = 2 makes them
+            // tiny) and direct slice indexing.
+            let cfab = cfa.fab(0);
+            scratch.blend_region_from(
+                cfab,
+                &cfab.grown_pts(),
+                IntVect::ZERO,
+                0,
+                0,
+                |d, c| d - c,
+            );
+            let ffab = ffa.fab(0);
+            let afab = afa.fab_mut(0);
+            let apts = afab.grown_pts();
+            let fstore = ffab.grown_pts();
+            let aix = afab.indexer();
+            let fix = ffab.indexer();
+            let six = scratch.indexer();
+            let spts = scratch.grown_pts();
+            // fine index -> (left parent index, right weight), clamped to
+            // the scratch range (one-sided at the outermost guard points,
+            // which sit behind the PML and never reach particles).
+            let table = |d: usize| -> Vec<(i64, f64)> {
+                (apts.lo[d]..apts.hi[d])
+                    .map(|i| {
+                        if rvec[d] == 1 || (dim == Dim::Two && d == 1) {
+                            return (i.clamp(spts.lo[d], spts.hi[d] - 1), 0.0);
+                        }
+                        let off = stag.offset(d);
+                        let t = (i as f64 + off) / rvec[d] as f64 - off;
+                        let fl = t.floor();
+                        let i0 = (fl as i64).clamp(spts.lo[d], spts.hi[d] - 2);
+                        let w = (t - i0 as f64).clamp(0.0, 1.0);
+                        (i0, w)
+                    })
+                    .collect()
+            };
+            let tx = table(0);
+            let ty = table(1);
+            let tz = table(2);
+            let sdata = scratch.comp(0);
+            let fdata = ffab.comp(0);
+            let adata = afab.comp_mut(0);
+            let ymax = spts.hi.y - 1;
+            let zmax = spts.hi.z - 1;
+            for k in apts.lo.z..apts.hi.z {
+                let (k0, wz) = tz[(k - apts.lo.z) as usize];
+                for jj in apts.lo.y..apts.hi.y {
+                    let (j0, wy) = ty[(jj - apts.lo.y) as usize];
+                    let arow = aix.at(apts.lo.x, jj, k);
+                    let in_frow = fstore.lo.y <= jj
+                        && jj < fstore.hi.y
+                        && fstore.lo.z <= k
+                        && k < fstore.hi.z;
+                    let s00 = six.at(spts.lo.x, j0, k0);
+                    let s10 = six.at(spts.lo.x, (j0 + 1).min(ymax), k0);
+                    let s01 = six.at(spts.lo.x, j0, (k0 + 1).min(zmax));
+                    let s11 = six.at(spts.lo.x, (j0 + 1).min(ymax), (k0 + 1).min(zmax));
+                    for i in apts.lo.x..apts.hi.x {
+                        let (i0, wx) = tx[(i - apts.lo.x) as usize];
+                        let col = (i0 - spts.lo.x) as usize;
+                        let cup = col + usize::from(i0 + 1 < spts.hi.x);
+                        let lerp_x = |row: usize| -> f64 {
+                            let a = sdata[row + col];
+                            let b = sdata[row + cup];
+                            a + wx * (b - a)
+                        };
+                        let v0 = {
+                            let v00 = lerp_x(s00);
+                            let v10 = lerp_x(s10);
+                            v00 + wy * (v10 - v00)
+                        };
+                        let v1 = {
+                            let v01 = lerp_x(s01);
+                            let v11 = lerp_x(s11);
+                            v01 + wy * (v11 - v01)
+                        };
+                        let diff = v0 + wz * (v1 - v0);
+                        let fine_v = if in_frow && fstore.lo.x <= i && i < fstore.hi.x {
+                            fdata[fix.at(i, jj, k)]
+                        } else {
+                            0.0
+                        };
+                        adata[arow + (i - apts.lo.x) as usize] = fine_v + diff;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shift all patch data with the moving window by `s` parent cells.
+    pub fn shift_window(&mut self, s: IntVect) {
+        let sf = s * self.rvec();
+        for c in 0..3 {
+            self.fine.e[c].shift_data(sf);
+            self.fine.b[c].shift_data(sf);
+            self.fine.j[c].shift_data(sf);
+            self.coarse.e[c].shift_data(s);
+            self.coarse.b[c].shift_data(s);
+            self.coarse.j[c].shift_data(s);
+            self.aux.e[c].shift_data(sf);
+            self.aux.b[c].shift_data(sf);
+        }
+        self.fine_pml.shift_window(sf);
+        self.coarse_pml.shift_window(s);
+        // Geometry origins track the parent's (caller updates those).
+        self.fine.geom.x0[0] += s.x as f64 * self.coarse.geom.dx[0];
+        self.coarse.geom.x0[0] += s.x as f64 * self.coarse.geom.dx[0];
+        self.aux.geom.x0[0] += s.x as f64 * self.coarse.geom.dx[0];
+    }
+
+    /// Memory footprint of the level (telemetry: the paper's Fig. 6 cost
+    /// accounting counts the patch as extra work while present).
+    pub fn bytes(&self) -> usize {
+        self.fine.bytes() + self.coarse.bytes() + self.aux.bytes()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FieldKind {
+    E,
+    B,
+}
+
+/// Restriction: value of a parent-resolution point `p` from fine data.
+/// Per axis: nodal components use the (1/4, 1/2, 1/4) full-weighting
+/// stencil; half components average the two covering fine points.
+fn restrict_point(fine: &Fab, stag: Stagger, p: IntVect, rvec: IntVect) -> f64 {
+    let store = fine.grown_pts();
+    let mut acc = 0.0;
+    let (idx, wts) = axis_restrict_weights(stag, p, rvec);
+    for (kz, wz) in idx[2].iter().zip(wts[2].iter()) {
+        if *wz == 0.0 {
+            continue;
+        }
+        for (jy, wy) in idx[1].iter().zip(wts[1].iter()) {
+            if *wy == 0.0 {
+                continue;
+            }
+            for (ix, wx) in idx[0].iter().zip(wts[0].iter()) {
+                if *wx == 0.0 {
+                    continue;
+                }
+                let q = IntVect::new(*ix, *jy, *kz);
+                if store.contains(q) {
+                    acc += wx * wy * wz * fine.get(0, q);
+                }
+            }
+        }
+    }
+    acc
+}
+
+type AxisStencil = ([[i64; 3]; 3], [[f64; 3]; 3]);
+
+fn axis_restrict_weights(stag: Stagger, p: IntVect, rvec: IntVect) -> AxisStencil {
+    let mut idx = [[0i64; 3]; 3];
+    let mut wts = [[0.0f64; 3]; 3];
+    for d in 0..3 {
+        let r = rvec[d];
+        if r == 1 {
+            idx[d] = [p[d], 0, 0];
+            wts[d] = [1.0, 0.0, 0.0];
+        } else if stag.is_nodal(d) {
+            idx[d] = [r * p[d] - 1, r * p[d], r * p[d] + 1];
+            wts[d] = [0.25, 0.5, 0.25];
+        } else {
+            idx[d] = [r * p[d], r * p[d] + 1, 0];
+            wts[d] = [0.5, 0.5, 0.0];
+        }
+    }
+    (idx, wts)
+}
+
+/// Interpolation: parent-resolution `src` (a scratch fab with margin)
+/// evaluated at fine point `p` by linear interpolation per axis.
+#[cfg_attr(not(test), allow(dead_code))] // reference implementation, used by tests
+fn interp_point(src: &Fab, stag: Stagger, p: IntVect, rvec: IntVect, dim: Dim) -> f64 {
+    let store = src.grown_pts();
+    let mut i0 = [0i64; 3];
+    let mut w1 = [0.0f64; 3];
+    for d in 0..3 {
+        let r = rvec[d] as f64;
+        if rvec[d] == 1 || (dim == Dim::Two && d == 1) {
+            i0[d] = p[d];
+            w1[d] = 0.0;
+            continue;
+        }
+        let off = stag.offset(d);
+        // Parent-lattice coordinate of the fine point.
+        let t = (p[d] as f64 + off) / r - off;
+        let fl = t.floor();
+        i0[d] = fl as i64;
+        w1[d] = t - fl;
+    }
+    let mut acc = 0.0;
+    for cz in 0..2 {
+        let wz = if cz == 0 { 1.0 - w1[2] } else { w1[2] };
+        if wz == 0.0 {
+            continue;
+        }
+        for cy in 0..2 {
+            let wy = if cy == 0 { 1.0 - w1[1] } else { w1[1] };
+            if wy == 0.0 {
+                continue;
+            }
+            for cx in 0..2 {
+                let wx = if cx == 0 { 1.0 - w1[0] } else { w1[0] };
+                if wx == 0.0 {
+                    continue;
+                }
+                let q = IntVect::new(i0[0] + cx, i0[1] + cy, i0[2] + cz);
+                if store.contains(q) {
+                    acc += wx * wy * wz * src.get(0, q);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Same interpolation but reading a fab's own (guard-filled) storage.
+#[cfg_attr(not(test), allow(dead_code))] // reference implementation, used by tests
+fn interp_fab_point(src: &Fab, stag: Stagger, p: IntVect, rvec: IntVect, dim: Dim) -> f64 {
+    interp_point(src, stag, p, rvec, dim)
+}
+
+/// Convenience wrapper so callers need not know fab layout details.
+pub fn restriction_margin(order: usize, rr: i64) -> i64 {
+    ((order as i64 + 3) + rr - 1) / rr + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpic_amr::BoxArray;
+    use mrpic_field::fieldset::GridGeom;
+
+    fn parent_2d() -> FieldSet {
+        let dom = IndexBox::from_size(IntVect::new(64, 1, 32));
+        let ba = BoxArray::chop(dom, IntVect::new(32, 1, 32));
+        let geom = GridGeom {
+            dx: [1.0e-6, 1.0e-6, 1.0e-6],
+            x0: [0.0; 3],
+        };
+        FieldSet::new(Dim::Two, ba, geom, Periodicity::new(dom, [false, false, true]), 4)
+    }
+
+    fn patch_cfg() -> MrConfig {
+        MrConfig {
+            patch: IndexBox::new(IntVect::new(16, 0, 8), IntVect::new(40, 1, 24)),
+            rr: 2,
+            n_transition: 2,
+            npml: 8,
+            subcycle: false,
+        }
+    }
+
+    #[test]
+    fn level_geometry() {
+        let parent = parent_2d();
+        let lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        assert_eq!(lvl.fine.geom.dx[0], 0.5e-6);
+        assert_eq!(lvl.fine.domain().size(), IntVect::new(48, 1, 32));
+        assert_eq!(lvl.coarse.domain(), patch_cfg().patch);
+        let (lo, hi) = lvl.patch_phys(&parent.geom);
+        assert!((lo[0] - 16.0e-6).abs() < 1e-18);
+        assert!((hi[0] - 40.0e-6).abs() < 1e-12);
+        let (glo, ghi) = lvl.gather_phys(&parent.geom);
+        assert!((glo[0] - 18.0e-6).abs() < 1e-12);
+        assert!((ghi[0] - 38.0e-6).abs() < 1e-12);
+        assert!(lvl.bytes() > 0);
+    }
+
+    #[test]
+    fn restriction_preserves_constants() {
+        let parent = parent_2d();
+        let mut lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        // Constant fine J: restriction of a constant must equal it.
+        lvl.fine.j[0].fab_mut(0).fill(3.0);
+        let stag = lvl.fine.j[0].fab(0).stagger();
+        let p = IntVect::new(20, 0, 12);
+        let v = restrict_point(lvl.fine.j[0].fab(0), stag, p, lvl.rvec());
+        assert!((v - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp_reproduces_linear_fields() {
+        let parent = parent_2d();
+        let lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        let stag = parent.e[1].stagger(); // Ey: nodal x,z in 2-D
+        let region = patch_cfg().patch.grow(3);
+        let mut scratch = Fab::new(
+            IndexBox::new(
+                IntVect::new(region.lo.x, 0, region.lo.z),
+                IntVect::new(region.hi.x, 1, region.hi.z),
+            ),
+            stag,
+            1,
+            0,
+        );
+        let pts = scratch.grown_pts();
+        for p in pts.cells().collect::<Vec<_>>() {
+            scratch.set(0, p, 2.0 * p.x as f64 + 0.5 * p.z as f64);
+        }
+        // Fine point (x=41, z=20) sits at parent coords (20.5, 10.0).
+        let v = interp_point(&scratch, stag, IntVect::new(41, 0, 20), lvl.rvec(), Dim::Two);
+        assert!((v - (2.0 * 20.5 + 0.5 * 10.0)).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn couple_currents_adds_to_parent() {
+        let mut parent = parent_2d();
+        let mut lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        lvl.fine.j[2].fab_mut(0).fill(2.0);
+        lvl.couple_currents(&mut parent, 2);
+        // Parent Jz inside the patch must now be ~2.0 (restriction of a
+        // constant), coarse patch too.
+        let probe = IntVect::new(24, 0, 16);
+        assert!((parent.j[2].at(0, probe) - 2.0).abs() < 1e-12);
+        assert!((lvl.coarse.j[2].fab(0).get(0, probe) - 2.0).abs() < 1e-12);
+        // Far outside the patch: untouched.
+        assert_eq!(parent.j[2].at(0, IntVect::new(2, 0, 2)), 0.0);
+    }
+
+    #[test]
+    fn aux_equals_parent_when_no_fine_sources() {
+        // With zero fine/coarse fields, aux = I[parent]: a linear parent
+        // field is reproduced exactly on the fine lattice.
+        let mut parent = parent_2d();
+        for fi in 0..parent.e[1].nfabs() {
+            let vb = parent.e[1].fab(fi).grown_pts();
+            let fab = parent.e[1].fab_mut(fi);
+            for p in vb.cells().collect::<Vec<_>>() {
+                fab.set(0, p, p.x as f64 + 2.0 * p.z as f64);
+            }
+        }
+        let mut lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        lvl.build_aux(&parent);
+        // Check a fine nodal point: fine (34, 18) = parent (17, 9).
+        let got = lvl.aux.e[1].fab(0).get(0, IntVect::new(34, 0, 18));
+        assert!((got - (17.0 + 2.0 * 9.0)).abs() < 1e-12, "{got}");
+        // A half-parent point: fine x=35 = parent x=17.5.
+        let got = lvl.aux.e[1].fab(0).get(0, IntVect::new(35, 0, 18));
+        assert!((got - (17.5 + 18.0)).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn aux_substitution_cancels_coarse_interior_sources() {
+        // If coarse == parent inside the patch (same interior source at
+        // coarse resolution), aux == fine there.
+        let mut parent = parent_2d();
+        let mut lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        let val = 5.0;
+        for fi in 0..parent.b[2].nfabs() {
+            parent.b[2].fab_mut(fi).fill(val);
+        }
+        lvl.coarse.b[2].fab_mut(0).fill(val);
+        lvl.fine.b[2].fab_mut(0).fill(7.0);
+        lvl.build_aux(&parent);
+        let got = lvl.aux.b[2].fab(0).get(0, IntVect::new(40, 0, 20));
+        assert!((got - 7.0).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn window_shift_moves_patch_data() {
+        let parent = parent_2d();
+        let mut lvl = MrLevel::new(&parent, patch_cfg(), 4);
+        let p = IntVect::new(40, 0, 20);
+        lvl.fine.e[1].fab_mut(0).set(0, p, 9.0);
+        lvl.shift_window(IntVect::new(1, 0, 0));
+        // Fine shifts by rr = 2 cells.
+        assert_eq!(lvl.fine.e[1].fab(0).get(0, IntVect::new(38, 0, 20)), 9.0);
+        assert_eq!(lvl.fine.geom.x0[0], 1.0e-6);
+    }
+}
+
+/// Suggest a refinement patch covering the region where a species'
+/// per-cell macroparticle weight exceeds `threshold` (a density-based
+/// tagging criterion — the paper's dynamic MR places the patch over the
+/// high-density target). Returns the tagged bounding box grown by
+/// `margin` cells and clipped so the patch (plus its PML shell) fits
+/// inside the domain; `None` if nothing exceeds the threshold.
+pub fn suggest_patch(
+    sim: &crate::sim::Simulation,
+    species: usize,
+    threshold_weight_per_cell: f64,
+    margin: i64,
+    npml: i64,
+) -> Option<IndexBox> {
+    let geom = sim.fs.geom;
+    let dom = sim.fs.domain();
+    let n = dom.size();
+    // Per-cell weight census (x-z for 2-D; full 3-D otherwise).
+    let mut weight = vec![0.0f64; (n.x * n.y * n.z) as usize];
+    let idx = |c: IntVect| -> Option<usize> {
+        if !dom.contains(c) {
+            return None;
+        }
+        Some((((c.z - dom.lo.z) * n.y + (c.y - dom.lo.y)) * n.x + (c.x - dom.lo.x)) as usize)
+    };
+    for buf in &sim.parts[species].bufs {
+        for i in 0..buf.len() {
+            let c = IntVect::new(
+                geom.cell_of(0, buf.x[i]),
+                geom.cell_of(1, buf.y[i]),
+                geom.cell_of(2, buf.z[i]),
+            );
+            if let Some(k) = idx(c) {
+                weight[k] += buf.w[i];
+            }
+        }
+    }
+    // Tag and take the bounding box.
+    let mut lo = IntVect::new(i64::MAX, i64::MAX, i64::MAX);
+    let mut hi = IntVect::new(i64::MIN, i64::MIN, i64::MIN);
+    let mut any = false;
+    for k in dom.lo.z..dom.hi.z {
+        for j in dom.lo.y..dom.hi.y {
+            for i in dom.lo.x..dom.hi.x {
+                let c = IntVect::new(i, j, k);
+                if weight[idx(c).unwrap()] > threshold_weight_per_cell {
+                    lo = lo.min(c);
+                    hi = hi.max(c + IntVect::ONE);
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    // Grow by the margin, clip so that patch + PML fits in the domain.
+    let mut grow = IntVect::splat(margin);
+    let mut clip = IntVect::splat(npml.max(1));
+    if sim.dim == Dim::Two {
+        grow.y = 0;
+        clip.y = 0;
+    }
+    let patch = IndexBox::new(lo - grow, hi + grow);
+    let room = dom.grow_vec(-clip);
+    let clipped = patch.intersect(&room)?;
+    // In 2-D keep the full collapsed y extent.
+    let mut out = clipped;
+    if sim.dim == Dim::Two {
+        out.lo.y = dom.lo.y;
+        out.hi.y = dom.hi.y;
+    }
+    (!out.is_empty()).then_some(out)
+}

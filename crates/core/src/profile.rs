@@ -1,0 +1,198 @@
+//! Plasma density profiles.
+//!
+//! Everything needed to describe the paper's targets: uniform plasmas
+//! (scaling studies), gas jets with ramps (the LWFA stage), thin solid
+//! foils at 50–55 critical densities (the plasma mirror), and the
+//! **hybrid solid–gas target** of Fig. 1(b) that combines them.
+
+use serde::{Deserialize, Serialize};
+
+/// A number-density profile n(x, y, z) \[1/m³\].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Profile {
+    /// n0 everywhere.
+    Uniform { n0: f64 },
+    /// n0 inside `[x0, x1)` along axis `axis`, 0 outside.
+    Slab { n0: f64, axis: usize, x0: f64, x1: f64 },
+    /// Plateau of density n0 between `up_end` and `down_start`, linear
+    /// up-ramp from `up_start` and down-ramp to `down_end` along `axis`
+    /// (a gas jet).
+    Ramped {
+        n0: f64,
+        axis: usize,
+        up_start: f64,
+        up_end: f64,
+        down_start: f64,
+        down_end: f64,
+    },
+    /// Gaussian along `axis` centered at `x0` with rms `sigma`.
+    Gaussian { n0: f64, axis: usize, x0: f64, sigma: f64 },
+    /// Sum of sub-profiles (e.g. solid foil + gas jet = hybrid target).
+    Sum(Vec<Profile>),
+    /// Product of a base profile and a transverse mask.
+    Product(Vec<Profile>),
+}
+
+impl Profile {
+    /// The paper's hybrid solid–gas target: a dense foil (the plasma
+    /// mirror) at `[foil_x0, foil_x1)` with a gas plateau in front
+    /// (`gas_x0..foil_x0` with a short up-ramp) — laser arrives from low x
+    /// after traveling through the gas.
+    pub fn hybrid_target(
+        n_solid: f64,
+        foil_x0: f64,
+        foil_x1: f64,
+        n_gas: f64,
+        gas_x0: f64,
+        gas_ramp: f64,
+        gas_x1: f64,
+    ) -> Profile {
+        Profile::Sum(vec![
+            Profile::Slab {
+                n0: n_solid,
+                axis: 0,
+                x0: foil_x0,
+                x1: foil_x1,
+            },
+            Profile::Ramped {
+                n0: n_gas,
+                axis: 0,
+                up_start: gas_x0,
+                up_end: gas_x0 + gas_ramp,
+                down_start: gas_x1,
+                down_end: gas_x1,
+            },
+        ])
+    }
+
+    /// Density at a position.
+    pub fn density(&self, x: f64, y: f64, z: f64) -> f64 {
+        let pick = |axis: usize| match axis {
+            0 => x,
+            1 => y,
+            _ => z,
+        };
+        match self {
+            Profile::Uniform { n0 } => *n0,
+            Profile::Slab { n0, axis, x0, x1 } => {
+                let v = pick(*axis);
+                if v >= *x0 && v < *x1 {
+                    *n0
+                } else {
+                    0.0
+                }
+            }
+            Profile::Ramped {
+                n0,
+                axis,
+                up_start,
+                up_end,
+                down_start,
+                down_end,
+            } => {
+                let v = pick(*axis);
+                if v < *up_start || v >= *down_end {
+                    0.0
+                } else if v < *up_end {
+                    n0 * (v - up_start) / (up_end - up_start).max(f64::MIN_POSITIVE)
+                } else if v < *down_start {
+                    *n0
+                } else {
+                    n0 * (down_end - v) / (down_end - down_start).max(f64::MIN_POSITIVE)
+                }
+            }
+            Profile::Gaussian { n0, axis, x0, sigma } => {
+                let d = pick(*axis) - x0;
+                n0 * (-d * d / (2.0 * sigma * sigma)).exp()
+            }
+            Profile::Sum(parts) => parts.iter().map(|p| p.density(x, y, z)).sum(),
+            Profile::Product(parts) => {
+                parts.iter().map(|p| p.density(x, y, z)).product()
+            }
+        }
+    }
+
+    /// Largest density anywhere (upper bound; exact for these shapes).
+    pub fn max_density(&self) -> f64 {
+        match self {
+            Profile::Uniform { n0 }
+            | Profile::Slab { n0, .. }
+            | Profile::Ramped { n0, .. }
+            | Profile::Gaussian { n0, .. } => *n0,
+            Profile::Sum(parts) => parts.iter().map(|p| p.max_density()).sum(),
+            Profile::Product(parts) => parts.iter().map(|p| p.max_density()).product(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_edges_half_open() {
+        let p = Profile::Slab {
+            n0: 2.0,
+            axis: 0,
+            x0: 1.0,
+            x1: 2.0,
+        };
+        assert_eq!(p.density(0.99, 0.0, 0.0), 0.0);
+        assert_eq!(p.density(1.0, 0.0, 0.0), 2.0);
+        assert_eq!(p.density(1.99, 5.0, -3.0), 2.0);
+        assert_eq!(p.density(2.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ramp_is_continuous() {
+        let p = Profile::Ramped {
+            n0: 1.0,
+            axis: 2,
+            up_start: 0.0,
+            up_end: 1.0,
+            down_start: 3.0,
+            down_end: 4.0,
+        };
+        assert_eq!(p.density(0.0, 0.0, -0.1), 0.0);
+        assert!((p.density(0.0, 0.0, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(p.density(0.0, 0.0, 2.0), 1.0);
+        assert!((p.density(0.0, 0.0, 3.5) - 0.5).abs() < 1e-12);
+        assert_eq!(p.density(0.0, 0.0, 4.1), 0.0);
+    }
+
+    #[test]
+    fn hybrid_target_shape() {
+        // Foil at [30, 32) um, gas from 5 to 30 um with 2 um ramp.
+        let um = 1.0e-6;
+        let p = Profile::hybrid_target(
+            1.0e27,
+            30.0 * um,
+            32.0 * um,
+            2.0e24,
+            5.0 * um,
+            2.0 * um,
+            30.0 * um,
+        );
+        assert_eq!(p.density(2.0 * um, 0.0, 0.0), 0.0);
+        assert!((p.density(6.0 * um, 0.0, 0.0) / 1.0e24 - 1.0).abs() < 1e-9);
+        assert_eq!(p.density(20.0 * um, 0.0, 0.0), 2.0e24);
+        assert_eq!(p.density(31.0 * um, 0.0, 0.0), 1.0e27);
+        assert_eq!(p.density(33.0 * um, 0.0, 0.0), 0.0);
+        assert_eq!(p.max_density(), 1.0e27 + 2.0e24);
+    }
+
+    #[test]
+    fn gaussian_and_product() {
+        let p = Profile::Product(vec![
+            Profile::Uniform { n0: 4.0 },
+            Profile::Gaussian {
+                n0: 1.0,
+                axis: 1,
+                x0: 0.0,
+                sigma: 1.0,
+            },
+        ]);
+        assert!((p.density(0.0, 0.0, 0.0) - 4.0).abs() < 1e-12);
+        assert!(p.density(0.0, 3.0, 0.0) < 0.05 * 4.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Particle splitting and merging (paper §VIII-B future work: "couple to
+//! adaptive particle splitting and merging").
+//!
+//! Splitting keeps statistics adequate when particles enter a refined
+//! region (each macroparticle becomes `2^d` lighter ones displaced by a
+//! fraction of the fine cell); merging caps memory when particles
+//! accumulate (leximorphic cell binning, momentum-preserving pairwise
+//! combination).
+
+use crate::particles::ParticleBuf;
+use mrpic_field::fieldset::{Dim, GridGeom};
+use std::collections::HashMap;
+
+/// Split every particle inside `region_lo..region_hi` into `2^d` children
+/// with equal weight shares, displaced by ±`frac` of the cell size in
+/// each (real) axis. Conserves total weight and mean position/momentum.
+pub fn split_in_region(
+    buf: &mut ParticleBuf,
+    dim: Dim,
+    geom: &GridGeom,
+    lo: [f64; 3],
+    hi: [f64; 3],
+    frac: f64,
+) -> usize {
+    let n = buf.len();
+    let axes: &[usize] = match dim {
+        Dim::Two => &[0, 2],
+        Dim::Three => &[0, 1, 2],
+    };
+    let children = 1usize << axes.len();
+    let mut created = 0;
+    for i in 0..n {
+        let pos = [buf.x[i], buf.y[i], buf.z[i]];
+        let inside = axes.iter().all(|&d| pos[d] >= lo[d] && pos[d] < hi[d]);
+        if !inside {
+            continue;
+        }
+        let w_child = buf.w[i] / children as f64;
+        let (ux, uy, uz) = (buf.ux[i], buf.uy[i], buf.uz[i]);
+        // First child replaces the parent; the rest are appended.
+        let mut first = true;
+        for mask in 0..children {
+            let mut p = pos;
+            for (bit, &d) in axes.iter().enumerate() {
+                let sign = if mask & (1 << bit) == 0 { -1.0 } else { 1.0 };
+                p[d] += sign * frac * geom.dx[d];
+            }
+            if first {
+                buf.x[i] = p[0];
+                buf.y[i] = p[1];
+                buf.z[i] = p[2];
+                buf.w[i] = w_child;
+                first = false;
+            } else {
+                buf.push(p[0], p[1], p[2], ux, uy, uz, w_child);
+                created += 1;
+            }
+        }
+    }
+    created
+}
+
+/// Merge particles cell-by-cell down to at most `max_per_cell` per cell:
+/// repeatedly combine the two lightest particles in a cell into one with
+/// summed weight, weight-averaged position and momentum. Conserves
+/// charge exactly and momentum to the weighted mean.
+pub fn merge_by_cell(buf: &mut ParticleBuf, geom: &GridGeom, max_per_cell: usize) -> usize {
+    assert!(max_per_cell >= 1);
+    let n = buf.len();
+    let mut cells: HashMap<(i64, i64, i64), Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        cells
+            .entry((
+                geom.cell_of(0, buf.x[i]),
+                geom.cell_of(1, buf.y[i]),
+                geom.cell_of(2, buf.z[i]),
+            ))
+            .or_default()
+            .push(i);
+    }
+    let mut dead: Vec<bool> = vec![false; n];
+    let mut removed = 0;
+    let mut keys: Vec<_> = cells.keys().cloned().collect();
+    keys.sort(); // determinism
+    for key in keys {
+        let idxs = &cells[&key];
+        let mut alive: Vec<usize> = idxs.clone();
+        while alive.len() > max_per_cell {
+            // Two lightest.
+            alive.sort_by(|&a, &b| buf.w[a].total_cmp(&buf.w[b]));
+            let (a, b) = (alive[0], alive[1]);
+            let wt = buf.w[a] + buf.w[b];
+            let f = buf.w[a] / wt;
+            let g = 1.0 - f;
+            buf.x[a] = f * buf.x[a] + g * buf.x[b];
+            buf.y[a] = f * buf.y[a] + g * buf.y[b];
+            buf.z[a] = f * buf.z[a] + g * buf.z[b];
+            buf.ux[a] = f * buf.ux[a] + g * buf.ux[b];
+            buf.uy[a] = f * buf.uy[a] + g * buf.uy[b];
+            buf.uz[a] = f * buf.uz[a] + g * buf.uz[b];
+            buf.w[a] = wt;
+            dead[b] = true;
+            removed += 1;
+            alive.remove(1);
+        }
+    }
+    // Compact.
+    let keep: Vec<usize> = (0..n).filter(|&i| !dead[i]).collect();
+    buf.apply_permutation(&keep);
+    truncate(buf, keep.len());
+    removed
+}
+
+fn truncate(buf: &mut ParticleBuf, len: usize) {
+    buf.x.truncate(len);
+    buf.y.truncate(len);
+    buf.z.truncate(len);
+    buf.ux.truncate(len);
+    buf.uy.truncate(len);
+    buf.uz.truncate(len);
+    buf.w.truncate(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> GridGeom {
+        GridGeom {
+            dx: [1.0; 3],
+            x0: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn split_conserves_weight_and_center() {
+        let g = geom();
+        let mut b = ParticleBuf::default();
+        b.push(2.5, 0.5, 3.5, 1.0e7, 0.0, -2.0e7, 8.0);
+        b.push(10.5, 0.5, 3.5, 0.0, 0.0, 0.0, 4.0); // outside region
+        let created =
+            split_in_region(&mut b, Dim::Two, &g, [0.0, 0.0, 0.0], [5.0, 1.0, 5.0], 0.25);
+        assert_eq!(created, 3);
+        assert_eq!(b.len(), 5);
+        let w: f64 = b.w.iter().sum();
+        assert!((w - 12.0).abs() < 1e-12);
+        // Center of the 4 children = original position.
+        let cx: f64 = (0..5)
+            .filter(|&i| b.x[i] < 5.0)
+            .map(|i| b.x[i] * b.w[i])
+            .sum::<f64>()
+            / 8.0;
+        assert!((cx - 2.5).abs() < 1e-12);
+        // Momentum copied.
+        assert!(b.ux.iter().filter(|&&u| u == 1.0e7).count() == 4);
+    }
+
+    #[test]
+    fn merge_respects_cap_and_charge() {
+        let g = geom();
+        let mut b = ParticleBuf::default();
+        for i in 0..10 {
+            b.push(
+                0.1 + 0.05 * i as f64,
+                0.5,
+                0.5,
+                1.0e6 * i as f64,
+                0.0,
+                0.0,
+                1.0 + i as f64,
+            );
+        }
+        let w0 = b.total_weight();
+        let px0: f64 = (0..10).map(|i| b.w[i] * b.ux[i]).sum();
+        let removed = merge_by_cell(&mut b, &g, 3);
+        assert_eq!(removed, 7);
+        assert_eq!(b.len(), 3);
+        assert!((b.total_weight() - w0).abs() < 1e-9);
+        let px1: f64 = (0..3).map(|i| b.w[i] * b.ux[i]).sum();
+        assert!((px1 - px0).abs() < 1e-3 * px0.abs());
+    }
+
+    #[test]
+    fn merge_leaves_sparse_cells_alone() {
+        let g = geom();
+        let mut b = ParticleBuf::default();
+        b.push(0.5, 0.5, 0.5, 0.0, 0.0, 0.0, 1.0);
+        b.push(5.5, 0.5, 0.5, 0.0, 0.0, 0.0, 1.0);
+        assert_eq!(merge_by_cell(&mut b, &g, 2), 0);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,1078 @@
+//! The simulation driver: the full PIC cycle of the paper's Fig. 3.
+//!
+//! Each step: gather fields onto particles → push momenta (Boris/Vay)
+//! and positions (leapfrog) → deposit currents (Esirkepov) → exchange
+//! guard sums → advance Maxwell (B half / E / B half, PML-terminated) →
+//! redistribute particles → advance the moving window. With mesh
+//! refinement enabled, particles inside the patch deposit to the fine
+//! grid (restricted onto the coarse patch and the parent) and gather
+//! from the auxiliary grid, per §V-B of the paper.
+
+use crate::balance::CostTracker;
+use crate::laser::LaserAntenna;
+use crate::mr::{MrConfig, MrLevel};
+use crate::particles::ParticleContainer;
+use crate::species::{inject, Species};
+use mrpic_amr::{BoxArray, DistributionMapping, IndexBox, IntVect, Periodicity, Strategy};
+use mrpic_field::cfl::dt_at;
+use mrpic_field::fieldset::{Dim, FieldSet, GridGeom};
+use mrpic_field::pml::Pml;
+use mrpic_field::yee;
+use mrpic_kernels::deposit::{esirkepov2, esirkepov2_blocked, esirkepov3, esirkepov3_blocked, JViews};
+use mrpic_kernels::gather::{gather2, gather2_blocked, gather3, gather3_blocked, EmOut};
+use mrpic_kernels::push::{gamma_of_u, push_momentum, push_position, push_position2};
+use mrpic_kernels::shape::{Cubic, Linear, Quadratic};
+use serde::{Deserialize, Serialize};
+
+/// Runtime-selected particle shape order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShapeOrder {
+    Linear,
+    Quadratic,
+    Cubic,
+}
+
+impl ShapeOrder {
+    pub fn order(self) -> usize {
+        match self {
+            ShapeOrder::Linear => 1,
+            ShapeOrder::Quadratic => 2,
+            ShapeOrder::Cubic => 3,
+        }
+    }
+
+    /// Guard cells needed by gather + Esirkepov deposition.
+    pub fn ngrow(self) -> i64 {
+        self.order() as i64 + 2
+    }
+}
+
+/// Dispatch a generic-shape kernel call on a runtime order.
+macro_rules! with_shape {
+    ($order:expr, $S:ident, $body:expr) => {
+        match $order {
+            ShapeOrder::Linear => {
+                type $S = Linear;
+                $body
+            }
+            ShapeOrder::Quadratic => {
+                type $S = Quadratic;
+                $body
+            }
+            ShapeOrder::Cubic => {
+                type $S = Cubic;
+                $body
+            }
+        }
+    };
+}
+
+/// Moving-window configuration: the grid follows the laser at c along +x
+/// starting at `start_time` (paper Table I capability (b)).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MovingWindow {
+    pub start_time: f64,
+    /// Fractional cells accumulated toward the next shift.
+    pub accum: f64,
+    /// Inject fresh plasma in the strip exposed at the leading edge.
+    pub inject_at_front: bool,
+}
+
+/// Periodic dynamic load balancing settings.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LoadBalanceCfg {
+    pub interval: u64,
+    pub strategy: Strategy,
+    pub min_gain: f64,
+    pub nranks: usize,
+}
+
+/// Per-step accounting.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StepStats {
+    pub pushed: usize,
+    pub deleted: usize,
+    pub window_shifts: u64,
+    pub rebalances: u64,
+    /// Wall seconds in particle kernels this step.
+    pub particle_seconds: f64,
+    /// Wall seconds in the field solve this step.
+    pub field_seconds: f64,
+}
+
+/// Workspace buffers reused across boxes/steps.
+#[derive(Default)]
+struct Scratch {
+    ex: Vec<f64>,
+    ey: Vec<f64>,
+    ez: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    bz: Vec<f64>,
+    x0: Vec<f64>,
+    y0: Vec<f64>,
+    z0: Vec<f64>,
+    vy: Vec<f64>,
+}
+
+impl Scratch {
+    fn ensure(&mut self, n: usize) {
+        for v in [
+            &mut self.ex, &mut self.ey, &mut self.ez,
+            &mut self.bx, &mut self.by, &mut self.bz,
+            &mut self.x0, &mut self.y0, &mut self.z0, &mut self.vy,
+        ] {
+            v.resize(n.max(v.len()), 0.0);
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+pub struct SimulationBuilder {
+    dim: Dim,
+    cells: IntVect,
+    dx: [f64; 3],
+    x0: [f64; 3],
+    periodic: [bool; 3],
+    cfl: f64,
+    order: ShapeOrder,
+    npml: Option<i64>,
+    max_box: Option<IntVect>,
+    window: Option<MovingWindow>,
+    lb: Option<LoadBalanceCfg>,
+    species: Vec<Species>,
+    lasers: Vec<LaserAntenna>,
+    sort_interval: u64,
+    seed: u64,
+    filter_passes: usize,
+    use_optimized_kernels: bool,
+}
+
+impl SimulationBuilder {
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            dim,
+            cells: IntVect::new(64, 1, 64),
+            dx: [1.0e-6; 3],
+            x0: [0.0; 3],
+            periodic: [false; 3],
+            cfl: 0.7,
+            order: ShapeOrder::Quadratic,
+            npml: None,
+            max_box: None,
+            window: None,
+            lb: None,
+            species: Vec::new(),
+            lasers: Vec::new(),
+            sort_interval: 50,
+            seed: 20220101,
+            filter_passes: 0,
+            use_optimized_kernels: false,
+        }
+    }
+
+    pub fn domain(mut self, cells: IntVect, dx: [f64; 3], x0: [f64; 3]) -> Self {
+        if self.dim == Dim::Two {
+            assert_eq!(cells.y, 1, "2-D runs use a single y cell");
+        }
+        self.cells = cells;
+        self.dx = dx;
+        self.x0 = x0;
+        self
+    }
+
+    pub fn periodic(mut self, p: [bool; 3]) -> Self {
+        self.periodic = p;
+        self
+    }
+
+    pub fn cfl(mut self, cfl: f64) -> Self {
+        self.cfl = cfl;
+        self
+    }
+
+    pub fn order(mut self, o: ShapeOrder) -> Self {
+        self.order = o;
+        self
+    }
+
+    pub fn pml(mut self, npml: i64) -> Self {
+        self.npml = Some(npml);
+        self
+    }
+
+    pub fn max_box(mut self, mb: IntVect) -> Self {
+        self.max_box = Some(mb);
+        self
+    }
+
+    pub fn moving_window(mut self, start_time: f64) -> Self {
+        self.window = Some(MovingWindow {
+            start_time,
+            accum: 0.0,
+            inject_at_front: true,
+        });
+        self
+    }
+
+    pub fn load_balance(mut self, cfg: LoadBalanceCfg) -> Self {
+        self.lb = Some(cfg);
+        self
+    }
+
+    pub fn add_species(mut self, sp: Species) -> Self {
+        self.species.push(sp);
+        self
+    }
+
+    pub fn add_laser(mut self, l: LaserAntenna) -> Self {
+        self.lasers.push(l);
+        self
+    }
+
+    pub fn sort_interval(mut self, n: u64) -> Self {
+        self.sort_interval = n;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Binomial current-smoothing passes per step (0 = off).
+    pub fn filter_passes(mut self, n: usize) -> Self {
+        self.filter_passes = n;
+        self
+    }
+
+    /// Use the restructured (paper sec. V-A.1) gather/deposition kernels.
+    pub fn optimized_kernels(mut self, on: bool) -> Self {
+        self.use_optimized_kernels = on;
+        self
+    }
+
+    /// Allocate fields, inject initial plasma, compute dt.
+    pub fn build(self) -> Simulation {
+        let domain = IndexBox::from_size(self.cells);
+        let ba = match self.max_box {
+            Some(mb) => BoxArray::chop(domain, mb),
+            None => BoxArray::single(domain),
+        };
+        let geom = GridGeom {
+            dx: self.dx,
+            x0: self.x0,
+        };
+        let period = Periodicity::new(domain, self.periodic);
+        let ngrow = self.order.ngrow();
+        let fs = FieldSet::new(self.dim, ba.clone(), geom, period, ngrow);
+        let pml = self.npml.map(|n| {
+            Pml::new(self.dim, domain, geom, self.periodic, n)
+        });
+        let dt = dt_at(self.dim, &self.dx, self.cfl);
+        let mut parts = Vec::new();
+        for (si, sp) in self.species.iter().enumerate() {
+            let mut pc = ParticleContainer::new(ba.len());
+            inject(
+                sp,
+                self.dim,
+                &geom,
+                &ba,
+                &domain,
+                &mut pc,
+                self.seed ^ (si as u64),
+            );
+            parts.push(pc);
+        }
+        let nranks = self.lb.map(|l| l.nranks).unwrap_or(1);
+        let dm = DistributionMapping::build(&ba, nranks, Strategy::SpaceFillingCurve, &[]);
+        let nboxes = ba.len();
+        Simulation {
+            dim: self.dim,
+            order: self.order,
+            cfl: self.cfl,
+            fs,
+            pml,
+            mr: None,
+            species: self.species,
+            parts,
+            lasers: self.lasers,
+            window: self.window,
+            lb: self.lb,
+            dm,
+            cost: CostTracker::new(nboxes),
+            dt,
+            time: 0.0,
+            istep: 0,
+            sort_interval: self.sort_interval,
+            seed: self.seed,
+            filter_passes: self.filter_passes,
+            use_optimized_kernels: self.use_optimized_kernels,
+            scratch: Scratch::default(),
+            stats: StepStats::default(),
+        }
+    }
+}
+
+/// A running PIC simulation.
+pub struct Simulation {
+    pub dim: Dim,
+    pub order: ShapeOrder,
+    pub cfl: f64,
+    pub fs: FieldSet,
+    pub pml: Option<Pml>,
+    pub mr: Option<MrLevel>,
+    pub species: Vec<Species>,
+    pub parts: Vec<ParticleContainer>,
+    pub lasers: Vec<LaserAntenna>,
+    pub window: Option<MovingWindow>,
+    pub lb: Option<LoadBalanceCfg>,
+    pub dm: DistributionMapping,
+    pub cost: CostTracker,
+    pub dt: f64,
+    pub time: f64,
+    pub istep: u64,
+    pub sort_interval: u64,
+    pub seed: u64,
+    /// Binomial current-filter passes per step.
+    pub filter_passes: usize,
+    /// Use the restructured gather/deposition kernels.
+    pub use_optimized_kernels: bool,
+    scratch: Scratch,
+    pub stats: StepStats,
+}
+
+impl Simulation {
+    /// Attach a mesh-refinement patch (before the first step).
+    ///
+    /// Without subcycling every level advances at the *fine* Courant
+    /// step. With `cfg.subcycle` the parent keeps the coarse step while
+    /// the patch grids take `rr` sub-steps — the particle displacement
+    /// per step must then stay below one *fine* cell for the Esirkepov
+    /// window, which bounds the usable Courant fraction.
+    /// Patches may also be added *dynamically* at any step boundary: the
+    /// parent always holds the complete coarse solution, and the fresh
+    /// fine/coarse grids start at zero — by the linearity construction
+    /// all pre-existing field content is attributed to "exterior"
+    /// sources, which is exactly consistent.
+    pub fn add_mr_patch(&mut self, cfg: MrConfig) {
+        assert!(self.mr.is_none(), "one refinement patch at a time");
+        let lvl = MrLevel::new(&self.fs, cfg, self.order.ngrow());
+        if cfg.subcycle {
+            // c dt < dx_fine = dx/rr requires cfl < sqrt(d)/rr.
+            let d = self.dim.axes().len() as f64;
+            let max_cfl = d.sqrt() / cfg.rr as f64;
+            assert!(
+                self.cfl < max_cfl,
+                "subcycling at rr = {} needs cfl < {max_cfl:.3}                  (particle moves must stay below one fine cell)",
+                cfg.rr
+            );
+            self.dt = dt_at(self.dim, &self.fs.geom.dx, self.cfl);
+        } else {
+            self.dt = dt_at(self.dim, &lvl.fine.geom.dx, self.cfl);
+        }
+        self.mr = Some(lvl);
+    }
+
+    /// Remove the refinement patch (the parent holds the complete coarse
+    /// solution, so this is safe at any step boundary). Restores the
+    /// coarse-grid time step.
+    pub fn remove_mr_patch(&mut self) {
+        if self.mr.take().is_some() {
+            self.dt = dt_at(self.dim, &self.fs.geom.dx, self.cfl);
+        }
+    }
+
+    /// Total macroparticles.
+    pub fn total_particles(&self) -> usize {
+        self.parts.iter().map(|p| p.total()).sum()
+    }
+
+    /// Total cells including MR patch cells (for FOM-style accounting).
+    pub fn total_cells(&self) -> i64 {
+        let base = self.fs.boxarray().total_cells();
+        match &self.mr {
+            Some(lvl) => {
+                base + lvl.fine.boxarray().total_cells() + lvl.coarse.boxarray().total_cells()
+            }
+            None => base,
+        }
+    }
+
+    /// Advance one full PIC step.
+    pub fn step(&mut self) -> StepStats {
+        let mut stats = StepStats::default();
+        let dt = self.dt;
+        let t_part = std::time::Instant::now();
+
+        // Periodic locality sort.
+        if self.sort_interval > 0 && self.istep.is_multiple_of(self.sort_interval) && self.istep > 0 {
+            let geom = self.fs.geom;
+            for pc in &mut self.parts {
+                for buf in &mut pc.bufs {
+                    buf.sort_by_cell(&geom);
+                }
+            }
+        }
+
+        // 1. Zero currents.
+        self.fs.zero_j();
+        if let Some(mr) = &mut self.mr {
+            mr.zero_j();
+        }
+
+        // 2. Particle loop: gather, push, deposit.
+        let mut box_seconds = vec![0.0f64; self.fs.nfabs()];
+        let nspecies = self.species.len();
+        for si in 0..nspecies {
+            stats.pushed += self.advance_species(si, dt, &mut box_seconds);
+        }
+
+        // 3. Current exchanges, smoothing and MR coupling.
+        self.fs.sum_j_boundaries();
+        if self.filter_passes > 0 {
+            mrpic_field::filter::filter_current(&mut self.fs, self.filter_passes);
+        }
+        if let Some(mr) = &mut self.mr {
+            let margin = crate::mr::restriction_margin(self.order.order(), mr.cfg.rr);
+            mr.couple_currents(&mut self.fs, margin);
+        }
+
+        // 4. Laser antennas (time-centered with J at n + 1/2).
+        let t_half = self.time + 0.5 * dt;
+        let lasers = std::mem::take(&mut self.lasers);
+        for l in &lasers {
+            if l.active(&self.fs) {
+                l.deposit(&mut self.fs, t_half);
+            }
+        }
+        self.lasers = lasers;
+        stats.particle_seconds = t_part.elapsed().as_secs_f64();
+
+        // 5. Field advance (B half / E / B half) with PML exchanges.
+        let t_field = std::time::Instant::now();
+        self.advance_fields(dt);
+        if let Some(mr) = &mut self.mr {
+            mr.advance_fields(dt);
+            mr.build_aux(&self.fs);
+        }
+        stats.field_seconds = t_field.elapsed().as_secs_f64();
+
+        // 6. Particle redistribution.
+        let geom = self.fs.geom;
+        let period = self.fs.period;
+        let ba = self.fs.boxarray().clone();
+        for pc in &mut self.parts {
+            stats.deleted += pc.redistribute(&ba, &geom, &period);
+        }
+
+        // 7. Moving window.
+        self.time += dt;
+        self.istep += 1;
+        if let Some(mut win) = self.window {
+            if self.time >= win.start_time {
+                win.accum += mrpic_kernels::constants::C * dt / self.fs.geom.dx[0];
+                while win.accum >= 1.0 {
+                    win.accum -= 1.0;
+                    self.shift_window_once(win.inject_at_front);
+                    stats.window_shifts += 1;
+                }
+            }
+            self.window = Some(win);
+        }
+
+        // 8. Cost tracking & dynamic load balancing bookkeeping.
+        self.cost.record(&box_seconds.iter().map(|s| s.max(1e-9)).collect::<Vec<_>>());
+        if let Some(lb) = self.lb {
+            if lb.interval > 0 && self.istep.is_multiple_of(lb.interval) {
+                let d = crate::balance::rebalance(
+                    &ba,
+                    &self.dm,
+                    &self.cost,
+                    lb.strategy,
+                    lb.min_gain,
+                );
+                if d.adopted {
+                    stats.rebalances += 1;
+                }
+                self.dm = d.mapping;
+            }
+        }
+
+        self.stats = stats;
+        stats
+    }
+
+    /// Gather/push/deposit for one species over all boxes.
+    fn advance_species(&mut self, si: usize, dt: f64, box_seconds: &mut [f64]) -> usize {
+        let dim = self.dim;
+        let order = self.order;
+        let sp_charge = self.species[si].charge;
+        let sp_mass = self.species[si].mass;
+        let pusher = self.species[si].pusher;
+        let qmdt2 = sp_charge * dt / (2.0 * sp_mass);
+        let geom = self.fs.geom.kernel_geom();
+        let mut pushed = 0;
+        // MR routing regions in physical coordinates.
+        let mr_regions = self.mr.as_ref().map(|mr| {
+            (
+                mr.patch_phys(&self.fs.geom),
+                mr.gather_phys(&self.fs.geom),
+            )
+        });
+        let nboxes = self.fs.nfabs();
+        for bi in 0..nboxes {
+            let n = self.parts[si].bufs[bi].len();
+            if n == 0 {
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            pushed += n;
+            self.scratch.ensure(n);
+            // Partition for MR routing: [aux-gather | transition | outside].
+            let (c_aux, c_fine) = match &mr_regions {
+                Some(((plo, phi), (glo, ghi))) => {
+                    let (plo, phi, glo, ghi) = (*plo, *phi, *glo, *ghi);
+                    let in_patch = move |x: f64, y: f64, z: f64| {
+                        x >= plo[0]
+                            && x < phi[0]
+                            && (dim == Dim::Two || (y >= plo[1] && y < phi[1]))
+                            && z >= plo[2]
+                            && z < phi[2]
+                    };
+                    let in_gather = move |x: f64, y: f64, z: f64| {
+                        x >= glo[0]
+                            && x < ghi[0]
+                            && (dim == Dim::Two || (y >= glo[1] && y < ghi[1]))
+                            && z >= glo[2]
+                            && z < ghi[2]
+                    };
+                    self.parts[si].bufs[bi].partition3(in_patch, in_gather)
+                }
+                None => (0, 0),
+            };
+            let buf = &mut self.parts[si].bufs[bi];
+            let sc = &mut self.scratch;
+            // Gather: [0..c_aux) from the MR aux grid, rest from parent.
+            {
+                let mut out_aux = EmOut {
+                    ex: &mut sc.ex[..c_aux],
+                    ey: &mut sc.ey[..c_aux],
+                    ez: &mut sc.ez[..c_aux],
+                    bx: &mut sc.bx[..c_aux],
+                    by: &mut sc.by[..c_aux],
+                    bz: &mut sc.bz[..c_aux],
+                };
+                if c_aux > 0 {
+                    let mr = self.mr.as_ref().expect("partitioned => MR present");
+                    let views = mr.aux.em_views(0);
+                    let aux_geom = mr.aux.geom.kernel_geom();
+                    with_shape!(order, S, match dim {
+                        Dim::Three => gather3::<S, f64>(
+                            &buf.x[..c_aux], &buf.y[..c_aux], &buf.z[..c_aux],
+                            &aux_geom, &views, &mut out_aux,
+                        ),
+                        Dim::Two => gather2::<S, f64>(
+                            &buf.x[..c_aux], &buf.z[..c_aux],
+                            &aux_geom, &views, &mut out_aux,
+                        ),
+                    });
+                }
+            }
+            if c_aux < n {
+                let views = self.fs.em_views(bi);
+                let mut out = EmOut {
+                    ex: &mut sc.ex[c_aux..n],
+                    ey: &mut sc.ey[c_aux..n],
+                    ez: &mut sc.ez[c_aux..n],
+                    bx: &mut sc.bx[c_aux..n],
+                    by: &mut sc.by[c_aux..n],
+                    bz: &mut sc.bz[c_aux..n],
+                };
+                let optimized = self.use_optimized_kernels;
+                with_shape!(order, S, match dim {
+                    Dim::Three if optimized => gather3_blocked::<S, f64>(
+                        &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
+                        &geom, &views, &mut out,
+                    ),
+                    Dim::Three => gather3::<S, f64>(
+                        &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
+                        &geom, &views, &mut out,
+                    ),
+                    Dim::Two if optimized => gather2_blocked::<S, f64>(
+                        &buf.x[c_aux..n], &buf.z[c_aux..n],
+                        &geom, &views, &mut out,
+                    ),
+                    Dim::Two => gather2::<S, f64>(
+                        &buf.x[c_aux..n], &buf.z[c_aux..n],
+                        &geom, &views, &mut out,
+                    ),
+                });
+            }
+            // Momentum push.
+            push_momentum(
+                pusher,
+                &mut buf.ux[..n], &mut buf.uy[..n], &mut buf.uz[..n],
+                &sc.ex[..n], &sc.ey[..n], &sc.ez[..n],
+                &sc.bx[..n], &sc.by[..n], &sc.bz[..n],
+                qmdt2,
+            );
+            // Save old positions, compute vy at the half step, push x.
+            sc.x0[..n].copy_from_slice(&buf.x[..n]);
+            sc.y0[..n].copy_from_slice(&buf.y[..n]);
+            sc.z0[..n].copy_from_slice(&buf.z[..n]);
+            for p in 0..n {
+                sc.vy[p] = buf.uy[p] / gamma_of_u(buf.ux[p], buf.uy[p], buf.uz[p]);
+            }
+            match dim {
+                Dim::Three => push_position(
+                    &mut buf.x[..n], &mut buf.y[..n], &mut buf.z[..n],
+                    &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                ),
+                Dim::Two => push_position2(
+                    &mut buf.x[..n], &mut buf.z[..n],
+                    &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                ),
+            }
+            // Deposit: [0..c_fine) to the fine patch, rest to the parent.
+            let optimized = self.use_optimized_kernels;
+            if c_fine > 0 {
+                let mr = self.mr.as_mut().expect("partitioned => MR present");
+                let fine_geom = mr.fine.geom.kernel_geom();
+                let mut jv = mr.fine.j_views_mut(0);
+                Self::deposit_slice(
+                    dim, order, optimized, buf, sc, 0, c_fine, sp_charge, dt, &fine_geom,
+                    &mut jv,
+                );
+            }
+            if c_fine < n {
+                let mut jv = self.fs.j_views_mut(bi);
+                Self::deposit_slice(
+                    dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom, &mut jv,
+                );
+            }
+            box_seconds[bi] += t0.elapsed().as_secs_f64();
+        }
+        pushed
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deposit_slice(
+        dim: Dim,
+        order: ShapeOrder,
+        optimized: bool,
+        buf: &crate::particles::ParticleBuf,
+        sc: &Scratch,
+        lo: usize,
+        hi: usize,
+        charge: f64,
+        dt: f64,
+        geom: &mrpic_kernels::view::Geom,
+        jv: &mut JViews<'_, f64>,
+    ) {
+        with_shape!(order, S, match dim {
+            Dim::Three if optimized => esirkepov3_blocked::<S, f64>(
+                &sc.x0[lo..hi], &sc.y0[lo..hi], &sc.z0[lo..hi],
+                &buf.x[lo..hi], &buf.y[lo..hi], &buf.z[lo..hi],
+                &buf.w[lo..hi], charge, dt, geom, jv,
+            ),
+            Dim::Three => esirkepov3::<S, f64>(
+                &sc.x0[lo..hi], &sc.y0[lo..hi], &sc.z0[lo..hi],
+                &buf.x[lo..hi], &buf.y[lo..hi], &buf.z[lo..hi],
+                &buf.w[lo..hi], charge, dt, geom, jv,
+            ),
+            Dim::Two if optimized => esirkepov2_blocked::<S, f64>(
+                &sc.x0[lo..hi], &sc.z0[lo..hi],
+                &buf.x[lo..hi], &buf.z[lo..hi],
+                &sc.vy[lo..hi], &buf.w[lo..hi], charge, dt, geom, jv,
+            ),
+            Dim::Two => esirkepov2::<S, f64>(
+                &sc.x0[lo..hi], &sc.z0[lo..hi],
+                &buf.x[lo..hi], &buf.z[lo..hi],
+                &sc.vy[lo..hi], &buf.w[lo..hi], charge, dt, geom, jv,
+            ),
+        });
+    }
+
+    /// Full leapfrog field advance with PML interface exchanges.
+    fn advance_fields(&mut self, dt: f64) {
+        let fs = &mut self.fs;
+        fs.fill_e_boundaries();
+        if let Some(pml) = &mut self.pml {
+            pml.exchange_e(fs);
+        }
+        yee::advance_b(fs, 0.5 * dt);
+        if let Some(pml) = &mut self.pml {
+            pml.advance_b(0.5 * dt);
+        }
+        fs.fill_b_boundaries();
+        if let Some(pml) = &mut self.pml {
+            pml.exchange_b(fs);
+        }
+        yee::advance_e(fs, dt);
+        if let Some(pml) = &mut self.pml {
+            pml.advance_e(dt);
+        }
+        fs.fill_e_boundaries();
+        if let Some(pml) = &mut self.pml {
+            pml.exchange_e(fs);
+        }
+        yee::advance_b(fs, 0.5 * dt);
+        if let Some(pml) = &mut self.pml {
+            pml.advance_b(0.5 * dt);
+        }
+        fs.fill_b_boundaries();
+        if let Some(pml) = &mut self.pml {
+            pml.exchange_b(fs);
+        }
+    }
+
+    /// Shift the window by one cell along +x.
+    fn shift_window_once(&mut self, inject_front: bool) {
+        let shift = IntVect::new(1, 0, 0);
+        self.fs.shift_window(shift);
+        if let Some(pml) = &mut self.pml {
+            pml.shift_window(shift);
+        }
+        if let Some(mr) = &mut self.mr {
+            mr.shift_window(shift);
+        }
+        self.fs.geom.x0[0] += self.fs.geom.dx[0];
+        // Drop particles that fell off the trailing edge, re-own the rest.
+        let geom = self.fs.geom;
+        let period = self.fs.period;
+        let ba = self.fs.boxarray().clone();
+        let cut = geom.node(0, self.fs.domain().lo.x);
+        for pc in &mut self.parts {
+            pc.drop_behind(cut);
+            pc.redistribute(&ba, &geom, &period);
+        }
+        // Inject fresh plasma in the newly exposed leading strip.
+        if inject_front {
+            let dom = self.fs.domain();
+            let strip = IndexBox::new(
+                IntVect::new(dom.hi.x - 1, dom.lo.y, dom.lo.z),
+                dom.hi,
+            );
+            for (si, sp) in self.species.iter().enumerate() {
+                inject(
+                    sp,
+                    self.dim,
+                    &geom,
+                    &ba,
+                    &strip,
+                    &mut self.parts[si],
+                    self.seed ^ (si as u64) ^ self.istep.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+            }
+        }
+    }
+
+    /// Field + particle energy (diagnostics).
+    pub fn total_energy(&self) -> (f64, f64) {
+        let fe = mrpic_field::energy::field_energy(&self.fs);
+        let mut ke = 0.0;
+        for (si, pc) in self.parts.iter().enumerate() {
+            let m = self.species[si].mass;
+            for buf in &pc.bufs {
+                for i in 0..buf.len() {
+                    ke += buf.w[i]
+                        * crate::diag::kinetic_energy(m, buf.ux[i], buf.uy[i], buf.uz[i]);
+                }
+            }
+        }
+        (fe, ke)
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use mrpic_kernels::constants::{plasma_frequency, C, EPS0, M_E, Q_E};
+
+    /// Cold plasma oscillation: displace all electrons slightly and watch
+    /// the current oscillate at the plasma frequency.
+    #[test]
+    fn plasma_oscillation_frequency() {
+        let n0 = 1.0e25;
+        let wp = plasma_frequency(n0);
+        let dx = 0.5e-6;
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(32, 1, 8), [dx; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Quadratic)
+            .cfl(0.5)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0 }, [2, 1, 2])
+                    .with_drift([1.0e6, 0.0, 0.0]),
+            )
+            .build();
+        // Track Ex at a probe: should oscillate at wp.
+        let mut exs: Vec<f64> = Vec::new();
+        let steps = (2.5 * 2.0 * std::f64::consts::PI / wp / sim.dt) as usize;
+        for _ in 0..steps {
+            sim.step();
+            exs.push(sim.fs.e[0].at(0, IntVect::new(16, 0, 4)));
+        }
+        // The oscillation is (1 - cos)-like: detect upward crossings of
+        // the mean value.
+        let mean: f64 = exs.iter().sum::<f64>() / exs.len() as f64;
+        let mut crossings = Vec::new();
+        for i in 1..exs.len() {
+            if exs[i - 1] < mean && exs[i] >= mean {
+                crossings.push(i as f64);
+            }
+        }
+        assert!(crossings.len() >= 2, "no oscillation seen");
+        let period_steps = (crossings.last().unwrap() - crossings[0])
+            / (crossings.len() - 1) as f64;
+        let wp_meas = 2.0 * std::f64::consts::PI / (period_steps * sim.dt);
+        assert!(
+            (wp_meas / wp - 1.0).abs() < 0.05,
+            "measured wp {wp_meas:e} vs {wp:e}"
+        );
+    }
+
+    /// A uniform drifting plasma is force-free (current is uniform): the
+    /// total energy must stay nearly constant.
+    #[test]
+    fn uniform_plasma_energy_conservation() {
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(16, 1, 16), [1.0e-6; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Cubic)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [2, 1, 2])
+                    .with_thermal([1.0e7; 3]),
+            )
+            .build();
+        let (fe0, ke0) = sim.total_energy();
+        sim.run(100);
+        let (fe1, ke1) = sim.total_energy();
+        let tot0 = fe0 + ke0;
+        let tot1 = fe1 + ke1;
+        assert!(
+            (tot1 - tot0).abs() < 0.02 * tot0,
+            "energy drift {tot0:e} -> {tot1:e}"
+        );
+    }
+
+    /// Gauss's law is preserved by the Esirkepov + Yee combination:
+    /// div E - rho/eps0 stays at its initial value to near machine
+    /// precision.
+    #[test]
+    fn gauss_law_preservation() {
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(16, 1, 16), [1.0e-6; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Quadratic)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [2, 1, 1])
+                    .with_thermal([3.0e7, 3.0e7, 3.0e7]),
+            )
+            .seed(5)
+            .build();
+        let gauss_residual = |sim: &Simulation| -> f64 {
+            // rho from particles with the same quadratic shape.
+            let dom = sim.fs.domain();
+            let geom = sim.fs.geom;
+            let n = dom.size();
+            // Margin absorbs deposition clouds of the periodic images
+            // (each image is a full domain length away).
+            let m = n.x.max(n.z) + 5;
+            let (mx, mz) = (n.x + 1 + 2 * m, n.z + 1 + 2 * m);
+            let npts = (mx * mz) as usize;
+            let mut rho = vec![0.0; npts];
+            {
+                let mut view = mrpic_kernels::view::FieldViewMut {
+                    data: &mut rho,
+                    lo: [-m, 0, -m],
+                    nx: mx,
+                    // Single y plane: the z stride equals the x row.
+                    nxy: mx,
+                    half: [false; 3],
+                };
+                // Wrap periodic images by depositing each particle at
+                // its wrapped plus shifted copies near the edges.
+                let kg = geom.kernel_geom();
+                for buf in &sim.parts[0].bufs {
+                    for img_x in [-1.0, 0.0, 1.0] {
+                        for img_z in [-1.0, 0.0, 1.0] {
+                            let lx = n.x as f64 * geom.dx[0];
+                            let lz = n.z as f64 * geom.dx[2];
+                            let xs: Vec<f64> =
+                                buf.x.iter().map(|v| v + img_x * lx).collect();
+                            let zs: Vec<f64> =
+                                buf.z.iter().map(|v| v + img_z * lz).collect();
+                            mrpic_kernels::deposit::deposit_rho2::<Quadratic, f64>(
+                                &xs, &zs, &buf.w, -Q_E, &kg, &mut view,
+                            );
+                        }
+                    }
+                }
+            }
+            // div E at interior nodes minus rho/eps0 (2-D: x and z).
+            let mut max_resid = 0.0f64;
+            for k in 1..n.z {
+                for i in 1..n.x {
+                    let p = IntVect::new(i, 0, k);
+                    let dive = (sim.fs.e[0].at(0, p)
+                        - sim.fs.e[0].at(0, IntVect::new(i - 1, 0, k)))
+                        / geom.dx[0]
+                        + (sim.fs.e[2].at(0, p)
+                            - sim.fs.e[2].at(0, IntVect::new(i, 0, k - 1)))
+                            / geom.dx[2];
+                    let r = rho[((k + m) * mx + (i + m)) as usize];
+                    max_resid = max_resid.max((dive - r / EPS0).abs());
+                }
+            }
+            max_resid
+        };
+        let r0 = gauss_residual(&sim);
+        sim.run(25);
+        let r1 = gauss_residual(&sim);
+        // Scale: typical rho/eps0 magnitude.
+        let scale = 1.0e24 * Q_E / EPS0 * 1.0e-6; // n q dx / eps0 ~ div E scale
+        assert!(
+            (r1 - r0).abs() < 1e-6 * scale,
+            "Gauss residual drifted: {r0:e} -> {r1:e} (scale {scale:e})"
+        );
+    }
+
+    /// The moving window keeps a vacuum laser pulse inside the domain.
+    #[test]
+    fn moving_window_follows_pulse() {
+        let dx = 0.1e-6;
+        // The window must start only after the pulse has detached from
+        // the (lab-fixed) antenna: a window moving at c from t = 0 would
+        // outrun light emitted at a fixed plane.
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(128, 1, 8), [dx; 3], [0.0; 3])
+            .periodic([false, false, true])
+            .pml(8)
+            .cfl(0.7)
+            .moving_window(18.0e-15)
+            .add_laser(crate::laser::antenna_for_a0(
+                0.5, 0.8e-6, 5.0e-15, 16.0 * dx, 0.0, f64::INFINITY,
+            ))
+            .build();
+        sim.lasers[0].t_peak = 8.0e-15;
+        let steps = 400;
+        for _ in 0..steps {
+            sim.step();
+        }
+        // After many shifts the pulse must still be in the window with
+        // its peak amplitude roughly preserved.
+        assert!(sim.fs.geom.x0[0] > 10.0 * dx, "window never moved");
+        let peak = sim.fs.e[1].max_abs(0);
+        let e0 = sim.lasers[0].e0;
+        assert!(peak > 0.6 * e0, "pulse lost by the window: {peak:e} vs {e0:e}");
+    }
+
+    /// Relativistic beam in vacuum: ballistic motion across the domain.
+    #[test]
+    fn ballistic_beam_in_vacuum() {
+        let mut sim = SimulationBuilder::new(Dim::Three)
+            .domain(IntVect::new(24, 8, 8), [1.0e-6; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Linear)
+            .build();
+        // One macroparticle, gamma ~ 10 along x.
+        let g: f64 = 10.0;
+        let u = C * (g * g - 1.0).sqrt();
+        sim.parts = vec![ParticleContainer::new(sim.fs.nfabs())];
+        sim.species = vec![Species::electrons(
+            "beam",
+            Profile::Uniform { n0: 0.0 },
+            [1, 1, 1],
+        )];
+        sim.parts[0].bufs[0].push(2.5e-6, 4.5e-6, 4.5e-6, u, 0.0, 0.0, 1.0);
+        let x_start = 2.5e-6;
+        let steps = 40;
+        for _ in 0..steps {
+            sim.step();
+        }
+        let v = u / g;
+        let expect = x_start + v * sim.dt * steps as f64;
+        let l = 24.0e-6;
+        let expect_wrapped = expect - l * ((expect / l).floor());
+        // Find the particle.
+        let mut found = None;
+        for buf in &sim.parts[0].bufs {
+            if buf.len() == 1 {
+                found = Some(buf.x[0]);
+            }
+        }
+        let x = found.expect("particle lost");
+        assert!(
+            (x - expect_wrapped).abs() < 1e-2 * l,
+            "x = {x:e}, expect {expect_wrapped:e}"
+        );
+        assert_eq!(sim.total_particles(), 1);
+    }
+
+    #[test]
+    fn step_stats_populated() {
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(16, 1, 16), [1.0e-6; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .add_species(Species::electrons(
+                "e",
+                Profile::Uniform { n0: 1.0e24 },
+                [1, 1, 1],
+            ))
+            .build();
+        let st = sim.step();
+        assert_eq!(st.pushed, 16 * 16);
+        assert!(st.particle_seconds > 0.0);
+        assert!(st.field_seconds > 0.0);
+        assert_eq!(sim.istep, 1);
+    }
+}
+
+#[cfg(test)]
+mod optimized_kernel_tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::species::Species;
+
+    /// The optimized kernel path must produce (near-)identical physics.
+    #[test]
+    fn optimized_kernels_match_baseline_run() {
+        let build = |optimized: bool| {
+            SimulationBuilder::new(Dim::Two)
+                .domain(IntVect::new(24, 1, 16), [0.5e-6; 3], [0.0; 3])
+                .periodic([true, true, true])
+                .order(ShapeOrder::Quadratic)
+                .cfl(0.5)
+                .seed(3)
+                .optimized_kernels(optimized)
+                .add_species(
+                    Species::electrons("e", Profile::Uniform { n0: 1.0e25 }, [2, 1, 2])
+                        .with_drift([2.0e6, 0.0, 1.0e6]),
+                )
+                .build()
+        };
+        let mut a = build(false);
+        let mut b = build(true);
+        for _ in 0..40 {
+            a.step();
+            b.step();
+        }
+        let probe = IntVect::new(12, 0, 8);
+        let (va, vb) = (a.fs.e[0].at(0, probe), b.fs.e[0].at(0, probe));
+        let scale = a.fs.e[0].max_abs(0).max(1e-30);
+        assert!(
+            (va - vb).abs() < 1e-9 * scale,
+            "optimized run diverged: {va:e} vs {vb:e}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Particle species and plasma injection.
+
+use crate::particles::{ParticleBuf, ParticleContainer};
+use crate::profile::Profile;
+use mrpic_amr::IndexBox;
+use mrpic_field::fieldset::{Dim, GridGeom};
+use mrpic_kernels::constants::{M_E, Q_E};
+use mrpic_kernels::push::Pusher;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one particle species.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Species {
+    pub name: String,
+    /// Charge \[C\] (electrons: `-Q_E`).
+    pub charge: f64,
+    /// Mass \[kg\].
+    pub mass: f64,
+    /// Macroparticles per cell per axis (the paper quotes e.g. 3x2x3 for
+    /// solid electrons, 1x1x2 for gas electrons).
+    pub ppc: [usize; 3],
+    pub profile: Profile,
+    /// Thermal spread of u = gamma v per axis \[m/s\].
+    pub u_th: [f64; 3],
+    /// Drift u per axis \[m/s\].
+    pub u_drift: [f64; 3],
+    #[serde(skip)]
+    pub pusher: Pusher,
+    /// Skip injection where density < this floor (avoids empty-weight
+    /// macroparticles in vacuum regions).
+    pub density_floor: f64,
+}
+
+impl Species {
+    /// Electrons with a given profile and ppc.
+    pub fn electrons(name: &str, profile: Profile, ppc: [usize; 3]) -> Self {
+        Self {
+            name: name.to_string(),
+            charge: -Q_E,
+            mass: M_E,
+            ppc,
+            profile,
+            u_th: [0.0; 3],
+            u_drift: [0.0; 3],
+            pusher: Pusher::Boris,
+            density_floor: 0.0,
+        }
+    }
+
+    pub fn with_thermal(mut self, u_th: [f64; 3]) -> Self {
+        self.u_th = u_th;
+        self
+    }
+
+    pub fn with_drift(mut self, u_drift: [f64; 3]) -> Self {
+        self.u_drift = u_drift;
+        self
+    }
+
+    pub fn with_pusher(mut self, pusher: Pusher) -> Self {
+        self.pusher = pusher;
+        self
+    }
+
+    /// Total macroparticles per cell.
+    pub fn ppc_total(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::Three => self.ppc[0] * self.ppc[1] * self.ppc[2],
+            Dim::Two => self.ppc[0] * self.ppc[2],
+        }
+    }
+}
+
+/// Deterministic per-particle jitter/thermal RNG: splitmix64 keyed on the
+/// cell and sub-position, so injection is reproducible regardless of box
+/// layout or injection order.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectRng(u64);
+
+impl InjectRng {
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal (Box–Muller).
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-16);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Inject particles of `sp` into the cells of `region` (intersected with
+/// each box) of one box `buf`. Positions are evenly spaced sub-cell
+/// lattices; weights follow the density profile at the particle position.
+#[allow(clippy::too_many_arguments)]
+pub fn inject_box(
+    sp: &Species,
+    dim: Dim,
+    geom: &GridGeom,
+    box_cells: &IndexBox,
+    region: &IndexBox,
+    buf: &mut ParticleBuf,
+    seed: u64,
+) -> usize {
+    let Some(cells) = box_cells.intersect(region) else {
+        return 0;
+    };
+    let dv = geom.dx[0] * geom.dx[1] * geom.dx[2];
+    let ppc_t = sp.ppc_total(dim);
+    let w_norm = dv / ppc_t as f64;
+    let (py_n, py_list): (usize, Vec<f64>) = match dim {
+        Dim::Three => (
+            sp.ppc[1],
+            (0..sp.ppc[1])
+                .map(|a| (a as f64 + 0.5) / sp.ppc[1] as f64)
+                .collect(),
+        ),
+        // 2-D: single mid-plane position.
+        Dim::Two => (1, vec![0.5]),
+    };
+    let _ = py_n;
+    let mut injected = 0;
+    for cell in cells.cells() {
+        let cx = geom.node(0, cell.x);
+        let cy = geom.node(1, cell.y);
+        let cz = geom.node(2, cell.z);
+        let mut rng = InjectRng::new(
+            seed ^ (cell.x as u64).wrapping_mul(0x9E3779B1)
+                ^ (cell.y as u64).wrapping_mul(0x85EBCA77)
+                ^ (cell.z as u64).wrapping_mul(0xC2B2AE3D),
+        );
+        for ax in 0..sp.ppc[0] {
+            for fy in &py_list {
+                for az in 0..sp.ppc[2] {
+                    let x = cx + geom.dx[0] * (ax as f64 + 0.5) / sp.ppc[0] as f64;
+                    let y = cy + geom.dx[1] * fy;
+                    let z = cz + geom.dx[2] * (az as f64 + 0.5) / sp.ppc[2] as f64;
+                    let n = sp.profile.density(x, y, z);
+                    if n <= sp.density_floor {
+                        continue;
+                    }
+                    let ux = sp.u_drift[0] + sp.u_th[0] * rng.normal();
+                    let uy = sp.u_drift[1] + sp.u_th[1] * rng.normal();
+                    let uz = sp.u_drift[2] + sp.u_th[2] * rng.normal();
+                    buf.push(x, y, z, ux, uy, uz, n * w_norm);
+                    injected += 1;
+                }
+            }
+        }
+    }
+    injected
+}
+
+/// Inject over a whole container (all boxes).
+pub fn inject(
+    sp: &Species,
+    dim: Dim,
+    geom: &GridGeom,
+    ba: &mrpic_amr::BoxArray,
+    region: &IndexBox,
+    pc: &mut ParticleContainer,
+    seed: u64,
+) -> usize {
+    let mut total = 0;
+    for (bi, buf) in pc.bufs.iter_mut().enumerate() {
+        total += inject_box(sp, dim, geom, &ba.get(bi), region, buf, seed);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpic_amr::{BoxArray, IntVect};
+
+    fn geom() -> GridGeom {
+        GridGeom {
+            dx: [1.0e-6; 3],
+            x0: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn uniform_injection_conserves_charge() {
+        let g = geom();
+        let dom = IndexBox::from_size(IntVect::new(8, 4, 8));
+        let ba = BoxArray::chop(dom, IntVect::splat(4));
+        let sp = Species::electrons(
+            "e",
+            Profile::Uniform { n0: 1.0e24 },
+            [2, 1, 2],
+        );
+        let mut pc = ParticleContainer::new(ba.len());
+        let n = inject(&sp, Dim::Three, &g, &ba, &dom, &mut pc, 7);
+        assert_eq!(n, 8 * 4 * 8 * 4);
+        // Total physical electrons = n0 * V.
+        let want = 1.0e24 * (8.0 * 4.0 * 8.0) * 1.0e-18;
+        let got = pc.total_weight();
+        assert!((got - want).abs() < 1e-6 * want, "{got} vs {want}");
+        assert!(pc.check_ownership(&ba, &g));
+    }
+
+    #[test]
+    fn two_d_injection_uses_midplane() {
+        let g = geom();
+        let dom = IndexBox::from_size(IntVect::new(4, 1, 4));
+        let ba = BoxArray::single(dom);
+        let sp = Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [2, 3, 1]);
+        let mut pc = ParticleContainer::new(1);
+        let n = inject(&sp, Dim::Two, &g, &ba, &dom, &mut pc, 7);
+        // ppc[1] ignored in 2-D.
+        assert_eq!(n, 4 * 4 * 2);
+        for y in &pc.bufs[0].y {
+            assert!((y - 0.5e-6).abs() < 1e-18);
+        }
+        // Charge still matches n0 * volume (slab thickness dy).
+        let want = 1.0e24 * (4.0 * 1.0 * 4.0) * 1.0e-18;
+        assert!((pc.total_weight() - want).abs() < 1e-6 * want);
+    }
+
+    #[test]
+    fn profile_shapes_weights_and_skips_vacuum() {
+        let g = geom();
+        let dom = IndexBox::from_size(IntVect::new(10, 1, 2));
+        let ba = BoxArray::single(dom);
+        let sp = Species::electrons(
+            "e",
+            Profile::Slab {
+                n0: 5.0e25,
+                axis: 0,
+                x0: 3.0e-6,
+                x1: 6.0e-6,
+            },
+            [1, 1, 1],
+        );
+        let mut pc = ParticleContainer::new(1);
+        let n = inject(&sp, Dim::Two, &g, &ba, &dom, &mut pc, 1);
+        assert_eq!(n, 3 * 2); // only the 3 slab columns x 2 z-cells
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let g = geom();
+        let dom = IndexBox::from_size(IntVect::new(4, 1, 4));
+        let ba = BoxArray::single(dom);
+        let sp = Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [1, 1, 1])
+            .with_thermal([1.0e6; 3]);
+        let mut a = ParticleContainer::new(1);
+        let mut b = ParticleContainer::new(1);
+        inject(&sp, Dim::Two, &g, &ba, &dom, &mut a, 42);
+        inject(&sp, Dim::Two, &g, &ba, &dom, &mut b, 42);
+        assert_eq!(a.bufs[0].ux, b.bufs[0].ux);
+        // Different seed -> different thermal draw.
+        let mut c = ParticleContainer::new(1);
+        inject(&sp, Dim::Two, &g, &ba, &dom, &mut c, 43);
+        assert_ne!(a.bufs[0].ux, c.bufs[0].ux);
+    }
+
+    #[test]
+    fn thermal_spread_statistics() {
+        let g = geom();
+        let dom = IndexBox::from_size(IntVect::new(32, 1, 32));
+        let ba = BoxArray::single(dom);
+        let uth = 2.0e6;
+        let sp = Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [2, 1, 2])
+            .with_thermal([uth, 0.0, 0.0])
+            .with_drift([0.0, 3.0e6, 0.0]);
+        let mut pc = ParticleContainer::new(1);
+        inject(&sp, Dim::Two, &g, &ba, &dom, &mut pc, 9);
+        let b = &pc.bufs[0];
+        let n = b.len() as f64;
+        let mean_x: f64 = b.ux.iter().sum::<f64>() / n;
+        let var_x: f64 = b.ux.iter().map(|u| (u - mean_x) * (u - mean_x)).sum::<f64>() / n;
+        assert!(mean_x.abs() < 0.05 * uth, "mean {mean_x:e}");
+        assert!((var_x.sqrt() / uth - 1.0).abs() < 0.05, "std {:e}", var_x.sqrt());
+        for uy in &b.uy {
+            assert_eq!(*uy, 3.0e6);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal from-scratch radix-2 complex FFT (substrate for [`crate::psatd`]).
+
+use std::f64::consts::PI;
+
+/// Complex number (we avoid an external dependency for one struct; the
+/// inherent `add`/`sub`/`mul` names are deliberate, not trait impls).
+#[allow(clippy::should_implement_trait)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cpx {
+    pub re: f64,
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Cpx {
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    #[inline]
+    pub fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    #[inline]
+    pub fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    pub fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Cpx {
+        Cpx::new(self.re * s, self.im * s)
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT. `data.len()` must be a power
+/// of two. `inverse` applies the conjugate transform *without* the 1/N
+/// normalization (call [`normalize`] afterwards if needed).
+pub fn fft(data: &mut [Cpx], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cpx::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Cpx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Divide by N (companion to the inverse transform).
+pub fn normalize(data: &mut [Cpx]) {
+    let inv = 1.0 / data.len() as f64;
+    for v in data {
+        *v = v.scale(inv);
+    }
+}
+
+/// Angular wavenumbers of an N-point FFT with grid spacing `dx`.
+pub fn wavenumbers(n: usize, dx: f64) -> Vec<f64> {
+    let dk = 2.0 * PI / (n as f64 * dx);
+    (0..n)
+        .map(|i| {
+            let ii = if i <= n / 2 { i as i64 } else { i as i64 - n as i64 };
+            ii as f64 * dk
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_identity() {
+        let n = 64;
+        let mut data: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let orig = data.clone();
+        fft(&mut data, false);
+        fft(&mut data, true);
+        normalize(&mut data);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_transforms_to_flat() {
+        let n = 16;
+        let mut data = vec![Cpx::ZERO; n];
+        data[0] = Cpx::new(1.0, 0.0);
+        fft(&mut data, false);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 32;
+        let k = 5;
+        let mut data: Vec<Cpx> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * PI * (k * i) as f64 / n as f64;
+                Cpx::new(ph.cos(), ph.sin())
+            })
+            .collect();
+        fft(&mut data, false);
+        for (i, v) in data.iter().enumerate() {
+            if i == k {
+                assert!((v.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm_sq() < 1e-18, "leak in bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_identity() {
+        let n = 128;
+        let data: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new((i as f64).sin(), 0.0))
+            .collect();
+        let time_e: f64 = data.iter().map(|v| v.norm_sq()).sum();
+        let mut freq = data.clone();
+        fft(&mut freq, false);
+        let freq_e: f64 = freq.iter().map(|v| v.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_e - freq_e).abs() < 1e-9 * time_e);
+    }
+
+    #[test]
+    fn wavenumber_layout() {
+        let k = wavenumbers(8, 1.0);
+        assert_eq!(k.len(), 8);
+        assert_eq!(k[0], 0.0);
+        assert!(k[1] > 0.0);
+        assert!(k[7] < 0.0); // negative frequencies in the upper half
+        assert!((k[1] - 2.0 * PI / 8.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,348 @@
+//! Explicit leapfrog FDTD curl updates on the Yee lattice.
+//!
+//! The standard scheme (paper §IV recipe element (i)): B is advanced in
+//! two half steps around the E advance,
+//!
+//! ```text
+//! B^{n+1/2} = B^n     - dt/2 (curl E^n)
+//! E^{n+1}   = E^n     + dt ( c^2 curl B^{n+1/2} - J^{n+1/2} / eps0 )
+//! B^{n+1}   = B^{n+1/2} - dt/2 (curl E^{n+1})
+//! ```
+//!
+//! Spatial derivatives are the natural staggered differences of the Yee
+//! grid; guard cells must be filled before each advance (`fill_boundary`).
+
+use crate::fieldset::{Dim, FieldSet};
+use mrpic_amr::{FabArray, IntVect};
+use mrpic_kernels::constants::{C2, EPS0};
+use rayon::prelude::*;
+
+/// One finite-difference term: `coef * (fa[p + op] - fa[p + om])`.
+struct Term<'a> {
+    fa: &'a FabArray,
+    coef: f64,
+    op: IntVect,
+    om: IntVect,
+}
+
+/// `dst[p] += sum_terms + jcoef * j[p]` over the valid points of `dst`.
+fn apply_terms(dst: &mut FabArray, terms: &[Term<'_>], j: Option<(&FabArray, f64)>) {
+    dst.par_fabs_mut().for_each(|(fi, fab)| {
+        let vb = fab.valid_pts();
+        let dix = fab.indexer();
+        let data = fab.comp_mut(0);
+        let w = (vb.hi.x - vb.lo.x) as usize;
+        for t in terms {
+            let sfab = t.fa.fab(fi);
+            let six = sfab.indexer();
+            let sdata = sfab.comp(0);
+            for k in vb.lo.z..vb.hi.z {
+                for jj in vb.lo.y..vb.hi.y {
+                    let drow = dix.at(vb.lo.x, jj, k);
+                    let prow = six.at(vb.lo.x + t.op.x, jj + t.op.y, k + t.op.z);
+                    let mrow = six.at(vb.lo.x + t.om.x, jj + t.om.y, k + t.om.z);
+                    for i in 0..w {
+                        data[drow + i] += t.coef * (sdata[prow + i] - sdata[mrow + i]);
+                    }
+                }
+            }
+        }
+        if let Some((jfa, jc)) = j {
+            let sfab = jfa.fab(fi);
+            let six = sfab.indexer();
+            let sdata = sfab.comp(0);
+            for k in vb.lo.z..vb.hi.z {
+                for jj in vb.lo.y..vb.hi.y {
+                    let drow = dix.at(vb.lo.x, jj, k);
+                    let srow = six.at(vb.lo.x, jj, k);
+                    for i in 0..w {
+                        data[drow + i] += jc * sdata[srow + i];
+                    }
+                }
+            }
+        }
+    });
+}
+
+const O: IntVect = IntVect::ZERO;
+const X: IntVect = IntVect { x: 1, y: 0, z: 0 };
+const Y: IntVect = IntVect { x: 0, y: 1, z: 0 };
+const Z: IntVect = IntVect { x: 0, y: 0, z: 1 };
+const MX: IntVect = IntVect { x: -1, y: 0, z: 0 };
+const MY: IntVect = IntVect { x: 0, y: -1, z: 0 };
+const MZ: IntVect = IntVect { x: 0, y: 0, z: -1 };
+
+/// Advance B by `dt` (call with `dt/2` for the half steps).
+/// Requires E guards to be filled.
+pub fn advance_b(fs: &mut FieldSet, dt: f64) {
+    let [dx, dy, dz] = fs.geom.dx;
+    let (cx, cy, cz) = (dt / dx, dt / dy, dt / dz);
+    let dim = fs.dim;
+    let FieldSet { e, b, .. } = fs;
+    let [bx, by, bz] = b;
+    match dim {
+        Dim::Three => {
+            // dBx/dt = -(dEz/dy - dEy/dz)
+            apply_terms(
+                bx,
+                &[
+                    Term { fa: &e[2], coef: -cy, op: Y, om: O },
+                    Term { fa: &e[1], coef: cz, op: Z, om: O },
+                ],
+                None,
+            );
+            // dBy/dt = -(dEx/dz - dEz/dx)
+            apply_terms(
+                by,
+                &[
+                    Term { fa: &e[0], coef: -cz, op: Z, om: O },
+                    Term { fa: &e[2], coef: cx, op: X, om: O },
+                ],
+                None,
+            );
+            // dBz/dt = -(dEy/dx - dEx/dy)
+            apply_terms(
+                bz,
+                &[
+                    Term { fa: &e[1], coef: -cx, op: X, om: O },
+                    Term { fa: &e[0], coef: cy, op: Y, om: O },
+                ],
+                None,
+            );
+        }
+        Dim::Two => {
+            // d/dy = 0: dBx/dt = dEy/dz
+            apply_terms(bx, &[Term { fa: &e[1], coef: cz, op: Z, om: O }], None);
+            apply_terms(
+                by,
+                &[
+                    Term { fa: &e[0], coef: -cz, op: Z, om: O },
+                    Term { fa: &e[2], coef: cx, op: X, om: O },
+                ],
+                None,
+            );
+            apply_terms(bz, &[Term { fa: &e[1], coef: -cx, op: X, om: O }], None);
+        }
+    }
+}
+
+/// Advance E by `dt` using B and the deposited current.
+/// Requires B guards to be filled and J summed.
+pub fn advance_e(fs: &mut FieldSet, dt: f64) {
+    let [dx, dy, dz] = fs.geom.dx;
+    let (cx, cy, cz) = (C2 * dt / dx, C2 * dt / dy, C2 * dt / dz);
+    let jc = -dt / EPS0;
+    let dim = fs.dim;
+    let FieldSet { e, b, j, .. } = fs;
+    let [ex, ey, ez] = e;
+    match dim {
+        Dim::Three => {
+            // dEx/dt = c2 (dBz/dy - dBy/dz) - Jx/eps0
+            apply_terms(
+                ex,
+                &[
+                    Term { fa: &b[2], coef: cy, op: O, om: MY },
+                    Term { fa: &b[1], coef: -cz, op: O, om: MZ },
+                ],
+                Some((&j[0], jc)),
+            );
+            // dEy/dt = c2 (dBx/dz - dBz/dx) - Jy/eps0
+            apply_terms(
+                ey,
+                &[
+                    Term { fa: &b[0], coef: cz, op: O, om: MZ },
+                    Term { fa: &b[2], coef: -cx, op: O, om: MX },
+                ],
+                Some((&j[1], jc)),
+            );
+            // dEz/dt = c2 (dBy/dx - dBx/dy) - Jz/eps0
+            apply_terms(
+                ez,
+                &[
+                    Term { fa: &b[1], coef: cx, op: O, om: MX },
+                    Term { fa: &b[0], coef: -cy, op: O, om: MY },
+                ],
+                Some((&j[2], jc)),
+            );
+        }
+        Dim::Two => {
+            apply_terms(
+                ex,
+                &[Term { fa: &b[1], coef: -cz, op: O, om: MZ }],
+                Some((&j[0], jc)),
+            );
+            apply_terms(
+                ey,
+                &[
+                    Term { fa: &b[0], coef: cz, op: O, om: MZ },
+                    Term { fa: &b[2], coef: -cx, op: O, om: MX },
+                ],
+                Some((&j[1], jc)),
+            );
+            apply_terms(
+                ez,
+                &[Term { fa: &b[1], coef: cx, op: O, om: MX }],
+                Some((&j[2], jc)),
+            );
+        }
+    }
+}
+
+/// One full vacuum/field step (B half, E full, B half) with boundary
+/// exchanges. The PIC driver interleaves deposition and PML stages
+/// around these calls; this helper is for field-only tests and examples.
+pub fn step_fields(fs: &mut FieldSet, dt: f64) {
+    fs.fill_e_boundaries();
+    advance_b(fs, 0.5 * dt);
+    fs.fill_b_boundaries();
+    advance_e(fs, dt);
+    fs.fill_e_boundaries();
+    advance_b(fs, 0.5 * dt);
+    fs.fill_b_boundaries();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfl::max_dt;
+    use crate::fieldset::GridGeom;
+    use mrpic_amr::{BoxArray, IndexBox, Periodicity};
+    use mrpic_kernels::constants::C;
+
+    fn wave_setup(nboxes: i64) -> FieldSet {
+        // Periodic 3-D domain, plane wave along x: Ey = sin(kx), Bz = Ey/c.
+        let n = 64i64;
+        let dom = IndexBox::from_size(IntVect::new(n, 4, 4));
+        let ba = BoxArray::chop(dom, IntVect::new(n / nboxes, 4, 4));
+        let dx = 1.0e-6;
+        let geom = GridGeom {
+            dx: [dx; 3],
+            x0: [0.0; 3],
+        };
+        let mut fs = FieldSet::new(Dim::Three, ba, geom, Periodicity::all(dom), 2);
+        let k = 2.0 * std::f64::consts::PI / (n as f64 * dx); // one period in box
+        let dt = 0.5 * max_dt(Dim::Three, &[dx; 3]);
+        for fi in 0..fs.nfabs() {
+            let vb = fs.e[1].fab(fi).valid_pts();
+            for p in vb.cells().collect::<Vec<_>>() {
+                let x = p.x as f64 * dx;
+                fs.e[1].fab_mut(fi).set(0, p, (k * x).sin());
+            }
+            let vb = fs.b[2].fab(fi).valid_pts();
+            for p in vb.cells().collect::<Vec<_>>() {
+                // Bz at (i+1/2); init at t = -dt/2 for leapfrog centering.
+                let x = (p.x as f64 + 0.5) * dx;
+                fs.b[2]
+                    .fab_mut(fi)
+                    .set(0, p, ((k * (x + C * dt / 2.0)).sin()) / C);
+            }
+        }
+        fs
+    }
+
+    #[test]
+    fn plane_wave_round_trip() {
+        let mut fs = wave_setup(1);
+        let n = 64.0;
+        let dx = 1.0e-6;
+        let dt = 0.5 * max_dt(Dim::Three, &[dx; 3]);
+        // One full period: wave crosses the periodic box exactly once.
+        let steps = (n * dx / (C * dt)).round() as usize;
+        let before: Vec<f64> = (0..64)
+            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)))
+            .collect();
+        for _ in 0..steps {
+            step_fields(&mut fs, dt);
+        }
+        let after: Vec<f64> = (0..64)
+            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)))
+            .collect();
+        let err: f64 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+            / (before.iter().map(|a| a * a).sum::<f64>()).sqrt();
+        assert!(err < 0.05, "round-trip error {err}");
+    }
+
+    #[test]
+    fn multi_box_matches_single_box() {
+        let mut a = wave_setup(1);
+        let mut b = wave_setup(4);
+        let dt = 0.5 * max_dt(Dim::Three, &[1.0e-6; 3]);
+        for _ in 0..20 {
+            step_fields(&mut a, dt);
+            step_fields(&mut b, dt);
+        }
+        for i in 0..64 {
+            let p = IntVect::new(i, 2, 2);
+            let (va, vb) = (a.e[1].at(0, p), b.e[1].at(0, p));
+            assert!(
+                (va - vb).abs() <= 1e-12 * va.abs().max(1.0),
+                "mismatch at {i}: {va} vs {vb}"
+            );
+        }
+    }
+
+    #[test]
+    fn vacuum_energy_stays_bounded() {
+        let mut fs = wave_setup(2);
+        let dt = 0.5 * max_dt(Dim::Three, &[1.0e-6; 3]);
+        let e0 = crate::energy::field_energy(&fs);
+        assert!(e0 > 0.0);
+        for _ in 0..200 {
+            step_fields(&mut fs, dt);
+        }
+        let e1 = crate::energy::field_energy(&fs);
+        assert!((e1 - e0).abs() < 0.02 * e0, "energy drift: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn pulse_propagates_at_c_in_2d() {
+        // Gaussian Ey/Bz pulse in a 2-D domain moving +x.
+        let n = 256i64;
+        let dom = IndexBox::from_size(IntVect::new(n, 1, 8));
+        let ba = BoxArray::single(dom);
+        let dx = 1.0e-6;
+        let geom = GridGeom {
+            dx: [dx; 3],
+            x0: [0.0; 3],
+        };
+        let per = Periodicity::new(dom, [true, false, true]);
+        let mut fs = FieldSet::new(Dim::Two, ba, geom, per, 2);
+        let x0 = 50.0 * dx;
+        let sig = 8.0 * dx;
+        let dt = 0.7 * max_dt(Dim::Two, &[dx; 3]);
+        let pulse = |x: f64| (-(x - x0) * (x - x0) / (2.0 * sig * sig)).exp();
+        for fi in 0..fs.nfabs() {
+            let vb = fs.e[1].fab(fi).valid_pts();
+            for p in vb.cells().collect::<Vec<_>>() {
+                fs.e[1].fab_mut(fi).set(0, p, pulse(p.x as f64 * dx));
+            }
+            let vb = fs.b[2].fab(fi).valid_pts();
+            for p in vb.cells().collect::<Vec<_>>() {
+                let x = (p.x as f64 + 0.5) * dx + C * dt / 2.0;
+                fs.b[2].fab_mut(fi).set(0, p, pulse(x) / C);
+            }
+        }
+        let steps = 100usize;
+        for _ in 0..steps {
+            step_fields(&mut fs, dt);
+        }
+        // Energy-weighted centroid of Ey^2 along x.
+        let (mut num, mut den) = (0.0, 0.0);
+        for i in 0..n {
+            let v = fs.e[1].at(0, IntVect::new(i, 0, 4));
+            num += (i as f64 * dx) * v * v;
+            den += v * v;
+        }
+        let centroid = num / den;
+        let expected = x0 + C * dt * steps as f64;
+        assert!(
+            (centroid - expected).abs() < 2.0 * dx,
+            "centroid {centroid:e} vs {expected:e}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Physical constants (SI, CODATA 2018) and laser–plasma helpers.
+
+/// Speed of light in vacuum \[m/s\].
+pub const C: f64 = 299_792_458.0;
+/// Vacuum permittivity \[F/m\].
+pub const EPS0: f64 = 8.854_187_812_8e-12;
+/// Vacuum permeability \[H/m\].
+pub const MU0: f64 = 1.256_637_062_12e-6;
+/// Elementary charge \[C\].
+pub const Q_E: f64 = 1.602_176_634e-19;
+/// Electron mass \[kg\].
+pub const M_E: f64 = 9.109_383_701_5e-31;
+/// Proton mass \[kg\].
+pub const M_P: f64 = 1.672_621_923_69e-27;
+/// c² \[m²/s²\].
+pub const C2: f64 = C * C;
+
+/// Laser angular frequency for wavelength `lambda` \[rad/s\].
+#[inline]
+pub fn omega_laser(lambda: f64) -> f64 {
+    2.0 * std::f64::consts::PI * C / lambda
+}
+
+/// Critical plasma density for wavelength `lambda` \[1/m³\]: the density
+/// above which a plasma reflects the laser (the paper's solid target is
+/// 50–55 n_c, the gas 2.34e18 cm⁻³ ≈ 1.3e-3 n_c at 0.8 µm).
+#[inline]
+pub fn critical_density(lambda: f64) -> f64 {
+    let w = omega_laser(lambda);
+    EPS0 * M_E * w * w / (Q_E * Q_E)
+}
+
+/// Electron plasma angular frequency for density `n` \[1/m³\].
+#[inline]
+pub fn plasma_frequency(n: f64) -> f64 {
+    (n * Q_E * Q_E / (EPS0 * M_E)).sqrt()
+}
+
+/// Normalized laser amplitude a0 for peak field `e0` \[V/m\] at `lambda`.
+#[inline]
+pub fn a0_from_field(e0: f64, lambda: f64) -> f64 {
+    Q_E * e0 / (M_E * C * omega_laser(lambda))
+}
+
+/// Peak laser field \[V/m\] for a given a0 at `lambda`.
+#[inline]
+pub fn field_from_a0(a0: f64, lambda: f64) -> f64 {
+    a0 * M_E * C * omega_laser(lambda) / Q_E
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_speed_consistency() {
+        // c = 1/sqrt(eps0 mu0)
+        assert!(((1.0 / (EPS0 * MU0).sqrt()) - C).abs() / C < 1e-9);
+    }
+
+    #[test]
+    fn critical_density_at_800nm() {
+        // Known value: n_c(0.8 um) ~ 1.74e27 m^-3 (1.74e21 cm^-3).
+        let nc = critical_density(0.8e-6);
+        assert!((nc / 1.742e27 - 1.0).abs() < 0.01, "nc = {nc:e}");
+    }
+
+    #[test]
+    fn plasma_frequency_scale() {
+        // Gas density from the paper: 2.34e18 cm^-3 = 2.34e24 m^-3.
+        let wp = plasma_frequency(2.34e24);
+        // ~8.6e13 rad/s
+        assert!((wp / 8.63e13 - 1.0).abs() < 0.01, "wp = {wp:e}");
+    }
+
+    #[test]
+    fn a0_roundtrip() {
+        let lambda = 0.8e-6;
+        let e0 = field_from_a0(3.0, lambda);
+        assert!((a0_from_field(e0, lambda) - 3.0).abs() < 1e-12);
+        // a0=1 at 0.8um is ~4e12 V/m.
+        assert!((field_from_a0(1.0, lambda) / 4.01e12 - 1.0).abs() < 0.01);
+    }
+}

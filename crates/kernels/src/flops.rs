@@ -1,0 +1,158 @@
+//! Audited flop/byte counts of the PIC kernels.
+//!
+//! The cluster simulator prices a PIC step on a device with a roofline
+//! model `t = max(flops / peak_flops, bytes / bandwidth)`. These counts
+//! are derived by auditing the kernel inner loops in this crate (the role
+//! Nsight Compute / rocprof / fapp play in §VI-B of the paper). They are
+//! per *particle* per step for particle kernels and per *cell* per step
+//! for the field solver.
+//!
+//! Byte counts are *algorithmic* traffic (loads + stores assuming no
+//! cache reuse within a stencil); the machine model applies a reuse
+//! factor for sorted particles, mirroring how measured DRAM traffic sits
+//! below algorithmic traffic on real devices.
+
+/// Costs of one PIC step per particle / per cell, in flops and bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCosts {
+    pub gather_flops: f64,
+    pub gather_bytes: f64,
+    pub deposit_flops: f64,
+    pub deposit_bytes: f64,
+    pub push_flops: f64,
+    pub push_bytes: f64,
+    /// Maxwell FDTD update, per cell (both half B steps + E step).
+    pub field_flops_per_cell: f64,
+    pub field_bytes_per_cell: f64,
+}
+
+/// Flops of one shape-factor evaluation by order (audit of `shape.rs`).
+fn shape_eval_flops(order: usize) -> f64 {
+    match order {
+        1 => 3.0,   // floor, sub, 1-d
+        2 => 10.0,  // floor, sub, 2 add/sub, 4 mul, squares
+        3 => 22.0,  // floor, sub, d2, d3, 3 cubic polynomials
+        _ => panic!("unsupported order {order}"),
+    }
+}
+
+impl KernelCosts {
+    /// Costs for shape `order` in `dim` (2 or 3) dimensions, with `wsize`
+    /// bytes per scalar (8 = DP, 4 = SP).
+    pub fn for_order(order: usize, dim: usize, wsize: f64) -> Self {
+        assert!(matches!(dim, 2 | 3));
+        assert!((1..=3).contains(&order));
+        let s = (order + 1) as f64; // support points per axis
+        let sten = if dim == 3 { s * s * s } else { s * s };
+        // Gather: per axis 2 stagger variants of the eval, then 6
+        // components x stencil x (3 mul + 1 add).
+        let gather_flops = 2.0 * dim as f64 * shape_eval_flops(order) + 6.0 * sten * 4.0;
+        // Field loads: 6 components x stencil points; weights reused from
+        // registers; output 6 stores.
+        let gather_bytes = (6.0 * sten + 6.0) * wsize + 3.0 * wsize; // + positions
+        // Esirkepov: 2 evals per axis, DS, then dim sweeps of
+        // (s+1)^(dim-1) * s inner updates with ~5 flops each plus the
+        // out-of-plane direct deposit in 2-D.
+        let w = s + 1.0;
+        let sweeps = if dim == 3 {
+            3.0 * w * w * (w - 1.0)
+        } else {
+            2.0 * w * (w - 1.0) + w * w
+        };
+        let deposit_flops = 2.0 * dim as f64 * shape_eval_flops(order) + sweeps * 5.0;
+        // Read-modify-write on every touched current point (3 comps).
+        let deposit_points = if dim == 3 { 3.0 * w * w * w } else { 3.0 * w * w };
+        let deposit_bytes = deposit_points * 2.0 * wsize + 6.0 * wsize;
+        // Boris: ~47 arithmetic + sqrt(~8) ~= 55; position push ~12.
+        let push_flops = 55.0 + 12.0;
+        let push_bytes = 12.0 * wsize; // u in/out, E, B from gather buffers
+        // FDTD: E update 3 x (4 diffs/mults + J term) ~= 24, B ~= 18 over
+        // two half steps.
+        let field_flops_per_cell = 42.0;
+        // E(3) + B(3) + J(3) loads, E(3) + B(3) stores.
+        let field_bytes_per_cell = 15.0 * wsize;
+        Self {
+            gather_flops,
+            gather_bytes,
+            deposit_flops,
+            deposit_bytes,
+            push_flops,
+            push_bytes,
+            field_flops_per_cell,
+            field_bytes_per_cell,
+        }
+    }
+
+    /// Total flops of one step for `np` particles and `nc` cells.
+    pub fn step_flops(&self, np: f64, nc: f64) -> f64 {
+        np * (self.gather_flops + self.deposit_flops + self.push_flops)
+            + nc * self.field_flops_per_cell
+    }
+
+    /// Total bytes of one step, with a cache-reuse factor in (0, 1]
+    /// applied to particle-kernel grid traffic (sorted particles hit the
+    /// same stencil repeatedly).
+    pub fn step_bytes(&self, np: f64, nc: f64, reuse: f64) -> f64 {
+        assert!(reuse > 0.0 && reuse <= 1.0);
+        np * (self.gather_bytes + self.deposit_bytes) * reuse
+            + np * self.push_bytes
+            + nc * self.field_bytes_per_cell
+    }
+
+    /// Arithmetic intensity (flops/byte) of a full step.
+    pub fn intensity(&self, np: f64, nc: f64, reuse: f64) -> f64 {
+        self.step_flops(np, nc) / self.step_bytes(np, nc, reuse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_order_costs_more() {
+        for dim in [2, 3] {
+            let c1 = KernelCosts::for_order(1, dim, 8.0);
+            let c2 = KernelCosts::for_order(2, dim, 8.0);
+            let c3 = KernelCosts::for_order(3, dim, 8.0);
+            assert!(c1.gather_flops < c2.gather_flops);
+            assert!(c2.gather_flops < c3.gather_flops);
+            assert!(c1.deposit_bytes < c3.deposit_bytes);
+        }
+    }
+
+    #[test]
+    fn order3_3d_is_64_point_stencil() {
+        // Paper §V-A: "order 3 ... up to 64 sampling points per particle".
+        let c = KernelCosts::for_order(3, 3, 8.0);
+        // 6 components x 64 points x 4 flops dominates the gather count.
+        assert!(c.gather_flops > 6.0 * 64.0 * 4.0);
+    }
+
+    #[test]
+    fn pic_is_memory_bound() {
+        // Arithmetic intensity must be low (a few flops/byte), which is
+        // why the paper benchmarks against HPCG rather than HPL.
+        let c = KernelCosts::for_order(3, 3, 8.0);
+        let ai = c.intensity(2.0, 1.0, 0.3); // 2 particles per cell
+        assert!(ai > 0.5 && ai < 20.0, "intensity {ai}");
+    }
+
+    #[test]
+    fn sp_halves_bytes_not_flops() {
+        let dp = KernelCosts::for_order(2, 3, 8.0);
+        let sp = KernelCosts::for_order(2, 3, 4.0);
+        assert_eq!(dp.gather_flops, sp.gather_flops);
+        assert!((dp.gather_bytes / sp.gather_bytes - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_totals_scale_linearly() {
+        let c = KernelCosts::for_order(2, 3, 8.0);
+        assert_eq!(
+            c.step_flops(200.0, 100.0),
+            2.0 * c.step_flops(100.0, 50.0)
+        );
+        assert!(c.step_bytes(100.0, 50.0, 0.5) < c.step_bytes(100.0, 50.0, 1.0));
+    }
+}

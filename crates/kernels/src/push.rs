@@ -1,0 +1,301 @@
+//! Relativistic particle pushers.
+//!
+//! The standard leapfrog **Boris** rotation (the paper's recipe element
+//! (ii)) and the **Vay** pusher, which preserves the E×B drift exactly
+//! and is preferred for relativistic beams. The velocity variable is
+//! `u = gamma * v` \[m/s\]; `gamma = sqrt(1 + u²/c²)`.
+
+use crate::constants::C2;
+use crate::real::Real;
+
+/// Lorentz factor from u = gamma*v.
+#[inline(always)]
+pub fn gamma_of_u<T: Real>(ux: T, uy: T, uz: T) -> T {
+    let inv_c2 = T::from_f64(1.0 / C2);
+    (T::ONE + (ux * ux + uy * uy + uz * uz) * inv_c2).sqrt()
+}
+
+/// Advance `u` by one full step with the Boris scheme.
+///
+/// `qmdt2 = q dt / (2 m)`. Fields are at the particle position at the
+/// (integer) time level around which the half-kicks are centered.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn boris_one<T: Real>(
+    ux: &mut T,
+    uy: &mut T,
+    uz: &mut T,
+    ex: T,
+    ey: T,
+    ez: T,
+    bx: T,
+    by: T,
+    bz: T,
+    qmdt2: T,
+) {
+    // Half electric kick.
+    let umx = *ux + qmdt2 * ex;
+    let umy = *uy + qmdt2 * ey;
+    let umz = *uz + qmdt2 * ez;
+    // Magnetic rotation.
+    let inv_gamma = T::ONE / gamma_of_u(umx, umy, umz);
+    let tx = qmdt2 * bx * inv_gamma;
+    let ty = qmdt2 * by * inv_gamma;
+    let tz = qmdt2 * bz * inv_gamma;
+    let t2 = tx * tx + ty * ty + tz * tz;
+    let upx = umx + (umy * tz - umz * ty);
+    let upy = umy + (umz * tx - umx * tz);
+    let upz = umz + (umx * ty - umy * tx);
+    let s = T::from_f64(2.0) / (T::ONE + t2);
+    let uprx = umx + (upy * tz - upz * ty) * s;
+    let upry = umy + (upz * tx - upx * tz) * s;
+    let uprz = umz + (upx * ty - upy * tx) * s;
+    // Second half electric kick.
+    *ux = uprx + qmdt2 * ex;
+    *uy = upry + qmdt2 * ey;
+    *uz = uprz + qmdt2 * ez;
+}
+
+/// Advance `u` by one full step with the Vay (2008) scheme.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn vay_one<T: Real>(
+    ux: &mut T,
+    uy: &mut T,
+    uz: &mut T,
+    ex: T,
+    ey: T,
+    ez: T,
+    bx: T,
+    by: T,
+    bz: T,
+    qmdt2: T,
+) {
+    let inv_c2 = T::from_f64(1.0 / C2);
+    // v^n from u^n.
+    let g0 = gamma_of_u(*ux, *uy, *uz);
+    let (vx, vy, vz) = (*ux / g0, *uy / g0, *uz / g0);
+    // u' = u^n + (q dt / m)(E + v^n x B / 2)  [two half-kicks fused]
+    let upx = *ux + T::from_f64(2.0) * qmdt2 * ex + qmdt2 * (vy * bz - vz * by);
+    let upy = *uy + T::from_f64(2.0) * qmdt2 * ey + qmdt2 * (vz * bx - vx * bz);
+    let upz = *uz + T::from_f64(2.0) * qmdt2 * ez + qmdt2 * (vx * by - vy * bx);
+    let taux = qmdt2 * bx;
+    let tauy = qmdt2 * by;
+    let tauz = qmdt2 * bz;
+    let tau2 = taux * taux + tauy * tauy + tauz * tauz;
+    let gp2 = T::ONE + (upx * upx + upy * upy + upz * upz) * inv_c2;
+    let ustar = (upx * taux + upy * tauy + upz * tauz) * T::from_f64(1.0 / C2.sqrt());
+    let sigma = gp2 - tau2;
+    let g1 = ((sigma + (sigma * sigma + T::from_f64(4.0) * (tau2 + ustar * ustar)).sqrt())
+        * T::HALF)
+        .sqrt();
+    let tx = taux / g1;
+    let ty = tauy / g1;
+    let tz = tauz / g1;
+    let s = T::ONE / (T::ONE + tx * tx + ty * ty + tz * tz);
+    let udt = upx * tx + upy * ty + upz * tz;
+    *ux = s * (upx + udt * tx + (upy * tz - upz * ty));
+    *uy = s * (upy + udt * ty + (upz * tx - upx * tz));
+    *uz = s * (upz + udt * tz + (upx * ty - upy * tx));
+}
+
+/// Which momentum pusher to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Pusher {
+    #[default]
+    Boris,
+    Vay,
+}
+
+/// Advance all particle momenta one step with the chosen pusher.
+#[allow(clippy::too_many_arguments)]
+pub fn push_momentum<T: Real>(
+    pusher: Pusher,
+    ux: &mut [T],
+    uy: &mut [T],
+    uz: &mut [T],
+    ex: &[T],
+    ey: &[T],
+    ez: &[T],
+    bx: &[T],
+    by: &[T],
+    bz: &[T],
+    qmdt2: T,
+) {
+    let n = ux.len();
+    match pusher {
+        Pusher::Boris => {
+            for p in 0..n {
+                boris_one(
+                    &mut ux[p], &mut uy[p], &mut uz[p],
+                    ex[p], ey[p], ez[p], bx[p], by[p], bz[p], qmdt2,
+                );
+            }
+        }
+        Pusher::Vay => {
+            for p in 0..n {
+                vay_one(
+                    &mut ux[p], &mut uy[p], &mut uz[p],
+                    ex[p], ey[p], ez[p], bx[p], by[p], bz[p], qmdt2,
+                );
+            }
+        }
+    }
+}
+
+/// Advance positions with the half-step momenta: `x += u/gamma * dt`.
+pub fn push_position<T: Real>(
+    x: &mut [T],
+    y: &mut [T],
+    z: &mut [T],
+    ux: &[T],
+    uy: &[T],
+    uz: &[T],
+    dt: T,
+) {
+    for p in 0..x.len() {
+        let inv_g = T::ONE / gamma_of_u(ux[p], uy[p], uz[p]);
+        x[p] += ux[p] * inv_g * dt;
+        y[p] += uy[p] * inv_g * dt;
+        z[p] += uz[p] * inv_g * dt;
+    }
+}
+
+/// 2-D variant: y is not advanced (out-of-plane).
+pub fn push_position2<T: Real>(
+    x: &mut [T],
+    z: &mut [T],
+    ux: &[T],
+    uy: &[T],
+    uz: &[T],
+    dt: T,
+) {
+    for p in 0..x.len() {
+        let inv_g = T::ONE / gamma_of_u(ux[p], uy[p], uz[p]);
+        x[p] += ux[p] * inv_g * dt;
+        z[p] += uz[p] * inv_g * dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::{C, M_E, Q_E};
+
+    #[test]
+    fn pure_b_field_preserves_energy() {
+        // |u| is exactly invariant under the Boris rotation.
+        let (mut ux, mut uy, mut uz) = (1.0e8, 2.0e7, -5.0e6);
+        let u0 = (ux * ux + uy * uy + uz * uz).sqrt();
+        let qmdt2 = -Q_E / M_E * 1e-15 / 2.0;
+        for _ in 0..1000 {
+            boris_one(
+                &mut ux, &mut uy, &mut uz, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, qmdt2,
+            );
+        }
+        let u1 = (ux * ux + uy * uy + uz * uz).sqrt();
+        assert!((u1 - u0).abs() < 1e-6 * u0);
+    }
+
+    #[test]
+    fn gyro_frequency_matches_analytic() {
+        // Non-relativistic electron in Bz: angular frequency qB/m.
+        let b = 10.0; // tesla
+        let wc = Q_E * b / M_E;
+        let dt = 0.002 / wc;
+        let qmdt2 = -Q_E / M_E * dt / 2.0;
+        let v0 = 1.0e5; // << c, non-relativistic
+        let (mut ux, mut uy, mut uz) = (v0, 0.0, 0.0);
+        // Advance for a quarter period: ux should become ~0, |uy| ~ v0.
+        let quarter = (std::f64::consts::FRAC_PI_2 / (wc * dt)).round() as usize;
+        for _ in 0..quarter {
+            boris_one(&mut ux, &mut uy, &mut uz, 0.0, 0.0, 0.0, 0.0, 0.0, b, qmdt2);
+        }
+        assert!(ux.abs() < 0.02 * v0, "ux = {ux}");
+        assert!((uy.abs() - v0).abs() < 0.02 * v0, "uy = {uy}");
+        assert_eq!(uz, 0.0);
+    }
+
+    #[test]
+    fn e_field_acceleration_momentum_gain() {
+        // du/dt = qE/m exactly (E only).
+        let e = 1.0e12;
+        let dt = 1.0e-16;
+        let steps = 500;
+        let qmdt2 = -Q_E / M_E * dt / 2.0;
+        let (mut ux, mut uy, mut uz) = (0.0, 0.0, 0.0);
+        for _ in 0..steps {
+            boris_one(&mut ux, &mut uy, &mut uz, e, 0.0, 0.0, 0.0, 0.0, 0.0, qmdt2);
+        }
+        let want = -Q_E / M_E * e * dt * steps as f64;
+        assert!((ux - want).abs() < 1e-9 * want.abs());
+        // Relativistic: u can exceed c, v cannot.
+        let g = gamma_of_u(ux, uy, uz);
+        assert!(ux.abs() / g < C);
+    }
+
+    #[test]
+    fn vay_exact_exb_drift() {
+        // Crossed fields E = (0, E, 0), B = (0, 0, B) with v = E/B x̂:
+        // the Lorentz force vanishes; Vay preserves the drift exactly.
+        let b = 5.0;
+        let vd = 0.1 * C;
+        let e = vd * b;
+        let g = 1.0 / (1.0 - (vd / C).powi(2)).sqrt();
+        let (mut ux, mut uy, mut uz) = (g * vd, 0.0, 0.0);
+        let dt = 1.0e-13;
+        let qmdt2 = -Q_E / M_E * dt / 2.0;
+        for _ in 0..100 {
+            vay_one(&mut ux, &mut uy, &mut uz, 0.0, -e, 0.0, 0.0, 0.0, -b, qmdt2);
+        }
+        // Force balance: q(E + v x B) = 0 for v = E/B in x.
+        assert!((ux - g * vd).abs() < 1e-8 * g * vd, "ux drifted: {ux}");
+        assert!(uy.abs() < 1e-6 * g * vd, "uy = {uy}");
+    }
+
+    #[test]
+    fn vay_agrees_with_boris_weak_fields() {
+        let dt = 1.0e-17;
+        let qmdt2 = -Q_E / M_E * dt / 2.0;
+        let fields = (1.0e9, -2.0e9, 0.5e9, 0.3, -0.2, 0.8);
+        let (mut b_u, mut v_u) = ((1.0e7, 2.0e7, 3.0e7), (1.0e7, 2.0e7, 3.0e7));
+        for _ in 0..10 {
+            boris_one(
+                &mut b_u.0, &mut b_u.1, &mut b_u.2,
+                fields.0, fields.1, fields.2, fields.3, fields.4, fields.5, qmdt2,
+            );
+            vay_one(
+                &mut v_u.0, &mut v_u.1, &mut v_u.2,
+                fields.0, fields.1, fields.2, fields.3, fields.4, fields.5, qmdt2,
+            );
+        }
+        let scale = (b_u.0 * b_u.0 + b_u.1 * b_u.1 + b_u.2 * b_u.2).sqrt();
+        assert!((b_u.0 - v_u.0).abs() < 1e-6 * scale);
+        assert!((b_u.1 - v_u.1).abs() < 1e-6 * scale);
+        assert!((b_u.2 - v_u.2).abs() < 1e-6 * scale);
+    }
+
+    #[test]
+    fn position_push_respects_gamma() {
+        let c95 = 0.95 * C;
+        let g = 1.0 / (1.0 - 0.95f64.powi(2)).sqrt();
+        let mut x = vec![0.0];
+        let mut y = vec![0.0];
+        let mut z = vec![0.0];
+        let ux = vec![g * c95];
+        let (uy, uz) = (vec![0.0], vec![0.0]);
+        push_position(&mut x, &mut y, &mut z, &ux, &uy, &uz, 1.0e-15);
+        assert!((x[0] - c95 * 1.0e-15).abs() < 1e-9 * x[0].abs());
+        assert_eq!(y[0], 0.0);
+    }
+
+    #[test]
+    fn single_precision_pusher_runs() {
+        let (mut ux, mut uy, mut uz) = (1.0e7f32, 0.0, 0.0);
+        boris_one(
+            &mut ux, &mut uy, &mut uz,
+            1.0e10f32, 0.0, 0.0, 0.0, 0.0, 1.0, -1.0e-5f32,
+        );
+        assert!(ux.is_finite());
+    }
+}

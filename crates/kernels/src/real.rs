@@ -1,0 +1,114 @@
+//! Floating-point abstraction so kernels compile in single and double
+//! precision (the paper's DP and mixed-precision modes, Table III).
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar type of a kernel instantiation.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + PartialOrd
+    + PartialEq
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Default
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const HALF: Self;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    /// Largest integer `<= self`, as i64.
+    fn floor_i64(self) -> i64;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn min(self, o: Self) -> Self;
+    fn max(self, o: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const HALF: Self = 0.5;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn floor_i64(self) -> i64 {
+                <$t>::floor(self) as i64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Plain expression: lets LLVM contract when profitable
+                // without forcing a slow soft-FMA on targets lacking one.
+                self * a + b
+            }
+            #[inline(always)]
+            fn min(self, o: Self) -> Self {
+                <$t>::min(self, o)
+            }
+            #[inline(always)]
+            fn max(self, o: Self) -> Self {
+                <$t>::max(self, o)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Real>() {
+        assert_eq!(T::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(T::from_f64(-2.25).floor_i64(), -3);
+        assert!((T::from_f64(2.0).sqrt().to_f64() - 2.0f64.sqrt()).abs() < 1e-6);
+        assert_eq!(T::HALF.to_f64(), 0.5);
+        assert_eq!(
+            T::from_f64(2.0).mul_add(T::from_f64(3.0), T::ONE).to_f64(),
+            7.0
+        );
+    }
+
+    #[test]
+    fn both_precisions() {
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+    }
+}

@@ -1,0 +1,246 @@
+//! B-spline particle shape factors, orders 1–3.
+//!
+//! High-order shapes (quadratic/cubic splines) are essential for modeling
+//! high-density plasmas while keeping the finite-grid instability at an
+//! acceptable level (paper Table I, capability *a*). The shape of order
+//! `n` spans `n + 1` grid points.
+//!
+//! `eval` takes the particle coordinate `xi` in *cell units* relative to
+//! the index-0 grid line of the target component (stagger shifts are
+//! applied by the caller) and returns the first touched index plus the
+//! weights. Weights are a partition of unity for every `xi`.
+
+use crate::real::Real;
+
+/// A compile-time particle shape. `SUPPORT = ORDER + 1` points.
+pub trait Shape: Copy + Send + Sync + 'static {
+    const ORDER: usize;
+    const SUPPORT: usize;
+    /// The shape one order lower (used by the Galerkin gather, which
+    /// reduces the order along staggered axes). NGP is its own lower.
+    type Lower: Shape;
+
+    /// First touched grid index and the `SUPPORT` weights (tail of the
+    /// fixed-size array is zero).
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]);
+}
+
+/// Order-0 (nearest-grid-point) shape: the Galerkin reduction of linear.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ngp;
+
+impl Shape for Ngp {
+    const ORDER: usize = 0;
+    const SUPPORT: usize = 1;
+    type Lower = Ngp;
+
+    #[inline(always)]
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
+        ((xi + T::HALF).floor_i64(), [T::ONE, T::ZERO, T::ZERO, T::ZERO])
+    }
+}
+
+/// Order-1 (linear / cloud-in-cell) shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Linear;
+
+/// Order-2 (quadratic / triangular-shaped-cloud) shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Quadratic;
+
+/// Order-3 (cubic B-spline) shape — the production choice for
+/// laser–solid interactions in the paper (§V-A: "order 3 interpolation
+/// ... up to 64 sampling points per particle").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cubic;
+
+impl Shape for Linear {
+    const ORDER: usize = 1;
+    const SUPPORT: usize = 2;
+    type Lower = Ngp;
+
+    #[inline(always)]
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
+        let i0 = xi.floor_i64();
+        let d = xi - T::from_f64(i0 as f64);
+        (i0, [T::ONE - d, d, T::ZERO, T::ZERO])
+    }
+}
+
+impl Shape for Quadratic {
+    const ORDER: usize = 2;
+    const SUPPORT: usize = 3;
+    type Lower = Linear;
+
+    #[inline(always)]
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
+        let ic = (xi + T::HALF).floor_i64();
+        let d = xi - T::from_f64(ic as f64); // in [-1/2, 1/2)
+        let a = T::HALF - d;
+        let b = T::HALF + d;
+        (
+            ic - 1,
+            [
+                T::HALF * a * a,
+                T::from_f64(0.75) - d * d,
+                T::HALF * b * b,
+                T::ZERO,
+            ],
+        )
+    }
+}
+
+impl Shape for Cubic {
+    const ORDER: usize = 3;
+    const SUPPORT: usize = 4;
+    type Lower = Quadratic;
+
+    #[inline(always)]
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
+        let il = xi.floor_i64();
+        let d = xi - T::from_f64(il as f64); // in [0, 1)
+        let d2 = d * d;
+        let d3 = d2 * d;
+        let sixth = T::from_f64(1.0 / 6.0);
+        let omd = T::ONE - d;
+        (
+            il - 1,
+            [
+                sixth * omd * omd * omd,
+                sixth * (T::from_f64(3.0) * d3 - T::from_f64(6.0) * d2 + T::from_f64(4.0)),
+                sixth
+                    * (T::from_f64(-3.0) * d3
+                        + T::from_f64(3.0) * d2
+                        + T::from_f64(3.0) * d
+                        + T::ONE),
+                sixth * d3,
+            ],
+        )
+    }
+}
+
+/// Old and new shape weights of a moving particle on a *common* index
+/// window of `SUPPORT + 1` points (the particle moves less than one cell
+/// per step under the CFL limit), as needed by the Esirkepov deposition.
+///
+/// Returns `(anchor, s_old, s_new)`; weights live in
+/// `[0 .. S::SUPPORT + 1]` of the fixed-size arrays.
+#[inline(always)]
+pub fn dual<S: Shape, T: Real>(xi_old: T, xi_new: T) -> (i64, [T; 5], [T; 5]) {
+    let (i0o, wo) = S::eval(xi_old);
+    let (i0n, wn) = S::eval(xi_new);
+    debug_assert!(
+        (i0o - i0n).abs() <= 1,
+        "particle moved more than one cell per step (CFL violation)"
+    );
+    let anchor = i0o.min(i0n);
+    let mut s0 = [T::ZERO; 5];
+    let mut s1 = [T::ZERO; 5];
+    let oo = (i0o - anchor) as usize;
+    let on = (i0n - anchor) as usize;
+    s0[oo..oo + S::SUPPORT].copy_from_slice(&wo[..S::SUPPORT]);
+    s1[on..on + S::SUPPORT].copy_from_slice(&wn[..S::SUPPORT]);
+    (anchor, s0, s1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition<S: Shape>(xi: f64) {
+        let (_, w) = S::eval::<f64>(xi);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "order {} xi={xi}: {w:?}", S::ORDER);
+        for v in &w[..S::SUPPORT] {
+            assert!(*v >= -1e-15, "negative weight at xi={xi}: {w:?}");
+        }
+        for v in &w[S::SUPPORT..] {
+            assert_eq!(*v, 0.0);
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_samples() {
+        for i in 0..1000 {
+            let xi = -5.0 + 10.0 * (i as f64) / 999.0;
+            check_partition::<Linear>(xi);
+            check_partition::<Quadratic>(xi);
+            check_partition::<Cubic>(xi);
+        }
+    }
+
+    #[test]
+    fn ngp_picks_nearest() {
+        let (i0, w) = Ngp::eval::<f64>(2.4);
+        assert_eq!(i0, 2);
+        assert_eq!(w[0], 1.0);
+        let (i0, _) = Ngp::eval::<f64>(2.6);
+        assert_eq!(i0, 3);
+    }
+
+    #[test]
+    fn linear_exact_values() {
+        let (i0, w) = Linear::eval::<f64>(2.25);
+        assert_eq!(i0, 2);
+        assert!((w[0] - 0.75).abs() < 1e-15 && (w[1] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_symmetry_on_node() {
+        // Particle exactly on a node: symmetric [1/8, 3/4, 1/8].
+        let (i0, w) = Quadratic::eval::<f64>(3.0);
+        assert_eq!(i0, 2);
+        assert!((w[0] - 0.125).abs() < 1e-15);
+        assert!((w[1] - 0.75).abs() < 1e-15);
+        assert!((w[2] - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cubic_symmetry_mid_cell() {
+        // Particle at a cell center: [1/48, 23/48, 23/48, 1/48].
+        let (i0, w) = Cubic::eval::<f64>(1.5);
+        assert_eq!(i0, 0);
+        assert!((w[0] - 1.0 / 48.0).abs() < 1e-15);
+        assert!((w[1] - 23.0 / 48.0).abs() < 1e-15);
+        assert!((w[2] - 23.0 / 48.0).abs() < 1e-15);
+        assert!((w[3] - 1.0 / 48.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shapes_are_continuous() {
+        // Sample the reconstructed shape function S(x) on a fine grid and
+        // verify continuity across cell boundaries.
+        fn recon<S: Shape>(xi: f64, node: i64) -> f64 {
+            let (i0, w) = S::eval::<f64>(xi);
+            let k = node - i0;
+            if (0..S::SUPPORT as i64).contains(&k) {
+                w[k as usize]
+            } else {
+                0.0
+            }
+        }
+        for order_fn in [recon::<Quadratic> as fn(f64, i64) -> f64, recon::<Cubic>] {
+            for e in [-1.0f64, 0.0, 1.0, 2.0] {
+                let lo = order_fn(e - 1e-9, 1);
+                let hi = order_fn(e + 1e-9, 1);
+                assert!((lo - hi).abs() < 1e-6, "discontinuity at {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_windows_align() {
+        let (a, s0, s1) = dual::<Quadratic, f64>(2.3, 2.9);
+        assert!((s0.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s1.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Old anchored at floor(2.3+0.5)-1 = 1, new at floor(2.9+.5)-1 = 2.
+        assert_eq!(a, 1);
+        assert_eq!(s1[0], 0.0); // new window shifted right by one
+    }
+
+    #[test]
+    fn dual_identical_positions() {
+        let (_, s0, s1) = dual::<Cubic, f64>(4.7, 4.7);
+        assert_eq!(s0, s1);
+    }
+}

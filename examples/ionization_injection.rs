@@ -1,0 +1,114 @@
+//! Ionization injection (the technique of the paper's refs [11]–[13]).
+//!
+//! A nitrogen dopant sits in the wake-driving gas: the laser's rising
+//! edge strips the five L-shell electrons everywhere it passes, but the
+//! two K-shell electrons (552 / 667 eV) ionize only near the intensity
+//! peak — born at rest *inside* the wake where they can be trapped. This
+//! example drives an intense pulse through a nitrogen-doped region and
+//! shows the two ionization populations separating.
+//!
+//! Run with: `cargo run --release --example ionization_injection`
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::ionization::{barrier_suppression_field, Element, IonReservoir};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, SimulationBuilder};
+use mrpic::core::species::{inject, Species};
+use mrpic::field::fieldset::Dim;
+
+fn main() {
+    let um = 1.0e-6;
+    let dx = 0.05 * um;
+    let n = Element::nitrogen();
+    println!("nitrogen ionization thresholds (barrier suppression):");
+    for (lv, &ip) in n.ionization_ev.iter().enumerate() {
+        println!(
+            "  N{}+ -> N{}+ : I_p = {:6.1} eV, E_BSI = {:.2e} V/m",
+            lv,
+            lv + 1,
+            ip,
+            barrier_suppression_field(ip, lv as u8 + 1)
+        );
+    }
+
+    let a0 = 2.0;
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(384, 1, 64), [dx; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(10)
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.7)
+        .add_species(Species::electrons(
+            "ionized", // receives the newborn electrons
+            Profile::Uniform { n0: 0.0 },
+            [1, 1, 1],
+        ))
+        .add_laser({
+            let mut l = antenna_for_a0(a0, 0.8 * um, 8.0e-15, 1.5 * um, 1.6 * um, 2.5 * um);
+            l.t_peak = 14.0e-15;
+            l
+        })
+        .build();
+    println!(
+        "\nlaser: a0 = {a0} (E0 = {:.2e} V/m) -> strips L-shell everywhere,",
+        sim.lasers[0].e0
+    );
+    println!("K-shell (E_BSI = {:.2e} V/m) only near the axis/peak", barrier_suppression_field(552.07, 6));
+
+    // Neutral nitrogen dopant between 8 and 14 um.
+    let mut ions = mrpic::core::particles::ParticleContainer::new(sim.fs.nfabs());
+    let dopant = Species::electrons("n2", Profile::Uniform { n0: 2.0e24 }, [1, 1, 2]);
+    let region = IndexBox::new(IntVect::new(160, 0, 0), IntVect::new(280, 1, 64));
+    inject(
+        &dopant,
+        Dim::Two,
+        &sim.fs.geom,
+        &sim.fs.boxarray().clone(),
+        &region,
+        &mut ions,
+        23,
+    );
+    let mut res = IonReservoir::new(n, ions, 5);
+    println!("\n{} macro-ions in the dopant region", res.ions.total());
+
+    let t_end = 50.0e-15;
+    let mut next = 5.0e-15;
+    while sim.time < t_end {
+        sim.step();
+        mrpic::core::ionization::ionize(&mut sim, &mut res, 0);
+        if sim.time >= next {
+            println!(
+                "t = {:5.1} fs | mean charge state {:.2} | released e- (weighted) {:.3e} | laser peak {:.2e}",
+                sim.time / 1e-15,
+                res.mean_level(),
+                res.released_weight(),
+                sim.fs.e[1].max_abs(0)
+            );
+            next += 5.0e-15;
+        }
+    }
+
+    // Population split: count macro-ions at exactly 5 (L-shell stripped)
+    // vs 6-7 (K-shell reached).
+    let mut hist = [0usize; 8];
+    for lv in &res.levels {
+        for &l in lv {
+            hist[l as usize] += 1;
+        }
+    }
+    println!("\ncharge-state histogram after the pulse:");
+    for (l, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            println!("  N{l}+ : {c}");
+        }
+    }
+    let l_shell: usize = hist[1..=5].iter().sum();
+    let k_shell: usize = hist[6..=7].iter().sum();
+    println!("\nL-shell-only ions: {l_shell}, K-shell-reached ions: {k_shell}");
+    println!(
+        "K-shell electrons are born at the intensity peak — the localized\n\
+         injection that refs [11]-[13] of the paper exploit."
+    );
+    assert!(l_shell > 0, "the pulse should strip the L shell");
+}

@@ -1,0 +1,103 @@
+//! Plasma-mirror reflection (the paper's Fig. 2 a–b).
+//!
+//! An intense pulse hits an overdense foil: the foil reflects the light
+//! (plasma mirror) and the laser rips electron bunches off the surface.
+//! Prints the reflectivity and the extracted hot-electron charge, and
+//! writes snapshots before/during/after reflection.
+//!
+//! Run with: `cargo run --release --example plasma_mirror`
+
+use mrpic::amr::IntVect;
+use mrpic::core::diag::{beam_charge, write_field_slice, FieldPick};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+use mrpic::kernels::constants::{critical_density, M_E, Q_E};
+
+fn main() {
+    let um = 1.0e-6;
+    let dx = 0.04 * um;
+    let nc = critical_density(0.8 * um);
+    let nx = 384i64;
+    let nz = 128i64;
+    let foil_x0 = 9.0 * um;
+    let foil_x1 = 10.0 * um;
+
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(nx, 1, nz), [dx; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(10)
+        .order(ShapeOrder::Cubic)
+        .cfl(0.6)
+        .sort_interval(25)
+        .add_species(Species::electrons(
+            "foil",
+            Profile::Slab {
+                n0: 8.0 * nc, // scaled-down solid (paper: 50-55 n_c)
+                axis: 0,
+                x0: foil_x0,
+                x1: foil_x1,
+            },
+            [2, 1, 2],
+        ))
+        .add_laser({
+            let mut l = antenna_for_a0(4.0, 0.8 * um, 10.0e-15, 2.0 * um, 2.56 * um, 2.0 * um);
+            l.t_peak = 18.0e-15;
+            l
+        })
+        .build();
+
+    println!(
+        "foil at {:.1}-{:.1} um, n = 8 n_c; laser a0 = {:.1}; {} particles",
+        foil_x0 / um,
+        foil_x1 / um,
+        sim.lasers[0].a0(),
+        sim.total_particles()
+    );
+
+    let out = std::path::PathBuf::from("target/plasma_mirror_out");
+    std::fs::create_dir_all(&out).unwrap();
+
+    // Energy arriving vs returning on a plane in front of the foil.
+    let snapshots = [25.0e-15, 45.0e-15, 70.0e-15];
+    let mut snap = 0;
+    let t_end = 90.0e-15;
+    let mut incident_peak = 0.0f64;
+    let mut reflected_peak = 0.0f64;
+    while sim.time < t_end {
+        sim.step();
+        // Laser field on the vacuum side of the foil.
+        let probe_x = ((6.0 * um) / dx) as i64;
+        let mut column_max = 0.0f64;
+        for k in 0..nz {
+            column_max = column_max.max(sim.fs.e[1].at(0, IntVect::new(probe_x, 0, k)).abs());
+        }
+        if sim.time < 40.0e-15 {
+            incident_peak = incident_peak.max(column_max);
+        } else {
+            reflected_peak = reflected_peak.max(column_max);
+        }
+        if snap < snapshots.len() && sim.time >= snapshots[snap] {
+            let tag = format!("t{:02.0}fs", sim.time / 1e-15);
+            write_field_slice(&sim.fs, FieldPick::E(1), 0, &out.join(format!("ey_{tag}.csv")), 2)
+                .unwrap();
+            write_field_slice(&sim.fs, FieldPick::J(0), 0, &out.join(format!("jx_{tag}.csv")), 2)
+                .unwrap();
+            println!("t = {:4.0} fs: snapshot written ({tag})", sim.time / 1e-15);
+            snap += 1;
+        }
+    }
+
+    let reflectivity = (reflected_peak / incident_peak).powi(2);
+    println!("\nincident peak field:  {incident_peak:.3e} V/m");
+    println!("reflected peak field: {reflected_peak:.3e} V/m");
+    println!("intensity reflectivity: {:.0}%", 100.0 * reflectivity.min(1.0));
+
+    let hot = beam_charge(&sim.parts[0], -Q_E, M_E, 0.1).abs();
+    println!("extracted charge above 0.1 MeV: {:.3e} C ({:.2} pC)", hot, hot / 1e-12);
+    println!("outputs in {}", out.display());
+
+    assert!(reflectivity > 0.2, "plasma mirror failed to reflect");
+}

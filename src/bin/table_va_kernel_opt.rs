@@ -1,0 +1,187 @@
+//! §V-A.1 table reproduction: baseline vs optimized gather/deposition.
+//!
+//! The paper reports, for the A64FX-optimized kernels on a single node:
+//!
+//! ```text
+//! Routine      Reference (s)   Optimized (s)   Speed up
+//! Gather       270.6           102.7           2.63X
+//! Deposition   246.2            53.51          4.60X
+//! ```
+//!
+//! We time the same restructuring retargeted at this host: the baseline
+//! per-component kernels vs the optimized variants (shared weight
+//! evaluation, contiguous fused-multiply-add inner rows, no bounds
+//! checks in the hot loop), order 3, single precision as in the paper's
+//! experiment. Absolute factors are ISA-specific; the *shape* under test
+//! is that the restructuring wins on both hot spots.
+//!
+//! Run with: `cargo run --release --bin table_va_kernel_opt`
+
+use mrpic::kernels::deposit::{esirkepov3, esirkepov3_blocked, JViews};
+use mrpic::kernels::gather::{gather3, gather3_blocked, EmOut, EmViews};
+use mrpic::kernels::view::{FieldView, FieldViewMut, Geom};
+use std::time::Instant;
+
+const N: i64 = 64; // grid points per axis
+const NP: usize = 400_000;
+const REPS: usize = 5;
+
+struct Arrays {
+    fields: Vec<Vec<f32>>,
+    j: Vec<Vec<f32>>,
+}
+
+fn half_flags() -> [[bool; 3]; 6] {
+    [
+        [true, false, false],
+        [false, true, false],
+        [false, false, true],
+        [false, true, true],
+        [true, false, true],
+        [true, true, false],
+    ]
+}
+
+fn main() {
+    let len = (N * N * N) as usize;
+    let mut arrays = Arrays {
+        fields: (0..6)
+            .map(|c| (0..len).map(|i| ((i * (c + 3)) as f32 * 1.3e-4).sin()).collect())
+            .collect(),
+        j: (0..3).map(|_| vec![0.0f32; len]).collect(),
+    };
+    let geom = Geom {
+        xmin: [0.0; 3],
+        dx: [1.0e-6; 3],
+    };
+    // Locality-sorted particles (tiles of ~1 cell), as the production
+    // loop provides after periodic sorting.
+    let mut state = 1u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    let mut xs = vec![0.0f32; NP];
+    let mut ys = vec![0.0f32; NP];
+    let mut zs = vec![0.0f32; NP];
+    let mut x1 = vec![0.0f32; NP];
+    let mut y1 = vec![0.0f32; NP];
+    let mut z1 = vec![0.0f32; NP];
+    let w = vec![1.0e5f32; NP];
+    let cells_per_axis = (N - 16) as f64;
+    for p in 0..NP {
+        // Morton-ish ordering: fill cell by cell.
+        let cell = p / 16;
+        let cx = (cell % cells_per_axis as usize) as f64;
+        let cz = ((cell / cells_per_axis as usize) % cells_per_axis as usize) as f64;
+        let cy = (cell / (cells_per_axis * cells_per_axis) as usize) as f64 % cells_per_axis;
+        xs[p] = ((8.0 + cx + rng()) * 1.0e-6) as f32;
+        ys[p] = ((8.0 + cy + rng()) * 1.0e-6) as f32;
+        zs[p] = ((8.0 + cz + rng()) * 1.0e-6) as f32;
+        x1[p] = xs[p] + ((rng() - 0.5) * 0.9e-6) as f32;
+        y1[p] = ys[p] + ((rng() - 0.5) * 0.9e-6) as f32;
+        z1[p] = zs[p] + ((rng() - 0.5) * 0.9e-6) as f32;
+    }
+    let mut out = vec![vec![0.0f32; NP]; 6];
+
+    fn view(data: &[f32], half: [bool; 3]) -> FieldView<'_, f32> {
+        FieldView {
+            data,
+            lo: [0, 0, 0],
+            nx: N,
+            nxy: N * N,
+            half,
+        }
+    }
+    let flags = half_flags();
+
+    // --- gather ---
+    let time_gather = |blocked: bool, arrays: &Arrays, out: &mut Vec<Vec<f32>>| -> f64 {
+        let views = EmViews {
+            ex: view(&arrays.fields[0], flags[0]),
+            ey: view(&arrays.fields[1], flags[1]),
+            ez: view(&arrays.fields[2], flags[2]),
+            bx: view(&arrays.fields[3], flags[3]),
+            by: view(&arrays.fields[4], flags[4]),
+            bz: view(&arrays.fields[5], flags[5]),
+        };
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let (o0, rest) = out.split_at_mut(1);
+            let (o1, rest) = rest.split_at_mut(1);
+            let (o2, rest) = rest.split_at_mut(1);
+            let (o3, rest) = rest.split_at_mut(1);
+            let (o4, o5) = rest.split_at_mut(1);
+            let mut eo = EmOut {
+                ex: &mut o0[0],
+                ey: &mut o1[0],
+                ez: &mut o2[0],
+                bx: &mut o3[0],
+                by: &mut o4[0],
+                bz: &mut o5[0],
+            };
+            if blocked {
+                gather3_blocked::<mrpic::kernels::shape::Cubic, f32>(
+                    &xs, &ys, &zs, &geom, &views, &mut eo,
+                );
+            } else {
+                gather3::<mrpic::kernels::shape::Cubic, f32>(
+                    &xs, &ys, &zs, &geom, &views, &mut eo,
+                );
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let g_ref = time_gather(false, &arrays, &mut out);
+    let g_opt = time_gather(true, &arrays, &mut out);
+
+    // --- deposition ---
+    let time_deposit = |blocked: bool, arrays: &mut Arrays| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            for c in arrays.j.iter_mut() {
+                c.fill(0.0);
+            }
+            let (jx, rest) = arrays.j.split_at_mut(1);
+            let (jy, jz) = rest.split_at_mut(1);
+            let mut jv = JViews {
+                jx: FieldViewMut {
+                    data: &mut jx[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    half: flags[0],
+                },
+                jy: FieldViewMut {
+                    data: &mut jy[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    half: flags[1],
+                },
+                jz: FieldViewMut {
+                    data: &mut jz[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    half: flags[2],
+                },
+            };
+            let q = -1.602e-19f32;
+            let dt = 1.0e-15f32;
+            if blocked {
+                esirkepov3_blocked::<mrpic::kernels::shape::Cubic, f32>(
+                    &xs, &ys, &zs, &x1, &y1, &z1, &w, q, dt, &geom, &mut jv,
+                );
+            } else {
+                esirkepov3::<mrpic::kernels::shape::Cubic, f32>(
+                    &xs, &ys, &zs, &x1, &y1, &z1, &w, q, dt, &geom, &mut jv,
+                );
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let d_ref = time_deposit(false, &mut arrays);
+    let d_opt = time_deposit(true, &mut arrays);
+
+    println!("§V-A.1 kernel-optimization table (this host, order 3, SP, {NP} particles x {REPS} reps)\n");
+    println!("Routine      Reference (s)   Optimized (s)   Speed up");
+    println!("Gather       {g_ref:<15.3} {g_opt:<15.3} {:.2}X", g_ref / g_opt);
+    println!("Deposition   {d_ref:<15.3} {d_opt:<15.3} {:.2}X", d_ref / d_opt);
+    println!("\npaper (A64FX): Gather 2.63X, Deposition 4.60X");
+    println!("expected shape: both speedups > 1 (absolute factors are ISA-specific;");
+    println!("the paper's 4.6X deposition relies on A64FX NEON 4x4 register transposes)");
+}

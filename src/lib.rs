@@ -1,0 +1,26 @@
+//! `mrpic` — mesh-refined electromagnetic Particle-In-Cell simulations.
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`amr`] — block-structured mesh substrate (boxes, distribution
+//!   mappings, staggered fab arrays, guard exchange);
+//! * [`kernels`] — particle↔mesh hot loops (shape factors, field gather,
+//!   Esirkepov current deposition, Boris/Vay pushers);
+//! * [`field`] — Yee FDTD Maxwell solver, PML absorbing layers, moving
+//!   window, spectral (PSATD) extension;
+//! * [`core`] — the simulation driver: species, lasers, mesh refinement,
+//!   diagnostics, load balancing;
+//! * [`cluster`] — exascale machine models and the scaling/FOM/Flop-rate
+//!   simulator used to regenerate the paper's performance studies.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use mrpic_amr as amr;
+pub use mrpic_cluster as cluster;
+pub use mrpic_core as core;
+pub use mrpic_field as field;
+pub use mrpic_kernels as kernels;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,104 @@
+//! Determinism: identical configurations produce bitwise identical
+//! trajectories and fields — the property that makes the paper's
+//! cross-machine validations and our MR comparisons meaningful.
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+
+fn build(seed: u64) -> Simulation {
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(seed)
+        .sort_interval(10)
+        .filter_passes(1)
+        .add_species(
+            Species::electrons(
+                "foil",
+                Profile::Slab {
+                    n0: 2.0e27,
+                    axis: 0,
+                    x0: 4.0e-6,
+                    x1: 4.6e-6,
+                },
+                [2, 1, 2],
+            )
+            .with_thermal([1.0e6; 3]),
+        )
+        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6))
+        .build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(30, 0, 0), IntVect::new(56, 1, 24)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    sim
+}
+
+#[test]
+fn same_seed_is_bitwise_reproducible() {
+    let mut a = build(77);
+    let mut b = build(77);
+    for _ in 0..60 {
+        a.step();
+        b.step();
+    }
+    // Particles: identical to the bit.
+    for (ba_, bb) in a.parts[0].bufs.iter().zip(&b.parts[0].bufs) {
+        assert_eq!(ba_.len(), bb.len());
+        for i in 0..ba_.len() {
+            assert_eq!(ba_.x[i].to_bits(), bb.x[i].to_bits());
+            assert_eq!(ba_.ux[i].to_bits(), bb.ux[i].to_bits());
+        }
+    }
+    // Fields: identical to the bit.
+    for c in 0..3 {
+        for fi in 0..a.fs.e[c].nfabs() {
+            assert_eq!(a.fs.e[c].fab(fi).raw(), b.fs.e[c].fab(fi).raw());
+        }
+    }
+    // MR patch state too.
+    let (ma, mb) = (a.mr.as_ref().unwrap(), b.mr.as_ref().unwrap());
+    assert_eq!(ma.fine.e[1].fab(0).raw(), mb.fine.e[1].fab(0).raw());
+}
+
+#[test]
+fn different_seed_diverges() {
+    let mut a = build(77);
+    let mut b = build(78);
+    for _ in 0..20 {
+        a.step();
+        b.step();
+    }
+    // Thermal velocities differ, so trajectories must differ.
+    let ax: f64 = a.parts[0].bufs.iter().flat_map(|b| b.ux.iter()).sum();
+    let bx: f64 = b.parts[0].bufs.iter().flat_map(|b| b.ux.iter()).sum();
+    assert_ne!(ax.to_bits(), bx.to_bits());
+}
+
+#[test]
+fn checkpoint_restore_is_bitwise() {
+    use mrpic::core::checkpoint::Checkpoint;
+    let mut a = build(5);
+    a.run(15);
+    let ck = Checkpoint::capture(&a);
+    let mut b = build(5);
+    ck.restore(&mut b);
+    for (ba_, bb) in a.parts[0].bufs.iter().zip(&b.parts[0].bufs) {
+        for i in 0..ba_.len() {
+            assert_eq!(ba_.z[i].to_bits(), bb.z[i].to_bits());
+            assert_eq!(ba_.uz[i].to_bits(), bb.uz[i].to_bits());
+        }
+    }
+    assert_eq!(a.time, b.time);
+}

@@ -1,0 +1,399 @@
+//! Mesh-refinement validation: the paper's key correctness claim is that
+//! MR and no-MR runs of the same physical scenario agree (Fig. 7 a/b:
+//! "the amount of injected charge and the associated electron beam
+//! spectra agree well with or without MR").
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::diag::{beam_charge, electron_spectrum};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+use mrpic::kernels::constants::{M_E, Q_E};
+
+/// Uniform-plasma oscillation: adding an MR patch over a quiet region
+/// must not change the parent solution appreciably.
+#[test]
+fn mr_patch_preserves_uniform_plasma_oscillation() {
+    let n0 = 5.0e24;
+    let dx = 0.5e-6;
+    let build = || {
+        SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(48, 1, 16), [dx; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Quadratic)
+            .cfl(0.5)
+            .seed(11)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0 }, [2, 1, 2])
+                    .with_drift([2.0e6, 0.0, 0.0]),
+            )
+            .build()
+    };
+    let mut plain: Simulation = build();
+    let mut refined: Simulation = build();
+    refined.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(16, 0, 4), IntVect::new(32, 1, 12)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    // Run both at the (smaller) MR time step for a fair comparison.
+    plain.dt = refined.dt;
+    let steps = 120;
+    let probe_out = IntVect::new(6, 0, 2); // outside the patch
+    let probe_in = IntVect::new(24, 0, 8); // inside the patch
+    let mut max_ref: f64 = 0.0;
+    let mut max_diff_out: f64 = 0.0;
+    let mut max_diff_in: f64 = 0.0;
+    for _ in 0..steps {
+        plain.step();
+        refined.step();
+        let (po, ro) = (
+            plain.fs.e[0].at(0, probe_out),
+            refined.fs.e[0].at(0, probe_out),
+        );
+        let (pi, ri) = (
+            plain.fs.e[0].at(0, probe_in),
+            refined.fs.e[0].at(0, probe_in),
+        );
+        max_ref = max_ref.max(po.abs()).max(pi.abs());
+        max_diff_out = max_diff_out.max((po - ro).abs());
+        max_diff_in = max_diff_in.max((pi - ri).abs());
+    }
+    assert!(max_ref > 0.0, "no plasma oscillation developed");
+    assert!(
+        max_diff_out < 0.05 * max_ref,
+        "MR perturbs the solution outside the patch: {:.2}%",
+        100.0 * max_diff_out / max_ref
+    );
+    assert!(
+        max_diff_in < 0.10 * max_ref,
+        "MR parent solution diverges inside the patch: {:.2}%",
+        100.0 * max_diff_in / max_ref
+    );
+}
+
+/// Scaled-down hybrid-target run: a laser hits a dense slab backed by
+/// tenuous gas; electrons are extracted and accelerated. The injected
+/// charge and the electron spectrum of the MR run must agree with a
+/// no-MR run at the *fine* resolution everywhere — the paper's Fig. 7
+/// validation (its no-MR reference also runs at a uniformly high
+/// resolution, since the coarse grid alone under-resolves the skin
+/// depth of the solid).
+#[test]
+fn laser_solid_mr_matches_unrefined() {
+    let um = 1.0e-6;
+    let dx = 0.1 * um;
+    let nc = mrpic::kernels::constants::critical_density(0.8 * um);
+    let build = |cells_x: i64, cells_z: i64, h: f64| {
+        SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(cells_x, 1, cells_z), [h, h, h], [0.0; 3])
+            .periodic([false, false, true])
+            .pml(8)
+            .order(ShapeOrder::Quadratic)
+            .cfl(0.6)
+            .seed(3)
+            .sort_interval(25)
+            .add_species(
+                // Pre-ionized solid-density foil (a few n_c, scaled).
+                Species::electrons(
+                    "solid",
+                    Profile::Slab {
+                        n0: 4.0 * nc,
+                        axis: 0,
+                        x0: 12.0 * um,
+                        x1: 13.0 * um,
+                    },
+                    [2, 1, 2],
+                ),
+            )
+            .add_laser({
+                let mut l =
+                    antenna_for_a0(2.5, 0.8 * um, 8.0e-15, 3.0 * um, 3.2 * um, 2.5 * um);
+                l.t_peak = 16.0e-15;
+                l
+            })
+            .build()
+    };
+    // Reference: uniformly fine grid (the "no MR, 2x res." case).
+    let mut fine = build(384, 128, dx / 2.0);
+    // Baseline: uniformly coarse grid (under-resolves the skin depth).
+    let mut coarse = build(192, 64, dx);
+    // MR: coarse grid with a fine patch over the foil.
+    let mut refined = build(192, 64, dx);
+    refined.add_mr_patch(MrConfig {
+        // Patch covers the foil with margins.
+        patch: IndexBox::new(IntVect::new(100, 0, 0), IntVect::new(150, 1, 64)),
+        rr: 2,
+        n_transition: 3,
+        npml: 8,
+        subcycle: false,
+    });
+    fine.dt = refined.dt;
+    coarse.dt = refined.dt;
+    // Run until the reflected pulse and the extracted electrons separate
+    // from the target (~65 fs).
+    let t_end = 65.0e-15;
+    for sim in [&mut fine, &mut coarse, &mut refined] {
+        while sim.time < t_end {
+            sim.step();
+        }
+    }
+    // Hot-electron charge above 0.1 MeV.
+    let qf = beam_charge(&fine.parts[0], -Q_E, M_E, 0.1).abs();
+    let qc = beam_charge(&coarse.parts[0], -Q_E, M_E, 0.1).abs();
+    let qr = beam_charge(&refined.parts[0], -Q_E, M_E, 0.1).abs();
+    assert!(qf > 1.0e-15, "no electrons extracted in the reference run");
+    // (a) MR tracks the fine-resolution answer to within ~2x while the
+    // coarse grid is off by much more;
+    let ratio = qr / qf;
+    assert!(
+        (0.4..=2.2).contains(&ratio),
+        "MR vs fine-res injected charge differ: {qr:e} vs {qf:e}"
+    );
+    // (b) the MR answer is strictly *closer* to the converged (fine)
+    // answer than the coarse-only run — the whole point of refinement.
+    assert!(
+        (qr - qf).abs() < (qc - qf).abs(),
+        "MR ({qr:e}) no closer to fine ({qf:e}) than coarse ({qc:e})"
+    );
+    // (c) spectral shape: MR at least as close to fine as coarse is.
+    let sf = electron_spectrum(&fine.parts[0], 5.0, 25);
+    let sc = electron_spectrum(&coarse.parts[0], 5.0, 25);
+    let sr = electron_spectrum(&refined.parts[0], 5.0, 25);
+    let d_mr = sf.l1_distance(&sr);
+    let d_coarse = sf.l1_distance(&sc);
+    assert!(
+        d_mr <= d_coarse + 0.05,
+        "MR spectrum (L1 {d_mr:.2}) worse than coarse (L1 {d_coarse:.2})"
+    );
+    assert!(d_mr < 0.5, "spectra disagree: L1 = {d_mr:.2}");
+}
+
+/// Removing the patch mid-run must leave the parent solution intact
+/// (the parent always holds the complete coarse solution).
+#[test]
+fn mr_patch_removal_is_smooth() {
+    let n0 = 2.0e24;
+    let dx = 0.5e-6;
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(32, 1, 16), [dx; 3], [0.0; 3])
+        .periodic([true, true, true])
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.5)
+        .seed(7)
+        .add_species(
+            Species::electrons("e", Profile::Uniform { n0 }, [1, 1, 2])
+                .with_drift([1.0e6, 0.0, 0.0]),
+        )
+        .build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(8, 0, 4), IntVect::new(24, 1, 12)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    let dt_fine = sim.dt;
+    for _ in 0..40 {
+        sim.step();
+    }
+    let probe = IntVect::new(16, 0, 8);
+    let before = sim.fs.e[0].at(0, probe);
+    sim.remove_mr_patch();
+    assert!(sim.mr.is_none());
+    assert!(sim.dt > dt_fine, "dt must relax to the coarse limit");
+    // Field state is untouched by removal.
+    assert_eq!(sim.fs.e[0].at(0, probe), before);
+    // And the run continues stably.
+    let scale = sim.fs.e[0].max_abs(0);
+    for _ in 0..40 {
+        sim.step();
+    }
+    let after = sim.fs.e[0].max_abs(0);
+    assert!(after.is_finite());
+    assert!(after < 20.0 * scale.max(1.0), "post-removal blow-up: {after:e}");
+}
+
+/// Subcycling: the parent keeps the coarse Courant step while the patch
+/// grids take `rr` sub-steps. The physics must match the non-subcycled
+/// run, while the parent advances with half the steps.
+#[test]
+fn subcycled_mr_matches_non_subcycled() {
+    let n0 = 5.0e24;
+    let dx = 0.5e-6;
+    let build = |subcycle: bool| {
+        let mut sim = SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(48, 1, 16), [dx; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Quadratic)
+            .cfl(0.5)
+            .seed(21)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0 }, [2, 1, 2])
+                    .with_drift([2.0e6, 0.0, 0.0]),
+            )
+            .build();
+        sim.add_mr_patch(MrConfig {
+            patch: IndexBox::new(IntVect::new(16, 0, 4), IntVect::new(32, 1, 12)),
+            rr: 2,
+            n_transition: 2,
+            npml: 6,
+            subcycle,
+        });
+        sim
+    };
+    let mut sub = build(true);
+    let mut nosub = build(false);
+    // Subcycling keeps the coarse step: twice the non-subcycled dt.
+    assert!(
+        (sub.dt / nosub.dt - 2.0).abs() < 1e-9,
+        "dt ratio {} (expected 2)",
+        sub.dt / nosub.dt
+    );
+    let t_end = 80.0 * nosub.dt;
+    while sub.time < t_end - 1e-20 {
+        sub.step();
+    }
+    while nosub.time < t_end - 1e-20 {
+        nosub.step();
+    }
+    // Compare the parent plasma oscillation field.
+    let mut max_ref: f64 = 0.0;
+    let mut max_diff: f64 = 0.0;
+    for i in 0..48 {
+        let p = IntVect::new(i, 0, 8);
+        let (a, b) = (nosub.fs.e[0].at(0, p), sub.fs.e[0].at(0, p));
+        max_ref = max_ref.max(a.abs());
+        max_diff = max_diff.max((a - b).abs());
+    }
+    assert!(max_ref > 0.0);
+    assert!(
+        max_diff < 0.15 * max_ref,
+        "subcycled run diverged: {:.1}%",
+        100.0 * max_diff / max_ref
+    );
+    // And it is genuinely cheaper: half the parent steps.
+    assert_eq!(sub.istep * 2, nosub.istep);
+}
+
+/// Mesh refinement in 3-D: a patch over a quiet region of a uniform
+/// plasma leaves the parent solution intact, as in 2-D.
+#[test]
+fn mr_patch_preserves_3d_plasma_oscillation() {
+    let n0 = 5.0e24;
+    let dx = 0.5e-6;
+    let build = || {
+        SimulationBuilder::new(Dim::Three)
+            .domain(IntVect::new(24, 12, 12), [dx; 3], [0.0; 3])
+            .periodic([true, true, true])
+            .order(ShapeOrder::Linear)
+            .cfl(0.5)
+            .seed(9)
+            .add_species(
+                Species::electrons("e", Profile::Uniform { n0 }, [1, 1, 1])
+                    .with_drift([2.0e6, 0.0, 0.0]),
+            )
+            .build()
+    };
+    let mut plain = build();
+    let mut refined = build();
+    refined.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(8, 2, 2), IntVect::new(16, 10, 10)),
+        rr: 2,
+        n_transition: 2,
+        npml: 4,
+        subcycle: false,
+    });
+    plain.dt = refined.dt;
+    let probe = IntVect::new(4, 6, 6);
+    let mut max_ref: f64 = 0.0;
+    let mut max_diff: f64 = 0.0;
+    for _ in 0..50 {
+        plain.step();
+        refined.step();
+        let (a, b) = (
+            plain.fs.e[0].at(0, probe),
+            refined.fs.e[0].at(0, probe),
+        );
+        max_ref = max_ref.max(a.abs());
+        max_diff = max_diff.max((a - b).abs());
+    }
+    assert!(max_ref > 0.0, "no 3-D oscillation");
+    assert!(
+        max_diff < 0.08 * max_ref,
+        "3-D MR perturbed the parent: {:.1}%",
+        100.0 * max_diff / max_ref
+    );
+}
+
+/// Dynamic MR: a patch is added mid-run over the region that a
+/// density-tagging criterion finds, and the run continues stably —
+/// "dynamic mesh refinement" as exercised by the paper's load-balancing
+/// discussion ("when dynamic mesh refinement is employed, such as when
+/// the refinement patch is removed").
+#[test]
+fn dynamic_patch_addition_from_tagging() {
+    use mrpic::core::mr::suggest_patch;
+    let um = 1.0e-6;
+    let dx = 0.1 * um;
+    let nc = mrpic::kernels::constants::critical_density(0.8 * um);
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(128, 1, 32), [dx; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(13)
+        .add_species(Species::electrons(
+            "solid",
+            Profile::Slab {
+                n0: 3.0 * nc,
+                axis: 0,
+                x0: 7.0 * um,
+                x1: 8.0 * um,
+            },
+            [2, 1, 2],
+        ))
+        .add_laser({
+            let mut l = antenna_for_a0(1.5, 0.8 * um, 6.0e-15, 1.5 * um, 1.6 * um, 2.0 * um);
+            l.t_peak = 10.0e-15;
+            l
+        })
+        .build();
+    // Run a while without refinement.
+    for _ in 0..60 {
+        sim.step();
+    }
+    // The tagging criterion finds the dense foil.
+    let dv = dx * dx * dx;
+    let threshold = 0.5 * nc * dv; // half-critical per-cell weight
+    let patch = suggest_patch(&sim, 0, threshold, 6, 8).expect("foil not tagged");
+    // The suggested box covers the foil columns (70..80).
+    assert!(patch.lo.x <= 70 && patch.hi.x >= 80, "patch {patch:?}");
+    sim.add_mr_patch(MrConfig {
+        patch,
+        rr: 2,
+        n_transition: 2,
+        npml: 8,
+        subcycle: false,
+    });
+    // Continue with refinement active: stable fields, particles owned.
+    let steps = 80;
+    for _ in 0..steps {
+        sim.step();
+    }
+    let peak = sim.fs.e[1].max_abs(0);
+    assert!(peak.is_finite() && peak < 20.0 * sim.lasers[0].e0, "blow-up {peak:e}");
+    let ba = sim.fs.boxarray().clone();
+    let geom = sim.fs.geom;
+    assert!(sim.parts[0].check_ownership(&ba, &geom));
+    // And removal still works afterwards.
+    sim.remove_mr_patch();
+    sim.run(10);
+    assert!(sim.fs.e[1].max_abs(0).is_finite());
+}

@@ -1,0 +1,216 @@
+//! Cross-crate physics integration tests: laser propagation through MR
+//! patches, moving window + MR interplay, PSATD vs FDTD agreement, and
+//! global conservation during laser–plasma interaction.
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+use mrpic::kernels::constants::C;
+
+/// A vacuum laser pulse crossing the MR patch region must not reflect
+/// off the patch interface: the parent solution is independent of the
+/// refined levels by construction.
+#[test]
+fn vacuum_pulse_crosses_mr_patch_without_reflection() {
+    let dx = 0.05e-6;
+    let build = || {
+        SimulationBuilder::new(Dim::Two)
+            .domain(IntVect::new(256, 1, 16), [dx; 3], [0.0; 3])
+            .periodic([false, false, true])
+            .pml(8)
+            .cfl(0.6)
+            .add_laser({
+                let mut l =
+                    antenna_for_a0(1.0, 0.8e-6, 6.0e-15, 1.0e-6, 0.0, f64::INFINITY);
+                l.t_peak = 10.0e-15;
+                l
+            })
+            .build()
+    };
+    let mut plain = build();
+    let mut refined = build();
+    refined.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(100, 0, 0), IntVect::new(160, 1, 16)),
+        rr: 2,
+        n_transition: 2,
+        npml: 8,
+        subcycle: false,
+    });
+    plain.dt = refined.dt;
+    // Run until the pulse has fully crossed the patch region.
+    let steps = (30.0e-15 / plain.dt) as usize;
+    for _ in 0..steps {
+        plain.step();
+        refined.step();
+    }
+    // Parent fields agree everywhere to near machine precision: with no
+    // particles the fine/coarse patches hold zero and never feed back.
+    let mut max_diff = 0.0f64;
+    let mut max_ref = 0.0f64;
+    for i in 0..256 {
+        let p = IntVect::new(i, 0, 8);
+        let (a, b) = (plain.fs.e[1].at(0, p), refined.fs.e[1].at(0, p));
+        max_diff = max_diff.max((a - b).abs());
+        max_ref = max_ref.max(a.abs());
+    }
+    assert!(max_ref > 0.0);
+    assert!(
+        max_diff < 1e-9 * max_ref,
+        "patch disturbed a vacuum pulse: {:.2e} rel",
+        max_diff / max_ref
+    );
+}
+
+/// Moving window and MR together: the patch data slides with the grid
+/// and the run stays stable.
+#[test]
+fn moving_window_with_mr_patch_is_stable() {
+    let dx = 0.1e-6;
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(128, 1, 16), [dx; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .cfl(0.6)
+        .moving_window(20.0e-15)
+        .add_species(Species::electrons(
+            "gas",
+            Profile::Uniform { n0: 5.0e24 },
+            [1, 1, 1],
+        ))
+        .add_laser({
+            let mut l = antenna_for_a0(0.8, 0.8e-6, 5.0e-15, 1.0e-6, 0.0, f64::INFINITY);
+            l.t_peak = 8.0e-15;
+            l
+        })
+        .build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(48, 0, 0), IntVect::new(80, 1, 16)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    let steps = (60.0e-15 / sim.dt) as usize;
+    for _ in 0..steps {
+        sim.step();
+    }
+    assert!(sim.fs.geom.x0[0] > 0.0, "window never moved");
+    let peak = sim.fs.e[1].max_abs(0);
+    assert!(peak.is_finite() && peak > 0.0);
+    // No runaway: fields bounded by a few times the laser amplitude.
+    assert!(peak < 10.0 * sim.lasers[0].e0, "instability: {peak:e}");
+    // Particles stayed owned by the correct boxes through the shifts.
+    let ba = sim.fs.boxarray().clone();
+    let geom = sim.fs.geom;
+    assert!(sim.parts[0].check_ownership(&ba, &geom));
+}
+
+/// PSATD and FDTD agree on a well-resolved propagating wave (and PSATD
+/// has no dispersion error even at large dt).
+#[test]
+fn psatd_and_fdtd_agree_on_propagation() {
+    use mrpic::field::psatd::Psatd2d;
+    let (nx, nz) = (128usize, 4usize);
+    let dx = 1.0e-6;
+    let k = 2.0 * std::f64::consts::PI / (32.0 * dx); // 32 cells/lambda
+    // PSATD state.
+    let mut spectral = Psatd2d::new(nx, nz, dx, dx);
+    let mut ey = vec![0.0; nx * nz];
+    let mut bz = vec![0.0; nx * nz];
+    for r in 0..nz {
+        for i in 0..nx {
+            let x = i as f64 * dx;
+            ey[r * nx + i] = (k * x).sin();
+            bz[r * nx + i] = (k * x).sin() / C;
+        }
+    }
+    let zeros = vec![0.0; nx * nz];
+    spectral.set_fields([&zeros, &ey, &zeros], [&zeros, &zeros, &bz]);
+    // Advance one full box crossing with big steps.
+    let t_total = nx as f64 * dx / C;
+    let nsteps = 16usize;
+    for _ in 0..nsteps {
+        spectral.step(t_total / nsteps as f64, [&zeros, &zeros, &zeros]);
+    }
+    let (e, _) = spectral.get_fields();
+    // After exactly one periodic crossing the wave returns: compare.
+    let mut err = 0.0;
+    let mut norm = 0.0;
+    for i in 0..nx {
+        let d = e[1][i] - ey[i];
+        err += d * d;
+        norm += ey[i] * ey[i];
+    }
+    assert!(
+        (err / norm).sqrt() < 1e-9,
+        "PSATD dispersion error: {:.2e}",
+        (err / norm).sqrt()
+    );
+}
+
+/// Energy accounting during laser absorption: field energy converts to
+/// particle kinetic energy; the total (plus PML losses) never grows.
+#[test]
+fn laser_plasma_energy_budget() {
+    let dx = 0.05e-6;
+    let nc = mrpic::kernels::constants::critical_density(0.8e-6);
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(192, 1, 32), [dx; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(Species::electrons(
+            "foil",
+            Profile::Slab {
+                n0: 3.0 * nc,
+                axis: 0,
+                x0: 6.0e-6,
+                x1: 7.0e-6,
+            },
+            [2, 1, 2],
+        ))
+        .add_laser({
+            let mut l = antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 0.8e-6, 1.5e-6);
+            l.t_peak = 10.0e-15;
+            l
+        })
+        .build();
+    let mut peak_total = 0.0f64;
+    let steps = (45.0e-15 / sim.dt) as usize;
+    let mut ke_final = 0.0;
+    for _ in 0..steps {
+        sim.step();
+        let (fe, ke) = sim.total_energy();
+        peak_total = peak_total.max(fe + ke);
+        ke_final = ke;
+    }
+    // Electrons were heated.
+    assert!(ke_final > 0.0);
+    let (fe_end, ke_end) = sim.total_energy();
+    // After the pulse leaves (PML absorbs it), remaining energy is below
+    // the peak: nothing was created from nothing.
+    assert!(
+        fe_end + ke_end <= 1.02 * peak_total,
+        "energy grew: {:.3e} vs peak {:.3e}",
+        fe_end + ke_end,
+        peak_total
+    );
+}
+
+/// Boosted-frame bookkeeping: a stage modeled in the boosted frame needs
+/// orders of magnitude fewer steps (the speedup estimate of [50]).
+#[test]
+fn boosted_frame_speedup_bookkeeping() {
+    use mrpic::core::boost::Boost;
+    let b = Boost::new(10.0);
+    let (n_boost, u_drift) = b.plasma(1.0e24);
+    assert!(n_boost > 9.9e24 && u_drift < 0.0);
+    assert!(b.step_count_speedup() > 300.0); // ~4 gamma^2 = 400
+    let lam = b.laser_wavelength(0.8e-6);
+    assert!(lam > 15.0e-6, "red-shifted wavelength {lam:e}");
+}
