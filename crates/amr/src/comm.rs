@@ -37,6 +37,13 @@ pub struct CommStats {
     pub messages: u64,
     /// Number of exchange operations performed.
     pub exchanges: u64,
+    /// Number of exchange plans constructed (cache misses). Steady-state
+    /// stepping should keep this at zero once plans are warm.
+    #[serde(default)]
+    pub plan_builds: u64,
+    /// Wall-clock seconds spent executing exchanges.
+    #[serde(default)]
+    pub seconds: f64,
 }
 
 impl CommStats {

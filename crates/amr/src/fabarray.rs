@@ -10,6 +10,7 @@ use crate::{
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Domain periodicity description.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +72,23 @@ impl Periodicity {
     }
 }
 
+/// A cached [`ExchangePlan`] together with the key it was built under.
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    period: Periodicity,
+    generation: u64,
+    plan: ExchangePlan,
+}
+
+/// Per-array cache of fill/sum exchange plans. Plans depend only on the
+/// box layout, stagger, guard widths, and periodicity, so once built they
+/// stay valid until the layout generation changes.
+#[derive(Clone, Debug, Default)]
+struct PlanCache {
+    fill: Option<CachedPlan>,
+    sum: Option<CachedPlan>,
+}
+
 /// A multi-component staggered field over all boxes of a [`BoxArray`].
 #[derive(Clone, Debug)]
 pub struct FabArray {
@@ -80,6 +98,14 @@ pub struct FabArray {
     ngrow: IntVect,
     fabs: Vec<Fab>,
     stats: CommStats,
+    /// Layout generation; bumped whenever cached plans may go stale.
+    generation: u64,
+    plans: PlanCache,
+    /// Reusable pack buffer for aliasing-safe exchanges (no per-call
+    /// fab clones or allocations once warm).
+    xbuf: Vec<f64>,
+    /// Reusable clipped-region scratch matching `xbuf` pack order.
+    clips: Vec<Option<IndexBox>>,
 }
 
 impl FabArray {
@@ -100,7 +126,26 @@ impl FabArray {
             ngrow,
             fabs,
             stats: CommStats::default(),
+            generation: 0,
+            plans: PlanCache::default(),
+            xbuf: Vec::new(),
+            clips: Vec::new(),
         }
+    }
+
+    /// Current layout generation (changes invalidate cached plans).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drop cached exchange plans; they are rebuilt lazily on next use.
+    /// Call after any external change that could alter exchange topology
+    /// (e.g. a rebalance that reassigns box ownership).
+    pub fn invalidate_plans(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        self.plans.fill = None;
+        self.plans.sum = None;
     }
 
     #[inline]
@@ -176,99 +221,183 @@ impl FabArray {
 
     /// Copy valid data into guard regions of neighboring boxes (including
     /// periodic images). Call after every field update so stencils near
-    /// box edges see fresh neighbor data.
+    /// box edges see fresh neighbor data. The exchange plan is cached and
+    /// reused until the layout generation or periodicity changes.
     pub fn fill_boundary(&mut self, period: &Periodicity) {
-        let plan = ExchangePlan::fill(&self.ba, self.stagger, self.ngrow, period);
-        self.execute_copy(&plan);
+        let cached = match self.plans.fill.take() {
+            Some(c) if c.generation == self.generation && c.period == *period => c,
+            _ => {
+                self.stats.plan_builds += 1;
+                CachedPlan {
+                    period: *period,
+                    generation: self.generation,
+                    plan: ExchangePlan::fill(&self.ba, self.stagger, self.ngrow, period),
+                }
+            }
+        };
+        self.execute_copy(&cached.plan);
+        self.plans.fill = Some(cached);
     }
 
     /// Execute a prebuilt fill-style (copy) plan.
     pub fn execute_copy(&mut self, plan: &ExchangePlan) {
+        let t0 = Instant::now();
+        let ncomp = self.ncomp;
         let mut moved_points = 0i64;
         for it in &plan.items {
             if it.src == it.dst {
-                // Self periodic copy: snapshot the region to avoid aliasing.
-                let src_clone = self.fabs[it.src].clone();
-                let dst = &mut self.fabs[it.dst];
-                for c in 0..self.ncomp {
-                    dst.copy_region_from(&src_clone, &it.region, it.shift, c, c);
+                // Self periodic copy: pack the clipped source region first
+                // so reads never see partially written data.
+                let fab = &mut self.fabs[it.src];
+                if let Some(r) = clip_exchange_region(&it.region, it.shift, fab, fab) {
+                    for c in 0..ncomp {
+                        pack_region_into(fab, c, &r, &mut self.xbuf);
+                        let npts = r.num_cells() as usize;
+                        let start = self.xbuf.len() - npts;
+                        blend_region_from_buf(
+                            fab,
+                            c,
+                            &r,
+                            it.shift,
+                            &self.xbuf[start..],
+                            |_, s| s,
+                        );
+                    }
+                    self.xbuf.clear();
                 }
             } else {
                 let (a, b) = two_mut(&mut self.fabs, it.src, it.dst);
-                for c in 0..self.ncomp {
+                for c in 0..ncomp {
                     b.copy_region_from(a, &it.region, it.shift, c, c);
                 }
             }
             moved_points += it.region.num_cells();
             self.stats.messages += u64::from(it.src != it.dst);
         }
-        self.stats.bytes += moved_points as u64 * 8 * self.ncomp as u64;
+        self.stats.bytes += moved_points as u64 * 8 * ncomp as u64;
         self.stats.exchanges += 1;
+        self.stats.seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Accumulate deposited guard data into the valid region of the owning
     /// boxes (including periodic images). Used after charge/current
     /// deposition; afterwards every box's valid region holds the total.
+    /// The exchange plan is cached like in [`Self::fill_boundary`].
     pub fn sum_boundary(&mut self, period: &Periodicity) {
-        let plan = ExchangePlan::sum(&self.ba, self.stagger, self.ngrow, period);
-        // All additions must read pre-sum values: snapshot sources.
-        let snapshot: Vec<Fab> = plan
-            .items
-            .iter()
-            .map(|it| it.src)
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .map(|s| self.fabs[s].clone())
-            .collect();
-        let snap_ids: Vec<usize> = plan
-            .items
-            .iter()
-            .map(|it| it.src)
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        let lookup = |s: usize| -> &Fab {
-            let pos = snap_ids.binary_search(&s).expect("snapshotted");
-            &snapshot[pos]
-        };
-        let mut moved_points = 0i64;
-        for it in &plan.items {
-            let src = lookup(it.src);
-            let dst = &mut self.fabs[it.dst];
-            for c in 0..self.ncomp {
-                dst.add_region_from(src, &it.region, it.shift, c, c);
+        let cached = match self.plans.sum.take() {
+            Some(c) if c.generation == self.generation && c.period == *period => c,
+            _ => {
+                self.stats.plan_builds += 1;
+                CachedPlan {
+                    period: *period,
+                    generation: self.generation,
+                    plan: ExchangePlan::sum(&self.ba, self.stagger, self.ngrow, period),
+                }
             }
+        };
+        self.execute_sum(&cached.plan);
+        self.plans.sum = Some(cached);
+    }
+
+    /// Execute a prebuilt sum-style (accumulate) plan. All additions must
+    /// read pre-sum values, and valid regions of neighboring boxes can
+    /// overlap (shared nodal faces), so sources are packed into a reusable
+    /// buffer first and applied in a second phase — same semantics as the
+    /// previous whole-fab snapshots, without the clones.
+    pub fn execute_sum(&mut self, plan: &ExchangePlan) {
+        let t0 = Instant::now();
+        let Self {
+            fabs,
+            stats,
+            xbuf,
+            clips,
+            ncomp,
+            ..
+        } = self;
+        let ncomp = *ncomp;
+        xbuf.clear();
+        clips.clear();
+        let mut moved_points = 0i64;
+        // Phase 1: pack every clipped source region (pre-sum values).
+        for it in &plan.items {
+            let src = &fabs[it.src];
+            let r = clip_exchange_region(&it.region, it.shift, src, &fabs[it.dst]);
+            if let Some(r) = &r {
+                for c in 0..ncomp {
+                    pack_region_into(src, c, r, xbuf);
+                }
+            }
+            clips.push(r);
             moved_points += it.region.num_cells();
-            self.stats.messages += u64::from(it.src != it.dst);
+            stats.messages += u64::from(it.src != it.dst);
         }
-        self.stats.bytes += moved_points as u64 * 8 * self.ncomp as u64;
-        self.stats.exchanges += 1;
+        // Phase 2: apply the packed data in plan order.
+        let mut off = 0usize;
+        for (it, r) in plan.items.iter().zip(clips.iter()) {
+            let Some(r) = r else { continue };
+            let npts = r.num_cells() as usize;
+            let dst = &mut fabs[it.dst];
+            for c in 0..ncomp {
+                blend_region_from_buf(dst, c, r, it.shift, &xbuf[off..off + npts], |d, s| {
+                    d + s
+                });
+                off += npts;
+            }
+        }
+        stats.bytes += moved_points as u64 * 8 * ncomp as u64;
+        stats.exchanges += 1;
+        stats.seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Shift all data by `s` points across the whole array (moving
     /// window): new value at point `p` = old global value at `p + s`;
     /// uncovered points become 0. Guards are left stale — call
-    /// `fill_boundary` afterwards.
+    /// `fill_boundary` afterwards. Bumps the layout generation so cached
+    /// exchange plans are rebuilt conservatively.
     pub fn shift_data(&mut self, s: IntVect) {
         if s == IntVect::ZERO {
             return;
         }
+        self.invalidate_plans();
         if self.fabs.len() == 1 {
             self.fabs[0].shift_data(s);
             return;
         }
-        let old: Vec<Fab> = self.fabs.clone();
-        let valid: Vec<IndexBox> = old.iter().map(|f| f.valid_pts()).collect();
-        for dst in self.fabs.iter_mut() {
-            // Zero everything, then pull shifted valid data from all fabs.
-            dst.fill(0.0);
-            let want = dst.valid_pts();
-            for (si, src) in old.iter().enumerate() {
-                // Source points q with q - s inside dst valid.
-                if let Some(region) = valid[si].intersect(&want.shift(s)) {
-                    for c in 0..self.ncomp {
-                        dst.copy_region_from(src, &region, -s, c, c);
+        let Self {
+            fabs,
+            xbuf,
+            clips,
+            ncomp,
+            ..
+        } = self;
+        let ncomp = *ncomp;
+        xbuf.clear();
+        clips.clear();
+        // Phase 1: pack every (dst, src) valid-region overlap from the
+        // pre-shift data (regions stored in source indices).
+        let n = fabs.len();
+        for dst in fabs.iter() {
+            let want = dst.valid_pts().shift(s);
+            for src in fabs.iter() {
+                let r = src.valid_pts().intersect(&want);
+                if let Some(r) = &r {
+                    for c in 0..ncomp {
+                        pack_region_into(src, c, r, xbuf);
                     }
+                }
+                clips.push(r);
+            }
+        }
+        // Phase 2: zero everything, then unpack shifted data.
+        let mut off = 0usize;
+        for (di, dst) in fabs.iter_mut().enumerate() {
+            dst.fill(0.0);
+            for si in 0..n {
+                let Some(r) = &clips[di * n + si] else { continue };
+                let npts = r.num_cells() as usize;
+                for c in 0..ncomp {
+                    blend_region_from_buf(dst, c, r, -s, &xbuf[off..off + npts], |_, v| v);
+                    off += npts;
                 }
             }
         }
@@ -351,6 +480,59 @@ impl FabArray {
             }
         }
         panic!("point {p:?} not in any valid region");
+    }
+}
+
+/// Clip an exchange region (source indices, destination at `+shift`) so
+/// both the reads and the shifted writes stay in bounds — the same rule
+/// `Fab::blend_region_from` applies internally.
+fn clip_exchange_region(
+    region: &IndexBox,
+    shift: IntVect,
+    src: &Fab,
+    dst: &Fab,
+) -> Option<IndexBox> {
+    region
+        .intersect(&src.grown_pts())
+        .and_then(|r| r.shift(shift).intersect(&dst.grown_pts()).map(|d| d.shift(-shift)))
+}
+
+/// Append component `c` of `src` over the (already clipped) region `r`
+/// to `buf`, row-major.
+fn pack_region_into(src: &Fab, c: usize, r: &IndexBox, buf: &mut Vec<f64>) {
+    let ix = src.indexer();
+    let comp = src.comp(c);
+    let w = (r.hi.x - r.lo.x) as usize;
+    for k in r.lo.z..r.hi.z {
+        for j in r.lo.y..r.hi.y {
+            let row = ix.at(r.lo.x, j, k);
+            buf.extend_from_slice(&comp[row..row + w]);
+        }
+    }
+}
+
+/// Blend packed values (source indices over the already clipped region
+/// `r`) into `dst` at `r + shift`: `dst = f(dst, packed)`.
+fn blend_region_from_buf(
+    dst: &mut Fab,
+    c: usize,
+    r: &IndexBox,
+    shift: IntVect,
+    buf: &[f64],
+    f: impl Fn(f64, f64) -> f64,
+) {
+    let ix = dst.indexer();
+    let comp = dst.comp_mut(c);
+    let w = (r.hi.x - r.lo.x) as usize;
+    let mut off = 0usize;
+    for k in r.lo.z..r.hi.z {
+        for j in r.lo.y..r.hi.y {
+            let row = ix.at(r.lo.x + shift.x, j + shift.y, k + shift.z);
+            for t in 0..w {
+                comp[row + t] = f(comp[row + t], buf[off + t]);
+            }
+            off += w;
+        }
     }
 }
 
@@ -474,6 +656,49 @@ mod tests {
         assert_eq!(fa.at(0, q), 5.0);
         // Old location now zero.
         assert_eq!(fa.at(0, p), 0.0);
+    }
+
+    #[test]
+    fn exchange_plans_are_cached_and_invalidated() {
+        let mut fa = mk(2, Stagger::CELL);
+        let p = Periodicity::none(dom());
+        fa.fill_boundary(&p);
+        fa.fill_boundary(&p);
+        fa.sum_boundary(&p);
+        fa.sum_boundary(&p);
+        // One build per plan kind; repeats hit the cache.
+        assert_eq!(fa.stats().plan_builds, 2);
+        // A different periodicity is a different key.
+        fa.fill_boundary(&Periodicity::all(dom()));
+        assert_eq!(fa.stats().plan_builds, 3);
+        // Window shifts invalidate cached plans.
+        fa.shift_data(IntVect::new(1, 0, 0));
+        fa.fill_boundary(&Periodicity::all(dom()));
+        assert_eq!(fa.stats().plan_builds, 4);
+        assert!(fa.stats().seconds >= 0.0);
+    }
+
+    #[test]
+    fn single_box_periodic_fill_self_copies() {
+        // The aliasing-safe self-copy path: one periodic box exchanging
+        // with its own images through the pack buffer.
+        let mut fa = FabArray::new(BoxArray::single(dom()), Stagger::CELL, 1, 1);
+        let f = |p: IntVect| (p.x * 100 + p.y * 10 + p.z) as f64 + 1.0;
+        let r = fa.fab(0).valid_pts();
+        for p in r.cells().collect::<Vec<_>>() {
+            fa.fab_mut(0).set(0, p, f(p));
+        }
+        fa.fill_boundary(&Periodicity::all(dom()));
+        // Guard at x = -1 wraps to the valid value at x = 7.
+        assert_eq!(
+            fa.fab(0).get(0, IntVect::new(-1, 2, 1)),
+            f(IntVect::new(7, 2, 1))
+        );
+        // Guard at y = 8 wraps to y = 0.
+        assert_eq!(
+            fa.fab(0).get(0, IntVect::new(3, 8, 1)),
+            f(IntVect::new(3, 0, 1))
+        );
     }
 
     #[test]

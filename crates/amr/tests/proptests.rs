@@ -105,8 +105,8 @@ proptest! {
         let snapshot: Vec<Vec<f64>> =
             (0..fa.nfabs()).map(|i| fa.fab(i).raw().to_vec()).collect();
         fa.fill_boundary(&per);
-        for i in 0..fa.nfabs() {
-            prop_assert_eq!(fa.fab(i).raw(), snapshot[i].as_slice());
+        for (i, snap) in snapshot.iter().enumerate() {
+            prop_assert_eq!(fa.fab(i).raw(), snap.as_slice());
         }
     }
 

@@ -1,0 +1,170 @@
+//! Step-loop bench: whole `Simulation::step()` cost on a uniform plasma
+//! and on the MR hybrid-target configuration, with a per-phase breakdown
+//! (particle / field / exchange seconds) written to
+//! `BENCH_step_loop.json` at the repository root.
+//!
+//! The `uncached_plans` variant invalidates the exchange-plan cache
+//! before every step, reproducing the seed behavior of rebuilding every
+//! plan on every exchange — the delta against the cached run is the
+//! plan-cache win.
+//!
+//! Run with: `cargo bench -p mrpic-bench --bench step_loop`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrpic_amr::{IndexBox, IntVect};
+use mrpic_core::laser::antenna_for_a0;
+use mrpic_core::mr::MrConfig;
+use mrpic_core::profile::Profile;
+use mrpic_core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic_core::species::Species;
+use mrpic_field::fieldset::Dim;
+use mrpic_kernels::constants::critical_density;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const UM: f64 = 1.0e-6;
+
+/// Periodic uniform drifting plasma over four boxes (no PML, no MR):
+/// the steady-state hot path with nothing but particles and exchanges.
+fn build_uniform() -> Simulation {
+    SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 64), [0.1 * UM; 3], [0.0; 3])
+        .periodic([true, true, true])
+        .max_box(IntVect::new(32, 1, 32))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(
+            Species::electrons("e", Profile::Uniform { n0: 2.0e25 }, [2, 1, 2])
+                .with_thermal([1.0e6; 3]),
+        )
+        .build()
+}
+
+/// Laser on a solid foil + gas ramp with a refined patch over the foil —
+/// the paper's hybrid-target configuration at bench scale.
+fn build_mr() -> Simulation {
+    let h = 0.1 * UM;
+    let nc = critical_density(0.8 * UM);
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(128, 1, 32), [h, h, h], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(64, 1, 32))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(Species::electrons(
+            "solid",
+            Profile::Slab {
+                n0: 5.0 * nc,
+                axis: 0,
+                x0: 7.0 * UM,
+                x1: 8.0 * UM,
+            },
+            [2, 1, 2],
+        ))
+        .add_species(Species::electrons(
+            "gas",
+            Profile::Ramped {
+                n0: 2.0e25,
+                axis: 0,
+                up_start: 2.0 * UM,
+                up_end: 3.0 * UM,
+                down_start: 7.0 * UM,
+                down_end: 7.0 * UM,
+            },
+            [1, 1, 1],
+        ))
+        .add_laser(antenna_for_a0(2.0, 0.8 * UM, 8.0e-15, 1.0 * UM, 1.6 * UM, 2.0 * UM))
+        .build();
+    let i0 = (6.0 * UM / h) as i64;
+    let i1 = (9.0 * UM / h) as i64;
+    let nzc = sim.fs.domain().hi.z;
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(i0, 0, 0), IntVect::new(i1, 1, nzc)),
+        rr: 2,
+        n_transition: 3,
+        npml: 8,
+        subcycle: false,
+    });
+    sim
+}
+
+/// Step `steps` times; return per-step (total, particle, field,
+/// exchange) seconds. `invalidate` mimics the seed's per-call plan
+/// rebuilds.
+fn profile(sim: &mut Simulation, steps: usize, invalidate: bool) -> (f64, f64, f64, f64) {
+    let t0 = Instant::now();
+    let (mut part, mut field, mut exch) = (0.0, 0.0, 0.0);
+    for _ in 0..steps {
+        if invalidate {
+            sim.fs.invalidate_plans();
+        }
+        let st = sim.step();
+        part += st.particle_seconds;
+        field += st.field_seconds;
+        exch += st.exchange_seconds;
+    }
+    let n = steps as f64;
+    (
+        t0.elapsed().as_secs_f64() / n,
+        part / n,
+        field / n,
+        exch / n,
+    )
+}
+
+fn case(name: &str, mut sim: Simulation, invalidate: bool) -> Value {
+    // Warm caches and particle distributions before measuring.
+    sim.run(3);
+    let (total, part, field, exch) = profile(&mut sim, 20, invalidate);
+    json!({
+        "case": name,
+        "steps": 20,
+        "step_seconds": total,
+        "particle_seconds": part,
+        "field_seconds": field,
+        "exchange_seconds": exch,
+        "plan_builds_total": sim.plan_builds_total()
+    })
+}
+
+fn emit_report() {
+    // Phase profile runs single-threaded so the JSON numbers are the
+    // single-thread step-time basis used for before/after comparisons.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let cases: Vec<Value> = pool.install(|| {
+        vec![
+            case("uniform_plasma", build_uniform(), false),
+            case("uniform_plasma_uncached_plans", build_uniform(), true),
+            case("mr_hybrid_target", build_mr(), false),
+        ]
+    });
+    let report = json!({
+        "bench": "step_loop",
+        "threads": 1,
+        "cases": cases
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_loop.json");
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(path, text).expect("write report");
+    println!("wrote {path}");
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_loop");
+    group.sample_size(10);
+    let mut uni = build_uniform();
+    uni.run(3);
+    group.bench_function("uniform_plasma", |b| b.iter(|| uni.step()));
+    let mut mr = build_mr();
+    mr.run(3);
+    group.bench_function("mr_hybrid_target", |b| b.iter(|| mr.step()));
+    group.finish();
+    emit_report();
+}
+
+criterion_group!(step_loop, benches);
+criterion_main!(step_loop);

@@ -35,12 +35,16 @@ pub struct RunConfig {
     /// PML thickness in cells; 0 disables.
     #[serde(default)]
     pub pml: i64,
+    /// Chop the domain into boxes of at most this size (enables the
+    /// box-parallel particle advance); absent = one box.
+    #[serde(default)]
+    pub max_box: Option<[i64; 3]>,
     /// Moving-window start time \[s\]; absent = no window.
     #[serde(default)]
     pub moving_window_start: Option<f64>,
     #[serde(default)]
     pub filter_passes: usize,
-    #[serde(default)]
+    #[serde(default = "default_true")]
     pub optimized_kernels: bool,
     #[serde(default = "default_seed")]
     pub seed: u64,
@@ -63,6 +67,10 @@ fn default_cfl() -> f64 {
 fn default_order() -> usize {
     2
 }
+fn default_true() -> bool {
+    true
+}
+
 fn default_seed() -> u64 {
     20220101
 }
@@ -243,6 +251,9 @@ impl RunConfig {
             .optimized_kernels(self.optimized_kernels);
         if self.pml > 0 {
             b = b.pml(self.pml);
+        }
+        if let Some(mb) = self.max_box {
+            b = b.max_box(IntVect::new(mb[0], mb[1], mb[2]));
         }
         if let Some(t) = self.moving_window_start {
             b = b.moving_window(t);

@@ -376,6 +376,24 @@ impl MrLevel {
     pub fn bytes(&self) -> usize {
         self.fine.bytes() + self.coarse.bytes() + self.aux.bytes()
     }
+
+    /// Seconds spent in guard/interface exchanges of the patch grids.
+    pub fn comm_seconds(&self) -> f64 {
+        self.fine.comm_seconds()
+            + self.coarse.comm_seconds()
+            + self.aux.comm_seconds()
+            + self.fine_pml.comm_seconds()
+            + self.coarse_pml.comm_seconds()
+    }
+
+    /// Exchange-plan builds across the patch grids.
+    pub fn plan_builds(&self) -> u64 {
+        self.fine.plan_builds()
+            + self.coarse.plan_builds()
+            + self.aux.plan_builds()
+            + self.fine_pml.plan_builds()
+            + self.coarse_pml.plan_builds()
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -481,15 +499,84 @@ fn interp_point(src: &Fab, stag: Stagger, p: IntVect, rvec: IntVect, dim: Dim) -
     acc
 }
 
-/// Same interpolation but reading a fab's own (guard-filled) storage.
-#[cfg_attr(not(test), allow(dead_code))] // reference implementation, used by tests
-fn interp_fab_point(src: &Fab, stag: Stagger, p: IntVect, rvec: IntVect, dim: Dim) -> f64 {
-    interp_point(src, stag, p, rvec, dim)
-}
-
 /// Convenience wrapper so callers need not know fab layout details.
 pub fn restriction_margin(order: usize, rr: i64) -> i64 {
     ((order as i64 + 3) + rr - 1) / rr + 1
+}
+
+
+/// Suggest a refinement patch covering the region where a species'
+/// per-cell macroparticle weight exceeds `threshold` (a density-based
+/// tagging criterion — the paper's dynamic MR places the patch over the
+/// high-density target). Returns the tagged bounding box grown by
+/// `margin` cells and clipped so the patch (plus its PML shell) fits
+/// inside the domain; `None` if nothing exceeds the threshold.
+pub fn suggest_patch(
+    sim: &crate::sim::Simulation,
+    species: usize,
+    threshold_weight_per_cell: f64,
+    margin: i64,
+    npml: i64,
+) -> Option<IndexBox> {
+    let geom = sim.fs.geom;
+    let dom = sim.fs.domain();
+    let n = dom.size();
+    // Per-cell weight census (x-z for 2-D; full 3-D otherwise).
+    let mut weight = vec![0.0f64; (n.x * n.y * n.z) as usize];
+    let idx = |c: IntVect| -> Option<usize> {
+        if !dom.contains(c) {
+            return None;
+        }
+        Some((((c.z - dom.lo.z) * n.y + (c.y - dom.lo.y)) * n.x + (c.x - dom.lo.x)) as usize)
+    };
+    for buf in &sim.parts[species].bufs {
+        for i in 0..buf.len() {
+            let c = IntVect::new(
+                geom.cell_of(0, buf.x[i]),
+                geom.cell_of(1, buf.y[i]),
+                geom.cell_of(2, buf.z[i]),
+            );
+            if let Some(k) = idx(c) {
+                weight[k] += buf.w[i];
+            }
+        }
+    }
+    // Tag and take the bounding box.
+    let mut lo = IntVect::new(i64::MAX, i64::MAX, i64::MAX);
+    let mut hi = IntVect::new(i64::MIN, i64::MIN, i64::MIN);
+    let mut any = false;
+    for k in dom.lo.z..dom.hi.z {
+        for j in dom.lo.y..dom.hi.y {
+            for i in dom.lo.x..dom.hi.x {
+                let c = IntVect::new(i, j, k);
+                if weight[idx(c).unwrap()] > threshold_weight_per_cell {
+                    lo = lo.min(c);
+                    hi = hi.max(c + IntVect::ONE);
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    // Grow by the margin, clip so that patch + PML fits in the domain.
+    let mut grow = IntVect::splat(margin);
+    let mut clip = IntVect::splat(npml.max(1));
+    if sim.dim == Dim::Two {
+        grow.y = 0;
+        clip.y = 0;
+    }
+    let patch = IndexBox::new(lo - grow, hi + grow);
+    let room = dom.grow_vec(-clip);
+    let clipped = patch.intersect(&room)?;
+    // In 2-D keep the full collapsed y extent.
+    let mut out = clipped;
+    if sim.dim == Dim::Two {
+        out.lo.y = dom.lo.y;
+        out.hi.y = dom.hi.y;
+    }
+    (!out.is_empty()).then_some(out)
 }
 
 #[cfg(test)]
@@ -635,78 +722,4 @@ mod tests {
         assert_eq!(lvl.fine.e[1].fab(0).get(0, IntVect::new(38, 0, 20)), 9.0);
         assert_eq!(lvl.fine.geom.x0[0], 1.0e-6);
     }
-}
-
-/// Suggest a refinement patch covering the region where a species'
-/// per-cell macroparticle weight exceeds `threshold` (a density-based
-/// tagging criterion — the paper's dynamic MR places the patch over the
-/// high-density target). Returns the tagged bounding box grown by
-/// `margin` cells and clipped so the patch (plus its PML shell) fits
-/// inside the domain; `None` if nothing exceeds the threshold.
-pub fn suggest_patch(
-    sim: &crate::sim::Simulation,
-    species: usize,
-    threshold_weight_per_cell: f64,
-    margin: i64,
-    npml: i64,
-) -> Option<IndexBox> {
-    let geom = sim.fs.geom;
-    let dom = sim.fs.domain();
-    let n = dom.size();
-    // Per-cell weight census (x-z for 2-D; full 3-D otherwise).
-    let mut weight = vec![0.0f64; (n.x * n.y * n.z) as usize];
-    let idx = |c: IntVect| -> Option<usize> {
-        if !dom.contains(c) {
-            return None;
-        }
-        Some((((c.z - dom.lo.z) * n.y + (c.y - dom.lo.y)) * n.x + (c.x - dom.lo.x)) as usize)
-    };
-    for buf in &sim.parts[species].bufs {
-        for i in 0..buf.len() {
-            let c = IntVect::new(
-                geom.cell_of(0, buf.x[i]),
-                geom.cell_of(1, buf.y[i]),
-                geom.cell_of(2, buf.z[i]),
-            );
-            if let Some(k) = idx(c) {
-                weight[k] += buf.w[i];
-            }
-        }
-    }
-    // Tag and take the bounding box.
-    let mut lo = IntVect::new(i64::MAX, i64::MAX, i64::MAX);
-    let mut hi = IntVect::new(i64::MIN, i64::MIN, i64::MIN);
-    let mut any = false;
-    for k in dom.lo.z..dom.hi.z {
-        for j in dom.lo.y..dom.hi.y {
-            for i in dom.lo.x..dom.hi.x {
-                let c = IntVect::new(i, j, k);
-                if weight[idx(c).unwrap()] > threshold_weight_per_cell {
-                    lo = lo.min(c);
-                    hi = hi.max(c + IntVect::ONE);
-                    any = true;
-                }
-            }
-        }
-    }
-    if !any {
-        return None;
-    }
-    // Grow by the margin, clip so that patch + PML fits in the domain.
-    let mut grow = IntVect::splat(margin);
-    let mut clip = IntVect::splat(npml.max(1));
-    if sim.dim == Dim::Two {
-        grow.y = 0;
-        clip.y = 0;
-    }
-    let patch = IndexBox::new(lo - grow, hi + grow);
-    let room = dom.grow_vec(-clip);
-    let clipped = patch.intersect(&room)?;
-    // In 2-D keep the full collapsed y extent.
-    let mut out = clipped;
-    if sim.dim == Dim::Two {
-        out.lo.y = dom.lo.y;
-        out.hi.y = dom.hi.y;
-    }
-    (!out.is_empty()).then_some(out)
 }

@@ -13,16 +13,18 @@ use crate::laser::LaserAntenna;
 use crate::mr::{MrConfig, MrLevel};
 use crate::particles::ParticleContainer;
 use crate::species::{inject, Species};
-use mrpic_amr::{BoxArray, DistributionMapping, IndexBox, IntVect, Periodicity, Strategy};
+use mrpic_amr::{BoxArray, DistributionMapping, Fab, IndexBox, IntVect, Periodicity, Strategy};
 use mrpic_field::cfl::dt_at;
-use mrpic_field::fieldset::{Dim, FieldSet, GridGeom};
+use mrpic_field::fieldset::{fab_view, view_of_fab_mut, view_over, Dim, FieldSet, GridGeom};
 use mrpic_field::pml::Pml;
 use mrpic_field::yee;
 use mrpic_kernels::deposit::{esirkepov2, esirkepov2_blocked, esirkepov3, esirkepov3_blocked, JViews};
-use mrpic_kernels::gather::{gather2, gather2_blocked, gather3, gather3_blocked, EmOut};
+use mrpic_kernels::gather::{gather2, gather2_blocked, gather3, gather3_blocked, EmOut, EmViews};
 use mrpic_kernels::push::{gamma_of_u, push_momentum, push_position, push_position2};
 use mrpic_kernels::shape::{Cubic, Linear, Quadratic};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Runtime-selected particle shape order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,6 +100,9 @@ pub struct StepStats {
     pub particle_seconds: f64,
     /// Wall seconds in the field solve this step.
     pub field_seconds: f64,
+    /// Wall seconds in guard/interface exchanges this step (subset of the
+    /// particle/field phases above, not an additional phase).
+    pub exchange_seconds: f64,
 }
 
 /// Workspace buffers reused across boxes/steps.
@@ -125,6 +130,48 @@ impl Scratch {
             v.resize(n.max(v.len()), 0.0);
         }
     }
+}
+
+/// Checks a [`Scratch`] out of the shared pool; returns it on drop so
+/// worker threads reuse warm buffers across boxes and steps.
+struct ScratchGuard<'a> {
+    pool: &'a Mutex<Vec<Scratch>>,
+    sc: Scratch,
+}
+
+impl<'a> ScratchGuard<'a> {
+    fn checkout(pool: &'a Mutex<Vec<Scratch>>) -> Self {
+        let sc = pool.lock().unwrap().pop().unwrap_or_default();
+        Self { pool, sc }
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.lock().unwrap().push(std::mem::take(&mut self.sc));
+    }
+}
+
+/// Per-box fine-patch deposition buffer. Boxes deposit into their own
+/// buffer during the parallel particle loop; buffers are then reduced
+/// into the shared fine-grid currents in ascending box order, so the
+/// result is bitwise independent of the thread count.
+#[derive(Default)]
+struct FineJBuf {
+    used: bool,
+    j: [Vec<f64>; 3],
+}
+
+/// One box-parallel particle work item: disjoint mutable pieces of the
+/// simulation state for a single (box, particle-buffer) pair.
+struct BoxTask<'a> {
+    bi: usize,
+    buf: &'a mut crate::particles::ParticleBuf,
+    jx: &'a mut Fab,
+    jy: &'a mut Fab,
+    jz: &'a mut Fab,
+    fine_j: &'a mut FineJBuf,
+    seconds: &'a mut f64,
 }
 
 /// Builder for [`Simulation`].
@@ -167,7 +214,7 @@ impl SimulationBuilder {
             sort_interval: 50,
             seed: 20220101,
             filter_passes: 0,
-            use_optimized_kernels: false,
+            use_optimized_kernels: true,
         }
     }
 
@@ -247,6 +294,8 @@ impl SimulationBuilder {
     }
 
     /// Use the restructured (paper sec. V-A.1) gather/deposition kernels.
+    /// On by default; pass `false` to fall back to the per-particle
+    /// reference kernels.
     pub fn optimized_kernels(mut self, on: bool) -> Self {
         self.use_optimized_kernels = on;
         self
@@ -308,7 +357,9 @@ impl SimulationBuilder {
             seed: self.seed,
             filter_passes: self.filter_passes,
             use_optimized_kernels: self.use_optimized_kernels,
-            scratch: Scratch::default(),
+            scratch_pool: Mutex::new(Vec::new()),
+            box_seconds: Vec::new(),
+            fine_j_pool: Vec::new(),
             stats: StepStats::default(),
         }
     }
@@ -338,7 +389,12 @@ pub struct Simulation {
     pub filter_passes: usize,
     /// Use the restructured gather/deposition kernels.
     pub use_optimized_kernels: bool,
-    scratch: Scratch,
+    /// Pool of per-thread particle workspaces.
+    scratch_pool: Mutex<Vec<Scratch>>,
+    /// Per-box particle-phase seconds of the current step (reused).
+    box_seconds: Vec<f64>,
+    /// Per-box fine-patch deposition buffers (reused).
+    fine_j_pool: Vec<FineJBuf>,
     pub stats: StepStats,
 }
 
@@ -399,10 +455,37 @@ impl Simulation {
         }
     }
 
+    /// Total wall seconds spent in guard/interface exchanges since
+    /// construction (parent grids, PML shells, MR patch grids).
+    pub fn comm_seconds_total(&self) -> f64 {
+        let mut s = self.fs.comm_seconds();
+        if let Some(pml) = &self.pml {
+            s += pml.comm_seconds();
+        }
+        if let Some(mr) = &self.mr {
+            s += mr.comm_seconds();
+        }
+        s
+    }
+
+    /// Total exchange-plan constructions since start. Steady-state steps
+    /// must not add to this once plans are warm.
+    pub fn plan_builds_total(&self) -> u64 {
+        let mut n = self.fs.plan_builds();
+        if let Some(pml) = &self.pml {
+            n += pml.plan_builds();
+        }
+        if let Some(mr) = &self.mr {
+            n += mr.plan_builds();
+        }
+        n
+    }
+
     /// Advance one full PIC step.
     pub fn step(&mut self) -> StepStats {
         let mut stats = StepStats::default();
         let dt = self.dt;
+        let comm0 = self.comm_seconds_total();
         let t_part = std::time::Instant::now();
 
         // Periodic locality sort.
@@ -421,11 +504,13 @@ impl Simulation {
             mr.zero_j();
         }
 
-        // 2. Particle loop: gather, push, deposit.
-        let mut box_seconds = vec![0.0f64; self.fs.nfabs()];
+        // 2. Particle loop: gather, push, deposit (box-parallel).
+        let nfabs = self.fs.nfabs();
+        self.box_seconds.resize(nfabs, 0.0);
+        self.box_seconds.fill(0.0);
         let nspecies = self.species.len();
         for si in 0..nspecies {
-            stats.pushed += self.advance_species(si, dt, &mut box_seconds);
+            stats.pushed += self.advance_species(si, dt);
         }
 
         // 3. Current exchanges, smoothing and MR coupling.
@@ -461,9 +546,8 @@ impl Simulation {
         // 6. Particle redistribution.
         let geom = self.fs.geom;
         let period = self.fs.period;
-        let ba = self.fs.boxarray().clone();
         for pc in &mut self.parts {
-            stats.deleted += pc.redistribute(&ba, &geom, &period);
+            stats.deleted += pc.redistribute(self.fs.boxarray(), &geom, &period);
         }
 
         // 7. Moving window.
@@ -482,11 +566,14 @@ impl Simulation {
         }
 
         // 8. Cost tracking & dynamic load balancing bookkeeping.
-        self.cost.record(&box_seconds.iter().map(|s| s.max(1e-9)).collect::<Vec<_>>());
+        for s in &mut self.box_seconds {
+            *s = s.max(1e-9);
+        }
+        self.cost.record(&self.box_seconds);
         if let Some(lb) = self.lb {
             if lb.interval > 0 && self.istep.is_multiple_of(lb.interval) {
                 let d = crate::balance::rebalance(
-                    &ba,
+                    self.fs.boxarray(),
                     &self.dm,
                     &self.cost,
                     lb.strategy,
@@ -494,17 +581,25 @@ impl Simulation {
                 );
                 if d.adopted {
                     stats.rebalances += 1;
+                    // Ownership changed: conservatively drop cached plans.
+                    self.fs.invalidate_plans();
                 }
                 self.dm = d.mapping;
             }
         }
 
+        stats.exchange_seconds = self.comm_seconds_total() - comm0;
         self.stats = stats;
         stats
     }
 
-    /// Gather/push/deposit for one species over all boxes.
-    fn advance_species(&mut self, si: usize, dt: f64, box_seconds: &mut [f64]) -> usize {
+    /// Gather/push/deposit for one species, box-parallel: every (box,
+    /// particle-buffer) pair is an independent work item with disjoint
+    /// `&mut` views of the parent currents. Fine-patch deposition goes to
+    /// per-box buffers reduced in ascending box order afterwards, and the
+    /// per-box cost timers live on the work items, so the physics *and*
+    /// the accounting are bitwise independent of the thread count.
+    fn advance_species(&mut self, si: usize, dt: f64) -> usize {
         let dim = self.dim;
         let order = self.order;
         let sp_charge = self.species[si].charge;
@@ -512,7 +607,7 @@ impl Simulation {
         let pusher = self.species[si].pusher;
         let qmdt2 = sp_charge * dt / (2.0 * sp_mass);
         let geom = self.fs.geom.kernel_geom();
-        let mut pushed = 0;
+        let optimized = self.use_optimized_kernels;
         // MR routing regions in physical coordinates.
         let mr_regions = self.mr.as_ref().map(|mr| {
             (
@@ -521,50 +616,84 @@ impl Simulation {
             )
         });
         let nboxes = self.fs.nfabs();
-        for bi in 0..nboxes {
-            let n = self.parts[si].bufs[bi].len();
-            if n == 0 {
-                continue;
-            }
-            let t0 = std::time::Instant::now();
-            pushed += n;
-            self.scratch.ensure(n);
-            // Partition for MR routing: [aux-gather | transition | outside].
-            let (c_aux, c_fine) = match &mr_regions {
-                Some(((plo, phi), (glo, ghi))) => {
-                    let (plo, phi, glo, ghi) = (*plo, *phi, *glo, *ghi);
-                    let in_patch = move |x: f64, y: f64, z: f64| {
-                        x >= plo[0]
-                            && x < phi[0]
-                            && (dim == Dim::Two || (y >= plo[1] && y < phi[1]))
-                            && z >= plo[2]
-                            && z < phi[2]
-                    };
-                    let in_gather = move |x: f64, y: f64, z: f64| {
-                        x >= glo[0]
-                            && x < ghi[0]
-                            && (dim == Dim::Two || (y >= glo[1] && y < ghi[1]))
-                            && z >= glo[2]
-                            && z < ghi[2]
-                    };
-                    self.parts[si].bufs[bi].partition3(in_patch, in_gather)
+        self.fine_j_pool.resize_with(nboxes, FineJBuf::default);
+        // Split the state into disjoint borrows: E/B shared (gather
+        // source), J components mutable per box (deposition target).
+        let mr = self.mr.as_ref();
+        let FieldSet { e, b, j, .. } = &mut self.fs;
+        let (e, b) = (&*e, &*b);
+        let [jx_arr, jy_arr, jz_arr] = j;
+        let mut pushed = 0usize;
+        let mut tasks: Vec<BoxTask<'_>> = Vec::with_capacity(nboxes);
+        {
+            let mut jxs = jx_arr.fabs_mut().iter_mut();
+            let mut jys = jy_arr.fabs_mut().iter_mut();
+            let mut jzs = jz_arr.fabs_mut().iter_mut();
+            let mut fine = self.fine_j_pool.iter_mut();
+            let mut secs = self.box_seconds.iter_mut();
+            for (bi, buf) in self.parts[si].bufs.iter_mut().enumerate() {
+                let jx = jxs.next().expect("J layout matches particle boxes");
+                let jy = jys.next().expect("J layout matches particle boxes");
+                let jz = jzs.next().expect("J layout matches particle boxes");
+                let fine_j = fine.next().expect("pool sized to nboxes");
+                let seconds = secs.next().expect("box_seconds sized to nboxes");
+                if buf.is_empty() {
+                    continue;
                 }
-                None => (0, 0),
-            };
-            let buf = &mut self.parts[si].bufs[bi];
-            let sc = &mut self.scratch;
-            // Gather: [0..c_aux) from the MR aux grid, rest from parent.
-            {
-                let mut out_aux = EmOut {
-                    ex: &mut sc.ex[..c_aux],
-                    ey: &mut sc.ey[..c_aux],
-                    ez: &mut sc.ez[..c_aux],
-                    bx: &mut sc.bx[..c_aux],
-                    by: &mut sc.by[..c_aux],
-                    bz: &mut sc.bz[..c_aux],
+                pushed += buf.len();
+                tasks.push(BoxTask {
+                    bi,
+                    buf,
+                    jx,
+                    jy,
+                    jz,
+                    fine_j,
+                    seconds,
+                });
+            }
+        }
+        let pool = &self.scratch_pool;
+        tasks.par_iter_mut().for_each_init(
+            || ScratchGuard::checkout(pool),
+            |guard, task| {
+                let t0 = std::time::Instant::now();
+                let sc = &mut guard.sc;
+                let n = task.buf.len();
+                sc.ensure(n);
+                // Partition for MR routing: [aux-gather | transition | outside].
+                let (c_aux, c_fine) = match &mr_regions {
+                    Some(((plo, phi), (glo, ghi))) => {
+                        let (plo, phi, glo, ghi) = (*plo, *phi, *glo, *ghi);
+                        let in_patch = move |x: f64, y: f64, z: f64| {
+                            x >= plo[0]
+                                && x < phi[0]
+                                && (dim == Dim::Two || (y >= plo[1] && y < phi[1]))
+                                && z >= plo[2]
+                                && z < phi[2]
+                        };
+                        let in_gather = move |x: f64, y: f64, z: f64| {
+                            x >= glo[0]
+                                && x < ghi[0]
+                                && (dim == Dim::Two || (y >= glo[1] && y < ghi[1]))
+                                && z >= glo[2]
+                                && z < ghi[2]
+                        };
+                        task.buf.partition3(in_patch, in_gather)
+                    }
+                    None => (0, 0),
                 };
+                let buf = &mut *task.buf;
+                // Gather: [0..c_aux) from the MR aux grid, rest from parent.
                 if c_aux > 0 {
-                    let mr = self.mr.as_ref().expect("partitioned => MR present");
+                    let mut out_aux = EmOut {
+                        ex: &mut sc.ex[..c_aux],
+                        ey: &mut sc.ey[..c_aux],
+                        ez: &mut sc.ez[..c_aux],
+                        bx: &mut sc.bx[..c_aux],
+                        by: &mut sc.by[..c_aux],
+                        bz: &mut sc.bz[..c_aux],
+                    };
+                    let mr = mr.expect("partitioned => MR present");
                     let views = mr.aux.em_views(0);
                     let aux_geom = mr.aux.geom.kernel_geom();
                     with_shape!(order, S, match dim {
@@ -578,80 +707,122 @@ impl Simulation {
                         ),
                     });
                 }
-            }
-            if c_aux < n {
-                let views = self.fs.em_views(bi);
-                let mut out = EmOut {
-                    ex: &mut sc.ex[c_aux..n],
-                    ey: &mut sc.ey[c_aux..n],
-                    ez: &mut sc.ez[c_aux..n],
-                    bx: &mut sc.bx[c_aux..n],
-                    by: &mut sc.by[c_aux..n],
-                    bz: &mut sc.bz[c_aux..n],
-                };
-                let optimized = self.use_optimized_kernels;
-                with_shape!(order, S, match dim {
-                    Dim::Three if optimized => gather3_blocked::<S, f64>(
-                        &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
-                        &geom, &views, &mut out,
-                    ),
-                    Dim::Three => gather3::<S, f64>(
-                        &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
-                        &geom, &views, &mut out,
-                    ),
-                    Dim::Two if optimized => gather2_blocked::<S, f64>(
-                        &buf.x[c_aux..n], &buf.z[c_aux..n],
-                        &geom, &views, &mut out,
-                    ),
-                    Dim::Two => gather2::<S, f64>(
-                        &buf.x[c_aux..n], &buf.z[c_aux..n],
-                        &geom, &views, &mut out,
-                    ),
-                });
-            }
-            // Momentum push.
-            push_momentum(
-                pusher,
-                &mut buf.ux[..n], &mut buf.uy[..n], &mut buf.uz[..n],
-                &sc.ex[..n], &sc.ey[..n], &sc.ez[..n],
-                &sc.bx[..n], &sc.by[..n], &sc.bz[..n],
-                qmdt2,
-            );
-            // Save old positions, compute vy at the half step, push x.
-            sc.x0[..n].copy_from_slice(&buf.x[..n]);
-            sc.y0[..n].copy_from_slice(&buf.y[..n]);
-            sc.z0[..n].copy_from_slice(&buf.z[..n]);
-            for p in 0..n {
-                sc.vy[p] = buf.uy[p] / gamma_of_u(buf.ux[p], buf.uy[p], buf.uz[p]);
-            }
-            match dim {
-                Dim::Three => push_position(
-                    &mut buf.x[..n], &mut buf.y[..n], &mut buf.z[..n],
-                    &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
-                ),
-                Dim::Two => push_position2(
-                    &mut buf.x[..n], &mut buf.z[..n],
-                    &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
-                ),
-            }
-            // Deposit: [0..c_fine) to the fine patch, rest to the parent.
-            let optimized = self.use_optimized_kernels;
-            if c_fine > 0 {
-                let mr = self.mr.as_mut().expect("partitioned => MR present");
-                let fine_geom = mr.fine.geom.kernel_geom();
-                let mut jv = mr.fine.j_views_mut(0);
-                Self::deposit_slice(
-                    dim, order, optimized, buf, sc, 0, c_fine, sp_charge, dt, &fine_geom,
-                    &mut jv,
+                if c_aux < n {
+                    let bi = task.bi;
+                    let views = EmViews {
+                        ex: fab_view(&e[0], bi),
+                        ey: fab_view(&e[1], bi),
+                        ez: fab_view(&e[2], bi),
+                        bx: fab_view(&b[0], bi),
+                        by: fab_view(&b[1], bi),
+                        bz: fab_view(&b[2], bi),
+                    };
+                    let mut out = EmOut {
+                        ex: &mut sc.ex[c_aux..n],
+                        ey: &mut sc.ey[c_aux..n],
+                        ez: &mut sc.ez[c_aux..n],
+                        bx: &mut sc.bx[c_aux..n],
+                        by: &mut sc.by[c_aux..n],
+                        bz: &mut sc.bz[c_aux..n],
+                    };
+                    with_shape!(order, S, match dim {
+                        Dim::Three if optimized => gather3_blocked::<S, f64>(
+                            &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
+                            &geom, &views, &mut out,
+                        ),
+                        Dim::Three => gather3::<S, f64>(
+                            &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
+                            &geom, &views, &mut out,
+                        ),
+                        Dim::Two if optimized => gather2_blocked::<S, f64>(
+                            &buf.x[c_aux..n], &buf.z[c_aux..n],
+                            &geom, &views, &mut out,
+                        ),
+                        Dim::Two => gather2::<S, f64>(
+                            &buf.x[c_aux..n], &buf.z[c_aux..n],
+                            &geom, &views, &mut out,
+                        ),
+                    });
+                }
+                // Momentum push.
+                push_momentum(
+                    pusher,
+                    &mut buf.ux[..n], &mut buf.uy[..n], &mut buf.uz[..n],
+                    &sc.ex[..n], &sc.ey[..n], &sc.ez[..n],
+                    &sc.bx[..n], &sc.by[..n], &sc.bz[..n],
+                    qmdt2,
                 );
+                // Save old positions, compute vy at the half step, push x.
+                sc.x0[..n].copy_from_slice(&buf.x[..n]);
+                sc.y0[..n].copy_from_slice(&buf.y[..n]);
+                sc.z0[..n].copy_from_slice(&buf.z[..n]);
+                for p in 0..n {
+                    sc.vy[p] = buf.uy[p] / gamma_of_u(buf.ux[p], buf.uy[p], buf.uz[p]);
+                }
+                match dim {
+                    Dim::Three => push_position(
+                        &mut buf.x[..n], &mut buf.y[..n], &mut buf.z[..n],
+                        &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                    ),
+                    Dim::Two => push_position2(
+                        &mut buf.x[..n], &mut buf.z[..n],
+                        &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                    ),
+                }
+                // Deposit: [0..c_fine) to the per-box fine buffer (reduced
+                // in box order after the loop), rest to this box's J fabs.
+                if c_fine > 0 {
+                    let mr = mr.expect("partitioned => MR present");
+                    let fine_geom = mr.fine.geom.kernel_geom();
+                    task.fine_j.used = true;
+                    let fine_fabs =
+                        [mr.fine.j[0].fab(0), mr.fine.j[1].fab(0), mr.fine.j[2].fab(0)];
+                    for (c, fab) in fine_fabs.iter().enumerate() {
+                        let len = fab.comp(0).len();
+                        task.fine_j.j[c].resize(len, 0.0);
+                        task.fine_j.j[c].fill(0.0);
+                    }
+                    let [fjx, fjy, fjz] = &mut task.fine_j.j;
+                    let mut jv = JViews {
+                        jx: view_over(fine_fabs[0], fjx),
+                        jy: view_over(fine_fabs[1], fjy),
+                        jz: view_over(fine_fabs[2], fjz),
+                    };
+                    Self::deposit_slice(
+                        dim, order, optimized, buf, sc, 0, c_fine, sp_charge, dt, &fine_geom,
+                        &mut jv,
+                    );
+                }
+                if c_fine < n {
+                    let mut jv = JViews {
+                        jx: view_of_fab_mut(task.jx),
+                        jy: view_of_fab_mut(task.jy),
+                        jz: view_of_fab_mut(task.jz),
+                    };
+                    Self::deposit_slice(
+                        dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom,
+                        &mut jv,
+                    );
+                }
+                *task.seconds += t0.elapsed().as_secs_f64();
+            },
+        );
+        drop(tasks);
+        // Deterministic ordered reduction of the fine-patch deposition:
+        // ascending box index, independent of which thread ran which box.
+        if let Some(mr) = self.mr.as_mut() {
+            for slot in self.fine_j_pool.iter_mut() {
+                if !slot.used {
+                    continue;
+                }
+                slot.used = false;
+                for c in 0..3 {
+                    let dst = mr.fine.j[c].fab_mut(0).comp_mut(0);
+                    for (d, s) in dst.iter_mut().zip(slot.j[c].iter()) {
+                        *d += *s;
+                    }
+                }
             }
-            if c_fine < n {
-                let mut jv = self.fs.j_views_mut(bi);
-                Self::deposit_slice(
-                    dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom, &mut jv,
-                );
-            }
-            box_seconds[bi] += t0.elapsed().as_secs_f64();
         }
         pushed
     }
@@ -741,11 +912,10 @@ impl Simulation {
         // Drop particles that fell off the trailing edge, re-own the rest.
         let geom = self.fs.geom;
         let period = self.fs.period;
-        let ba = self.fs.boxarray().clone();
         let cut = geom.node(0, self.fs.domain().lo.x);
         for pc in &mut self.parts {
             pc.drop_behind(cut);
-            pc.redistribute(&ba, &geom, &period);
+            pc.redistribute(self.fs.boxarray(), &geom, &period);
         }
         // Inject fresh plasma in the newly exposed leading strip.
         if inject_front {
@@ -759,7 +929,7 @@ impl Simulation {
                     sp,
                     self.dim,
                     &geom,
-                    &ba,
+                    self.fs.boxarray(),
                     &strip,
                     &mut self.parts[si],
                     self.seed ^ (si as u64) ^ self.istep.wrapping_mul(0x9E3779B97F4A7C15),
@@ -796,7 +966,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::profile::Profile;
-    use mrpic_kernels::constants::{plasma_frequency, C, EPS0, M_E, Q_E};
+    use mrpic_kernels::constants::{plasma_frequency, C, EPS0, Q_E};
 
     /// Cold plasma oscillation: displace all electrons slightly and watch
     /// the current oscillate at the plasma frequency.

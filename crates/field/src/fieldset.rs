@@ -1,6 +1,6 @@
 //! The electromagnetic state of one mesh level.
 
-use mrpic_amr::{BoxArray, FabArray, IndexBox, IntVect, Periodicity, Stagger};
+use mrpic_amr::{BoxArray, Fab, FabArray, IndexBox, IntVect, Periodicity, Stagger};
 use mrpic_kernels::view::{FieldView, FieldViewMut, Geom};
 use serde::{Deserialize, Serialize};
 
@@ -225,6 +225,38 @@ impl FieldSet {
         self.fill_b_boundaries();
     }
 
+    /// Apply `f` to every field array (E, B and J components).
+    pub fn for_each_array(&self, mut f: impl FnMut(&FabArray)) {
+        for c in 0..3 {
+            f(&self.e[c]);
+            f(&self.b[c]);
+            f(&self.j[c]);
+        }
+    }
+
+    /// Drop all cached exchange plans (e.g. after a rebalance).
+    pub fn invalidate_plans(&mut self) {
+        for c in 0..3 {
+            self.e[c].invalidate_plans();
+            self.b[c].invalidate_plans();
+            self.j[c].invalidate_plans();
+        }
+    }
+
+    /// Total exchange-plan builds across all nine arrays.
+    pub fn plan_builds(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_array(|fa| n += fa.stats().plan_builds);
+        n
+    }
+
+    /// Total seconds spent in guard exchanges across all nine arrays.
+    pub fn comm_seconds(&self) -> f64 {
+        let mut s = 0.0;
+        self.for_each_array(|fa| s += fa.stats().seconds);
+        s
+    }
+
     /// Total bytes of field storage (capability/telemetry).
     pub fn bytes(&self) -> usize {
         let sum = |fa: &FabArray| fa.fabs().iter().map(|f| f.bytes()).sum::<usize>();
@@ -245,7 +277,16 @@ pub fn guard_vec(dim: Dim, ngrow: i64) -> IntVect {
 
 /// Build a kernel view of component fab `i` of a fab array.
 pub fn fab_view(fa: &FabArray, i: usize) -> FieldView<'_, f64> {
-    let fab = fa.fab(i);
+    view_of_fab(fa.fab(i))
+}
+
+/// Mutable kernel view of component fab `i`.
+pub fn fab_view_mut(fa: &mut FabArray, i: usize) -> FieldViewMut<'_, f64> {
+    view_of_fab_mut(fa.fab_mut(i))
+}
+
+/// Kernel view of a single fab (component 0).
+pub fn view_of_fab(fab: &Fab) -> FieldView<'_, f64> {
     let ix = fab.indexer();
     let st = fab.stagger();
     FieldView {
@@ -257,9 +298,8 @@ pub fn fab_view(fa: &FabArray, i: usize) -> FieldView<'_, f64> {
     }
 }
 
-/// Mutable kernel view of component fab `i`.
-pub fn fab_view_mut(fa: &mut FabArray, i: usize) -> FieldViewMut<'_, f64> {
-    let fab = fa.fab_mut(i);
+/// Mutable kernel view of a single fab (component 0).
+pub fn view_of_fab_mut(fab: &mut Fab) -> FieldViewMut<'_, f64> {
     let ix = fab.indexer();
     let st = fab.stagger();
     FieldViewMut {
@@ -268,6 +308,22 @@ pub fn fab_view_mut(fa: &mut FabArray, i: usize) -> FieldViewMut<'_, f64> {
         nxy: ix.nxy,
         half: [!st.is_nodal(0), !st.is_nodal(1), !st.is_nodal(2)],
         data: fab.comp_mut(0),
+    }
+}
+
+/// Kernel view with the index metadata of `fab` but externally owned
+/// data, e.g. a per-box deposition buffer that is reduced into the fab
+/// afterwards. `data` must have the fab's component length.
+pub fn view_over<'a>(fab: &Fab, data: &'a mut [f64]) -> FieldViewMut<'a, f64> {
+    assert_eq!(data.len(), fab.comp(0).len(), "buffer/fab size mismatch");
+    let ix = fab.indexer();
+    let st = fab.stagger();
+    FieldViewMut {
+        lo: ix.lo.to_array(),
+        nx: ix.nx,
+        nxy: ix.nxy,
+        half: [!st.is_nodal(0), !st.is_nodal(1), !st.is_nodal(2)],
+        data,
     }
 }
 

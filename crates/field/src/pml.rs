@@ -35,6 +35,18 @@ const GRADE_M: i32 = 3;
 /// Target theoretical reflection coefficient.
 const R0: f64 = 1.0e-8;
 
+/// Cached interface-exchange plan between the PML shell and the interior
+/// field array of one component, keyed by both arrays' layout generations.
+#[derive(Clone, Debug)]
+struct InterfacePlan {
+    pml_gen: u64,
+    field_gen: u64,
+    /// (pml fab, field fab, region): interior valid -> PML guards.
+    to_pml: Vec<(usize, usize, IndexBox)>,
+    /// (field fab, pml fab, region): PML valid -> interior guards.
+    to_field: Vec<(usize, usize, IndexBox)>,
+}
+
 /// A split-field PML shell around a rectangular interior region.
 #[derive(Clone, Debug)]
 pub struct Pml {
@@ -48,6 +60,10 @@ pub struct Pml {
     esplit: [FabArray; 3],
     bsplit: [FabArray; 3],
     rate_max: [f64; 3],
+    iface_e: [Option<InterfacePlan>; 3],
+    iface_b: [Option<InterfacePlan>; 3],
+    /// Wall-clock seconds spent in interface exchanges.
+    iface_seconds: f64,
 }
 
 impl Pml {
@@ -107,7 +123,26 @@ impl Pml {
             esplit: [mk_e(0), mk_e(1), mk_e(2)],
             bsplit: [mk_b(0), mk_b(1), mk_b(2)],
             rate_max,
+            iface_e: [None, None, None],
+            iface_b: [None, None, None],
+            iface_seconds: 0.0,
         }
+    }
+
+    /// Seconds spent in all exchanges of this PML (shell fills plus
+    /// interface copies) since construction.
+    pub fn comm_seconds(&self) -> f64 {
+        let shell: f64 = (0..3)
+            .map(|c| self.esplit[c].stats().seconds + self.bsplit[c].stats().seconds)
+            .sum();
+        shell + self.iface_seconds
+    }
+
+    /// Exchange-plan builds across the six split shell arrays.
+    pub fn plan_builds(&self) -> u64 {
+        (0..3)
+            .map(|c| self.esplit[c].stats().plan_builds + self.bsplit[c].stats().plan_builds)
+            .sum()
     }
 
     #[inline]
@@ -253,16 +288,20 @@ impl Pml {
     /// interior guards take PML totals. Call after the interior E guards
     /// have been filled.
     pub fn exchange_e(&mut self, fs: &mut FieldSet) {
+        let t0 = std::time::Instant::now();
         for c in 0..3 {
-            exchange_component(&mut self.esplit[c], &mut fs.e[c]);
+            exchange_component(&mut self.iface_e[c], &mut self.esplit[c], &mut fs.e[c]);
         }
+        self.iface_seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Exchange B at the interface (see [`Self::exchange_e`]).
     pub fn exchange_b(&mut self, fs: &mut FieldSet) {
+        let t0 = std::time::Instant::now();
         for c in 0..3 {
-            exchange_component(&mut self.bsplit[c], &mut fs.b[c]);
+            exchange_component(&mut self.iface_b[c], &mut self.bsplit[c], &mut fs.b[c]);
         }
+        self.iface_seconds += t0.elapsed().as_secs_f64();
     }
 
     /// Shift data with the moving window.
@@ -371,23 +410,20 @@ fn advance_split(
     }
 }
 
-/// Interface exchange for one component: interior valid -> PML guards
-/// (split0 = total, split1 = 0) and PML totals -> interior guards.
-fn exchange_component(pml: &mut FabArray, field: &mut FabArray) {
-    // Interior -> PML guards.
+/// Build the interface plan for one component: all (pml, field) region
+/// intersections in both directions, in deterministic iteration order.
+fn build_interface_plan(pml: &FabArray, field: &FabArray) -> InterfacePlan {
+    let mut to_pml = Vec::new();
     for pi in 0..pml.nfabs() {
         let grown = pml.fab(pi).grown_pts();
         for fi in 0..field.nfabs() {
             let valid = field.fab(fi).valid_pts();
             if let Some(region) = valid.intersect(&grown) {
-                let src = field.fab(fi).clone();
-                let dst = pml.fab_mut(pi);
-                dst.copy_region_from(&src, &region, IntVect::ZERO, 0, 0);
-                dst.zero_region(1, &region);
+                to_pml.push((pi, fi, region));
             }
         }
     }
-    // PML valid -> interior guards (totals).
+    let mut to_field = Vec::new();
     for fi in 0..field.nfabs() {
         let fab = field.fab(fi);
         let guard_pieces = fab.grown_pts().subtract(&fab.valid_pts());
@@ -395,13 +431,46 @@ fn exchange_component(pml: &mut FabArray, field: &mut FabArray) {
             for pi in 0..pml.nfabs() {
                 let valid = pml.fab(pi).valid_pts();
                 if let Some(region) = valid.intersect(piece) {
-                    let src = pml.fab(pi).clone();
-                    let dst = field.fab_mut(fi);
-                    dst.copy_region_from(&src, &region, IntVect::ZERO, 0, 0);
-                    dst.add_region_from(&src, &region, IntVect::ZERO, 1, 0);
+                    to_field.push((fi, pi, region));
                 }
             }
         }
+    }
+    InterfacePlan {
+        pml_gen: pml.generation(),
+        field_gen: field.generation(),
+        to_pml,
+        to_field,
+    }
+}
+
+/// Interface exchange for one component: interior valid -> PML guards
+/// (split0 = total, split1 = 0) and PML totals -> interior guards. The
+/// region plan is cached in `slot` and reused until either array's
+/// layout generation changes.
+fn exchange_component(slot: &mut Option<InterfacePlan>, pml: &mut FabArray, field: &mut FabArray) {
+    let stale = match slot {
+        Some(p) => p.pml_gen != pml.generation() || p.field_gen != field.generation(),
+        None => true,
+    };
+    if stale {
+        *slot = Some(build_interface_plan(pml, field));
+    }
+    let plan = slot.as_ref().expect("plan just ensured");
+    // Interior -> PML guards. `pml` and `field` are distinct arrays, so
+    // the copies borrow src/dst directly (no fab clones).
+    for &(pi, fi, region) in &plan.to_pml {
+        let src = field.fab(fi);
+        let dst = pml.fab_mut(pi);
+        dst.copy_region_from(src, &region, IntVect::ZERO, 0, 0);
+        dst.zero_region(1, &region);
+    }
+    // PML valid -> interior guards (totals).
+    for &(fi, pi, region) in &plan.to_field {
+        let src = pml.fab(pi);
+        let dst = field.fab_mut(fi);
+        dst.copy_region_from(src, &region, IntVect::ZERO, 0, 0);
+        dst.add_region_from(src, &region, IntVect::ZERO, 1, 0);
     }
 }
 

@@ -666,7 +666,7 @@ mod blocked2_tests {
     fn gather2_blocked_matches_baseline() {
         let lo = [-4i64, 0, -4];
         let n = [24i64, 1, 20];
-        let mk = |half: [bool; 3], seed: f64| {
+        let mk = |seed: f64| {
             let mut data = vec![0.0; (n[0] * n[1] * n[2]) as usize];
             for k in 0..n[2] {
                 for i in 0..n[0] {
@@ -675,7 +675,7 @@ mod blocked2_tests {
             }
             data
         };
-        let d: Vec<Vec<f64>> = (0..6).map(|c| mk([false; 3], 0.1 * (c + 1) as f64)).collect();
+        let d: Vec<Vec<f64>> = (0..6).map(|c| mk(0.1 * (c + 1) as f64)).collect();
         let halves = [
             [true, false, false],
             [false, false, false],

@@ -82,8 +82,8 @@ fn main() {
     }
     let (e, _) = spectral.get_fields();
     let mut err_psatd = 0.0;
-    for i in 0..n {
-        let d = e[1][i] - wave(i as f64 * dx);
+    for (i, &ey) in e[1].iter().enumerate().take(n) {
+        let d = ey - wave(i as f64 * dx);
         err_psatd += d * d;
     }
     let err_psatd = (err_psatd / norm).sqrt();

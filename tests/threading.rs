@@ -1,0 +1,152 @@
+//! Threading and exchange-plan-cache invariants of the step loop:
+//! stepping is bitwise identical at any thread count (including the MR
+//! fine-patch deposition, which is reduced in fixed box order), and
+//! steady-state steps construct zero exchange plans once caches are warm.
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+use rayon::ThreadPoolBuilder;
+
+/// A laser-foil run chopped into 8 boxes with an MR patch, so the
+/// box-parallel particle loop has real work to distribute.
+fn build(seed: u64, window: bool) -> Simulation {
+    let mut b = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(16, 1, 12))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(seed)
+        .sort_interval(10)
+        .filter_passes(1)
+        .add_species(
+            Species::electrons(
+                "foil",
+                Profile::Slab {
+                    n0: 2.0e27,
+                    axis: 0,
+                    x0: 4.0e-6,
+                    x1: 4.6e-6,
+                },
+                [2, 1, 2],
+            )
+            .with_thermal([1.0e6; 3]),
+        )
+        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6));
+    if window {
+        b = b.moving_window(6.0e-15);
+    }
+    let mut sim = b.build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(30, 0, 0), IntVect::new(56, 1, 24)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    sim
+}
+
+#[test]
+fn step_is_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| -> Simulation {
+        let mut sim = build(11, false);
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                for _ in 0..25 {
+                    sim.step();
+                }
+            });
+        sim
+    };
+    let a = run(1);
+    let b = run(4);
+    // Particles: identical to the bit.
+    for (x, y) in a.parts[0].bufs.iter().zip(&b.parts[0].bufs) {
+        assert_eq!(x.len(), y.len());
+        for i in 0..x.len() {
+            assert_eq!(x.x[i].to_bits(), y.x[i].to_bits());
+            assert_eq!(x.z[i].to_bits(), y.z[i].to_bits());
+            assert_eq!(x.ux[i].to_bits(), y.ux[i].to_bits());
+            assert_eq!(x.uz[i].to_bits(), y.uz[i].to_bits());
+        }
+    }
+    // Parent fields and currents: identical to the bit.
+    for c in 0..3 {
+        for fi in 0..a.fs.e[c].nfabs() {
+            assert_eq!(a.fs.e[c].fab(fi).raw(), b.fs.e[c].fab(fi).raw());
+            assert_eq!(a.fs.j[c].fab(fi).raw(), b.fs.j[c].fab(fi).raw());
+        }
+    }
+    // MR fine-patch state (deposited via the ordered reduction).
+    let (ma, mb) = (a.mr.as_ref().unwrap(), b.mr.as_ref().unwrap());
+    for c in 0..3 {
+        assert_eq!(ma.fine.j[c].fab(0).raw(), mb.fine.j[c].fab(0).raw());
+        assert_eq!(ma.fine.e[c].fab(0).raw(), mb.fine.e[c].fab(0).raw());
+    }
+}
+
+#[test]
+fn steady_state_steps_build_no_plans() {
+    let mut sim = build(3, false);
+    sim.run(3);
+    let warm = sim.plan_builds_total();
+    assert!(warm > 0, "first steps must have built plans");
+    sim.run(5);
+    assert_eq!(
+        sim.plan_builds_total(),
+        warm,
+        "steady-state steps must reuse cached exchange plans"
+    );
+}
+
+#[test]
+fn window_shift_invalidates_and_rebuilds_plans() {
+    let mut sim = build(7, true);
+    sim.run(3); // warm the caches
+    let warm = sim.plan_builds_total();
+    // Step until the moving window shifts; that step must rebuild plans.
+    let mut shifted = false;
+    for _ in 0..400 {
+        let before = sim.plan_builds_total();
+        let st = sim.step();
+        if st.window_shifts > 0 {
+            assert!(
+                sim.plan_builds_total() > before,
+                "window shift must invalidate cached plans"
+            );
+            shifted = true;
+            break;
+        } else {
+            assert_eq!(
+                sim.plan_builds_total(),
+                before,
+                "no-shift steps must not rebuild plans"
+            );
+        }
+    }
+    assert!(shifted, "window never shifted");
+    assert!(sim.plan_builds_total() > warm);
+}
+
+#[test]
+fn invalidate_plans_forces_rebuild() {
+    let mut sim = build(5, false);
+    sim.run(2);
+    let warm = sim.plan_builds_total();
+    sim.run(1);
+    assert_eq!(sim.plan_builds_total(), warm);
+    // The rebalance path calls this after adopting a new mapping.
+    sim.fs.invalidate_plans();
+    sim.run(1);
+    assert!(sim.plan_builds_total() > warm);
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full workspace tests, lints, and bench
+# compilation. Note: the root manifest is both [workspace] and
+# [package], so plain `cargo test` would only run the umbrella crate —
+# always pass --workspace.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo bench --workspace --no-run

@@ -1,0 +1,287 @@
+//! Vendored data-parallelism shim with a rayon-compatible surface.
+//!
+//! The build environment is offline, so this workspace carries a local
+//! implementation of the rayon subset it uses: `par_iter` /
+//! `par_iter_mut` / `into_par_iter` over slices and vectors, `for_each`,
+//! `for_each_init`, `enumerate`, and `ThreadPoolBuilder::install` for
+//! pinning the thread count (as the determinism tests do).
+//!
+//! Work items are materialized into a vector and split into contiguous
+//! chunks across `std::thread::scope` threads — one spawn per chunk, no
+//! work stealing. That is slower than real rayon for irregular loads but
+//! has an important property for this codebase: the assignment of items
+//! to chunks is deterministic, so any per-thread state (scratch buffers)
+//! touches a deterministic item subset.
+//!
+//! Thread count resolution: active `ThreadPool::install` override, else
+//! `RAYON_NUM_THREADS`, else `std::thread::available_parallelism`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = no override.
+static POOL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    let ov = POOL_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        return ov;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn run_chunked<T: Send, F: Fn(&mut [Option<T>]) + Sync>(items: Vec<T>, f: F) {
+    let nthreads = current_num_threads().min(items.len()).max(1);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    if nthreads == 1 {
+        f(&mut slots);
+        return;
+    }
+    let chunk = slots.len().div_ceil(nthreads);
+    std::thread::scope(|s| {
+        for ch in slots.chunks_mut(chunk) {
+            s.spawn(|| f(ch));
+        }
+    });
+}
+
+/// Eager parallel iterator over an already-materialized item list.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+/// The rayon operations this workspace uses.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn into_items(self) -> Vec<Self::Item>;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_chunked(self.into_items(), |chunk| {
+            for slot in chunk {
+                f(slot.take().unwrap());
+            }
+        });
+    }
+
+    /// Like `for_each`, but with per-thread state created by `init` —
+    /// rayon's scratch-buffer pattern.
+    fn for_each_init<S, INIT, OP>(self, init: INIT, op: OP)
+    where
+        INIT: Fn() -> S + Sync + Send,
+        OP: Fn(&mut S, Self::Item) + Sync + Send,
+    {
+        run_chunked(self.into_items(), |chunk| {
+            let mut state = init();
+            for slot in chunk {
+                op(&mut state, slot.take().unwrap());
+            }
+        });
+    }
+
+    fn enumerate(self) -> VecParIter<(usize, Self::Item)> {
+        VecParIter {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// `&mut`-borrowing entry point (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> VecParIter<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> VecParIter<&'data mut T> {
+        VecParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> VecParIter<&'data mut T> {
+        VecParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `&`-borrowing entry point (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> VecParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> VecParIter<&'data T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Consuming entry point (`into_par_iter`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> VecParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+// -------------------------------------------------------------- pools
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" is just a pinned thread count: `install` sets a process-wide
+/// override for the duration of the closure (sufficient for pinning the
+/// parallelism of a test or bench region, which is the only use here).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.swap(self.num_threads, Ordering::Relaxed);
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_OVERRIDE.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_mut_touches_every_item() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v.iter().sum::<u64>(), (1..=1000).sum::<u64>());
+    }
+
+    #[test]
+    fn enumerate_matches_serial_order() {
+        let mut v = vec![0usize; 64];
+        let ptr = std::sync::Mutex::new(&mut v);
+        (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(i, x)| {
+                ptr.lock().unwrap()[i] = x;
+            });
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn for_each_init_runs_init_per_chunk() {
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        items.into_par_iter().for_each_init(
+            || {
+                count.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |state, item| {
+                *state += item;
+            },
+        );
+        assert!(count.load(Ordering::Relaxed) >= 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` stack) cannot be fetched. This crate implements
+//! the subset of the derive surface this workspace uses with a hand-rolled
+//! token-tree parser and string-based code generation:
+//!
+//! * named structs, tuple structs (newtype-transparent), unit structs;
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged by default;
+//! * container attributes `#[serde(tag = "...", rename_all = "snake_case")]`
+//!   (internally tagged enums);
+//! * field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`.
+//!
+//! Generics are intentionally unsupported (the workspace has none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// None: required; Some(None): `#[serde(default)]`;
+    /// Some(Some(path)): `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum InputKind {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: InputKind,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+// --------------------------------------------------------------- helpers
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn apply_rename(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("unsupported rename_all rule: {other}"),
+        None => name.to_string(),
+    }
+}
+
+/// Parse the contents of a `#[serde(...)]` attribute into (key, value)
+/// pairs. Values are unquoted string literals; bare idents have no value.
+fn serde_attr_pairs(bracket: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let toks: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    let mut pairs = Vec::new();
+    if toks.first().and_then(ident_str).as_deref() != Some("serde") {
+        return pairs; // doc comment or another derive's attribute
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return pairs;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = ident_str(&args[j]).expect("serde attribute key");
+        j += 1;
+        let mut val = None;
+        if j < args.len() && is_punct(&args[j], '=') {
+            j += 1;
+            val = Some(unquote(&args[j].to_string()));
+            j += 1;
+        }
+        pairs.push((key, val));
+        if j < args.len() && is_punct(&args[j], ',') {
+            j += 1;
+        }
+    }
+    pairs
+}
+
+/// Number of top-level comma-separated entries in a token group,
+/// tracking `<...>` nesting (angle brackets are not token groups).
+fn count_top_level(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => n += 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        let mut default = None;
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            if let TokenTree::Group(a) = &toks[i + 1] {
+                for (k, v) in serde_attr_pairs(a) {
+                    match k.as_str() {
+                        "skip" => skip = true,
+                        "default" => default = Some(v),
+                        other => panic!("unsupported serde field attribute: {other}"),
+                    }
+                }
+            }
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if ident_str(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = ident_str(&toks[i]).expect("field name");
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected `:` after field name");
+        i += 1;
+        // Skip the type: everything up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // attribute (doc comments etc.) — nothing to honor
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]).expect("variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_top_level(g) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(a) = &toks[i + 1] {
+            for (k, v) in serde_attr_pairs(a) {
+                match k.as_str() {
+                    "tag" => tag = v,
+                    "rename_all" => rename_all = v,
+                    other => panic!("unsupported serde container attribute: {other}"),
+                }
+            }
+        }
+        i += 2;
+    }
+    if ident_str(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    let kw = ident_str(&toks[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_str(&toks[i]).expect("type name");
+    i += 1;
+    assert!(
+        !matches!(&toks.get(i), Some(t) if is_punct(t, '<')),
+        "generic types are not supported by the vendored serde_derive"
+    );
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                InputKind::Struct(parse_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                InputKind::TupleStruct(count_top_level(g))
+            }
+            _ => InputKind::Unit,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                InputKind::Enum(parse_variants(g))
+            }
+            _ => panic!("enum body expected"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        kind,
+        tag,
+        rename_all,
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let ra = inp.rename_all.as_deref();
+    let body = match &inp.kind {
+        InputKind::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__o.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__o)");
+            s
+        }
+        InputKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        InputKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        InputKind::Unit => format!("::serde::Value::Str(\"{name}\".to_string())"),
+        InputKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = apply_rename(&v.name, ra);
+                match (&v.kind, inp.tag.as_deref()) {
+                    (VariantKind::Unit, None) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Unit, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string()))]),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Newtype, None) => arms.push_str(&format!(
+                        "{name}::{v}(__x0) => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n",
+                        v = v.name
+                    )),
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__x{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Value::Array(vec![{elems}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    (VariantKind::Struct(fields), tag) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut __f: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__f.push((\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__f.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        let expr = if tag.is_some() {
+                            "::serde::Value::Object(__f)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Value::Object(__f))])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} {expr} }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    (_, Some(_)) => {
+                        panic!("internally tagged enums support unit/struct variants only")
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(f: &Field, obj: &str) -> String {
+    if f.skip {
+        return format!("{n}: ::core::default::Default::default()", n = f.name);
+    }
+    match &f.default {
+        None => format!(
+            "{n}: ::serde::de::field({obj}, \"{n}\")?",
+            n = f.name
+        ),
+        Some(None) => format!(
+            "{n}: ::serde::de::field_or_default({obj}, \"{n}\")?",
+            n = f.name
+        ),
+        Some(Some(path)) => format!(
+            "{n}: ::serde::de::field_or_else({obj}, \"{n}\", {path})?",
+            n = f.name
+        ),
+    }
+}
+
+fn gen_deserialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let ra = inp.rename_all.as_deref();
+    let body = match &inp.kind {
+        InputKind::Struct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(f, "__o")).collect();
+            format!(
+                "let __o = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        InputKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        InputKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = ::serde::de::as_array(__v, {n}, \"{name}\")?;\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        InputKind::Unit => format!("Ok({name})"),
+        InputKind::Enum(variants) => {
+            if let Some(tag) = inp.tag.as_deref() {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = apply_rename(&v.name, ra);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n", v = v.name))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_expr(f, "__o")).collect();
+                            arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{v} {{ {} }}),\n",
+                                inits.join(", "),
+                                v = v.name
+                            ));
+                        }
+                        _ => panic!(
+                            "internally tagged enums support unit/struct variants only"
+                        ),
+                    }
+                }
+                format!(
+                    "let __o = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                     let __tag: String = ::serde::de::field(__o, \"{tag}\")?;\n\
+                     match __tag.as_str() {{\n{arms}\
+                     __other => Err(::serde::Error::msg(format!(\"unknown {name} variant: {{__other}}\"))),\n}}"
+                )
+            } else {
+                let mut str_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    let key = apply_rename(&v.name, ra);
+                    match &v.kind {
+                        VariantKind::Unit => str_arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Newtype => obj_arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{v}(::serde::Deserialize::from_value(_inner)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__a[{k}])?")
+                                })
+                                .collect();
+                            obj_arms.push_str(&format!(
+                                "\"{key}\" => {{ let __a = ::serde::de::as_array(_inner, {n}, \"{name}\")?; Ok({name}::{v}({})) }}\n",
+                                elems.join(", "),
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_expr(f, "__f")).collect();
+                            obj_arms.push_str(&format!(
+                                "\"{key}\" => {{ let __f = ::serde::de::as_object(_inner, \"{name}\")?; Ok({name}::{v} {{ {} }}) }}\n",
+                                inits.join(", "),
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => Err(::serde::Error::msg(format!(\"unknown {name} variant: {{__other}}\"))),\n}},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                     let (__k, _inner) = &__o[0];\n\
+                     match __k.as_str() {{\n{obj_arms}\
+                     __other => Err(::serde::Error::msg(format!(\"unknown {name} variant: {{__other}}\"))),\n}}\n}},\n\
+                     _ => Err(::serde::Error::msg(\"invalid value for enum {name}\")),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------- entry
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let inp = parse_input(input);
+    gen_serialize(&inp).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let inp = parse_input(input);
+    gen_deserialize(&inp).parse().expect("generated Deserialize impl must parse")
+}
