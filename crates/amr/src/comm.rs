@@ -7,8 +7,8 @@
 //! intersections rather than from a guessed surface-to-volume formula.
 
 use crate::{
-    boxarray::BoxArray, distribution::DistributionMapping, fabarray::Periodicity,
-    ibox::IndexBox, ivec::IntVect, stagger::Stagger,
+    boxarray::BoxArray, distribution::DistributionMapping, fabarray::Periodicity, ibox::IndexBox,
+    ivec::IntVect, stagger::Stagger,
 };
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +49,29 @@ pub struct CommStats {
 impl CommStats {
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Fold another counter set into this one (used to aggregate stats
+    /// across fab arrays, PML shells, and MR levels into one step record).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.exchanges += other.exchanges;
+        self.plan_builds += other.plan_builds;
+        self.seconds += other.seconds;
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero for the
+    /// integer counters. Used to turn cumulative counters into per-step
+    /// deltas for telemetry records.
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            messages: self.messages.saturating_sub(earlier.messages),
+            exchanges: self.exchanges.saturating_sub(earlier.exchanges),
+            plan_builds: self.plan_builds.saturating_sub(earlier.plan_builds),
+            seconds: (self.seconds - earlier.seconds).max(0.0),
+        }
     }
 }
 
@@ -223,12 +246,8 @@ mod tests {
         let t1 = plan.traffic(&dm1, 3);
         assert_eq!(t1.remote_bytes, 0);
         assert_eq!(t1.local_bytes, 2 * 16 * 8 * 3);
-        let dm2 = DistributionMapping::build(
-            &ba,
-            2,
-            crate::distribution::Strategy::RoundRobin,
-            &[],
-        );
+        let dm2 =
+            DistributionMapping::build(&ba, 2, crate::distribution::Strategy::RoundRobin, &[]);
         let t2 = plan.traffic(&dm2, 3);
         assert_eq!(t2.remote_bytes, 2 * 16 * 8 * 3);
         assert_eq!(t2.remote_messages, 2);

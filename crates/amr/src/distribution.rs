@@ -156,8 +156,7 @@ fn knapsack_owners(nranks: usize, costs: &[f64]) -> Vec<usize> {
             self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
         }
     }
-    let mut heap: BinaryHeap<Reverse<Load>> =
-        (0..nranks).map(|r| Reverse(Load(0.0, r))).collect();
+    let mut heap: BinaryHeap<Reverse<Load>> = (0..nranks).map(|r| Reverse(Load(0.0, r))).collect();
     let mut owners = vec![0usize; costs.len()];
     for bi in order {
         let Reverse(Load(load, rank)) = heap.pop().expect("nranks > 0");

@@ -230,10 +230,11 @@ impl Fab {
         dst_c: usize,
         f: impl Fn(f64, f64) -> f64,
     ) {
-        let Some(r) = region
-            .intersect(&src.pbox)
-            .and_then(|r| r.shift(shift).intersect(&self.pbox).map(|d| d.shift(-shift)))
-        else {
+        let Some(r) = region.intersect(&src.pbox).and_then(|r| {
+            r.shift(shift)
+                .intersect(&self.pbox)
+                .map(|d| d.shift(-shift))
+        }) else {
             return;
         };
         let six = src.indexer();
@@ -312,8 +313,7 @@ impl Fab {
                         let dst_row = ix.at(r.lo.x, j, k);
                         let src_row = ix.at(r.lo.x + s.x, j + s.y, k + s.z);
                         let w = (r.hi.x - r.lo.x) as usize;
-                        fresh[dst_row..dst_row + w]
-                            .copy_from_slice(&comp[src_row..src_row + w]);
+                        fresh[dst_row..dst_row + w].copy_from_slice(&comp[src_row..src_row + w]);
                     }
                 }
             }

@@ -254,14 +254,7 @@ impl FabArray {
                         pack_region_into(fab, c, &r, &mut self.xbuf);
                         let npts = r.num_cells() as usize;
                         let start = self.xbuf.len() - npts;
-                        blend_region_from_buf(
-                            fab,
-                            c,
-                            &r,
-                            it.shift,
-                            &self.xbuf[start..],
-                            |_, s| s,
-                        );
+                        blend_region_from_buf(fab, c, &r, it.shift, &self.xbuf[start..], |_, s| s);
                     }
                     self.xbuf.clear();
                 }
@@ -338,9 +331,7 @@ impl FabArray {
             let npts = r.num_cells() as usize;
             let dst = &mut fabs[it.dst];
             for c in 0..ncomp {
-                blend_region_from_buf(dst, c, r, it.shift, &xbuf[off..off + npts], |d, s| {
-                    d + s
-                });
+                blend_region_from_buf(dst, c, r, it.shift, &xbuf[off..off + npts], |d, s| d + s);
                 off += npts;
             }
         }
@@ -393,7 +384,9 @@ impl FabArray {
         for (di, dst) in fabs.iter_mut().enumerate() {
             dst.fill(0.0);
             for si in 0..n {
-                let Some(r) = &clips[di * n + si] else { continue };
+                let Some(r) = &clips[di * n + si] else {
+                    continue;
+                };
                 let npts = r.num_cells() as usize;
                 for c in 0..ncomp {
                     blend_region_from_buf(dst, c, r, -s, &xbuf[off..off + npts], |_, v| v);
@@ -492,9 +485,11 @@ fn clip_exchange_region(
     src: &Fab,
     dst: &Fab,
 ) -> Option<IndexBox> {
-    region
-        .intersect(&src.grown_pts())
-        .and_then(|r| r.shift(shift).intersect(&dst.grown_pts()).map(|d| d.shift(-shift)))
+    region.intersect(&src.grown_pts()).and_then(|r| {
+        r.shift(shift)
+            .intersect(&dst.grown_pts())
+            .map(|d| d.shift(-shift))
+    })
 }
 
 /// Append component `c` of `src` over the (already clipped) region `r`
@@ -588,11 +583,7 @@ mod tests {
         }
         fa.fill_boundary(&Periodicity::all(dom()));
         // Guard at x = -1 of box 0 wraps to the far-x box at x = 7.
-        let owner = fa
-            .boxarray()
-            .find_cell(IntVect::new(7, 0, 0))
-            .unwrap() as f64
-            + 1.0;
+        let owner = fa.boxarray().find_cell(IntVect::new(7, 0, 0)).unwrap() as f64 + 1.0;
         assert_eq!(fa.fab(0).get(0, IntVect::new(-1, 0, 0)), owner);
     }
 

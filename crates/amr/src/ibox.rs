@@ -121,8 +121,7 @@ impl IndexBox {
     pub fn cells(&self) -> impl Iterator<Item = IntVect> + '_ {
         let b = *self;
         (b.lo.z..b.hi.z).flat_map(move |k| {
-            (b.lo.y..b.hi.y)
-                .flat_map(move |j| (b.lo.x..b.hi.x).map(move |i| IntVect::new(i, j, k)))
+            (b.lo.y..b.hi.y).flat_map(move |j| (b.lo.x..b.hi.x).map(move |i| IntVect::new(i, j, k)))
         })
     }
 
@@ -242,10 +241,7 @@ mod tests {
         let c = b([1, 1, 1], [3, 3, 5]);
         let parts = a.subtract(&c);
         let total: i64 = parts.iter().map(|p| p.num_cells()).sum();
-        assert_eq!(
-            total,
-            a.num_cells() - a.intersect(&c).unwrap().num_cells()
-        );
+        assert_eq!(total, a.num_cells() - a.intersect(&c).unwrap().num_cells());
         for p in &parts {
             assert!(p.intersect(&c).is_none());
             assert!(a.contains_box(p));

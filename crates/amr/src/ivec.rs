@@ -221,7 +221,10 @@ mod tests {
     #[test]
     fn coarsen_rounds_toward_neg_infinity() {
         let r = IntVect::splat(2);
-        assert_eq!(IntVect::new(-1, -2, -3).coarsen(r), IntVect::new(-1, -1, -2));
+        assert_eq!(
+            IntVect::new(-1, -2, -3).coarsen(r),
+            IntVect::new(-1, -1, -2)
+        );
         assert_eq!(IntVect::new(3, 4, 5).coarsen(r), IntVect::new(1, 2, 2));
     }
 

@@ -5,8 +5,7 @@ use mrpic_amr::{BoxArray, FabArray, IndexBox, IntVect, Periodicity, Stagger};
 use proptest::prelude::*;
 
 fn arb_dom() -> impl Strategy<Value = IndexBox> {
-    (4i64..20, 1i64..8, 4i64..20)
-        .prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
+    (4i64..20, 1i64..8, 4i64..20).prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
 }
 
 proptest! {

@@ -167,13 +167,13 @@ fn bench_deposit<S: Shape>(c: &mut Criterion, s: &Setup, label: &str) {
                 };
                 if blocked {
                     esirkepov3_blocked::<S, f64>(
-                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15,
-                        &s.geom, &mut jv,
+                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15, &s.geom,
+                        &mut jv,
                     );
                 } else {
                     esirkepov3::<S, f64>(
-                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15,
-                        &s.geom, &mut jv,
+                        &s.x0, &s.y0, &s.z0, &s.x1, &s.y1, &s.z1, &s.w, -1.6e-19, 1.0e-15, &s.geom,
+                        &mut jv,
                     );
                 }
             })

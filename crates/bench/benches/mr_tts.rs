@@ -52,7 +52,14 @@ fn build(fine_everywhere: bool, with_patch: bool, ppc: [usize; 3]) -> Simulation
             },
             [1, 1, 1],
         ))
-        .add_laser(antenna_for_a0(2.0, 0.8 * UM, 8.0e-15, 1.0 * UM, 1.6 * UM, 2.0 * UM))
+        .add_laser(antenna_for_a0(
+            2.0,
+            0.8 * UM,
+            8.0e-15,
+            1.0 * UM,
+            1.6 * UM,
+            2.0 * UM,
+        ))
         .build();
     if with_patch {
         let i0 = (6.0 * UM / h) as i64;
@@ -83,7 +90,9 @@ fn benches(c: &mut Criterion) {
     // The no-MR alternatives at 2x resolution.
     let mut fine_quarter = build(true, false, [1, 1, 1]);
     fine_quarter.dt = mr.dt;
-    group.bench_function("no_mr_2xres_ppc_quarter", |b| b.iter(|| fine_quarter.step()));
+    group.bench_function("no_mr_2xres_ppc_quarter", |b| {
+        b.iter(|| fine_quarter.step())
+    });
     let mut fine_full = build(true, false, [2, 1, 2]);
     fine_full.dt = mr.dt;
     group.bench_function("no_mr_2xres", |b| b.iter(|| fine_full.step()));

@@ -17,6 +17,7 @@ use mrpic_core::mr::MrConfig;
 use mrpic_core::profile::Profile;
 use mrpic_core::sim::{ShapeOrder, Simulation, SimulationBuilder};
 use mrpic_core::species::Species;
+use mrpic_core::telemetry::PhaseTimes;
 use mrpic_field::fieldset::Dim;
 use mrpic_kernels::constants::critical_density;
 use serde_json::{json, Value};
@@ -74,7 +75,14 @@ fn build_mr() -> Simulation {
             },
             [1, 1, 1],
         ))
-        .add_laser(antenna_for_a0(2.0, 0.8 * UM, 8.0e-15, 1.0 * UM, 1.6 * UM, 2.0 * UM))
+        .add_laser(antenna_for_a0(
+            2.0,
+            0.8 * UM,
+            8.0e-15,
+            1.0 * UM,
+            1.6 * UM,
+            2.0 * UM,
+        ))
         .build();
     let i0 = (6.0 * UM / h) as i64;
     let i1 = (9.0 * UM / h) as i64;
@@ -114,9 +122,26 @@ fn profile(sim: &mut Simulation, steps: usize, invalidate: bool) -> (f64, f64, f
 }
 
 fn case(name: &str, mut sim: Simulation, invalidate: bool) -> Value {
-    // Warm caches and particle distributions before measuring.
+    // Warm caches and particle distributions before measuring. Telemetry
+    // stays at its defaults (enabled, sentinel every step) so the numbers
+    // include the observability overhead a production run pays.
     sim.run(3);
     let (total, part, field, exch) = profile(&mut sim, 20, invalidate);
+    assert!(!sim.telemetry.tripped(), "bench sim tripped a NaN guard");
+    let mut ph = PhaseTimes::default();
+    for r in sim.telemetry.records().iter().rev().take(20) {
+        ph.merge(&r.phases);
+    }
+    let n = 20.0;
+    let phase_seconds = json!({
+        "gather": ph.gather / n,
+        "push": ph.push / n,
+        "deposit": ph.deposit / n,
+        "sum": ph.sum / n,
+        "maxwell": ph.maxwell / n,
+        "mr": ph.mr / n,
+        "fill": ph.fill / n
+    });
     json!({
         "case": name,
         "steps": 20,
@@ -124,7 +149,8 @@ fn case(name: &str, mut sim: Simulation, invalidate: bool) -> Value {
         "particle_seconds": part,
         "field_seconds": field,
         "exchange_seconds": exch,
-        "plan_builds_total": sim.plan_builds_total()
+        "plan_builds_total": sim.plan_builds_total(),
+        "phase_seconds": phase_seconds
     })
 }
 

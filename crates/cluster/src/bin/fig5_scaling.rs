@@ -32,7 +32,10 @@ fn main() {
     let mut rows = Vec::new();
     let cases: [(MachineModel, Vec<u64>); 4] = [
         (MachineModel::frontier(), vec![512, 1024, 2048, 4096, 8192]),
-        (MachineModel::fugaku(), vec![6144, 12288, 24576, 49152, 98304, 152064]),
+        (
+            MachineModel::fugaku(),
+            vec![6144, 12288, 24576, 49152, 98304, 152064],
+        ),
         (MachineModel::summit(), vec![512, 1024, 2048, 4096]),
         (MachineModel::perlmutter(), vec![15, 30, 60, 120, 240, 480]),
     ];

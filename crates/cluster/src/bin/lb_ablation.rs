@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release -p mrpic-cluster --bin lb_ablation`
 
 use mrpic_amr::{BoxArray, IndexBox, IntVect};
-use mrpic_cluster::lb::{
-    compare_strategies, multilevel_lb, pml_colocation_gain, solid_slab_costs,
-};
+use mrpic_cluster::lb::{compare_strategies, multilevel_lb, pml_colocation_gain, solid_slab_costs};
 use mrpic_cluster::tables::print_table;
 
 fn main() {
@@ -19,7 +17,10 @@ fn main() {
     let slab = IndexBox::new(IntVect::new(256, 0, 0), IntVect::new(288, 512, 1));
     for contrast in [10.0, 50.0, 200.0] {
         let costs = solid_slab_costs(&ba, &slab, contrast);
-        println!("target/background cost contrast: {contrast}x, {} boxes, 64 ranks", ba.len());
+        println!(
+            "target/background cost contrast: {contrast}x, {} boxes, 64 ranks",
+            ba.len()
+        );
         let outcomes = compare_strategies(&ba, &costs, 64);
         let best = outcomes
             .iter()
@@ -36,7 +37,10 @@ fn main() {
             })
             .collect();
         print_table(&["strategy", "max/mean load", "slowdown vs best"], &rows);
-        let blind = outcomes.iter().find(|o| o.strategy == "sfc-uniform").unwrap();
+        let blind = outcomes
+            .iter()
+            .find(|o| o.strategy == "sfc-uniform")
+            .unwrap();
         let knap = outcomes.iter().find(|o| o.strategy == "knapsack").unwrap();
         println!(
             "dynamic-LB speedup (cost-blind SFC -> knapsack): {:.2}x (paper: 3.8x)\n",
@@ -70,7 +74,8 @@ fn main() {
         .map(|&(pml_frac, comm_frac)| {
             let interior = 1.0e9;
             let compute = interior / 1.0e9 * (1.0 - comm_frac) / comm_frac;
-            let (without, with) = pml_colocation_gain(interior, pml_frac * interior, compute, 1.0e9);
+            let (without, with) =
+                pml_colocation_gain(interior, pml_frac * interior, compute, 1.0e9);
             vec![
                 format!("{:.0}%", pml_frac * 100.0),
                 format!("{:.0}%", comm_frac * 100.0),
@@ -79,7 +84,11 @@ fn main() {
         })
         .collect();
     print_table(
-        &["PML traffic / interior", "comm share of step", "co-location gain"],
+        &[
+            "PML traffic / interior",
+            "comm share of step",
+            "co-location gain",
+        ],
         &rows,
     );
     println!("\npaper: co-locating PML patches with their parent grids gave 25%");

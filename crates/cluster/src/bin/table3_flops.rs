@@ -23,7 +23,15 @@ fn main() {
         })
         .collect();
     print_table(
-        &["machine", "nodes", "dev/node", "DP TF/dev", "SP TF/dev", "TB/s/dev", "HPCG F/s"],
+        &[
+            "machine",
+            "nodes",
+            "dev/node",
+            "DP TF/dev",
+            "SP TF/dev",
+            "TB/s/dev",
+            "HPCG F/s",
+        ],
         &rows,
     );
 
@@ -42,7 +50,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["machine", "mode", "TF/s/dev", "% peak", "PF/s at scale", "% HPCG"],
+        &[
+            "machine",
+            "mode",
+            "TF/s/dev",
+            "% peak",
+            "PF/s at scale",
+            "% HPCG",
+        ],
         &rows,
     );
 
@@ -50,7 +65,12 @@ fn main() {
     let rows: Vec<Vec<String>> = paper_table3()
         .iter()
         .map(|(m, mode, tf, pf)| {
-            vec![m.to_string(), mode.to_string(), format!("{tf}"), format!("{pf}")]
+            vec![
+                m.to_string(),
+                mode.to_string(),
+                format!("{tf}"),
+                format!("{pf}"),
+            ]
         })
         .collect();
     print_table(&["machine", "mode", "TF/s/dev", "PF/s at scale"], &rows);

@@ -41,7 +41,14 @@ fn main() {
         })
         .collect();
     print_table(
-        &["machine", "Nc/node", "nodes", "FOM (model)", "FOM (paper)", "ratio"],
+        &[
+            "machine",
+            "Nc/node",
+            "nodes",
+            "FOM (model)",
+            "FOM (paper)",
+            "ratio",
+        ],
         &rows,
     );
     println!("\nexpected shape: Frontier > Fugaku(MP) > Summit > Perlmutter, each within ~3x");

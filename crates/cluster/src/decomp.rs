@@ -76,8 +76,7 @@ pub fn halo_bytes_per_rank(block: [u64; 3], ng: u64, ncomp: u64, wsize: u64) -> 
     let (bx, by, bz) = (block[0] as f64, block[1] as f64, block[2] as f64);
     let g = ng as f64;
     // Grown-box shell volume (faces + edges + corners), both directions.
-    let shell =
-        (bx + 2.0 * g) * (by + 2.0 * g) * (bz + 2.0 * g) - bx * by * bz;
+    let shell = (bx + 2.0 * g) * (by + 2.0 * g) * (bz + 2.0 * g) - bx * by * bz;
     shell * ncomp as f64 * wsize as f64
 }
 

@@ -107,13 +107,69 @@ pub struct Stage {
 /// The optimization history of §VII-C as model stages.
 pub fn history() -> Vec<Stage> {
     vec![
-        Stage { date: "3/19", machine: "Cori", cells_per_node: 0.4e7, nodes: 6625, reuse: 0.6, msg_overhead_mult: 1.0, particle_bytes_mult: 1.0 },
-        Stage { date: "6/19", machine: "Summit", cells_per_node: 2.8e7, nodes: 1000, reuse: 1.0, msg_overhead_mult: 3.0, particle_bytes_mult: 1.3 },
-        Stage { date: "1/20", machine: "Summit", cells_per_node: 2.3e7, nodes: 2560, reuse: 1.0, msg_overhead_mult: 2.0, particle_bytes_mult: 1.15 },
-        Stage { date: "7/20", machine: "Summit", cells_per_node: 2.0e8, nodes: 4263, reuse: 0.6, msg_overhead_mult: 1.5, particle_bytes_mult: 1.0 },
-        Stage { date: "12/21", machine: "Summit", cells_per_node: 2.0e8, nodes: 4263, reuse: 0.4, msg_overhead_mult: 1.0, particle_bytes_mult: 1.0 },
-        Stage { date: "4/22", machine: "Summit", cells_per_node: 2.0e8, nodes: 4263, reuse: 0.35, msg_overhead_mult: 1.0, particle_bytes_mult: 1.0 },
-        Stage { date: "7/22", machine: "Frontier", cells_per_node: 8.1e8, nodes: 8576, reuse: 0.35, msg_overhead_mult: 1.0, particle_bytes_mult: 1.0 },
+        Stage {
+            date: "3/19",
+            machine: "Cori",
+            cells_per_node: 0.4e7,
+            nodes: 6625,
+            reuse: 0.6,
+            msg_overhead_mult: 1.0,
+            particle_bytes_mult: 1.0,
+        },
+        Stage {
+            date: "6/19",
+            machine: "Summit",
+            cells_per_node: 2.8e7,
+            nodes: 1000,
+            reuse: 1.0,
+            msg_overhead_mult: 3.0,
+            particle_bytes_mult: 1.3,
+        },
+        Stage {
+            date: "1/20",
+            machine: "Summit",
+            cells_per_node: 2.3e7,
+            nodes: 2560,
+            reuse: 1.0,
+            msg_overhead_mult: 2.0,
+            particle_bytes_mult: 1.15,
+        },
+        Stage {
+            date: "7/20",
+            machine: "Summit",
+            cells_per_node: 2.0e8,
+            nodes: 4263,
+            reuse: 0.6,
+            msg_overhead_mult: 1.5,
+            particle_bytes_mult: 1.0,
+        },
+        Stage {
+            date: "12/21",
+            machine: "Summit",
+            cells_per_node: 2.0e8,
+            nodes: 4263,
+            reuse: 0.4,
+            msg_overhead_mult: 1.0,
+            particle_bytes_mult: 1.0,
+        },
+        Stage {
+            date: "4/22",
+            machine: "Summit",
+            cells_per_node: 2.0e8,
+            nodes: 4263,
+            reuse: 0.35,
+            msg_overhead_mult: 1.0,
+            particle_bytes_mult: 1.0,
+        },
+        Stage {
+            date: "7/22",
+            machine: "Frontier",
+            cells_per_node: 8.1e8,
+            nodes: 8576,
+            reuse: 0.35,
+            msg_overhead_mult: 1.0,
+            particle_bytes_mult: 1.0,
+        },
     ]
 }
 

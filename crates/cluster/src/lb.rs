@@ -52,12 +52,7 @@ pub fn compare_strategies(ba: &BoxArray, costs: &[f64], nranks: usize) -> Vec<Lb
     ]
     .into_iter()
     .map(|(name, strat, use_costs)| {
-        let dm = DistributionMapping::build(
-            ba,
-            nranks,
-            strat,
-            if use_costs { costs } else { &[] },
-        );
+        let dm = DistributionMapping::build(ba, nranks, strat, if use_costs { costs } else { &[] });
         let imb = dm.imbalance(costs);
         LbOutcome {
             strategy: name.to_string(),
@@ -191,8 +186,7 @@ pub fn multilevel_lb(
     nranks: usize,
 ) -> (f64, f64) {
     // Parent mapping: cost-blind SFC over the coarse level (the default).
-    let parent_dm =
-        DistributionMapping::build(coarse_ba, nranks, Strategy::SpaceFillingCurve, &[]);
+    let parent_dm = DistributionMapping::build(coarse_ba, nranks, Strategy::SpaceFillingCurve, &[]);
     // Co-located: each fine box goes to the owner of the coarse box
     // containing its (coarsened) center.
     let mut colocated_loads = parent_dm.rank_loads(coarse_costs);
@@ -205,8 +199,7 @@ pub fn multilevel_lb(
             .unwrap_or(0);
         colocated_loads[owner] += fine_costs[fi];
     }
-    let total: f64 =
-        coarse_costs.iter().chain(fine_costs.iter()).sum();
+    let total: f64 = coarse_costs.iter().chain(fine_costs.iter()).sum();
     let ideal = total / nranks as f64;
     let co_time = colocated_loads.iter().cloned().fold(0.0, f64::max) / ideal;
     // Joint: knapsack over the union of all boxes.
@@ -222,8 +215,7 @@ pub fn multilevel_lb(
     let union_ba = BoxArray::from_boxes(union_boxes);
     let mut union_costs = coarse_costs.to_vec();
     union_costs.extend_from_slice(fine_costs);
-    let joint_dm =
-        DistributionMapping::build(&union_ba, nranks, Strategy::Knapsack, &union_costs);
+    let joint_dm = DistributionMapping::build(&union_ba, nranks, Strategy::Knapsack, &union_costs);
     let joint_time = joint_dm
         .rank_loads(&union_costs)
         .iter()
@@ -248,10 +240,7 @@ mod multilevel_tests {
         );
         let coarse_costs: Vec<f64> = coarse.iter().map(|b| b.num_cells() as f64).collect();
         let patch = IndexBox::new(IntVect::new(224, 0, 0), IntVect::new(288, 512, 1));
-        let fine = BoxArray::chop(
-            patch.refine(IntVect::new(2, 2, 1)),
-            IntVect::new(32, 32, 1),
-        );
+        let fine = BoxArray::chop(patch.refine(IntVect::new(2, 2, 1)), IntVect::new(32, 32, 1));
         // Fine boxes: 4x cell cost (2^2 cells) plus 10x particle weight.
         let fine_costs: Vec<f64> = fine.iter().map(|b| 10.0 * b.num_cells() as f64).collect();
         let (co, joint) = multilevel_lb(&coarse, &coarse_costs, &fine, &fine_costs, 64);

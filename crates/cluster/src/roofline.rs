@@ -143,12 +143,7 @@ mod tests {
         for m in MachineModel::paper_machines() {
             let w = Workload::bench(&m, 8.0);
             let c = step_cost(&m, &w, 64);
-            assert!(
-                c.total > 0.1 && c.total < 4.0,
-                "{}: {} s",
-                m.name,
-                c.total
-            );
+            assert!(c.total > 0.1 && c.total < 4.0, "{}: {} s", m.name, c.total);
         }
     }
 

@@ -34,11 +34,7 @@ pub fn weak_scaling(machine: &MachineModel, nodes_list: &[u64], wsize: f64) -> V
 /// (paper: "a multi-node scenario with maximally filled GPU memory was
 /// picked as the basis"), then distributed over more nodes until the
 /// one-block-per-device granularity limit.
-pub fn strong_scaling(
-    machine: &MachineModel,
-    nodes_list: &[u64],
-    wsize: f64,
-) -> Vec<ScalePoint> {
+pub fn strong_scaling(machine: &MachineModel, nodes_list: &[u64], wsize: f64) -> Vec<ScalePoint> {
     let ppc = 2.0;
     let base_nodes = nodes_list[0];
     let w0 = Workload::bench(machine, wsize);
@@ -172,6 +168,10 @@ mod slingshot_tests {
         let gain = t10 / t11 - 1.0;
         // Paper: "about 5%"; the model should land in the same small-
         // single-digit band (the step is compute- and noise-dominated).
-        assert!(gain > 0.005 && gain < 0.15, "SS11 gain {:.1}%", gain * 100.0);
+        assert!(
+            gain > 0.005 && gain < 0.15,
+            "SS11 gain {:.1}%",
+            gain * 100.0
+        );
     }
 }

@@ -40,8 +40,7 @@ pub fn flops_table() -> Vec<FlopsRow> {
                 .cloned()
                 .unwrap_or(m.nodes_total);
             let eff = weak_scaling(&m, &[1, top_nodes], wsize)[1].efficiency;
-            let at_scale =
-                per_device * (top_nodes * m.devices_per_node) as f64 * eff;
+            let at_scale = per_device * (top_nodes * m.devices_per_node) as f64 * eff;
             rows.push(FlopsRow {
                 machine: m.name,
                 mode,
@@ -82,12 +81,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for r in rows {
         line(r);
     }
@@ -119,7 +113,11 @@ mod tests {
         // Perlmutter > Summit relative (Table III: 12.9 % vs 8.3 %).
         for m in ["Frontier", "Fugaku", "Summit", "Perlmutter"] {
             let r = get(m, "DP");
-            assert!(r.frac_peak > 0.005 && r.frac_peak < 0.2, "{m}: {}", r.frac_peak);
+            assert!(
+                r.frac_peak > 0.005 && r.frac_peak < 0.2,
+                "{m}: {}",
+                r.frac_peak
+            );
         }
         assert!(get("Perlmutter", "DP").frac_peak > get("Summit", "DP").frac_peak);
         // At scale, Frontier leads in absolute achieved Flop/s.

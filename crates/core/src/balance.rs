@@ -82,11 +82,7 @@ pub fn rebalance(
         old_imbalance,
         new_imbalance,
         adopted,
-        mapping: if adopted {
-            candidate
-        } else {
-            current.clone()
-        },
+        mapping: if adopted { candidate } else { current.clone() },
     }
 }
 

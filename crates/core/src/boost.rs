@@ -58,10 +58,7 @@ impl Boost {
     /// Transform a lab-frame (t, x) event.
     pub fn event(&self, t: f64, x: f64) -> (f64, f64) {
         let b = self.beta();
-        (
-            self.gamma * (t - b * x / C),
-            self.gamma * (x - b * C * t),
-        )
+        (self.gamma * (t - b * x / C), self.gamma * (x - b * C * t))
     }
 
     /// Transform u = gamma_p v of a particle (x component; transverse u

@@ -16,7 +16,12 @@ use mrpic_kernels::constants::{field_from_a0, M_E, M_P, Q_E};
 use serde::{Deserialize, Serialize};
 
 /// Top-level run description.
+///
+/// Unknown JSON keys are rejected (a typo'd key would otherwise silently
+/// fall back to a default), and [`RunConfig::from_json`] range-checks the
+/// numeric fields before handing them to the builder.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct RunConfig {
     /// "2d" or "3d".
     pub dimension: String,
@@ -59,6 +64,16 @@ pub struct RunConfig {
     /// Diagnostics cadence in steps (0 = only at the end).
     #[serde(default)]
     pub diag_interval: u64,
+    /// Assemble per-step telemetry records (see `mrpic_core::telemetry`).
+    #[serde(default = "default_true")]
+    pub telemetry: bool,
+    /// Physics-probe cadence in steps (field energy, Gauss residual);
+    /// 0 disables the probes.
+    #[serde(default = "default_probe_interval")]
+    pub probe_interval: u64,
+    /// NaN/Inf sentinel cadence in steps; 0 disables the sentinel.
+    #[serde(default = "default_sentinel_interval")]
+    pub sentinel_interval: u64,
 }
 
 fn default_cfl() -> f64 {
@@ -75,8 +90,17 @@ fn default_seed() -> u64 {
     20220101
 }
 
+fn default_probe_interval() -> u64 {
+    20
+}
+
+fn default_sentinel_interval() -> u64 {
+    1
+}
+
 /// One species entry.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SpeciesConfig {
     pub name: String,
     /// "electron", "proton", or "custom".
@@ -101,10 +125,17 @@ fn default_kind() -> String {
 
 /// Serializable density profile mirror of [`Profile`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
 pub enum ProfileConfig {
-    Uniform { n0: f64 },
-    Slab { n0: f64, axis: usize, x0: f64, x1: f64 },
+    Uniform {
+        n0: f64,
+    },
+    Slab {
+        n0: f64,
+        axis: usize,
+        x0: f64,
+        x1: f64,
+    },
     Ramped {
         n0: f64,
         axis: usize,
@@ -113,8 +144,15 @@ pub enum ProfileConfig {
         down_start: f64,
         down_end: f64,
     },
-    Gaussian { n0: f64, axis: usize, x0: f64, sigma: f64 },
-    Sum { parts: Vec<ProfileConfig> },
+    Gaussian {
+        n0: f64,
+        axis: usize,
+        x0: f64,
+        sigma: f64,
+    },
+    Sum {
+        parts: Vec<ProfileConfig>,
+    },
 }
 
 impl ProfileConfig {
@@ -142,21 +180,25 @@ impl ProfileConfig {
                 down_start: *down_start,
                 down_end: *down_end,
             },
-            ProfileConfig::Gaussian { n0, axis, x0, sigma } => Profile::Gaussian {
+            ProfileConfig::Gaussian {
+                n0,
+                axis,
+                x0,
+                sigma,
+            } => Profile::Gaussian {
                 n0: *n0,
                 axis: *axis,
                 x0: *x0,
                 sigma: *sigma,
             },
-            ProfileConfig::Sum { parts } => {
-                Profile::Sum(parts.iter().map(|p| p.build()).collect())
-            }
+            ProfileConfig::Sum { parts } => Profile::Sum(parts.iter().map(|p| p.build()).collect()),
         }
     }
 }
 
 /// One laser antenna entry.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct LaserConfig {
     /// Normalized amplitude.
     pub a0: f64,
@@ -189,6 +231,7 @@ fn default_pol() -> String {
 
 /// One mesh-refinement patch entry.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct MrPatchConfig {
     pub lo: [i64; 3],
     pub hi: [i64; 3],
@@ -217,7 +260,108 @@ fn default_patch_pml() -> i64 {
 
 impl RunConfig {
     pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+        let cfg: Self = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Range-check the numeric fields with actionable messages.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.dimension.as_str() {
+            "2d" | "2D" | "3d" | "3D" => {}
+            other => {
+                return Err(format!(
+                    "dimension must be \"2d\" or \"3d\", got \"{other}\""
+                ))
+            }
+        }
+        if !(self.cfl > 0.0 && self.cfl <= 1.0) {
+            return Err(format!(
+                "cfl must be in (0, 1], got {} (the Yee solver is unstable above \
+                 the Courant limit)",
+                self.cfl
+            ));
+        }
+        if !(1..=3).contains(&self.shape_order) {
+            return Err(format!(
+                "shape_order must be 1 (linear), 2 (quadratic) or 3 (cubic), got {}",
+                self.shape_order
+            ));
+        }
+        for d in 0..3 {
+            if self.cells[d] < 1 {
+                return Err(format!("cells[{d}] must be >= 1, got {}", self.cells[d]));
+            }
+            if !(self.dx[d] > 0.0 && self.dx[d].is_finite()) {
+                return Err(format!(
+                    "dx[{d}] must be a positive length in meters, got {}",
+                    self.dx[d]
+                ));
+            }
+        }
+        if self.dim() == Dim::Two && self.cells[1] != 1 {
+            return Err(format!(
+                "2d runs use a single y cell: cells[1] must be 1, got {}",
+                self.cells[1]
+            ));
+        }
+        if self.pml < 0 {
+            return Err(format!(
+                "pml must be >= 0 cells (0 disables it), got {}",
+                self.pml
+            ));
+        }
+        if !(self.t_end > 0.0 && self.t_end.is_finite()) {
+            return Err(format!(
+                "t_end must be a positive time in seconds, got {}",
+                self.t_end
+            ));
+        }
+        for (i, sc) in self.species.iter().enumerate() {
+            match sc.kind.as_str() {
+                "electron" | "proton" => {}
+                "custom" => {
+                    if sc.charge.is_none() || sc.mass.is_none() {
+                        return Err(format!(
+                            "species[{i}] \"{}\": kind \"custom\" needs both \
+                             charge [C] and mass [kg]",
+                            sc.name
+                        ));
+                    }
+                }
+                k => {
+                    return Err(format!(
+                        "species[{i}] \"{}\": kind must be \"electron\", \
+                         \"proton\" or \"custom\", got \"{k}\"",
+                        sc.name
+                    ))
+                }
+            }
+            if sc.ppc.contains(&0) {
+                return Err(format!(
+                    "species[{i}] \"{}\": every ppc component must be >= 1, \
+                     got {:?}",
+                    sc.name, sc.ppc
+                ));
+            }
+        }
+        for (i, mp) in self.mr_patches.iter().enumerate() {
+            if mp.rr < 2 {
+                return Err(format!(
+                    "mr_patches[{i}]: refinement ratio rr must be >= 2, got {}",
+                    mp.rr
+                ));
+            }
+            for d in 0..3 {
+                if mp.lo[d] >= mp.hi[d] && !(d == 1 && self.dim() == Dim::Two) {
+                    return Err(format!(
+                        "mr_patches[{i}]: lo[{d}] ({}) must be below hi[{d}] ({})",
+                        mp.lo[d], mp.hi[d]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     pub fn dim(&self) -> Dim {
@@ -294,6 +438,9 @@ impl RunConfig {
             b = b.add_laser(ant);
         }
         let mut sim = b.build();
+        sim.telemetry.cfg.enabled = self.telemetry;
+        sim.telemetry.cfg.probe_interval = self.probe_interval;
+        sim.telemetry.cfg.sentinel_interval = self.sentinel_interval;
         let mut removals = Vec::new();
         for mp in &self.mr_patches {
             sim.add_mr_patch(MrConfig {
@@ -382,6 +529,87 @@ mod tests {
         let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
         cfg.dimension = "4d".into();
         cfg.dim();
+    }
+
+    #[test]
+    fn rejects_unknown_top_level_key() {
+        let text = SAMPLE.replacen("\"pml\"", "\"pml_cells\"", 1);
+        let err = RunConfig::from_json(&text).unwrap_err();
+        assert!(err.contains("unknown field `pml_cells`"), "{err}");
+        assert!(err.contains("expected one of"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_species_key() {
+        let text = SAMPLE.replacen("\"u_thermal\"", "\"u_termal\"", 1);
+        let err = RunConfig::from_json(&text).unwrap_err();
+        assert!(err.contains("unknown field `u_termal`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_profile_key() {
+        let text = SAMPLE.replacen(
+            "\"type\": \"uniform\", \"n0\"",
+            "\"type\": \"uniform\", \"dens\"",
+            1,
+        );
+        let err = RunConfig::from_json(&text).unwrap_err();
+        assert!(err.contains("unknown field `dens`"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_cfl() {
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.cfl = 1.3;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("cfl must be in (0, 1]"), "{err}");
+        cfg.cfl = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_order_and_cells() {
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.shape_order = 4;
+        assert!(cfg.validate().unwrap_err().contains("shape_order"));
+        cfg.shape_order = 2;
+        cfg.cells[0] = 0;
+        assert!(cfg.validate().unwrap_err().contains("cells[0]"));
+        cfg.cells[0] = 64;
+        cfg.cells[1] = 4; // 2d must keep one y cell
+        assert!(cfg.validate().unwrap_err().contains("cells[1]"));
+        cfg.cells[1] = 1;
+        cfg.dx[2] = -1.0;
+        assert!(cfg.validate().unwrap_err().contains("dx[2]"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_species_and_patches() {
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.species[0].kind = "custom".into();
+        assert!(cfg.validate().unwrap_err().contains("custom"));
+        cfg.species[0].charge = Some(-1.0e-19);
+        cfg.species[0].mass = Some(9.0e-31);
+        assert!(cfg.validate().is_ok());
+        cfg.mr_patches[0].rr = 1;
+        assert!(cfg.validate().unwrap_err().contains("rr"));
+        cfg.mr_patches[0].rr = 2;
+        cfg.mr_patches[0].hi[0] = cfg.mr_patches[0].lo[0];
+        assert!(cfg.validate().unwrap_err().contains("lo[0]"));
+    }
+
+    #[test]
+    fn telemetry_knobs_flow_into_simulation() {
+        let text = SAMPLE.replacen(
+            "\"t_end\": 2e-14,",
+            "\"t_end\": 2e-14, \"probe_interval\": 5, \"sentinel_interval\": 0,",
+            1,
+        );
+        let cfg = RunConfig::from_json(&text).unwrap();
+        let (sim, _) = cfg.build();
+        assert!(sim.telemetry.cfg.enabled);
+        assert_eq!(sim.telemetry.cfg.probe_interval, 5);
+        assert_eq!(sim.telemetry.cfg.sentinel_interval, 0);
     }
 
     #[test]

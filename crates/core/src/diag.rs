@@ -59,15 +59,18 @@ impl Spectrum {
         nbins: usize,
     ) -> Self {
         let mut bins = vec![0.0; nbins];
-        let width = (e_max_mev - e_min_mev) / nbins as f64;
-        for buf in &pc.bufs {
-            for i in 0..buf.len() {
-                let e = kinetic_energy_mev(mass, buf.ux[i], buf.uy[i], buf.uz[i]);
-                if e < e_min_mev || e >= e_max_mev {
-                    continue;
+        if nbins > 0 {
+            let width = (e_max_mev - e_min_mev) / nbins as f64;
+            for buf in &pc.bufs {
+                for i in 0..buf.len() {
+                    let e = kinetic_energy_mev(mass, buf.ux[i], buf.uy[i], buf.uz[i]);
+                    // The top edge belongs to the last bin, not the overflow.
+                    if e < e_min_mev || e > e_max_mev {
+                        continue;
+                    }
+                    let b = ((e - e_min_mev) / width) as usize;
+                    bins[b.min(nbins - 1)] += charge.abs() * buf.w[i];
                 }
-                let b = ((e - e_min_mev) / width) as usize;
-                bins[b.min(nbins - 1)] += charge.abs() * buf.w[i];
             }
         }
         Self {
@@ -82,8 +85,12 @@ impl Spectrum {
         self.e_min_mev + (i as f64 + 0.5) * width
     }
 
-    /// Peak bin (center energy, charge).
+    /// Peak bin (center energy, charge). An empty histogram reports
+    /// the lower edge with zero charge.
     pub fn peak(&self) -> (f64, f64) {
+        if self.bins.is_empty() {
+            return (self.e_min_mev, 0.0);
+        }
         let (mut bi, mut bv) = (0, 0.0);
         for (i, &v) in self.bins.iter().enumerate() {
             if v > bv {
@@ -278,6 +285,30 @@ mod tests {
     }
 
     #[test]
+    fn spectrum_with_zero_bins_does_not_panic() {
+        let pc = container_with_energies(&[10.0, 20.0]);
+        let s = Spectrum::compute(&pc, -Q_E, M_E, 0.0, 50.0, 0);
+        assert!(s.bins.is_empty());
+        assert_eq!(s.total(), 0.0);
+        let (pe, pv) = s.peak();
+        assert_eq!((pe, pv), (0.0, 0.0));
+        let (mean, spread) = s.mean_and_spread(0.0);
+        assert_eq!((mean, spread), (0.0, 0.0));
+    }
+
+    #[test]
+    fn spectrum_top_edge_lands_in_last_bin() {
+        // A particle exactly at e_max must clamp into the last bin
+        // instead of being dropped.
+        let e_max = kinetic_energy_mev(M_E, 1.0e8, 0.0, 0.0);
+        let mut pc = ParticleContainer::new(1);
+        pc.bufs[0].push(0.0, 0.0, 0.0, 1.0e8, 0.0, 0.0, 2.0e7);
+        let s = Spectrum::compute(&pc, -Q_E, M_E, 0.0, e_max, 10);
+        assert!((s.total() - Q_E * 2.0e7).abs() < 1e-18, "top edge dropped");
+        assert!(s.bins[9] > 0.0, "top edge must land in the last bin");
+    }
+
+    #[test]
     fn l1_distance_of_identical_is_zero() {
         let pc = container_with_energies(&[10.0, 20.0, 30.0]);
         let a = electron_spectrum(&pc, 50.0, 25);
@@ -325,12 +356,7 @@ pub struct BeamMoments {
 }
 
 /// Compute beam moments for particles above `min_mev` (weighted).
-pub fn beam_moments(
-    pc: &ParticleContainer,
-    charge: f64,
-    mass: f64,
-    min_mev: f64,
-) -> BeamMoments {
+pub fn beam_moments(pc: &ParticleContainer, charge: f64, mass: f64, min_mev: f64) -> BeamMoments {
     let mut w_sum = 0.0;
     let (mut e1, mut e2) = (0.0, 0.0);
     let (mut z1, mut z2) = (0.0, 0.0);

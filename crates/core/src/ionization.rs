@@ -79,9 +79,7 @@ impl Element {
         Self {
             name: "Ar",
             z: 18,
-            ionization_ev: vec![
-                15.760, 27.630, 40.74, 59.81, 75.02, 91.01, 124.32, 143.46,
-            ],
+            ionization_ev: vec![15.760, 27.630, 40.74, 59.81, 75.02, 91.01, 124.32, 143.46],
         }
     }
 }
@@ -126,14 +124,9 @@ pub fn adk_rate(ip_ev: f64, charge_after: u8, e_vm: f64) -> f64 {
     let nstar = charge_after as f64 / kappa;
     let k3 = kappa * kappa * kappa;
     // C_{n*}^2 with the Stirling-safe log-gamma.
-    let ln_c2 = 2.0 * nstar * std::f64::consts::LN_2
-        - nstar.ln()
-        - ln_gamma(nstar + 1.0)
-        - ln_gamma(nstar);
-    let ln_w = ln_c2
-        + ip.ln()
-        + (2.0 * nstar - 1.0) * (2.0 * k3 / e).ln()
-        - 2.0 * k3 / (3.0 * e);
+    let ln_c2 =
+        2.0 * nstar * std::f64::consts::LN_2 - nstar.ln() - ln_gamma(nstar + 1.0) - ln_gamma(nstar);
+    let ln_w = ln_c2 + ip.ln() + (2.0 * nstar - 1.0) * (2.0 * k3 / e).ln() - 2.0 * k3 / (3.0 * e);
     (ln_w.exp() / T_AU).min(1.0e30)
 }
 
@@ -260,15 +253,12 @@ pub fn ionize(sim: &mut Simulation, res: &mut IonReservoir, electron_species: us
             if lv >= nlevels {
                 continue; // fully stripped
             }
-            let emag =
-                (e.0[i] * e.0[i] + e.1[i] * e.1[i] + e.2[i] * e.2[i]).sqrt();
+            let emag = (e.0[i] * e.0[i] + e.1[i] * e.1[i] + e.2[i] * e.2[i]).sqrt();
             let ip = res.element.ionization_ev[lv as usize];
             let p = ionization_probability(ip, lv + 1, emag, dt);
             if p > 0.0 && res.rng.uniform() < p {
                 levels[i] = lv + 1;
-                electrons.push(
-                    ions.x[i], ions.y[i], ions.z[i], 0.0, 0.0, 0.0, ions.w[i],
-                );
+                electrons.push(ions.x[i], ions.y[i], ions.z[i], 0.0, 0.0, 0.0, ions.w[i]);
                 events += 1;
             }
         }
@@ -345,7 +335,12 @@ mod tests {
             ))
             .add_laser({
                 let mut l = crate::laser::antenna_for_a0(
-                    1.0, 0.8e-6, 6.0e-15, 1.0e-6, 0.8e-6, f64::INFINITY,
+                    1.0,
+                    0.8e-6,
+                    6.0e-15,
+                    1.0e-6,
+                    0.8e-6,
+                    f64::INFINITY,
                 );
                 l.t_peak = 10.0e-15;
                 l

@@ -55,9 +55,8 @@ impl LaserAntenna {
         let t_eff = t - (z - self.z0) * self.theta.sin() / C;
         // Gaussian envelope: FWHM of intensity -> sigma of field.
         let sigma_t = self.tau_fwhm / (2.0 * (2.0f64.ln()).sqrt()) / 2.0f64.sqrt();
-        let env_t = (-(t_eff - self.t_peak) * (t_eff - self.t_peak)
-            / (2.0 * sigma_t * sigma_t))
-            .exp();
+        let env_t =
+            (-(t_eff - self.t_peak) * (t_eff - self.t_peak) / (2.0 * sigma_t * sigma_t)).exp();
         let dy = y - self.y0;
         let r2 = (z - self.z0) * (z - self.z0) + dy * dy;
         let env_r = if self.waist.is_finite() {
@@ -188,7 +187,9 @@ mod tests {
         let off_axis = a.emitted_field(t, 0.0, a.z0 + a.waist).abs();
         assert!(on_axis > 0.99 * a.e0 * 0.9);
         assert!(off_axis < on_axis * 0.5);
-        let late = a.emitted_field(a.t_peak + 10.0 * a.tau_fwhm, 0.0, a.z0).abs();
+        let late = a
+            .emitted_field(a.t_peak + 10.0 * a.tau_fwhm, 0.0, a.z0)
+            .abs();
         assert!(late < 1e-6 * a.e0);
     }
 

@@ -23,9 +23,9 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod balance;
-pub mod config;
 pub mod boost;
 pub mod checkpoint;
+pub mod config;
 pub mod diag;
 pub mod ionization;
 pub mod laser;
@@ -34,8 +34,9 @@ pub mod particles;
 pub mod profile;
 pub mod resample;
 pub mod sim;
-pub mod spectral;
 pub mod species;
+pub mod spectral;
+pub mod telemetry;
 
 pub use particles::{ParticleBuf, ParticleContainer};
 pub use profile::Profile;

@@ -25,7 +25,7 @@
 //! boundary, where they gather from the parent only — mitigating the
 //! spurious-force artifacts near the interface.
 
-use mrpic_amr::{BoxArray, Fab, IndexBox, IntVect, Periodicity, Stagger};
+use mrpic_amr::{BoxArray, CommStats, Fab, IndexBox, IntVect, Periodicity, Stagger};
 use mrpic_field::fieldset::{Dim, FieldSet, GridGeom};
 use mrpic_field::pml::Pml;
 use serde::{Deserialize, Serialize};
@@ -77,7 +77,13 @@ impl MrLevel {
         let fine_geom = parent.geom.refine(rvec);
         // Patch grids are never periodic: they are PML-terminated.
         let fine_period = Periodicity::none(fine_box);
-        let fine = FieldSet::new(dim, BoxArray::single(fine_box), fine_geom, fine_period, ngrow);
+        let fine = FieldSet::new(
+            dim,
+            BoxArray::single(fine_box),
+            fine_geom,
+            fine_period,
+            ngrow,
+        );
         let fine_pml = Pml::new(dim, fine_box, fine_geom, [false; 3], cfg.npml);
         let coarse_period = Periodicity::none(cfg.patch);
         let coarse = FieldSet::new(
@@ -88,7 +94,13 @@ impl MrLevel {
             ngrow,
         );
         let coarse_pml = Pml::new(dim, cfg.patch, parent.geom, [false; 3], cfg.npml);
-        let aux = FieldSet::new(dim, BoxArray::single(fine_box), fine_geom, fine_period, ngrow);
+        let aux = FieldSet::new(
+            dim,
+            BoxArray::single(fine_box),
+            fine_geom,
+            fine_period,
+            ngrow,
+        );
         Self {
             cfg,
             fine,
@@ -175,7 +187,11 @@ impl MrLevel {
     /// `dt/rr` when subcycling, with the deposited current held constant
     /// across the sub-steps.
     pub fn advance_fields(&mut self, dt: f64) {
-        let nsub = if self.cfg.subcycle { self.cfg.rr.max(1) } else { 1 };
+        let nsub = if self.cfg.subcycle {
+            self.cfg.rr.max(1)
+        } else {
+            1
+        };
         for _ in 0..nsub {
             self.advance_fields_once(dt / nsub as f64);
         }
@@ -221,9 +237,14 @@ impl MrLevel {
         // Margin of parent data needed around the patch for interpolation
         // over the aux guard region.
         let margin = aux.ngrow / cfg.rr + 2;
-        for (comp, which) in [(0usize, FieldKind::E), (1, FieldKind::E), (2, FieldKind::E),
-                              (0, FieldKind::B), (1, FieldKind::B), (2, FieldKind::B)]
-        {
+        for (comp, which) in [
+            (0usize, FieldKind::E),
+            (1, FieldKind::E),
+            (2, FieldKind::E),
+            (0, FieldKind::B),
+            (1, FieldKind::B),
+            (2, FieldKind::B),
+        ] {
             let (pfa, cfa, ffa, afa) = match which {
                 FieldKind::E => (
                     &parent.e[comp],
@@ -263,14 +284,7 @@ impl MrLevel {
             // with per-axis precomputed weight tables (rr = 2 makes them
             // tiny) and direct slice indexing.
             let cfab = cfa.fab(0);
-            scratch.blend_region_from(
-                cfab,
-                &cfab.grown_pts(),
-                IntVect::ZERO,
-                0,
-                0,
-                |d, c| d - c,
-            );
+            scratch.blend_region_from(cfab, &cfab.grown_pts(), IntVect::ZERO, 0, 0, |d, c| d - c);
             let ffab = ffa.fab(0);
             let afab = afa.fab_mut(0);
             let apts = afab.grown_pts();
@@ -394,6 +408,26 @@ impl MrLevel {
             + self.fine_pml.plan_builds()
             + self.coarse_pml.plan_builds()
     }
+
+    /// Aggregate communication counters across the patch grids and PMLs.
+    pub fn comm_stats(&self) -> CommStats {
+        let mut total = self.fine.comm_stats();
+        total.merge(&self.coarse.comm_stats());
+        total.merge(&self.aux.comm_stats());
+        total.merge(&self.fine_pml.comm_stats());
+        total.merge(&self.coarse_pml.comm_stats());
+        total
+    }
+
+    /// Drop all cached exchange plans across the patch grids and PMLs
+    /// (e.g. after a restart overwrote the field data in place).
+    pub fn invalidate_plans(&mut self) {
+        self.fine.invalidate_plans();
+        self.coarse.invalidate_plans();
+        self.aux.invalidate_plans();
+        self.fine_pml.invalidate_plans();
+        self.coarse_pml.invalidate_plans();
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -504,7 +538,6 @@ pub fn restriction_margin(order: usize, rr: i64) -> i64 {
     ((order as i64 + 3) + rr - 1) / rr + 1
 }
 
-
 /// Suggest a refinement patch covering the region where a species'
 /// per-cell macroparticle weight exceeds `threshold` (a density-based
 /// tagging criterion — the paper's dynamic MR places the patch over the
@@ -592,7 +625,13 @@ mod tests {
             dx: [1.0e-6, 1.0e-6, 1.0e-6],
             x0: [0.0; 3],
         };
-        FieldSet::new(Dim::Two, ba, geom, Periodicity::new(dom, [false, false, true]), 4)
+        FieldSet::new(
+            Dim::Two,
+            ba,
+            geom,
+            Periodicity::new(dom, [false, false, true]),
+            4,
+        )
     }
 
     fn patch_cfg() -> MrConfig {
@@ -653,7 +692,13 @@ mod tests {
             scratch.set(0, p, 2.0 * p.x as f64 + 0.5 * p.z as f64);
         }
         // Fine point (x=41, z=20) sits at parent coords (20.5, 10.0).
-        let v = interp_point(&scratch, stag, IntVect::new(41, 0, 20), lvl.rvec(), Dim::Two);
+        let v = interp_point(
+            &scratch,
+            stag,
+            IntVect::new(41, 0, 20),
+            lvl.rvec(),
+            Dim::Two,
+        );
         assert!((v - (2.0 * 20.5 + 0.5 * 10.0)).abs() < 1e-12, "{v}");
     }
 

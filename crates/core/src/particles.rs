@@ -137,13 +137,7 @@ impl ParticleBuf {
     pub fn sort_by_cell(&mut self, geom: &GridGeom) {
         let n = self.len();
         let mut keys: Vec<(i64, i64, usize)> = (0..n)
-            .map(|i| {
-                (
-                    geom.cell_of(2, self.z[i]),
-                    geom.cell_of(0, self.x[i]),
-                    i,
-                )
-            })
+            .map(|i| (geom.cell_of(2, self.z[i]), geom.cell_of(0, self.x[i]), i))
             .collect();
         keys.sort_unstable();
         let perm: Vec<usize> = keys.into_iter().map(|(_, _, i)| i).collect();
@@ -185,12 +179,7 @@ impl ParticleContainer {
     /// Move particles to the box containing their position; apply
     /// periodic wraps; delete particles that left a non-periodic domain.
     /// Returns the number of deleted particles.
-    pub fn redistribute(
-        &mut self,
-        ba: &BoxArray,
-        geom: &GridGeom,
-        period: &Periodicity,
-    ) -> usize {
+    pub fn redistribute(&mut self, ba: &BoxArray, geom: &GridGeom, period: &Periodicity) -> usize {
         let dom = period.domain;
         let phys_lo = [
             geom.node(0, dom.lo.x),
@@ -345,7 +334,10 @@ mod tests {
     fn redistribute_moves_and_wraps() {
         let ba = ba();
         let g = geom();
-        let per = Periodicity::new(IndexBox::from_size(IntVect::new(8, 1, 8)), [true, true, true]);
+        let per = Periodicity::new(
+            IndexBox::from_size(IntVect::new(8, 1, 8)),
+            [true, true, true],
+        );
         let mut pc = ParticleContainer::new(ba.len());
         // Particle in box 0 that has moved into box 1's region.
         pc.bufs[0].push(5.5, 0.5, 1.0, 0.0, 0.0, 0.0, 1.0);

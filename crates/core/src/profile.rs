@@ -13,7 +13,12 @@ pub enum Profile {
     /// n0 everywhere.
     Uniform { n0: f64 },
     /// n0 inside `[x0, x1)` along axis `axis`, 0 outside.
-    Slab { n0: f64, axis: usize, x0: f64, x1: f64 },
+    Slab {
+        n0: f64,
+        axis: usize,
+        x0: f64,
+        x1: f64,
+    },
     /// Plateau of density n0 between `up_end` and `down_start`, linear
     /// up-ramp from `up_start` and down-ramp to `down_end` along `axis`
     /// (a gas jet).
@@ -26,7 +31,12 @@ pub enum Profile {
         down_end: f64,
     },
     /// Gaussian along `axis` centered at `x0` with rms `sigma`.
-    Gaussian { n0: f64, axis: usize, x0: f64, sigma: f64 },
+    Gaussian {
+        n0: f64,
+        axis: usize,
+        x0: f64,
+        sigma: f64,
+    },
     /// Sum of sub-profiles (e.g. solid foil + gas jet = hybrid target).
     Sum(Vec<Profile>),
     /// Product of a base profile and a transverse mask.
@@ -101,14 +111,17 @@ impl Profile {
                     n0 * (down_end - v) / (down_end - down_start).max(f64::MIN_POSITIVE)
                 }
             }
-            Profile::Gaussian { n0, axis, x0, sigma } => {
+            Profile::Gaussian {
+                n0,
+                axis,
+                x0,
+                sigma,
+            } => {
                 let d = pick(*axis) - x0;
                 n0 * (-d * d / (2.0 * sigma * sigma)).exp()
             }
             Profile::Sum(parts) => parts.iter().map(|p| p.density(x, y, z)).sum(),
-            Profile::Product(parts) => {
-                parts.iter().map(|p| p.density(x, y, z)).product()
-            }
+            Profile::Product(parts) => parts.iter().map(|p| p.density(x, y, z)).product(),
         }
     }
 

@@ -138,8 +138,7 @@ mod tests {
         let mut b = ParticleBuf::default();
         b.push(2.5, 0.5, 3.5, 1.0e7, 0.0, -2.0e7, 8.0);
         b.push(10.5, 0.5, 3.5, 0.0, 0.0, 0.0, 4.0); // outside region
-        let created =
-            split_in_region(&mut b, Dim::Two, &g, [0.0, 0.0, 0.0], [5.0, 1.0, 5.0], 0.25);
+        let created = split_in_region(&mut b, Dim::Two, &g, [0.0, 0.0, 0.0], [5.0, 1.0, 5.0], 0.25);
         assert_eq!(created, 3);
         assert_eq!(b.len(), 5);
         let w: f64 = b.w.iter().sum();

@@ -13,12 +13,23 @@ use crate::laser::LaserAntenna;
 use crate::mr::{MrConfig, MrLevel};
 use crate::particles::ParticleContainer;
 use crate::species::{inject, Species};
-use mrpic_amr::{BoxArray, DistributionMapping, Fab, IndexBox, IntVect, Periodicity, Strategy};
+use crate::telemetry::{
+    scan_arrays, GuardTrip, PhaseTimes, Probes, SpeciesCount, StepRecord, Telemetry,
+};
+use mrpic_amr::{
+    BoxArray, CommStats, DistributionMapping, Fab, FabArray, IndexBox, IntVect, Periodicity,
+    Strategy,
+};
 use mrpic_field::cfl::dt_at;
-use mrpic_field::fieldset::{fab_view, view_of_fab_mut, view_over, Dim, FieldSet, GridGeom};
+use mrpic_field::fieldset::{
+    fab_view, guard_vec, rho_stagger, view_of_fab_mut, view_over, Dim, FieldSet, GridGeom,
+};
 use mrpic_field::pml::Pml;
 use mrpic_field::yee;
-use mrpic_kernels::deposit::{esirkepov2, esirkepov2_blocked, esirkepov3, esirkepov3_blocked, JViews};
+use mrpic_kernels::deposit::{
+    deposit_rho2, deposit_rho3, esirkepov2, esirkepov2_blocked, esirkepov3, esirkepov3_blocked,
+    JViews,
+};
 use mrpic_kernels::gather::{gather2, gather2_blocked, gather3, gather3_blocked, EmOut, EmViews};
 use mrpic_kernels::push::{gamma_of_u, push_momentum, push_position, push_position2};
 use mrpic_kernels::shape::{Cubic, Linear, Quadratic};
@@ -123,9 +134,16 @@ struct Scratch {
 impl Scratch {
     fn ensure(&mut self, n: usize) {
         for v in [
-            &mut self.ex, &mut self.ey, &mut self.ez,
-            &mut self.bx, &mut self.by, &mut self.bz,
-            &mut self.x0, &mut self.y0, &mut self.z0, &mut self.vy,
+            &mut self.ex,
+            &mut self.ey,
+            &mut self.ez,
+            &mut self.bx,
+            &mut self.by,
+            &mut self.bz,
+            &mut self.x0,
+            &mut self.y0,
+            &mut self.z0,
+            &mut self.vy,
         ] {
             v.resize(n.max(v.len()), 0.0);
         }
@@ -172,6 +190,8 @@ struct BoxTask<'a> {
     jz: &'a mut Fab,
     fine_j: &'a mut FineJBuf,
     seconds: &'a mut f64,
+    /// Per-box [gather, push, deposit] seconds (telemetry phase split).
+    phase: &'a mut [f64; 3],
 }
 
 /// Builder for [`Simulation`].
@@ -315,9 +335,9 @@ impl SimulationBuilder {
         let period = Periodicity::new(domain, self.periodic);
         let ngrow = self.order.ngrow();
         let fs = FieldSet::new(self.dim, ba.clone(), geom, period, ngrow);
-        let pml = self.npml.map(|n| {
-            Pml::new(self.dim, domain, geom, self.periodic, n)
-        });
+        let pml = self
+            .npml
+            .map(|n| Pml::new(self.dim, domain, geom, self.periodic, n));
         let dt = dt_at(self.dim, &self.dx, self.cfl);
         let mut parts = Vec::new();
         for (si, sp) in self.species.iter().enumerate() {
@@ -359,8 +379,10 @@ impl SimulationBuilder {
             use_optimized_kernels: self.use_optimized_kernels,
             scratch_pool: Mutex::new(Vec::new()),
             box_seconds: Vec::new(),
+            box_phase: Vec::new(),
             fine_j_pool: Vec::new(),
             stats: StepStats::default(),
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -393,9 +415,13 @@ pub struct Simulation {
     scratch_pool: Mutex<Vec<Scratch>>,
     /// Per-box particle-phase seconds of the current step (reused).
     box_seconds: Vec<f64>,
+    /// Per-box [gather, push, deposit] seconds of the current step.
+    box_phase: Vec<[f64; 3]>,
     /// Per-box fine-patch deposition buffers (reused).
     fine_j_pool: Vec<FineJBuf>,
     pub stats: StepStats,
+    /// Step records, physics probes, and NaN/Inf guards.
+    pub telemetry: Telemetry,
 }
 
 impl Simulation {
@@ -481,15 +507,93 @@ impl Simulation {
         n
     }
 
+    /// Aggregate communication counters since construction (parent grids,
+    /// PML shells, MR patch grids).
+    pub fn comm_stats_total(&self) -> CommStats {
+        let mut s = self.fs.comm_stats();
+        if let Some(pml) = &self.pml {
+            s.merge(&pml.comm_stats());
+        }
+        if let Some(mr) = &self.mr {
+            s.merge(&mr.comm_stats());
+        }
+        s
+    }
+
+    /// NaN/Inf sentinel, run once per sentinel step after the field
+    /// advance. The fast path scans only the E arrays of the parent and
+    /// (with MR) the aux grids: every upstream non-finite value funnels
+    /// into those within at most one step — a bad J enters E through the
+    /// E update, a bad B through the next curl, and bad fine/coarse
+    /// fields through the per-step aux rebuild. Only a hit pays for the
+    /// full rescan that walks the producers in step order (deposit
+    /// currents, then the field grids) to attribute the trip to the
+    /// phase and grid where the value originated.
+    fn sentinel_fields(&self, step: u64) -> Option<GuardTrip> {
+        let e_names = ["Ex", "Ey", "Ez"];
+        let b_names = ["Bx", "By", "Bz"];
+        let j_names = ["Jx", "Jy", "Jz"];
+        let scan_e = |e: &[FabArray; 3]| scan_arrays(e_names.into_iter().zip(e.iter()));
+        let detected = scan_e(&self.fs.e).is_some()
+            || self
+                .mr
+                .as_ref()
+                .is_some_and(|mr| scan_e(&mr.aux.e).is_some());
+        if !detected {
+            return None;
+        }
+        let scan_eb = |e: &[FabArray; 3], b: &[FabArray; 3]| {
+            scan_e(e).or_else(|| scan_arrays(b_names.into_iter().zip(b.iter())))
+        };
+        if let Some(j) = scan_arrays(j_names.into_iter().zip(self.fs.j.iter())) {
+            return Some(Self::trip(step, "deposit", "parent", j));
+        }
+        if let Some(h) = scan_eb(&self.fs.e, &self.fs.b) {
+            return Some(Self::trip(step, "maxwell", "parent", h));
+        }
+        if let Some(mr) = &self.mr {
+            if let Some(j) = scan_arrays(j_names.into_iter().zip(mr.fine.j.iter())) {
+                return Some(Self::trip(step, "deposit", "mr.fine", j));
+            }
+            for (grid, fs) in [
+                ("mr.fine", &mr.fine),
+                ("mr.coarse", &mr.coarse),
+                ("mr.aux", &mr.aux),
+            ] {
+                if let Some(h) = scan_eb(&fs.e, &fs.b) {
+                    return Some(Self::trip(step, "mr", grid, h));
+                }
+            }
+        }
+        None
+    }
+
+    fn trip(step: u64, phase: &str, grid: &str, hit: crate::telemetry::SentinelHit) -> GuardTrip {
+        GuardTrip {
+            step,
+            phase: phase.to_string(),
+            grid: grid.to_string(),
+            component: hit.component,
+            box_id: hit.box_id,
+        }
+    }
+
     /// Advance one full PIC step.
     pub fn step(&mut self) -> StepStats {
         let mut stats = StepStats::default();
+        let mut phases = PhaseTimes::default();
+        let step_idx = self.istep;
         let dt = self.dt;
-        let comm0 = self.comm_seconds_total();
-        let t_part = std::time::Instant::now();
+        let comm0 = self.comm_stats_total();
+        let sentinel_due = self.telemetry.sentinel_due(step_idx);
+        let mut guard: Option<GuardTrip> = None;
+        let t_step = std::time::Instant::now();
+        let t_part = t_step;
 
         // Periodic locality sort.
-        if self.sort_interval > 0 && self.istep.is_multiple_of(self.sort_interval) && self.istep > 0 {
+        let t0 = std::time::Instant::now();
+        if self.sort_interval > 0 && self.istep.is_multiple_of(self.sort_interval) && self.istep > 0
+        {
             let geom = self.fs.geom;
             for pc in &mut self.parts {
                 for buf in &mut pc.bufs {
@@ -497,6 +601,7 @@ impl Simulation {
                 }
             }
         }
+        phases.sort = t0.elapsed().as_secs_f64();
 
         // 1. Zero currents.
         self.fs.zero_j();
@@ -508,12 +613,20 @@ impl Simulation {
         let nfabs = self.fs.nfabs();
         self.box_seconds.resize(nfabs, 0.0);
         self.box_seconds.fill(0.0);
+        self.box_phase.resize(nfabs, [0.0; 3]);
+        self.box_phase.fill([0.0; 3]);
         let nspecies = self.species.len();
         for si in 0..nspecies {
             stats.pushed += self.advance_species(si, dt);
         }
+        for ph in &self.box_phase {
+            phases.gather += ph[0];
+            phases.push += ph[1];
+            phases.deposit += ph[2];
+        }
 
         // 3. Current exchanges, smoothing and MR coupling.
+        let t0 = std::time::Instant::now();
         self.fs.sum_j_boundaries();
         if self.filter_passes > 0 {
             mrpic_field::filter::filter_current(&mut self.fs, self.filter_passes);
@@ -532,25 +645,36 @@ impl Simulation {
             }
         }
         self.lasers = lasers;
+        phases.sum = t0.elapsed().as_secs_f64();
         stats.particle_seconds = t_part.elapsed().as_secs_f64();
 
         // 5. Field advance (B half / E / B half) with PML exchanges.
         let t_field = std::time::Instant::now();
         self.advance_fields(dt);
+        phases.maxwell = t_field.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
         if let Some(mr) = &mut self.mr {
             mr.advance_fields(dt);
             mr.build_aux(&self.fs);
         }
+        phases.mr = t0.elapsed().as_secs_f64();
         stats.field_seconds = t_field.elapsed().as_secs_f64();
 
+        if sentinel_due {
+            guard = self.sentinel_fields(step_idx);
+        }
+
         // 6. Particle redistribution.
+        let t0 = std::time::Instant::now();
         let geom = self.fs.geom;
         let period = self.fs.period;
         for pc in &mut self.parts {
             stats.deleted += pc.redistribute(self.fs.boxarray(), &geom, &period);
         }
+        phases.redistribute = t0.elapsed().as_secs_f64();
 
         // 7. Moving window.
+        let t0 = std::time::Instant::now();
         self.time += dt;
         self.istep += 1;
         if let Some(mut win) = self.window {
@@ -564,8 +688,10 @@ impl Simulation {
             }
             self.window = Some(win);
         }
+        phases.window = t0.elapsed().as_secs_f64();
 
         // 8. Cost tracking & dynamic load balancing bookkeeping.
+        let t0 = std::time::Instant::now();
         for s in &mut self.box_seconds {
             *s = s.max(1e-9);
         }
@@ -587,10 +713,136 @@ impl Simulation {
                 self.dm = d.mapping;
             }
         }
+        phases.lb = t0.elapsed().as_secs_f64();
 
-        stats.exchange_seconds = self.comm_seconds_total() - comm0;
+        let comm_delta = self.comm_stats_total().delta_since(&comm0);
+        phases.fill = comm_delta.seconds;
+        stats.exchange_seconds = comm_delta.seconds;
         self.stats = stats;
+
+        if self.telemetry.cfg.enabled {
+            let probes = self.telemetry.probes_due(step_idx).then(|| Probes {
+                field_energy: mrpic_field::energy::field_energy(&self.fs),
+                gauss_residual: self.gauss_residual_norm(),
+            });
+            let particles = self
+                .species
+                .iter()
+                .enumerate()
+                .map(|(si, sp)| SpeciesCount {
+                    name: sp.name.clone(),
+                    count: self.parts[si].total() as u64,
+                })
+                .collect();
+            self.telemetry.record(StepRecord {
+                step: step_idx,
+                time: self.time,
+                dt,
+                seconds: t_step.elapsed().as_secs_f64(),
+                phases,
+                comm: comm_delta,
+                particles,
+                pushed: stats.pushed as u64,
+                deleted: stats.deleted as u64,
+                window_shifts: stats.window_shifts,
+                rebalances: stats.rebalances,
+                probes,
+                guard,
+            });
+        }
         stats
+    }
+
+    /// Max-norm of the Gauss-law residual `div E - rho/eps0` over interior
+    /// nodes, with charge deposited at the simulation's shape order.
+    ///
+    /// The Esirkepov + Yee combination conserves this residual pointwise,
+    /// so it should hold its initial value to near machine precision; a
+    /// drift flags a charge-conservation bug. Sources that bypass
+    /// Esirkepov (laser antenna currents) legitimately move it near their
+    /// injection plane. Nodes within `order + 3` cells of a domain edge
+    /// are excluded (PML, window injection, and deposition clouds
+    /// straddling the boundary).
+    pub fn gauss_residual_norm(&self) -> f64 {
+        let dim = self.dim;
+        let order = self.order;
+        let geom = self.fs.geom;
+        let kg = geom.kernel_geom();
+        let ngrow = guard_vec(dim, order.ngrow());
+        // Fresh array: its CommStats are dropped with it, so the probe
+        // does not pollute the step's comm delta.
+        let mut rho = FabArray::new_vec(self.fs.boxarray().clone(), rho_stagger(dim), 1, ngrow);
+        for (si, pc) in self.parts.iter().enumerate() {
+            let q = self.species[si].charge;
+            for (bi, buf) in pc.bufs.iter().enumerate() {
+                if buf.is_empty() {
+                    continue;
+                }
+                let mut view = view_of_fab_mut(rho.fab_mut(bi));
+                with_shape!(
+                    order,
+                    S,
+                    match dim {
+                        Dim::Three => deposit_rho3::<S, f64>(
+                            &buf.x, &buf.y, &buf.z, &buf.w, q, &kg, &mut view,
+                        ),
+                        Dim::Two =>
+                            deposit_rho2::<S, f64>(&buf.x, &buf.z, &buf.w, q, &kg, &mut view,),
+                    }
+                );
+            }
+        }
+        rho.sum_boundary(&self.fs.period);
+        let eps0 = mrpic_kernels::constants::EPS0;
+        let dom = self.fs.domain();
+        let m = order.ngrow() + 1;
+        let mut max_resid = 0.0f64;
+        for bi in 0..self.fs.nfabs() {
+            let fab = rho.fab(bi);
+            // Point boxes are half-open; clip to inclusive node ranges at
+            // least `m` nodes inside the domain (nodes span lo..=dom.hi).
+            let vb = fab.valid_pts();
+            let lo = IntVect::new(
+                vb.lo.x.max(dom.lo.x + m),
+                if dim == Dim::Two {
+                    vb.lo.y
+                } else {
+                    vb.lo.y.max(dom.lo.y + m)
+                },
+                vb.lo.z.max(dom.lo.z + m),
+            );
+            let hi = IntVect::new(
+                (vb.hi.x - 1).min(dom.hi.x - m),
+                if dim == Dim::Two {
+                    vb.hi.y - 1
+                } else {
+                    (vb.hi.y - 1).min(dom.hi.y - m)
+                },
+                (vb.hi.z - 1).min(dom.hi.z - m),
+            );
+            let (ex, ey, ez) = (
+                self.fs.e[0].fab(bi),
+                self.fs.e[1].fab(bi),
+                self.fs.e[2].fab(bi),
+            );
+            for k in lo.z..=hi.z {
+                for jy in lo.y..=hi.y {
+                    for i in lo.x..=hi.x {
+                        let p = IntVect::new(i, jy, k);
+                        let mut dive = (ex.get(0, p) - ex.get(0, IntVect::new(i - 1, jy, k)))
+                            / geom.dx[0]
+                            + (ez.get(0, p) - ez.get(0, IntVect::new(i, jy, k - 1))) / geom.dx[2];
+                        if dim == Dim::Three {
+                            dive +=
+                                (ey.get(0, p) - ey.get(0, IntVect::new(i, jy - 1, k))) / geom.dx[1];
+                        }
+                        let r = fab.get(0, p);
+                        max_resid = max_resid.max((dive - r / eps0).abs());
+                    }
+                }
+            }
+        }
+        max_resid
     }
 
     /// Gather/push/deposit for one species, box-parallel: every (box,
@@ -609,12 +861,10 @@ impl Simulation {
         let geom = self.fs.geom.kernel_geom();
         let optimized = self.use_optimized_kernels;
         // MR routing regions in physical coordinates.
-        let mr_regions = self.mr.as_ref().map(|mr| {
-            (
-                mr.patch_phys(&self.fs.geom),
-                mr.gather_phys(&self.fs.geom),
-            )
-        });
+        let mr_regions = self
+            .mr
+            .as_ref()
+            .map(|mr| (mr.patch_phys(&self.fs.geom), mr.gather_phys(&self.fs.geom)));
         let nboxes = self.fs.nfabs();
         self.fine_j_pool.resize_with(nboxes, FineJBuf::default);
         // Split the state into disjoint borrows: E/B shared (gather
@@ -631,12 +881,14 @@ impl Simulation {
             let mut jzs = jz_arr.fabs_mut().iter_mut();
             let mut fine = self.fine_j_pool.iter_mut();
             let mut secs = self.box_seconds.iter_mut();
+            let mut phs = self.box_phase.iter_mut();
             for (bi, buf) in self.parts[si].bufs.iter_mut().enumerate() {
                 let jx = jxs.next().expect("J layout matches particle boxes");
                 let jy = jys.next().expect("J layout matches particle boxes");
                 let jz = jzs.next().expect("J layout matches particle boxes");
                 let fine_j = fine.next().expect("pool sized to nboxes");
                 let seconds = secs.next().expect("box_seconds sized to nboxes");
+                let phase = phs.next().expect("box_phase sized to nboxes");
                 if buf.is_empty() {
                     continue;
                 }
@@ -649,6 +901,7 @@ impl Simulation {
                     jz,
                     fine_j,
                     seconds,
+                    phase,
                 });
             }
         }
@@ -696,16 +949,27 @@ impl Simulation {
                     let mr = mr.expect("partitioned => MR present");
                     let views = mr.aux.em_views(0);
                     let aux_geom = mr.aux.geom.kernel_geom();
-                    with_shape!(order, S, match dim {
-                        Dim::Three => gather3::<S, f64>(
-                            &buf.x[..c_aux], &buf.y[..c_aux], &buf.z[..c_aux],
-                            &aux_geom, &views, &mut out_aux,
-                        ),
-                        Dim::Two => gather2::<S, f64>(
-                            &buf.x[..c_aux], &buf.z[..c_aux],
-                            &aux_geom, &views, &mut out_aux,
-                        ),
-                    });
+                    with_shape!(
+                        order,
+                        S,
+                        match dim {
+                            Dim::Three => gather3::<S, f64>(
+                                &buf.x[..c_aux],
+                                &buf.y[..c_aux],
+                                &buf.z[..c_aux],
+                                &aux_geom,
+                                &views,
+                                &mut out_aux,
+                            ),
+                            Dim::Two => gather2::<S, f64>(
+                                &buf.x[..c_aux],
+                                &buf.z[..c_aux],
+                                &aux_geom,
+                                &views,
+                                &mut out_aux,
+                            ),
+                        }
+                    );
                 }
                 if c_aux < n {
                     let bi = task.bi;
@@ -725,31 +989,57 @@ impl Simulation {
                         by: &mut sc.by[c_aux..n],
                         bz: &mut sc.bz[c_aux..n],
                     };
-                    with_shape!(order, S, match dim {
-                        Dim::Three if optimized => gather3_blocked::<S, f64>(
-                            &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
-                            &geom, &views, &mut out,
-                        ),
-                        Dim::Three => gather3::<S, f64>(
-                            &buf.x[c_aux..n], &buf.y[c_aux..n], &buf.z[c_aux..n],
-                            &geom, &views, &mut out,
-                        ),
-                        Dim::Two if optimized => gather2_blocked::<S, f64>(
-                            &buf.x[c_aux..n], &buf.z[c_aux..n],
-                            &geom, &views, &mut out,
-                        ),
-                        Dim::Two => gather2::<S, f64>(
-                            &buf.x[c_aux..n], &buf.z[c_aux..n],
-                            &geom, &views, &mut out,
-                        ),
-                    });
+                    with_shape!(
+                        order,
+                        S,
+                        match dim {
+                            Dim::Three if optimized => gather3_blocked::<S, f64>(
+                                &buf.x[c_aux..n],
+                                &buf.y[c_aux..n],
+                                &buf.z[c_aux..n],
+                                &geom,
+                                &views,
+                                &mut out,
+                            ),
+                            Dim::Three => gather3::<S, f64>(
+                                &buf.x[c_aux..n],
+                                &buf.y[c_aux..n],
+                                &buf.z[c_aux..n],
+                                &geom,
+                                &views,
+                                &mut out,
+                            ),
+                            Dim::Two if optimized => gather2_blocked::<S, f64>(
+                                &buf.x[c_aux..n],
+                                &buf.z[c_aux..n],
+                                &geom,
+                                &views,
+                                &mut out,
+                            ),
+                            Dim::Two => gather2::<S, f64>(
+                                &buf.x[c_aux..n],
+                                &buf.z[c_aux..n],
+                                &geom,
+                                &views,
+                                &mut out,
+                            ),
+                        }
+                    );
                 }
+                let t_push = std::time::Instant::now();
+                task.phase[0] += t_push.duration_since(t0).as_secs_f64();
                 // Momentum push.
                 push_momentum(
                     pusher,
-                    &mut buf.ux[..n], &mut buf.uy[..n], &mut buf.uz[..n],
-                    &sc.ex[..n], &sc.ey[..n], &sc.ez[..n],
-                    &sc.bx[..n], &sc.by[..n], &sc.bz[..n],
+                    &mut buf.ux[..n],
+                    &mut buf.uy[..n],
+                    &mut buf.uz[..n],
+                    &sc.ex[..n],
+                    &sc.ey[..n],
+                    &sc.ez[..n],
+                    &sc.bx[..n],
+                    &sc.by[..n],
+                    &sc.bz[..n],
                     qmdt2,
                 );
                 // Save old positions, compute vy at the half step, push x.
@@ -761,22 +1051,36 @@ impl Simulation {
                 }
                 match dim {
                     Dim::Three => push_position(
-                        &mut buf.x[..n], &mut buf.y[..n], &mut buf.z[..n],
-                        &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                        &mut buf.x[..n],
+                        &mut buf.y[..n],
+                        &mut buf.z[..n],
+                        &buf.ux[..n],
+                        &buf.uy[..n],
+                        &buf.uz[..n],
+                        dt,
                     ),
                     Dim::Two => push_position2(
-                        &mut buf.x[..n], &mut buf.z[..n],
-                        &buf.ux[..n], &buf.uy[..n], &buf.uz[..n], dt,
+                        &mut buf.x[..n],
+                        &mut buf.z[..n],
+                        &buf.ux[..n],
+                        &buf.uy[..n],
+                        &buf.uz[..n],
+                        dt,
                     ),
                 }
+                let t_dep = std::time::Instant::now();
+                task.phase[1] += t_dep.duration_since(t_push).as_secs_f64();
                 // Deposit: [0..c_fine) to the per-box fine buffer (reduced
                 // in box order after the loop), rest to this box's J fabs.
                 if c_fine > 0 {
                     let mr = mr.expect("partitioned => MR present");
                     let fine_geom = mr.fine.geom.kernel_geom();
                     task.fine_j.used = true;
-                    let fine_fabs =
-                        [mr.fine.j[0].fab(0), mr.fine.j[1].fab(0), mr.fine.j[2].fab(0)];
+                    let fine_fabs = [
+                        mr.fine.j[0].fab(0),
+                        mr.fine.j[1].fab(0),
+                        mr.fine.j[2].fab(0),
+                    ];
                     for (c, fab) in fine_fabs.iter().enumerate() {
                         let len = fab.comp(0).len();
                         task.fine_j.j[c].resize(len, 0.0);
@@ -800,10 +1104,10 @@ impl Simulation {
                         jz: view_of_fab_mut(task.jz),
                     };
                     Self::deposit_slice(
-                        dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom,
-                        &mut jv,
+                        dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom, &mut jv,
                     );
                 }
+                task.phase[2] += t_dep.elapsed().as_secs_f64();
                 *task.seconds += t0.elapsed().as_secs_f64();
             },
         );
@@ -841,28 +1145,62 @@ impl Simulation {
         geom: &mrpic_kernels::view::Geom,
         jv: &mut JViews<'_, f64>,
     ) {
-        with_shape!(order, S, match dim {
-            Dim::Three if optimized => esirkepov3_blocked::<S, f64>(
-                &sc.x0[lo..hi], &sc.y0[lo..hi], &sc.z0[lo..hi],
-                &buf.x[lo..hi], &buf.y[lo..hi], &buf.z[lo..hi],
-                &buf.w[lo..hi], charge, dt, geom, jv,
-            ),
-            Dim::Three => esirkepov3::<S, f64>(
-                &sc.x0[lo..hi], &sc.y0[lo..hi], &sc.z0[lo..hi],
-                &buf.x[lo..hi], &buf.y[lo..hi], &buf.z[lo..hi],
-                &buf.w[lo..hi], charge, dt, geom, jv,
-            ),
-            Dim::Two if optimized => esirkepov2_blocked::<S, f64>(
-                &sc.x0[lo..hi], &sc.z0[lo..hi],
-                &buf.x[lo..hi], &buf.z[lo..hi],
-                &sc.vy[lo..hi], &buf.w[lo..hi], charge, dt, geom, jv,
-            ),
-            Dim::Two => esirkepov2::<S, f64>(
-                &sc.x0[lo..hi], &sc.z0[lo..hi],
-                &buf.x[lo..hi], &buf.z[lo..hi],
-                &sc.vy[lo..hi], &buf.w[lo..hi], charge, dt, geom, jv,
-            ),
-        });
+        with_shape!(
+            order,
+            S,
+            match dim {
+                Dim::Three if optimized => esirkepov3_blocked::<S, f64>(
+                    &sc.x0[lo..hi],
+                    &sc.y0[lo..hi],
+                    &sc.z0[lo..hi],
+                    &buf.x[lo..hi],
+                    &buf.y[lo..hi],
+                    &buf.z[lo..hi],
+                    &buf.w[lo..hi],
+                    charge,
+                    dt,
+                    geom,
+                    jv,
+                ),
+                Dim::Three => esirkepov3::<S, f64>(
+                    &sc.x0[lo..hi],
+                    &sc.y0[lo..hi],
+                    &sc.z0[lo..hi],
+                    &buf.x[lo..hi],
+                    &buf.y[lo..hi],
+                    &buf.z[lo..hi],
+                    &buf.w[lo..hi],
+                    charge,
+                    dt,
+                    geom,
+                    jv,
+                ),
+                Dim::Two if optimized => esirkepov2_blocked::<S, f64>(
+                    &sc.x0[lo..hi],
+                    &sc.z0[lo..hi],
+                    &buf.x[lo..hi],
+                    &buf.z[lo..hi],
+                    &sc.vy[lo..hi],
+                    &buf.w[lo..hi],
+                    charge,
+                    dt,
+                    geom,
+                    jv,
+                ),
+                Dim::Two => esirkepov2::<S, f64>(
+                    &sc.x0[lo..hi],
+                    &sc.z0[lo..hi],
+                    &buf.x[lo..hi],
+                    &buf.z[lo..hi],
+                    &sc.vy[lo..hi],
+                    &buf.w[lo..hi],
+                    charge,
+                    dt,
+                    geom,
+                    jv,
+                ),
+            }
+        );
     }
 
     /// Full leapfrog field advance with PML interface exchanges.
@@ -920,10 +1258,7 @@ impl Simulation {
         // Inject fresh plasma in the newly exposed leading strip.
         if inject_front {
             let dom = self.fs.domain();
-            let strip = IndexBox::new(
-                IntVect::new(dom.hi.x - 1, dom.lo.y, dom.lo.z),
-                dom.hi,
-            );
+            let strip = IndexBox::new(IntVect::new(dom.hi.x - 1, dom.lo.y, dom.lo.z), dom.hi);
             for (si, sp) in self.species.iter().enumerate() {
                 inject(
                     sp,
@@ -946,8 +1281,8 @@ impl Simulation {
             let m = self.species[si].mass;
             for buf in &pc.bufs {
                 for i in 0..buf.len() {
-                    ke += buf.w[i]
-                        * crate::diag::kinetic_energy(m, buf.ux[i], buf.uy[i], buf.uz[i]);
+                    ke +=
+                        buf.w[i] * crate::diag::kinetic_energy(m, buf.ux[i], buf.uy[i], buf.uz[i]);
                 }
             }
         }
@@ -1002,8 +1337,8 @@ mod tests {
             }
         }
         assert!(crossings.len() >= 2, "no oscillation seen");
-        let period_steps = (crossings.last().unwrap() - crossings[0])
-            / (crossings.len() - 1) as f64;
+        let period_steps =
+            (crossings.last().unwrap() - crossings[0]) / (crossings.len() - 1) as f64;
         let wp_meas = 2.0 * std::f64::consts::PI / (period_steps * sim.dt);
         assert!(
             (wp_meas / wp - 1.0).abs() < 0.05,
@@ -1078,10 +1413,8 @@ mod tests {
                         for img_z in [-1.0, 0.0, 1.0] {
                             let lx = n.x as f64 * geom.dx[0];
                             let lz = n.z as f64 * geom.dx[2];
-                            let xs: Vec<f64> =
-                                buf.x.iter().map(|v| v + img_x * lx).collect();
-                            let zs: Vec<f64> =
-                                buf.z.iter().map(|v| v + img_z * lz).collect();
+                            let xs: Vec<f64> = buf.x.iter().map(|v| v + img_x * lx).collect();
+                            let zs: Vec<f64> = buf.z.iter().map(|v| v + img_z * lz).collect();
                             mrpic_kernels::deposit::deposit_rho2::<Quadratic, f64>(
                                 &xs, &zs, &buf.w, -Q_E, &kg, &mut view,
                             );
@@ -1097,8 +1430,7 @@ mod tests {
                     let dive = (sim.fs.e[0].at(0, p)
                         - sim.fs.e[0].at(0, IntVect::new(i - 1, 0, k)))
                         / geom.dx[0]
-                        + (sim.fs.e[2].at(0, p)
-                            - sim.fs.e[2].at(0, IntVect::new(i, 0, k - 1)))
+                        + (sim.fs.e[2].at(0, p) - sim.fs.e[2].at(0, IntVect::new(i, 0, k - 1)))
                             / geom.dx[2];
                     let r = rho[((k + m) * mx + (i + m)) as usize];
                     max_resid = max_resid.max((dive - r / EPS0).abs());
@@ -1131,7 +1463,12 @@ mod tests {
             .cfl(0.7)
             .moving_window(18.0e-15)
             .add_laser(crate::laser::antenna_for_a0(
-                0.5, 0.8e-6, 5.0e-15, 16.0 * dx, 0.0, f64::INFINITY,
+                0.5,
+                0.8e-6,
+                5.0e-15,
+                16.0 * dx,
+                0.0,
+                f64::INFINITY,
             ))
             .build();
         sim.lasers[0].t_peak = 8.0e-15;
@@ -1144,7 +1481,10 @@ mod tests {
         assert!(sim.fs.geom.x0[0] > 10.0 * dx, "window never moved");
         let peak = sim.fs.e[1].max_abs(0);
         let e0 = sim.lasers[0].e0;
-        assert!(peak > 0.6 * e0, "pulse lost by the window: {peak:e} vs {e0:e}");
+        assert!(
+            peak > 0.6 * e0,
+            "pulse lost by the window: {peak:e} vs {e0:e}"
+        );
     }
 
     /// Relativistic beam in vacuum: ballistic motion across the domain.

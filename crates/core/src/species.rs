@@ -202,11 +202,7 @@ mod tests {
         let g = geom();
         let dom = IndexBox::from_size(IntVect::new(8, 4, 8));
         let ba = BoxArray::chop(dom, IntVect::splat(4));
-        let sp = Species::electrons(
-            "e",
-            Profile::Uniform { n0: 1.0e24 },
-            [2, 1, 2],
-        );
+        let sp = Species::electrons("e", Profile::Uniform { n0: 1.0e24 }, [2, 1, 2]);
         let mut pc = ParticleContainer::new(ba.len());
         let n = inject(&sp, Dim::Three, &g, &ba, &dom, &mut pc, 7);
         assert_eq!(n, 8 * 4 * 8 * 4);
@@ -287,9 +283,17 @@ mod tests {
         let b = &pc.bufs[0];
         let n = b.len() as f64;
         let mean_x: f64 = b.ux.iter().sum::<f64>() / n;
-        let var_x: f64 = b.ux.iter().map(|u| (u - mean_x) * (u - mean_x)).sum::<f64>() / n;
+        let var_x: f64 =
+            b.ux.iter()
+                .map(|u| (u - mean_x) * (u - mean_x))
+                .sum::<f64>()
+                / n;
         assert!(mean_x.abs() < 0.05 * uth, "mean {mean_x:e}");
-        assert!((var_x.sqrt() / uth - 1.0).abs() < 0.05, "std {:e}", var_x.sqrt());
+        assert!(
+            (var_x.sqrt() / uth - 1.0).abs() < 0.05,
+            "std {:e}",
+            var_x.sqrt()
+        );
         for uy in &b.uy {
             assert_eq!(*uy, 3.0e6);
         }

@@ -73,8 +73,7 @@ impl SpectralSim {
             let ks = k.rem_euclid(nz) as usize;
             for i in -G..nx + G {
                 let is = i.rem_euclid(nx) as usize;
-                out[((k + G) as usize) * w + (i + G) as usize] =
-                    core[ks * self.nx + is];
+                out[((k + G) as usize) * w + (i + G) as usize] = core[ks * self.nx + is];
             }
         }
         out
@@ -89,8 +88,7 @@ impl SpectralSim {
             let ks = k.rem_euclid(nz) as usize;
             for i in -G..nx + G {
                 let is = i.rem_euclid(nx) as usize;
-                out[ks * self.nx + is] +=
-                    padded[((k + G) as usize) * w + (i + G) as usize];
+                out[ks * self.nx + is] += padded[((k + G) as usize) * w + (i + G) as usize];
             }
         }
         out
@@ -135,13 +133,21 @@ impl SpectralSim {
             bz: self.padded_view(&pb[2]),
         };
         let mut f = (
-            vec![0.0; n], vec![0.0; n], vec![0.0; n],
-            vec![0.0; n], vec![0.0; n], vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
         );
         {
             let mut out = EmOut {
-                ex: &mut f.0, ey: &mut f.1, ez: &mut f.2,
-                bx: &mut f.3, by: &mut f.4, bz: &mut f.5,
+                ex: &mut f.0,
+                ey: &mut f.1,
+                ez: &mut f.2,
+                bx: &mut f.3,
+                by: &mut f.4,
+                bz: &mut f.5,
             };
             gather2::<Quadratic, f64>(&self.buf.x, &self.buf.z, &geom, &views, &mut out);
         }
@@ -157,27 +163,40 @@ impl SpectralSim {
                 half: [false; 3],
             };
             deposit_rho2::<Quadratic, f64>(
-                &self.buf.x, &self.buf.z, &self.buf.w, self.charge, &geom, &mut v,
+                &self.buf.x,
+                &self.buf.z,
+                &self.buf.w,
+                self.charge,
+                &geom,
+                &mut v,
             );
         }
         // Push.
         let qmdt2 = self.charge * self.dt / (2.0 * self.mass);
         push_momentum(
             Pusher::Boris,
-            &mut self.buf.ux, &mut self.buf.uy, &mut self.buf.uz,
-            &f.0, &f.1, &f.2, &f.3, &f.4, &f.5,
+            &mut self.buf.ux,
+            &mut self.buf.uy,
+            &mut self.buf.uz,
+            &f.0,
+            &f.1,
+            &f.2,
+            &f.3,
+            &f.4,
+            &f.5,
             qmdt2,
         );
         let x0 = self.buf.x.clone();
         let z0 = self.buf.z.clone();
         let vy: Vec<f64> = (0..n)
-            .map(|p| {
-                self.buf.uy[p] / gamma_of_u(self.buf.ux[p], self.buf.uy[p], self.buf.uz[p])
-            })
+            .map(|p| self.buf.uy[p] / gamma_of_u(self.buf.ux[p], self.buf.uy[p], self.buf.uz[p]))
             .collect();
         push_position2(
-            &mut self.buf.x, &mut self.buf.z,
-            &self.buf.ux, &self.buf.uy, &self.buf.uz,
+            &mut self.buf.x,
+            &mut self.buf.z,
+            &self.buf.ux,
+            &self.buf.uy,
+            &self.buf.uz,
             self.dt,
         );
         // Deposit J (padded) and rho at new positions.
@@ -201,8 +220,16 @@ impl SpectralSim {
                 jz: mk(&mut jz[0], w),
             };
             esirkepov2::<Quadratic, f64>(
-                &x0, &z0, &self.buf.x, &self.buf.z, &vy, &self.buf.w,
-                self.charge, self.dt, &geom, &mut jv,
+                &x0,
+                &z0,
+                &self.buf.x,
+                &self.buf.z,
+                &vy,
+                &self.buf.w,
+                self.charge,
+                self.dt,
+                &geom,
+                &mut jv,
             );
         }
         let mut rho1_p = vec![0.0; plen];
@@ -215,7 +242,12 @@ impl SpectralSim {
                 half: [false; 3],
             };
             deposit_rho2::<Quadratic, f64>(
-                &self.buf.x, &self.buf.z, &self.buf.w, self.charge, &geom, &mut v,
+                &self.buf.x,
+                &self.buf.z,
+                &self.buf.w,
+                self.charge,
+                &geom,
+                &mut v,
             );
         }
         self.wrap_positions();
@@ -241,7 +273,12 @@ impl SpectralSim {
                 half: [false; 3],
             };
             deposit_rho2::<Quadratic, f64>(
-                &self.buf.x, &self.buf.z, &self.buf.w, self.charge, &self.geom(), &mut v,
+                &self.buf.x,
+                &self.buf.z,
+                &self.buf.w,
+                self.charge,
+                &self.geom(),
+                &mut v,
             );
         }
         self.fold(&rho_p)
@@ -327,8 +364,8 @@ mod tests {
             .filter(|&i| trace[i - 1] < mean && trace[i] >= mean)
             .collect();
         assert!(crossings.len() >= 2, "no oscillation: {trace:?}");
-        let period = (crossings[crossings.len() - 1] - crossings[0]) as f64
-            / (crossings.len() - 1) as f64;
+        let period =
+            (crossings[crossings.len() - 1] - crossings[0]) as f64 / (crossings.len() - 1) as f64;
         let wp_meas = 2.0 * std::f64::consts::PI / (period * sim.dt);
         assert!(
             (wp_meas / wp - 1.0).abs() < 0.05,

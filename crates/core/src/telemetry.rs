@@ -1,0 +1,491 @@
+//! Step-scoped telemetry and invariant guards.
+//!
+//! Every step the simulation assembles one [`StepRecord`] — per-phase wall
+//! times, communication counters (as per-step deltas of the cumulative
+//! [`CommStats`]), particle totals per species, and (when due) physics
+//! probes: total field energy and the Gauss-law residual norm. Records land
+//! in a bounded in-memory ring and, when a JSONL sink is attached via
+//! [`Telemetry::open_jsonl`], one JSON object per line on disk.
+//!
+//! The NaN/Inf sentinel scans field data after deposition and after the
+//! Maxwell update. The fast path sums each valid-region row (non-finite
+//! values propagate through summation) and only on a trip narrows down to
+//! the exact box and component, so the steady-state cost is a streaming
+//! read of the field data. Guard trips are recorded as [`GuardTrip`] with
+//! the step, phase, grid, box id, and component that first went bad.
+//!
+//! Cadence is configurable via [`TelemetryConfig`]: probes default to every
+//! 20 steps, the sentinel to every step. Everything is off when `enabled`
+//! is false; timers still run (they are a handful of `Instant::now` calls
+//! per step) but no records are assembled or written.
+
+use mrpic_amr::{CommStats, Fab, FabArray};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Write;
+
+/// Knobs for the telemetry subsystem (see `RunConfig` for the JSON keys).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch: assemble and retain step records.
+    #[serde(default = "default_enabled")]
+    pub enabled: bool,
+    /// Run the physics probes (field energy, Gauss residual) every this
+    /// many steps; 0 disables them.
+    #[serde(default = "default_probe_interval")]
+    pub probe_interval: u64,
+    /// Run the NaN/Inf sentinel every this many steps; 0 disables it.
+    #[serde(default = "default_sentinel_interval")]
+    pub sentinel_interval: u64,
+    /// Number of most-recent records kept in memory.
+    #[serde(default = "default_ring_capacity")]
+    pub ring_capacity: usize,
+}
+
+fn default_enabled() -> bool {
+    true
+}
+fn default_probe_interval() -> u64 {
+    20
+}
+fn default_sentinel_interval() -> u64 {
+    1
+}
+fn default_ring_capacity() -> usize {
+    256
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            probe_interval: 20,
+            sentinel_interval: 1,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Per-phase wall-clock seconds for one step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Field gather onto particles (aux/parent interpolation).
+    #[serde(default)]
+    pub gather: f64,
+    /// Momentum + position push.
+    #[serde(default)]
+    pub push: f64,
+    /// Esirkepov current deposition (incl. fine-buffer reduction).
+    #[serde(default)]
+    pub deposit: f64,
+    /// Current guard summation, filtering, laser injection, MR coupling.
+    #[serde(default)]
+    pub sum: f64,
+    /// Parent-grid Maxwell update (B half / E / B half + PML).
+    #[serde(default)]
+    pub maxwell: f64,
+    /// Guard-fill exchanges (per-step comm seconds across all grids).
+    #[serde(default)]
+    pub fill: f64,
+    /// MR patch field advance + aux build.
+    #[serde(default)]
+    pub mr: f64,
+    /// Load-balance bookkeeping (cost tracking, plan adoption).
+    #[serde(default)]
+    pub lb: f64,
+    /// Periodic particle re-sort.
+    #[serde(default)]
+    pub sort: f64,
+    /// Particle redistribution after the push.
+    #[serde(default)]
+    pub redistribute: f64,
+    /// Moving-window shifts and fresh-plasma injection.
+    #[serde(default)]
+    pub window: f64,
+}
+
+impl PhaseTimes {
+    /// Accumulate another step's phase times into this one.
+    pub fn merge(&mut self, o: &PhaseTimes) {
+        self.gather += o.gather;
+        self.push += o.push;
+        self.deposit += o.deposit;
+        self.sum += o.sum;
+        self.maxwell += o.maxwell;
+        self.fill += o.fill;
+        self.mr += o.mr;
+        self.lb += o.lb;
+        self.sort += o.sort;
+        self.redistribute += o.redistribute;
+        self.window += o.window;
+    }
+}
+
+/// Physics probe values sampled every `probe_interval` steps.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Probes {
+    /// Total electromagnetic field energy on the parent grid [J].
+    pub field_energy: f64,
+    /// Max-norm of `div E - rho/eps0` over interior nodes. The Esirkepov /
+    /// Yee combination conserves this residual in time (it is constant,
+    /// not zero), so drift flags a charge-conservation bug.
+    pub gauss_residual: f64,
+}
+
+/// Where the NaN/Inf sentinel first tripped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuardTrip {
+    pub step: u64,
+    /// Step phase after which the scan ran ("deposit", "maxwell", "mr").
+    pub phase: String,
+    /// Grid the poisoned fab lives on ("parent", "mr0.fine", ...).
+    pub grid: String,
+    /// Field component ("Ex", "By", "Jz", ...).
+    pub component: String,
+    /// Box index within that grid's box array.
+    pub box_id: usize,
+}
+
+/// Particle count of one species at the end of a step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeciesCount {
+    pub name: String,
+    pub count: u64,
+}
+
+/// One structured record per step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StepRecord {
+    pub step: u64,
+    pub time: f64,
+    pub dt: f64,
+    /// Total wall seconds for the step.
+    pub seconds: f64,
+    pub phases: PhaseTimes,
+    /// Communication counters for this step only (delta of cumulative).
+    pub comm: CommStats,
+    pub particles: Vec<SpeciesCount>,
+    pub pushed: u64,
+    pub deleted: u64,
+    pub window_shifts: u64,
+    pub rebalances: u64,
+    #[serde(default)]
+    pub probes: Option<Probes>,
+    #[serde(default)]
+    pub guard: Option<GuardTrip>,
+}
+
+/// Step-record ring plus optional JSONL sink and tripped-guard log.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pub cfg: TelemetryConfig,
+    ring: VecDeque<StepRecord>,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    trips: Vec<GuardTrip>,
+    write_error: Option<String>,
+}
+
+impl Telemetry {
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self {
+            cfg,
+            ring: VecDeque::new(),
+            writer: None,
+            trips: Vec::new(),
+            write_error: None,
+        }
+    }
+
+    /// Attach a JSONL sink; every subsequent record appends one line.
+    pub fn open_jsonl(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.writer = Some(std::io::BufWriter::new(f));
+        Ok(())
+    }
+
+    /// True when `istep` is a probe step (field energy, Gauss residual).
+    pub fn probes_due(&self, istep: u64) -> bool {
+        self.cfg.enabled
+            && self.cfg.probe_interval != 0
+            && istep.is_multiple_of(self.cfg.probe_interval)
+    }
+
+    /// True when `istep` is a sentinel (NaN/Inf scan) step.
+    pub fn sentinel_due(&self, istep: u64) -> bool {
+        self.cfg.enabled
+            && self.cfg.sentinel_interval != 0
+            && istep.is_multiple_of(self.cfg.sentinel_interval)
+    }
+
+    /// Append a record to the ring (and the JSONL sink when attached).
+    pub fn record(&mut self, rec: StepRecord) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if let Some(trip) = &rec.guard {
+            self.trips.push(trip.clone());
+        }
+        if let Some(w) = &mut self.writer {
+            let res = serde_json::to_string(&rec)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+                .and_then(|line| {
+                    w.write_all(line.as_bytes())?;
+                    w.write_all(b"\n")
+                });
+            if let Err(e) = res {
+                self.write_error = Some(e.to_string());
+                self.writer = None;
+            }
+        }
+        if self.cfg.ring_capacity > 0 {
+            if self.ring.len() == self.cfg.ring_capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(rec);
+        }
+    }
+
+    /// Most recent records, oldest first (bounded by `ring_capacity`).
+    pub fn records(&self) -> &VecDeque<StepRecord> {
+        &self.ring
+    }
+
+    pub fn last(&self) -> Option<&StepRecord> {
+        self.ring.back()
+    }
+
+    /// All guard trips observed so far (not bounded by the ring).
+    pub fn trips(&self) -> &[GuardTrip] {
+        &self.trips
+    }
+
+    pub fn tripped(&self) -> bool {
+        !self.trips.is_empty()
+    }
+
+    /// First I/O error hit while writing JSONL, if any (writing stops on
+    /// the first failure rather than spamming a dead sink).
+    pub fn write_error(&self) -> Option<&str> {
+        self.write_error.as_deref()
+    }
+
+    /// Phase times summed over the records currently in the ring.
+    pub fn phase_totals(&self) -> PhaseTimes {
+        let mut total = PhaseTimes::default();
+        for r in &self.ring {
+            total.merge(&r.phases);
+        }
+        total
+    }
+
+    pub fn flush(&mut self) {
+        if let Some(w) = &mut self.writer {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A sentinel hit inside one named array set: which array, box, and
+/// component-within-fab first contained a non-finite value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SentinelHit {
+    /// Name of the offending array as passed to [`scan_arrays`].
+    pub component: String,
+    pub box_id: usize,
+    /// Component index within the fab (0 for single-component arrays;
+    /// meaningful for split-PML fabs).
+    pub comp: usize,
+}
+
+/// True when component `c` of `fab` holds a non-finite value anywhere in
+/// its valid (non-guard) region. Guards are deliberately excluded: a NaN
+/// copied in by an exchange would otherwise mislocalize the source box.
+fn fab_comp_nonfinite(fab: &Fab, c: usize) -> bool {
+    let vb = fab.valid_pts();
+    let ix = fab.indexer();
+    let comp = fab.comp(c);
+    // Fast path: non-finite values propagate through sums, so one
+    // accumulated sum over the whole valid region detects them. Eight
+    // independent accumulators break the f64-add latency chain (a single
+    // chain caps the scan well below memory bandwidth). A sum overflowing
+    // to inf from finite data also flags — at ~1e308 field values that is
+    // a blow-up worth reporting.
+    let mut acc = [0.0f64; 8];
+    // Point boxes are half-open: the valid points are `lo .. hi` exclusive.
+    for z in vb.lo.z..vb.hi.z {
+        for y in vb.lo.y..vb.hi.y {
+            let lo = ix.at(vb.lo.x, y, z);
+            let hi = ix.at(vb.hi.x - 1, y, z);
+            let row = &comp[lo..=hi];
+            let mut chunks = row.chunks_exact(8);
+            for ch in &mut chunks {
+                for k in 0..8 {
+                    acc[k] += ch[k];
+                }
+            }
+            for &v in chunks.remainder() {
+                acc[0] += v;
+            }
+        }
+    }
+    !acc.iter().sum::<f64>().is_finite()
+}
+
+/// Scan named arrays for non-finite values in valid regions; returns the
+/// first hit (array name, box id, component-within-fab) or `None`.
+pub fn scan_arrays<'a>(
+    arrays: impl IntoIterator<Item = (&'a str, &'a FabArray)>,
+) -> Option<SentinelHit> {
+    for (name, fa) in arrays {
+        for (bi, fab) in fa.fabs().iter().enumerate() {
+            for c in 0..fab.ncomp() {
+                if fab_comp_nonfinite(fab, c) {
+                    return Some(SentinelHit {
+                        component: name.to_string(),
+                        box_id: bi,
+                        comp: c,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrpic_amr::{BoxArray, IndexBox, IntVect, Stagger};
+
+    fn mk_array(nbox: i64) -> FabArray {
+        let domain = IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(nbox * 8, 1, 8));
+        let ba = BoxArray::chop(domain, IntVect::new(8, 1, 8));
+        FabArray::new_vec(ba, Stagger::CELL, 1, IntVect::new(2, 0, 2))
+    }
+
+    #[test]
+    fn scan_clean_arrays_is_none() {
+        let fa = mk_array(3);
+        assert_eq!(scan_arrays([("Ex", &fa)]), None);
+    }
+
+    #[test]
+    fn scan_localizes_poisoned_box() {
+        let mut fa = mk_array(3);
+        let p = fa.fab(1).valid_pts().lo;
+        fa.fab_mut(1).set(0, p, f64::NAN);
+        let hit = scan_arrays([("Ey", &fa)]).expect("sentinel must trip");
+        assert_eq!(hit.component, "Ey");
+        assert_eq!(hit.box_id, 1);
+        assert_eq!(hit.comp, 0);
+    }
+
+    #[test]
+    fn scan_ignores_guard_cells() {
+        let mut fa = mk_array(2);
+        // Poison a guard cell only: just past the (half-open) valid
+        // region's high x edge, inside the grown box.
+        let vb = fa.fab(0).valid_pts();
+        let p = IntVect::new(vb.hi.x, vb.lo.y, vb.lo.z);
+        fa.fab_mut(0).set(0, p, f64::INFINITY);
+        assert_eq!(scan_arrays([("Bz", &fa)]), None);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_trips_accumulate() {
+        let mut t = Telemetry::new(TelemetryConfig {
+            ring_capacity: 2,
+            ..TelemetryConfig::default()
+        });
+        for step in 0..5u64 {
+            t.record(StepRecord {
+                step,
+                time: 0.0,
+                dt: 1.0,
+                seconds: 0.0,
+                phases: PhaseTimes::default(),
+                comm: CommStats::default(),
+                particles: vec![],
+                pushed: 0,
+                deleted: 0,
+                window_shifts: 0,
+                rebalances: 0,
+                probes: None,
+                guard: (step == 3).then(|| GuardTrip {
+                    step,
+                    phase: "maxwell".into(),
+                    grid: "parent".into(),
+                    component: "Ex".into(),
+                    box_id: 0,
+                }),
+            });
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.last().unwrap().step, 4);
+        assert!(t.tripped());
+        assert_eq!(t.trips().len(), 1);
+        assert_eq!(t.trips()[0].step, 3);
+    }
+
+    #[test]
+    fn cadence_predicates() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert!(t.sentinel_due(0) && t.sentinel_due(7));
+        assert!(t.probes_due(0) && t.probes_due(40) && !t.probes_due(7));
+        let off = Telemetry::new(TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        });
+        assert!(!off.sentinel_due(0) && !off.probes_due(0));
+    }
+
+    #[test]
+    fn step_record_roundtrips_through_json() {
+        let rec = StepRecord {
+            step: 11,
+            time: 2.5e-15,
+            dt: 1.25e-16,
+            seconds: 3e-3,
+            phases: PhaseTimes {
+                gather: 1e-4,
+                push: 2e-4,
+                deposit: 3e-4,
+                ..PhaseTimes::default()
+            },
+            comm: CommStats {
+                bytes: 1024,
+                messages: 8,
+                exchanges: 4,
+                plan_builds: 0,
+                seconds: 5e-5,
+            },
+            particles: vec![SpeciesCount {
+                name: "electron".into(),
+                count: 4096,
+            }],
+            pushed: 4096,
+            deleted: 0,
+            window_shifts: 1,
+            rebalances: 0,
+            probes: Some(Probes {
+                field_energy: 1.25e-9,
+                gauss_residual: 3.5e-7,
+            }),
+            guard: None,
+        };
+        let s = serde_json::to_string(&rec).unwrap();
+        let back: StepRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.step, 11);
+        assert_eq!(back.phases, rec.phases);
+        assert_eq!(back.comm, rec.comm);
+        assert_eq!(back.particles, rec.particles);
+        assert_eq!(back.probes, rec.probes);
+        assert!(back.guard.is_none());
+    }
+}

@@ -105,7 +105,11 @@ pub fn wavenumbers(n: usize, dx: f64) -> Vec<f64> {
     let dk = 2.0 * PI / (n as f64 * dx);
     (0..n)
         .map(|i| {
-            let ii = if i <= n / 2 { i as i64 } else { i as i64 - n as i64 };
+            let ii = if i <= n / 2 {
+                i as i64
+            } else {
+                i as i64 - n as i64
+            };
             ii as f64 * dk
         })
         .collect()
@@ -164,9 +168,7 @@ mod tests {
     #[test]
     fn parseval_energy_identity() {
         let n = 128;
-        let data: Vec<Cpx> = (0..n)
-            .map(|i| Cpx::new((i as f64).sin(), 0.0))
-            .collect();
+        let data: Vec<Cpx> = (0..n).map(|i| Cpx::new((i as f64).sin(), 0.0)).collect();
         let time_e: f64 = data.iter().map(|v| v.norm_sq()).sum();
         let mut freq = data.clone();
         fft(&mut freq, false);

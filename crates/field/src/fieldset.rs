@@ -1,6 +1,6 @@
 //! The electromagnetic state of one mesh level.
 
-use mrpic_amr::{BoxArray, Fab, FabArray, IndexBox, IntVect, Periodicity, Stagger};
+use mrpic_amr::{BoxArray, CommStats, Fab, FabArray, IndexBox, IntVect, Periodicity, Stagger};
 use mrpic_kernels::view::{FieldView, FieldViewMut, Geom};
 use serde::{Deserialize, Serialize};
 
@@ -257,6 +257,13 @@ impl FieldSet {
         s
     }
 
+    /// Aggregate communication counters across all nine arrays.
+    pub fn comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        self.for_each_array(|fa| total.merge(&fa.stats()));
+        total
+    }
+
     /// Total bytes of field storage (capability/telemetry).
     pub fn bytes(&self) -> usize {
         let sum = |fa: &FabArray| fa.fabs().iter().map(|f| f.bytes()).sum::<usize>();
@@ -358,13 +365,7 @@ mod tests {
             dx: [1e-6; 3],
             x0: [0.0; 3],
         };
-        let fs = FieldSet::new(
-            Dim::Two,
-            ba,
-            geom,
-            Periodicity::none(dom),
-            2,
-        );
+        let fs = FieldSet::new(Dim::Two, ba, geom, Periodicity::none(dom), 2);
         // Every component stores a single y plane per y cell.
         for c in 0..3 {
             assert!(!fs.e[c].stagger().is_nodal(1));
@@ -403,7 +404,9 @@ mod tests {
     fn window_shift_moves_all_fields() {
         let mut fs = mk3();
         let p = IntVect::new(5, 2, 2);
-        fs.b[2].fab_mut(fs.boxarray().find_cell(p).unwrap()).set(0, p, 3.0);
+        fs.b[2]
+            .fab_mut(fs.boxarray().find_cell(p).unwrap())
+            .set(0, p, 3.0);
         fs.shift_window(IntVect::new(2, 0, 0));
         assert_eq!(fs.b[2].at(0, IntVect::new(3, 2, 2)), 3.0);
     }

@@ -104,7 +104,11 @@ mod tests {
         fs.j[0].fab_mut(owner).set(0, p, 16.0);
         filter_current(&mut fs, 1);
         // After one pass in x and z: center 16 * 0.5 * 0.5 = 4.
-        assert!((fs.j[0].at(0, p) - 4.0).abs() < 1e-12, "{}", fs.j[0].at(0, p));
+        assert!(
+            (fs.j[0].at(0, p) - 4.0).abs() < 1e-12,
+            "{}",
+            fs.j[0].at(0, p)
+        );
         // Face neighbor: 16 * 0.25 * 0.5 = 2.
         assert!((fs.j[0].at(0, IntVect::new(7, 0, 8)) - 2.0).abs() < 1e-12);
         // Diagonal: 16 * 0.25 * 0.25 = 1.

@@ -25,7 +25,7 @@
 //! differentiated), and the interior sees PML totals in its guards.
 
 use crate::fieldset::{b_stagger, e_stagger, Dim, FieldSet, GridGeom};
-use mrpic_amr::{BoxArray, FabArray, IndexBox, IntVect, Periodicity};
+use mrpic_amr::{BoxArray, CommStats, FabArray, IndexBox, IntVect, Periodicity};
 use mrpic_kernels::constants::{C, C2};
 
 /// Default layer thickness in cells.
@@ -109,8 +109,8 @@ impl Pml {
         let mut rate_max = [0.0; 3];
         for d in 0..3 {
             if active[d] {
-                rate_max[d] = C * (GRADE_M as f64 + 1.0) * (1.0 / R0).ln()
-                    / (2.0 * npml as f64 * geom.dx[d]);
+                rate_max[d] =
+                    C * (GRADE_M as f64 + 1.0) * (1.0 / R0).ln() / (2.0 * npml as f64 * geom.dx[d]);
             }
         }
         Self {
@@ -143,6 +143,49 @@ impl Pml {
         (0..3)
             .map(|c| self.esplit[c].stats().plan_builds + self.bsplit[c].stats().plan_builds)
             .sum()
+    }
+
+    /// Aggregate communication counters over the six split shell arrays,
+    /// with the interface-copy seconds folded into `seconds`.
+    pub fn comm_stats(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for c in 0..3 {
+            total.merge(&self.esplit[c].stats());
+            total.merge(&self.bsplit[c].stats());
+        }
+        total.seconds += self.iface_seconds;
+        total
+    }
+
+    /// Drop all cached exchange and interface plans (e.g. after a restart
+    /// overwrote the split-field data in place).
+    pub fn invalidate_plans(&mut self) {
+        for c in 0..3 {
+            self.esplit[c].invalidate_plans();
+            self.bsplit[c].invalidate_plans();
+            self.iface_e[c] = None;
+            self.iface_b[c] = None;
+        }
+    }
+
+    /// Read access to the split E-field shell arrays (checkpointing).
+    pub fn esplit(&self) -> &[FabArray; 3] {
+        &self.esplit
+    }
+
+    /// Read access to the split B-field shell arrays (checkpointing).
+    pub fn bsplit(&self) -> &[FabArray; 3] {
+        &self.bsplit
+    }
+
+    /// Mutable access to the split E-field shell arrays (restore).
+    pub fn esplit_mut(&mut self) -> &mut [FabArray; 3] {
+        &mut self.esplit
+    }
+
+    /// Mutable access to the split B-field shell arrays (restore).
+    pub fn bsplit_mut(&mut self) -> &mut [FabArray; 3] {
+        &mut self.bsplit
     }
 
     #[inline]
@@ -323,8 +366,7 @@ impl Pml {
                 b2 += self.bsplit[c].sum_comp_map(comp, |v| v * v);
             }
         }
-        dv * (0.5 * mrpic_kernels::constants::EPS0 * e2
-            + 0.5 / mrpic_kernels::constants::MU0 * b2)
+        dv * (0.5 * mrpic_kernels::constants::EPS0 * e2 + 0.5 / mrpic_kernels::constants::MU0 * b2)
     }
 }
 
@@ -516,10 +558,7 @@ mod tests {
         // Corners appear when two axes are active.
         let pml2 = Pml::new(Dim::Two, interior, geom, [false; 3], 8);
         assert_eq!(pml2.boxarray().len(), 4);
-        assert_eq!(
-            pml2.boxarray().total_cells(),
-            (48 * 48 - 32 * 32) as i64
-        );
+        assert_eq!(pml2.boxarray().total_cells(), (48 * 48 - 32 * 32) as i64);
     }
 
     #[test]
@@ -652,6 +691,9 @@ mod tests {
             step_fields_with_pml(&mut fs, &mut pml, dt);
         }
         let late = pml.stored_energy();
-        assert!(late < 0.1 * mid.max(1e-300), "PML stores energy: {mid:e} -> {late:e}");
+        assert!(
+            late < 0.1 * mid.max(1e-300),
+            "PML stores energy: {mid:e} -> {late:e}"
+        );
     }
 }

@@ -102,7 +102,9 @@ mod tests {
         for fi in 0..fs.nfabs() {
             let vb = fs.e[1].fab(fi).valid_pts();
             for p in vb.cells().collect::<Vec<_>>() {
-                fs.e[1].fab_mut(fi).set(0, p, e0 * (k * p.x as f64 * dx).sin());
+                fs.e[1]
+                    .fab_mut(fi)
+                    .set(0, p, e0 * (k * p.x as f64 * dx).sin());
             }
             let vb = fs.b[2].fab(fi).valid_pts();
             for p in vb.cells().collect::<Vec<_>>() {

@@ -163,13 +163,7 @@ impl Psatd2d {
     /// `(rho1 - rho0)/dt + i k . J = 0` holds exactly, which keeps
     /// Gauss's law satisfied for all time. `rho0`/`rho1` are the charge
     /// densities deposited at the old/new particle positions.
-    pub fn step_with_correction(
-        &mut self,
-        dt: f64,
-        j: [&[f64]; 3],
-        rho0: &[f64],
-        rho1: &[f64],
-    ) {
+    pub fn step_with_correction(&mut self, dt: f64, j: [&[f64]; 3], rho0: &[f64], rho1: &[f64]) {
         let mut jk: Vec<Vec<Cpx>> = (0..3).map(|c| self.forward_scalar(j[c])).collect();
         let r0 = self.forward_scalar(rho0);
         let r1 = self.forward_scalar(rho1);
@@ -184,9 +178,7 @@ impl Psatd2d {
                 let k = k2.sqrt();
                 let khat = [kx / k, 0.0, kz / k];
                 // Longitudinal projection k̂ (k̂·J).
-                let dot = jk[0][idx]
-                    .scale(khat[0])
-                    .add(jk[2][idx].scale(khat[2]));
+                let dot = jk[0][idx].scale(khat[0]).add(jk[2][idx].scale(khat[2]));
                 // Required longitudinal amplitude: i (rho1-rho0)/(dt k).
                 let want = Cpx::new(0.0, 1.0)
                     .mul(r1[idx].sub(r0[idx]))
@@ -195,9 +187,7 @@ impl Psatd2d {
                     if d == 1 {
                         continue; // Jy has no k component in the x-z plane
                     }
-                    comp[idx] = comp[idx]
-                        .sub(dot.scale(khat[d]))
-                        .add(want.scale(khat[d]));
+                    comp[idx] = comp[idx].sub(dot.scale(khat[d])).add(want.scale(khat[d]));
                 }
             }
         }
@@ -249,8 +239,7 @@ impl Psatd2d {
                     continue;
                 }
                 // i k . E
-                let ike = Cpx::new(0.0, 1.0)
-                    .mul(ek[0][idx].scale(kx).add(ek[2][idx].scale(kz)));
+                let ike = Cpx::new(0.0, 1.0).mul(ek[0][idx].scale(kx).add(ek[2][idx].scale(kz)));
                 let rho_term = rk[idx].scale(1.0 / EPS0);
                 let diff = ike.sub(rho_term);
                 max = max.max(diff.norm_sq().sqrt());
@@ -268,16 +257,8 @@ impl Psatd2d {
                 let idx = r * self.nx + i;
                 let kv = [self.kx[i], 0.0, self.kz[r]];
                 let k2 = kv[0] * kv[0] + kv[2] * kv[2];
-                let e = [
-                    self.state[0][idx],
-                    self.state[1][idx],
-                    self.state[2][idx],
-                ];
-                let cb = [
-                    self.state[3][idx],
-                    self.state[4][idx],
-                    self.state[5][idx],
-                ];
+                let e = [self.state[0][idx], self.state[1][idx], self.state[2][idx]];
+                let cb = [self.state[3][idx], self.state[4][idx], self.state[5][idx]];
                 let jj = [jk[0][idx], jk[1][idx], jk[2][idx]];
                 let (enew, cbnew) = if k2 == 0.0 {
                     // Mean mode: dE/dt = -J/eps0, B constant.
@@ -393,10 +374,7 @@ mod tests {
             let x = i as f64 * dx;
             let want = (k * (x - shift)).sin();
             let got = e[1][i];
-            assert!(
-                (got - want).abs() < 1e-9,
-                "x={x:e}: got {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-9, "x={x:e}: got {got}, want {want}");
         }
     }
 

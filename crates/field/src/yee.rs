@@ -86,8 +86,18 @@ pub fn advance_b(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 bx,
                 &[
-                    Term { fa: &e[2], coef: -cy, op: Y, om: O },
-                    Term { fa: &e[1], coef: cz, op: Z, om: O },
+                    Term {
+                        fa: &e[2],
+                        coef: -cy,
+                        op: Y,
+                        om: O,
+                    },
+                    Term {
+                        fa: &e[1],
+                        coef: cz,
+                        op: Z,
+                        om: O,
+                    },
                 ],
                 None,
             );
@@ -95,8 +105,18 @@ pub fn advance_b(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 by,
                 &[
-                    Term { fa: &e[0], coef: -cz, op: Z, om: O },
-                    Term { fa: &e[2], coef: cx, op: X, om: O },
+                    Term {
+                        fa: &e[0],
+                        coef: -cz,
+                        op: Z,
+                        om: O,
+                    },
+                    Term {
+                        fa: &e[2],
+                        coef: cx,
+                        op: X,
+                        om: O,
+                    },
                 ],
                 None,
             );
@@ -104,24 +124,62 @@ pub fn advance_b(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 bz,
                 &[
-                    Term { fa: &e[1], coef: -cx, op: X, om: O },
-                    Term { fa: &e[0], coef: cy, op: Y, om: O },
+                    Term {
+                        fa: &e[1],
+                        coef: -cx,
+                        op: X,
+                        om: O,
+                    },
+                    Term {
+                        fa: &e[0],
+                        coef: cy,
+                        op: Y,
+                        om: O,
+                    },
                 ],
                 None,
             );
         }
         Dim::Two => {
             // d/dy = 0: dBx/dt = dEy/dz
-            apply_terms(bx, &[Term { fa: &e[1], coef: cz, op: Z, om: O }], None);
+            apply_terms(
+                bx,
+                &[Term {
+                    fa: &e[1],
+                    coef: cz,
+                    op: Z,
+                    om: O,
+                }],
+                None,
+            );
             apply_terms(
                 by,
                 &[
-                    Term { fa: &e[0], coef: -cz, op: Z, om: O },
-                    Term { fa: &e[2], coef: cx, op: X, om: O },
+                    Term {
+                        fa: &e[0],
+                        coef: -cz,
+                        op: Z,
+                        om: O,
+                    },
+                    Term {
+                        fa: &e[2],
+                        coef: cx,
+                        op: X,
+                        om: O,
+                    },
                 ],
                 None,
             );
-            apply_terms(bz, &[Term { fa: &e[1], coef: -cx, op: X, om: O }], None);
+            apply_terms(
+                bz,
+                &[Term {
+                    fa: &e[1],
+                    coef: -cx,
+                    op: X,
+                    om: O,
+                }],
+                None,
+            );
         }
     }
 }
@@ -141,8 +199,18 @@ pub fn advance_e(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 ex,
                 &[
-                    Term { fa: &b[2], coef: cy, op: O, om: MY },
-                    Term { fa: &b[1], coef: -cz, op: O, om: MZ },
+                    Term {
+                        fa: &b[2],
+                        coef: cy,
+                        op: O,
+                        om: MY,
+                    },
+                    Term {
+                        fa: &b[1],
+                        coef: -cz,
+                        op: O,
+                        om: MZ,
+                    },
                 ],
                 Some((&j[0], jc)),
             );
@@ -150,8 +218,18 @@ pub fn advance_e(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 ey,
                 &[
-                    Term { fa: &b[0], coef: cz, op: O, om: MZ },
-                    Term { fa: &b[2], coef: -cx, op: O, om: MX },
+                    Term {
+                        fa: &b[0],
+                        coef: cz,
+                        op: O,
+                        om: MZ,
+                    },
+                    Term {
+                        fa: &b[2],
+                        coef: -cx,
+                        op: O,
+                        om: MX,
+                    },
                 ],
                 Some((&j[1], jc)),
             );
@@ -159,8 +237,18 @@ pub fn advance_e(fs: &mut FieldSet, dt: f64) {
             apply_terms(
                 ez,
                 &[
-                    Term { fa: &b[1], coef: cx, op: O, om: MX },
-                    Term { fa: &b[0], coef: -cy, op: O, om: MY },
+                    Term {
+                        fa: &b[1],
+                        coef: cx,
+                        op: O,
+                        om: MX,
+                    },
+                    Term {
+                        fa: &b[0],
+                        coef: -cy,
+                        op: O,
+                        om: MY,
+                    },
                 ],
                 Some((&j[2], jc)),
             );
@@ -168,20 +256,40 @@ pub fn advance_e(fs: &mut FieldSet, dt: f64) {
         Dim::Two => {
             apply_terms(
                 ex,
-                &[Term { fa: &b[1], coef: -cz, op: O, om: MZ }],
+                &[Term {
+                    fa: &b[1],
+                    coef: -cz,
+                    op: O,
+                    om: MZ,
+                }],
                 Some((&j[0], jc)),
             );
             apply_terms(
                 ey,
                 &[
-                    Term { fa: &b[0], coef: cz, op: O, om: MZ },
-                    Term { fa: &b[2], coef: -cx, op: O, om: MX },
+                    Term {
+                        fa: &b[0],
+                        coef: cz,
+                        op: O,
+                        om: MZ,
+                    },
+                    Term {
+                        fa: &b[2],
+                        coef: -cx,
+                        op: O,
+                        om: MX,
+                    },
                 ],
                 Some((&j[1], jc)),
             );
             apply_terms(
                 ez,
-                &[Term { fa: &b[1], coef: cx, op: O, om: MX }],
+                &[Term {
+                    fa: &b[1],
+                    coef: cx,
+                    op: O,
+                    om: MX,
+                }],
                 Some((&j[2], jc)),
             );
         }

@@ -307,8 +307,7 @@ pub fn esirkepov3_blocked<S: Shape, T: Real>(
         let by = j.jy.idx(ax, ay, az);
         let bz = j.jz.idx(ax, ay, az);
         debug_assert!(
-            bx + ((len - 1) as i64 * (j.jx.nxy + j.jx.nx)) as usize + len
-                <= j.jx.data.len() + 1
+            bx + ((len - 1) as i64 * (j.jx.nxy + j.jx.nx)) as usize + len <= j.jx.data.len() + 1
         );
         // Jx: prefix sum along the contiguous x rows.
         for c in 0..len {
@@ -398,15 +397,24 @@ mod tests {
             let (nx, nxy) = (self.n[0], self.n[0] * self.n[1]);
             JViews {
                 jx: FieldViewMut {
-                    data: &mut self.jx, lo: self.lo, nx, nxy,
+                    data: &mut self.jx,
+                    lo: self.lo,
+                    nx,
+                    nxy,
                     half: [true, false, false],
                 },
                 jy: FieldViewMut {
-                    data: &mut self.jy, lo: self.lo, nx, nxy,
+                    data: &mut self.jy,
+                    lo: self.lo,
+                    nx,
+                    nxy,
                     half: [false, true, false],
                 },
                 jz: FieldViewMut {
-                    data: &mut self.jz, lo: self.lo, nx, nxy,
+                    data: &mut self.jz,
+                    lo: self.lo,
+                    nx,
+                    nxy,
                     half: [false, false, true],
                 },
             }
@@ -418,10 +426,7 @@ mod tests {
     }
 
     fn geom(dx: [f64; 3]) -> Geom {
-        Geom {
-            xmin: [0.0; 3],
-            dx,
-        }
+        Geom { xmin: [0.0; 3], dx }
     }
 
     /// The defining property: discrete continuity to machine precision.
@@ -462,11 +467,19 @@ mod tests {
         {
             let (nx, nxy) = (n[0], n[0] * n[1]);
             let mut r0 = FieldViewMut {
-                data: &mut g.rho0, lo, nx, nxy, half: [false; 3],
+                data: &mut g.rho0,
+                lo,
+                nx,
+                nxy,
+                half: [false; 3],
             };
             deposit_rho3::<S, f64>(&p0[0], &p0[1], &p0[2], &w, q, &geo, &mut r0);
             let mut r1 = FieldViewMut {
-                data: &mut g.rho1, lo, nx, nxy, half: [false; 3],
+                data: &mut g.rho1,
+                lo,
+                nx,
+                nxy,
+                half: [false; 3],
             };
             deposit_rho3::<S, f64>(&p1[0], &p1[1], &p1[2], &w, q, &geo, &mut r1);
         }
@@ -477,9 +490,7 @@ mod tests {
         for k in lo[2] + 1..lo[2] + n[2] - 1 {
             for jj in lo[1] + 1..lo[1] + n[1] - 1 {
                 for i in lo[0] + 1..lo[0] + n[0] - 1 {
-                    let at = |v: &Vec<f64>, a: i64, b: i64, c: i64| {
-                        Grid::at(v, lo, n, a, b, c)
-                    };
+                    let at = |v: &Vec<f64>, a: i64, b: i64, c: i64| Grid::at(v, lo, n, a, b, c);
                     let drho = (at(&g.rho1, i, jj, k) - at(&g.rho0, i, jj, k)) / dt;
                     let divj = (at(&g.jx, i, jj, k) - at(&g.jx, i - 1, jj, k)) / dx
                         + (at(&g.jy, i, jj, k) - at(&g.jy, i, jj - 1, k)) / dy
@@ -535,21 +546,49 @@ mod tests {
         let (nx, nxy) = (n[0], n[0] * n[1]);
         {
             let mut j = JViews {
-                jx: FieldViewMut { data: &mut jx, lo, nx, nxy, half: [true, false, false] },
-                jy: FieldViewMut { data: &mut jy, lo, nx, nxy, half: [false, true, false] },
-                jz: FieldViewMut { data: &mut jz, lo, nx, nxy, half: [false, false, true] },
+                jx: FieldViewMut {
+                    data: &mut jx,
+                    lo,
+                    nx,
+                    nxy,
+                    half: [true, false, false],
+                },
+                jy: FieldViewMut {
+                    data: &mut jy,
+                    lo,
+                    nx,
+                    nxy,
+                    half: [false, true, false],
+                },
+                jz: FieldViewMut {
+                    data: &mut jz,
+                    lo,
+                    nx,
+                    nxy,
+                    half: [false, false, true],
+                },
             };
             esirkepov2::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geo, &mut j);
         }
         {
-            let mut r0 = FieldViewMut { data: &mut rho0, lo, nx, nxy, half: [false; 3] };
+            let mut r0 = FieldViewMut {
+                data: &mut rho0,
+                lo,
+                nx,
+                nxy,
+                half: [false; 3],
+            };
             deposit_rho2::<Quadratic, f64>(&x0, &z0, &w, q, &geo, &mut r0);
-            let mut r1 = FieldViewMut { data: &mut rho1, lo, nx, nxy, half: [false; 3] };
+            let mut r1 = FieldViewMut {
+                data: &mut rho1,
+                lo,
+                nx,
+                nxy,
+                half: [false; 3],
+            };
             deposit_rho2::<Quadratic, f64>(&x1, &z1, &w, q, &geo, &mut r1);
         }
-        let at = |v: &Vec<f64>, i: i64, k: i64| {
-            v[((k - lo[2]) * n[0] + (i - lo[0])) as usize]
-        };
+        let at = |v: &Vec<f64>, i: i64, k: i64| v[((k - lo[2]) * n[0] + (i - lo[0])) as usize];
         let mut max_resid = 0.0f64;
         let mut max_scale = 0.0f64;
         for k in lo[2] + 1..lo[2] + n[2] - 1 {
@@ -562,7 +601,10 @@ mod tests {
             }
         }
         assert!(max_scale > 0.0);
-        assert!(max_resid <= 1e-9 * max_scale, "{max_resid:e} vs {max_scale:e}");
+        assert!(
+            max_resid <= 1e-9 * max_scale,
+            "{max_resid:e} vs {max_scale:e}"
+        );
     }
 
     #[test]
@@ -602,11 +644,20 @@ mod tests {
         let w = [5.0e6, 2.0e6];
         {
             let mut r = FieldViewMut {
-                data: &mut rho, lo, nx: n[0], nxy: n[0] * n[1], half: [false; 3],
+                data: &mut rho,
+                lo,
+                nx: n[0],
+                nxy: n[0] * n[1],
+                half: [false; 3],
             };
             deposit_rho3::<Quadratic, f64>(
-                &[0.1e-6, 1.0e-6], &[0.2e-6, -0.3e-6], &[0.9e-6, 2.0e-6],
-                &w, q, &geo, &mut r,
+                &[0.1e-6, 1.0e-6],
+                &[0.2e-6, -0.3e-6],
+                &[0.9e-6, 2.0e-6],
+                &w,
+                q,
+                &geo,
+                &mut r,
             );
         }
         let total: f64 = rho.iter().sum::<f64>() * geo.dv();
@@ -675,9 +726,16 @@ mod tests {
         {
             let mut j = g.views();
             direct3::<Quadratic, f64>(
-                &[0.4e-6], &[0.6e-6], &[0.2e-6],
-                &[1.0e7], &[-2.0e7], &[3.0e7],
-                &w, q, &geo, &mut j,
+                &[0.4e-6],
+                &[0.6e-6],
+                &[0.2e-6],
+                &[1.0e7],
+                &[-2.0e7],
+                &[3.0e7],
+                &w,
+                q,
+                &geo,
+                &mut j,
             );
         }
         let dv = geo.dv();
@@ -727,9 +785,7 @@ pub fn esirkepov2_blocked<S: Shape, T: Real>(
         let bx = j.jx.idx(ax, jx_plane, az);
         let by = j.jy.idx(ax, jy_plane, az);
         let bz = j.jz.idx(ax, jz_plane, az);
-        debug_assert!(
-            bx + ((len - 1) as i64 * j.jx.nxy) as usize + len <= j.jx.data.len() + 1
-        );
+        debug_assert!(bx + ((len - 1) as i64 * j.jx.nxy) as usize + len <= j.jx.data.len() + 1);
         // Jx: prefix along x, rows contiguous.
         for c in 0..len {
             let wt = s0z[c] + half * dsz[c];
@@ -808,20 +864,28 @@ mod blocked2_tests {
             z1[p] = z0[p] + (rng() - 0.5) * 0.9 * geo.dx[2];
         }
         let run = |blocked: bool| -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-            let (mut jx, mut jy, mut jz) =
-                (vec![0.0; len], vec![0.0; len], vec![0.0; len]);
+            let (mut jx, mut jy, mut jz) = (vec![0.0; len], vec![0.0; len], vec![0.0; len]);
             {
                 let mut j = JViews {
                     jx: FieldViewMut {
-                        data: &mut jx, lo, nx: n[0], nxy: n[0],
+                        data: &mut jx,
+                        lo,
+                        nx: n[0],
+                        nxy: n[0],
                         half: [true, false, false],
                     },
                     jy: FieldViewMut {
-                        data: &mut jy, lo, nx: n[0], nxy: n[0],
+                        data: &mut jy,
+                        lo,
+                        nx: n[0],
+                        nxy: n[0],
                         half: [false, true, false],
                     },
                     jz: FieldViewMut {
-                        data: &mut jz, lo, nx: n[0], nxy: n[0],
+                        data: &mut jz,
+                        lo,
+                        nx: n[0],
+                        nxy: n[0],
                         half: [false, false, true],
                     },
                 };
@@ -830,9 +894,7 @@ mod blocked2_tests {
                         &x0, &z0, &x1, &z1, &vy, &w, q, dt, &geo, &mut j,
                     );
                 } else {
-                    esirkepov2::<Quadratic, f64>(
-                        &x0, &z0, &x1, &z1, &vy, &w, q, dt, &geo, &mut j,
-                    );
+                    esirkepov2::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geo, &mut j);
                 }
             }
             (jx, jy, jz)

@@ -29,9 +29,9 @@ pub struct KernelCosts {
 /// Flops of one shape-factor evaluation by order (audit of `shape.rs`).
 fn shape_eval_flops(order: usize) -> f64 {
     match order {
-        1 => 3.0,   // floor, sub, 1-d
-        2 => 10.0,  // floor, sub, 2 add/sub, 4 mul, squares
-        3 => 22.0,  // floor, sub, d2, d3, 3 cubic polynomials
+        1 => 3.0,  // floor, sub, 1-d
+        2 => 10.0, // floor, sub, 2 add/sub, 4 mul, squares
+        3 => 22.0, // floor, sub, d2, d3, 3 cubic polynomials
         _ => panic!("unsupported order {order}"),
     }
 }
@@ -50,9 +50,9 @@ impl KernelCosts {
         // Field loads: 6 components x stencil points; weights reused from
         // registers; output 6 stores.
         let gather_bytes = (6.0 * sten + 6.0) * wsize + 3.0 * wsize; // + positions
-        // Esirkepov: 2 evals per axis, DS, then dim sweeps of
-        // (s+1)^(dim-1) * s inner updates with ~5 flops each plus the
-        // out-of-plane direct deposit in 2-D.
+                                                                     // Esirkepov: 2 evals per axis, DS, then dim sweeps of
+                                                                     // (s+1)^(dim-1) * s inner updates with ~5 flops each plus the
+                                                                     // out-of-plane direct deposit in 2-D.
         let w = s + 1.0;
         let sweeps = if dim == 3 {
             3.0 * w * w * (w - 1.0)
@@ -61,13 +61,17 @@ impl KernelCosts {
         };
         let deposit_flops = 2.0 * dim as f64 * shape_eval_flops(order) + sweeps * 5.0;
         // Read-modify-write on every touched current point (3 comps).
-        let deposit_points = if dim == 3 { 3.0 * w * w * w } else { 3.0 * w * w };
+        let deposit_points = if dim == 3 {
+            3.0 * w * w * w
+        } else {
+            3.0 * w * w
+        };
         let deposit_bytes = deposit_points * 2.0 * wsize + 6.0 * wsize;
         // Boris: ~47 arithmetic + sqrt(~8) ~= 55; position push ~12.
         let push_flops = 55.0 + 12.0;
         let push_bytes = 12.0 * wsize; // u in/out, E, B from gather buffers
-        // FDTD: E update 3 x (4 diffs/mults + J term) ~= 24, B ~= 18 over
-        // two half steps.
+                                       // FDTD: E update 3 x (4 diffs/mults + J term) ~= 24, B ~= 18 over
+                                       // two half steps.
         let field_flops_per_cell = 42.0;
         // E(3) + B(3) + J(3) loads, E(3) + B(3) stores.
         let field_bytes_per_cell = 15.0 * wsize;
@@ -149,10 +153,7 @@ mod tests {
     #[test]
     fn step_totals_scale_linearly() {
         let c = KernelCosts::for_order(2, 3, 8.0);
-        assert_eq!(
-            c.step_flops(200.0, 100.0),
-            2.0 * c.step_flops(100.0, 50.0)
-        );
+        assert_eq!(c.step_flops(200.0, 100.0), 2.0 * c.step_flops(100.0, 50.0));
         assert!(c.step_bytes(100.0, 50.0, 0.5) < c.step_bytes(100.0, 50.0, 1.0));
     }
 }

@@ -152,8 +152,9 @@ fn interp_fast<S: Shape, T: Real>(f: &FieldView<'_, T>, dw: &DualWeights<T>) -> 
     let wy = &dw.w[1][hy];
     let wz = &dw.w[2][hz];
     let base = f.idx(dw.i0[0][hx], dw.i0[1][hy], dw.i0[2][hz]);
-    debug_assert!(base + ((S::SUPPORT - 1) as i64 * (f.nxy + f.nx)) as usize + S::SUPPORT
-        <= f.data.len() + 1);
+    debug_assert!(
+        base + ((S::SUPPORT - 1) as i64 * (f.nxy + f.nx)) as usize + S::SUPPORT <= f.data.len() + 1
+    );
     let mut acc = T::ZERO;
     for c in 0..S::SUPPORT {
         for b in 0..S::SUPPORT {
@@ -288,9 +289,7 @@ mod tests {
         (data, lo, n[0], n[0] * n[1], half)
     }
 
-    fn view<'a>(
-        t: &'a (Vec<f64>, [i64; 3], i64, i64, [bool; 3]),
-    ) -> FieldView<'a, f64> {
+    fn view<'a>(t: &'a (Vec<f64>, [i64; 3], i64, i64, [bool; 3])) -> FieldView<'a, f64> {
         FieldView {
             data: &t.0,
             lo: t.1,
@@ -341,7 +340,14 @@ mod tests {
         let xs = vec![1.37, 2.0, 3.91];
         let ys = vec![0.5, 1.25, 2.75];
         let zs = vec![2.1, 0.0, 1.5];
-        let mut o = (vec![0.0; 3], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]);
+        let mut o = (
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        );
         let mut out = EmOut {
             ex: &mut o.0,
             ey: &mut o.1,
@@ -400,7 +406,9 @@ mod tests {
         let mut zs = vec![0.0; np];
         let mut state = 12345u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for p in 0..np {
@@ -410,13 +418,21 @@ mod tests {
         }
         let run = |blocked: bool| {
             let mut o = (
-                vec![0.0; np], vec![0.0; np], vec![0.0; np],
-                vec![0.0; np], vec![0.0; np], vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
             );
             {
                 let mut out = EmOut {
-                    ex: &mut o.0, ey: &mut o.1, ez: &mut o.2,
-                    bx: &mut o.3, by: &mut o.4, bz: &mut o.5,
+                    ex: &mut o.0,
+                    ey: &mut o.1,
+                    ez: &mut o.2,
+                    bx: &mut o.3,
+                    by: &mut o.4,
+                    bz: &mut o.5,
                 };
                 if blocked {
                     gather3_blocked::<Cubic, f64>(&xs, &ys, &zs, &geom(), &f, &mut out);
@@ -455,18 +471,30 @@ mod tests {
         let tby = mk([true, false, true]);
         let tbz = mk([true, false, false]);
         let f = EmViews {
-            ex: view(&tex), ey: view(&tey), ez: view(&tez),
-            bx: view(&tbx), by: view(&tby), bz: view(&tbz),
+            ex: view(&tex),
+            ey: view(&tey),
+            ez: view(&tez),
+            bx: view(&tbx),
+            by: view(&tby),
+            bz: view(&tbz),
         };
         let xs = vec![0.3, 4.9];
         let zs = vec![1.1, 2.7];
         let mut o = (
-            vec![0.0; 2], vec![0.0; 2], vec![0.0; 2],
-            vec![0.0; 2], vec![0.0; 2], vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
         );
         let mut out = EmOut {
-            ex: &mut o.0, ey: &mut o.1, ez: &mut o.2,
-            bx: &mut o.3, by: &mut o.4, bz: &mut o.5,
+            ex: &mut o.0,
+            ey: &mut o.1,
+            ez: &mut o.2,
+            bx: &mut o.3,
+            by: &mut o.4,
+            bz: &mut o.5,
         };
         gather2::<Quadratic, f64>(&xs, &zs, &geom(), &f, &mut out);
         for p in 0..2 {
@@ -512,12 +540,20 @@ mod galerkin_tests {
         };
         let (xs, ys, zs) = (vec![1.3, 2.8], vec![0.4, 1.9], vec![2.2, 0.7]);
         let mut o = (
-            vec![0.0; 2], vec![0.0; 2], vec![0.0; 2],
-            vec![0.0; 2], vec![0.0; 2], vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
         );
         let mut out = EmOut {
-            ex: &mut o.0, ey: &mut o.1, ez: &mut o.2,
-            bx: &mut o.3, by: &mut o.4, bz: &mut o.5,
+            ex: &mut o.0,
+            ey: &mut o.1,
+            ez: &mut o.2,
+            bx: &mut o.3,
+            by: &mut o.4,
+            bz: &mut o.5,
         };
         gather3_galerkin::<Quadratic, f64>(&xs, &ys, &zs, &geom(), &f, &mut out);
         for p in 0..2 {
@@ -541,8 +577,7 @@ mod galerkin_tests {
                     let x = (lo[0] + i) as f64 + 0.5; // half in x
                     let y = (lo[1] + j) as f64;
                     let z = (lo[2] + k) as f64;
-                    data[(k * n[1] * n[0] + j * n[0] + i) as usize] =
-                        2.0 * x - y + 0.25 * z;
+                    data[(k * n[1] * n[0] + j * n[0] + i) as usize] = 2.0 * x - y + 0.25 * z;
                 }
             }
         }
@@ -632,8 +667,7 @@ pub fn gather2_blocked<S: Shape, T: Real>(
             let (iz, wz) = pick(f.half[2], (izn, &wzn), (izh, &wzh));
             let base = f.idx(ix, f.lo[1], iz);
             debug_assert!(
-                base + ((S::SUPPORT - 1) as i64 * f.nxy) as usize + S::SUPPORT
-                    <= f.data.len() + 1
+                base + ((S::SUPPORT - 1) as i64 * f.nxy) as usize + S::SUPPORT <= f.data.len() + 1
             );
             let mut acc = T::ZERO;
             for c in 0..S::SUPPORT {
@@ -692,22 +726,37 @@ mod blocked2_tests {
             half: halves[i],
         };
         let f = EmViews {
-            ex: view(0), ey: view(1), ez: view(2),
-            bx: view(3), by: view(4), bz: view(5),
+            ex: view(0),
+            ey: view(1),
+            ez: view(2),
+            bx: view(3),
+            by: view(4),
+            bz: view(5),
         };
-        let geom = Geom { xmin: [0.0; 3], dx: [1.0; 3] };
+        let geom = Geom {
+            xmin: [0.0; 3],
+            dx: [1.0; 3],
+        };
         let xs = vec![0.3, 5.7, 11.9, 2.0];
         let zs = vec![1.1, 8.4, 0.0, 7.5];
         let run = |blocked: bool| {
             let np = xs.len();
             let mut o = (
-                vec![0.0; np], vec![0.0; np], vec![0.0; np],
-                vec![0.0; np], vec![0.0; np], vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
+                vec![0.0; np],
             );
             {
                 let mut out = EmOut {
-                    ex: &mut o.0, ey: &mut o.1, ez: &mut o.2,
-                    bx: &mut o.3, by: &mut o.4, bz: &mut o.5,
+                    ex: &mut o.0,
+                    ey: &mut o.1,
+                    ez: &mut o.2,
+                    bx: &mut o.3,
+                    by: &mut o.4,
+                    bz: &mut o.5,
                 };
                 if blocked {
                     gather2_blocked::<Quadratic, f64>(&xs, &zs, &geom, &f, &mut out);

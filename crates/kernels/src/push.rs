@@ -127,16 +127,16 @@ pub fn push_momentum<T: Real>(
         Pusher::Boris => {
             for p in 0..n {
                 boris_one(
-                    &mut ux[p], &mut uy[p], &mut uz[p],
-                    ex[p], ey[p], ez[p], bx[p], by[p], bz[p], qmdt2,
+                    &mut ux[p], &mut uy[p], &mut uz[p], ex[p], ey[p], ez[p], bx[p], by[p], bz[p],
+                    qmdt2,
                 );
             }
         }
         Pusher::Vay => {
             for p in 0..n {
                 vay_one(
-                    &mut ux[p], &mut uy[p], &mut uz[p],
-                    ex[p], ey[p], ez[p], bx[p], by[p], bz[p], qmdt2,
+                    &mut ux[p], &mut uy[p], &mut uz[p], ex[p], ey[p], ez[p], bx[p], by[p], bz[p],
+                    qmdt2,
                 );
             }
         }
@@ -162,14 +162,7 @@ pub fn push_position<T: Real>(
 }
 
 /// 2-D variant: y is not advanced (out-of-plane).
-pub fn push_position2<T: Real>(
-    x: &mut [T],
-    z: &mut [T],
-    ux: &[T],
-    uy: &[T],
-    uz: &[T],
-    dt: T,
-) {
+pub fn push_position2<T: Real>(x: &mut [T], z: &mut [T], ux: &[T], uy: &[T], uz: &[T], dt: T) {
     for p in 0..x.len() {
         let inv_g = T::ONE / gamma_of_u(ux[p], uy[p], uz[p]);
         x[p] += ux[p] * inv_g * dt;
@@ -261,12 +254,12 @@ mod tests {
         let (mut b_u, mut v_u) = ((1.0e7, 2.0e7, 3.0e7), (1.0e7, 2.0e7, 3.0e7));
         for _ in 0..10 {
             boris_one(
-                &mut b_u.0, &mut b_u.1, &mut b_u.2,
-                fields.0, fields.1, fields.2, fields.3, fields.4, fields.5, qmdt2,
+                &mut b_u.0, &mut b_u.1, &mut b_u.2, fields.0, fields.1, fields.2, fields.3,
+                fields.4, fields.5, qmdt2,
             );
             vay_one(
-                &mut v_u.0, &mut v_u.1, &mut v_u.2,
-                fields.0, fields.1, fields.2, fields.3, fields.4, fields.5, qmdt2,
+                &mut v_u.0, &mut v_u.1, &mut v_u.2, fields.0, fields.1, fields.2, fields.3,
+                fields.4, fields.5, qmdt2,
             );
         }
         let scale = (b_u.0 * b_u.0 + b_u.1 * b_u.1 + b_u.2 * b_u.2).sqrt();
@@ -293,8 +286,7 @@ mod tests {
     fn single_precision_pusher_runs() {
         let (mut ux, mut uy, mut uz) = (1.0e7f32, 0.0, 0.0);
         boris_one(
-            &mut ux, &mut uy, &mut uz,
-            1.0e10f32, 0.0, 0.0, 0.0, 0.0, 1.0, -1.0e-5f32,
+            &mut ux, &mut uy, &mut uz, 1.0e10f32, 0.0, 0.0, 0.0, 0.0, 1.0, -1.0e-5f32,
         );
         assert!(ux.is_finite());
     }

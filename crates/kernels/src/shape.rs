@@ -36,7 +36,10 @@ impl Shape for Ngp {
 
     #[inline(always)]
     fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
-        ((xi + T::HALF).floor_i64(), [T::ONE, T::ZERO, T::ZERO, T::ZERO])
+        (
+            (xi + T::HALF).floor_i64(),
+            [T::ONE, T::ZERO, T::ZERO, T::ZERO],
+        )
     }
 }
 
@@ -150,7 +153,11 @@ mod tests {
     fn check_partition<S: Shape>(xi: f64) {
         let (_, w) = S::eval::<f64>(xi);
         let sum: f64 = w.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-12, "order {} xi={xi}: {w:?}", S::ORDER);
+        assert!(
+            (sum - 1.0).abs() < 1e-12,
+            "order {} xi={xi}: {w:?}",
+            S::ORDER
+        );
         for v in &w[..S::SUPPORT] {
             assert!(*v >= -1e-15, "negative weight at xi={xi}: {w:?}");
         }

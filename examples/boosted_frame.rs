@@ -55,8 +55,12 @@ fn main() {
         .order(ShapeOrder::Quadratic)
         .cfl(0.5)
         .add_species(
-            Species::electrons("boosted-plasma", Profile::Uniform { n0: n_boost }, [1, 1, 1])
-                .with_drift([u_drift, 0.0, 0.0]),
+            Species::electrons(
+                "boosted-plasma",
+                Profile::Uniform { n0: n_boost },
+                [1, 1, 1],
+            )
+            .with_drift([u_drift, 0.0, 0.0]),
         )
         .build();
     let mean_vx = |sim: &mrpic::core::sim::Simulation| {
@@ -88,6 +92,9 @@ fn main() {
         "after {steps} steps: mean vx = {:.4e} m/s (plasma oscillation, |v| <= beta c)",
         v_late
     );
-    assert!(v_late.abs() <= 1.02 * v_expect.abs(), "runaway drift: {v_late:e}");
+    assert!(
+        v_late.abs() <= 1.02 * v_expect.abs(),
+        "runaway drift: {v_late:e}"
+    );
     println!("relativistic streaming plasma is stable in the boosted frame");
 }

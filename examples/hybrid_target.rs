@@ -80,7 +80,11 @@ fn main() {
 
     println!(
         "hybrid target: gas {:.1e} m^-3 from {:.0} um, foil {:.0} n_c at {:.1}-{:.1} um",
-        n_gas, gas_x0 / um, n_solid / nc, foil_x0 / um, foil_x1 / um
+        n_gas,
+        gas_x0 / um,
+        n_solid / nc,
+        foil_x0 / um,
+        foil_x1 / um
     );
     println!(
         "{} particles, dt = {:.2e} s (fine-grid CFL), MR patch active",
@@ -101,7 +105,11 @@ fn main() {
         if !removed && sim.time >= t_remove {
             sim.remove_mr_patch();
             removed = true;
-            println!(">>> t = {:.0} fs: MR patch removed, dt -> {:.2e} s", sim.time / 1e-15, sim.dt);
+            println!(
+                ">>> t = {:.0} fs: MR patch removed, dt -> {:.2e} s",
+                sim.time / 1e-15,
+                sim.dt
+            );
         }
         if sim.time >= next_report {
             let q_solid = beam_charge(&sim.parts[0], -Q_E, M_E, 0.2).abs();
@@ -117,18 +125,33 @@ fn main() {
     }
 
     // Fig. 7-style outputs.
-    charge_ts.write_json(&out.join("charge_vs_time.json")).unwrap();
+    charge_ts
+        .write_json(&out.join("charge_vs_time.json"))
+        .unwrap();
     let spec_solid = electron_spectrum(&sim.parts[0], 10.0, 60);
-    spec_solid.write_csv(&out.join("spectrum_solid.csv")).unwrap();
+    spec_solid
+        .write_csv(&out.join("spectrum_solid.csv"))
+        .unwrap();
     let spec_gas = electron_spectrum(&sim.parts[1], 10.0, 60);
     spec_gas.write_csv(&out.join("spectrum_gas.csv")).unwrap();
-    write_field_slice(&sim.fs, FieldPick::E(1), 0, &out.join("laser_snapshot.csv"), 2).unwrap();
+    write_field_slice(
+        &sim.fs,
+        FieldPick::E(1),
+        0,
+        &out.join("laser_snapshot.csv"),
+        2,
+    )
+    .unwrap();
 
     let (peak_e, _) = spec_solid.peak();
     let (mean, spread) = spec_solid.mean_and_spread(0.2);
     let q_final = charge_ts.last().unwrap_or(0.0);
     println!("\n=== science summary (scaled analogue of Fig. 7) ===");
-    println!("injected charge from the solid: {:.3e} C ({:.2} pC)", q_final, q_final / 1e-12);
+    println!(
+        "injected charge from the solid: {:.3e} C ({:.2} pC)",
+        q_final,
+        q_final / 1e-12
+    );
     println!("solid-electron spectrum: peak {peak_e:.2} MeV, mean {mean:.2} MeV, rms spread {spread:.2} MeV");
     if mean > 0.0 {
         println!("relative spread: {:.0}%", 100.0 * spread / mean);

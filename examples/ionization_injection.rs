@@ -54,7 +54,10 @@ fn main() {
         "\nlaser: a0 = {a0} (E0 = {:.2e} V/m) -> strips L-shell everywhere,",
         sim.lasers[0].e0
     );
-    println!("K-shell (E_BSI = {:.2e} V/m) only near the axis/peak", barrier_suppression_field(552.07, 6));
+    println!(
+        "K-shell (E_BSI = {:.2e} V/m) only near the axis/peak",
+        barrier_suppression_field(552.07, 6)
+    );
 
     // Neutral nitrogen dopant between 8 and 14 um.
     let mut ions = mrpic::core::particles::ParticleContainer::new(sim.fs.nfabs());

@@ -14,7 +14,7 @@ use mrpic::core::profile::Profile;
 use mrpic::core::sim::{ShapeOrder, SimulationBuilder};
 use mrpic::core::species::Species;
 use mrpic::field::fieldset::Dim;
-use mrpic::kernels::constants::{C, plasma_frequency};
+use mrpic::kernels::constants::{plasma_frequency, C};
 
 fn main() {
     let um = 1.0e-6;
@@ -56,7 +56,11 @@ fn main() {
 
     println!(
         "domain {}x{} cells, dx = {} nm, {} particles, dt = {:.2e} s",
-        nx, nz, dx / 1e-9, sim.total_particles(), sim.dt
+        nx,
+        nz,
+        dx / 1e-9,
+        sim.total_particles(),
+        sim.dt
     );
 
     let out = std::path::PathBuf::from("target/lwfa_out");
@@ -85,7 +89,10 @@ fn main() {
     let e_wb = mrpic::kernels::constants::M_E * C * wp / mrpic::kernels::constants::Q_E;
     let ex_max = sim.fs.e[0].max_abs(0);
     println!("\nwakebreaking field E0 = {e_wb:.2e} V/m");
-    println!("peak wake Ex         = {ex_max:.2e} V/m ({:.0}% of E0)", 100.0 * ex_max / e_wb);
+    println!(
+        "peak wake Ex         = {ex_max:.2e} V/m ({:.0}% of E0)",
+        100.0 * ex_max / e_wb
+    );
 
     write_field_slice(&sim.fs, FieldPick::E(1), 0, &out.join("laser_ey.csv"), 2).unwrap();
     write_field_slice(&sim.fs, FieldPick::E(0), 0, &out.join("wake_ex.csv"), 2).unwrap();

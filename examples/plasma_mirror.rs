@@ -81,10 +81,22 @@ fn main() {
         }
         if snap < snapshots.len() && sim.time >= snapshots[snap] {
             let tag = format!("t{:02.0}fs", sim.time / 1e-15);
-            write_field_slice(&sim.fs, FieldPick::E(1), 0, &out.join(format!("ey_{tag}.csv")), 2)
-                .unwrap();
-            write_field_slice(&sim.fs, FieldPick::J(0), 0, &out.join(format!("jx_{tag}.csv")), 2)
-                .unwrap();
+            write_field_slice(
+                &sim.fs,
+                FieldPick::E(1),
+                0,
+                &out.join(format!("ey_{tag}.csv")),
+                2,
+            )
+            .unwrap();
+            write_field_slice(
+                &sim.fs,
+                FieldPick::J(0),
+                0,
+                &out.join(format!("jx_{tag}.csv")),
+                2,
+            )
+            .unwrap();
             println!("t = {:4.0} fs: snapshot written ({tag})", sim.time / 1e-15);
             snap += 1;
         }
@@ -93,10 +105,17 @@ fn main() {
     let reflectivity = (reflected_peak / incident_peak).powi(2);
     println!("\nincident peak field:  {incident_peak:.3e} V/m");
     println!("reflected peak field: {reflected_peak:.3e} V/m");
-    println!("intensity reflectivity: {:.0}%", 100.0 * reflectivity.min(1.0));
+    println!(
+        "intensity reflectivity: {:.0}%",
+        100.0 * reflectivity.min(1.0)
+    );
 
     let hot = beam_charge(&sim.parts[0], -Q_E, M_E, 0.1).abs();
-    println!("extracted charge above 0.1 MeV: {:.3e} C ({:.2} pC)", hot, hot / 1e-12);
+    println!(
+        "extracted charge above 0.1 MeV: {:.3e} C ({:.2} pC)",
+        hot,
+        hot / 1e-12
+    );
     println!("outputs in {}", out.display());
 
     assert!(reflectivity > 0.2, "plasma mirror failed to reflect");

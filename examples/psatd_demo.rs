@@ -89,8 +89,18 @@ fn main() {
     let err_psatd = (err_psatd / norm).sqrt();
 
     println!("one full box crossing of an 8-cells/lambda wave:");
-    println!("  FDTD  (c dt = {:.2} dx): {} steps, L2 error {:.3e}", C * dt_fdtd / dx, steps_fdtd, err_fdtd);
-    println!("  PSATD (c dt = {:.2} dx): {} steps, L2 error {:.3e}", C * dt_exact / dx, steps_psatd, err_psatd);
+    println!(
+        "  FDTD  (c dt = {:.2} dx): {} steps, L2 error {:.3e}",
+        C * dt_fdtd / dx,
+        steps_fdtd,
+        err_fdtd
+    );
+    println!(
+        "  PSATD (c dt = {:.2} dx): {} steps, L2 error {:.3e}",
+        C * dt_exact / dx,
+        steps_psatd,
+        err_psatd
+    );
     println!(
         "\nPSATD is dispersion-free: {:.0}x smaller error with {:.1}x fewer steps",
         err_fdtd / err_psatd.max(1e-300),

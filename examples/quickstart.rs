@@ -19,9 +19,15 @@ fn main() {
     // Capability self-check (paper Table I, WarpX column).
     println!("capabilities:");
     for (cap, how) in [
-        ("high-order particle shapes", "ShapeOrder::{Linear,Quadratic,Cubic}"),
+        (
+            "high-order particle shapes",
+            "ShapeOrder::{Linear,Quadratic,Cubic}",
+        ),
         ("moving window", "SimulationBuilder::moving_window"),
-        ("single-source CPU kernels", "mrpic-kernels (generic over f32/f64)"),
+        (
+            "single-source CPU kernels",
+            "mrpic-kernels (generic over f32/f64)",
+        ),
         ("dynamic load balancing", "core::balance + LoadBalanceCfg"),
         ("mesh refinement", "Simulation::add_mr_patch"),
         ("boosted frame", "core::boost::Boost"),
@@ -57,7 +63,10 @@ fn main() {
         sim.total_particles(),
         sim.dt
     );
-    println!("expected plasma period: {:.1} steps\n", 2.0 * std::f64::consts::PI / (wp * sim.dt));
+    println!(
+        "expected plasma period: {:.1} steps\n",
+        2.0 * std::f64::consts::PI / (wp * sim.dt)
+    );
 
     // Track Ex at a probe over ~2 plasma periods.
     let steps = (2.2 * 2.0 * std::f64::consts::PI / (wp * sim.dt)) as usize;

@@ -1,0 +1,179 @@
+//! Telemetry overhead measurement: the <2 % budget check.
+//!
+//! Machine noise between separate bench invocations easily exceeds the
+//! telemetry overhead itself, so this measures A/B in one process with
+//! interleaved blocks: two identical simulations, one with telemetry at
+//! its defaults (sentinel every step, probes every 20) and one with the
+//! subsystem off, alternating short step blocks so slow drift (thermal,
+//! co-tenants) cancels out of the comparison.
+//!
+//! Run with: `cargo run --release --example telemetry_overhead`
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+use mrpic::kernels::constants::critical_density;
+use std::time::Instant;
+
+const UM: f64 = 1.0e-6;
+
+fn build_uniform() -> Simulation {
+    SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 64), [0.1 * UM; 3], [0.0; 3])
+        .periodic([true, true, true])
+        .max_box(IntVect::new(32, 1, 32))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(
+            Species::electrons("e", Profile::Uniform { n0: 2.0e25 }, [2, 1, 2])
+                .with_thermal([1.0e6; 3]),
+        )
+        .build()
+}
+
+fn build_mr() -> Simulation {
+    let h = 0.1 * UM;
+    let nc = critical_density(0.8 * UM);
+    let mut sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(128, 1, 32), [h, h, h], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(64, 1, 32))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .add_species(Species::electrons(
+            "solid",
+            Profile::Slab {
+                n0: 5.0 * nc,
+                axis: 0,
+                x0: 7.0 * UM,
+                x1: 8.0 * UM,
+            },
+            [2, 1, 2],
+        ))
+        .add_species(Species::electrons(
+            "gas",
+            Profile::Ramped {
+                n0: 2.0e25,
+                axis: 0,
+                up_start: 2.0 * UM,
+                up_end: 3.0 * UM,
+                down_start: 7.0 * UM,
+                down_end: 7.0 * UM,
+            },
+            [1, 1, 1],
+        ))
+        .add_laser(antenna_for_a0(
+            2.0,
+            0.8 * UM,
+            8.0e-15,
+            1.0 * UM,
+            1.6 * UM,
+            2.0 * UM,
+        ))
+        .build();
+    let i0 = (6.0 * UM / h) as i64;
+    let i1 = (9.0 * UM / h) as i64;
+    let nzc = sim.fs.domain().hi.z;
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(i0, 0, 0), IntVect::new(i1, 1, nzc)),
+        rr: 2,
+        n_transition: 3,
+        npml: 8,
+        subcycle: false,
+    });
+    sim
+}
+
+/// Interleaved A/B: alternate `block`-step blocks between the two sims,
+/// `rounds` times each, and return (seconds_on, seconds_off) per step.
+/// `probes`/`sentinel` control which guard halves run in the "on" sim.
+fn measure(
+    mut on: Simulation,
+    mut off: Simulation,
+    probes: bool,
+    sentinel: bool,
+    block: usize,
+    rounds: usize,
+) -> (f64, f64) {
+    if !probes {
+        on.telemetry.cfg.probe_interval = 0;
+    }
+    if !sentinel {
+        on.telemetry.cfg.sentinel_interval = 0;
+    }
+    off.telemetry.cfg.enabled = false;
+    on.run(3);
+    off.run(3);
+    // Both sims step the same step range inside each round, so the
+    // per-round time ratio is a paired measurement; its median is robust
+    // against noise spikes. `block` must be a multiple of the probe
+    // cadence so every round carries the same number of probe firings.
+    let (mut r_on, mut r_off) = (Vec::new(), Vec::new());
+    for round in 0..rounds {
+        // Alternate which sim goes first so a systematic first-runner
+        // advantage (cache refill, frequency ramp) cancels over rounds.
+        let timed = |sim: &mut Simulation, out: &mut Vec<f64>| {
+            let t0 = Instant::now();
+            for _ in 0..block {
+                sim.step();
+            }
+            out.push(t0.elapsed().as_secs_f64());
+        };
+        if round % 2 == 0 {
+            timed(&mut on, &mut r_on);
+            timed(&mut off, &mut r_off);
+        } else {
+            timed(&mut off, &mut r_off);
+            timed(&mut on, &mut r_on);
+        }
+    }
+    assert!(!on.telemetry.tripped(), "guard tripped during overhead run");
+    let med = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ratio = med(r_on
+        .iter()
+        .zip(&r_off)
+        .map(|(a, b)| a / b)
+        .collect::<Vec<_>>());
+    let t_off = med(r_off) / block as f64;
+    (ratio * t_off, t_off)
+}
+
+fn main() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        println!("telemetry overhead (single thread, defaults: sentinel/step, probes/20):");
+        let variants: [(&str, bool, bool); 3] = [
+            ("defaults", true, true),
+            ("sentinel only", false, true),
+            ("probes only", true, false),
+        ];
+        for name in ["uniform_plasma", "mr_hybrid_target"] {
+            for (variant, probes, sentinel) in variants {
+                let (on, off) = if name == "uniform_plasma" {
+                    (build_uniform(), build_uniform())
+                } else {
+                    (build_mr(), build_mr())
+                };
+                let (t_on, t_off) = measure(on, off, probes, sentinel, 20, 40);
+                println!(
+                    "  {name:18} {variant:14} on {:8.3} ms/step | off {:8.3} ms/step | overhead {:+.2}%",
+                    1e3 * t_on,
+                    1e3 * t_off,
+                    100.0 * (t_on / t_off - 1.0),
+                );
+            }
+        }
+        println!("budget: < 2% on both workloads with defaults");
+    });
+}

@@ -156,6 +156,27 @@ fn main() {
             case.wall,
             case.sim.time / 1e-15
         );
+        let ph = case.sim.telemetry.phase_totals();
+        println!(
+            "  [{}] phase split over last {} steps: gather {:.1}s, push {:.1}s, \
+             deposit {:.1}s, maxwell {:.1}s, mr {:.1}s, fill {:.1}s",
+            case.label,
+            case.sim.telemetry.records().len(),
+            ph.gather,
+            ph.push,
+            ph.deposit,
+            ph.maxwell,
+            ph.mr,
+            ph.fill,
+        );
+        if case.sim.telemetry.tripped() {
+            let t = &case.sim.telemetry.trips()[0];
+            eprintln!(
+                "  [{}] INVARIANT GUARD TRIPPED at step {}: non-finite {} on {} (box {})",
+                case.label, t.step, t.component, t.grid, t.box_id,
+            );
+            std::process::exit(3);
+        }
     }
 
     println!("\nphysical_time_fs, wall_with_mr_s, wall_2xres_ppc4_s, wall_2xres_s");
@@ -170,7 +191,13 @@ fn main() {
         );
     }
     let w_mr = cases[0].wall;
-    println!("\nspeedup of MR vs 'no MR, 2x res., ppc/4': {:.2}x", cases[1].wall / w_mr);
-    println!("speedup of MR vs 'no MR, 2x res.':        {:.2}x", cases[2].wall / w_mr);
+    println!(
+        "\nspeedup of MR vs 'no MR, 2x res., ppc/4': {:.2}x",
+        cases[1].wall / w_mr
+    );
+    println!(
+        "speedup of MR vs 'no MR, 2x res.':        {:.2}x",
+        cases[2].wall / w_mr
+    );
     println!("(paper: between 1.5x and 4x after the fine patch is removed)");
 }

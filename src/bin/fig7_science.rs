@@ -130,6 +130,11 @@ fn main() {
     let mut coarse2d = build_2d(false, false, quick); // under-resolved
     nomr.dt = mr.dt;
     coarse2d.dt = mr.dt;
+    // Leave a step-by-step telemetry trail for the MR run (the case the
+    // figure's claims rest on).
+    if let Err(e) = mr.telemetry.open_jsonl(&out.join("telemetry_mr.jsonl")) {
+        eprintln!("warning: cannot open telemetry sink: {e}");
+    }
 
     // (a) charge vs time.
     println!("(a) injected charge (solid electrons above 0.2 MeV) vs time:");
@@ -148,7 +153,13 @@ fn main() {
             let qa = beam_charge(&mr.parts[0], -Q_E, M_E, 0.2).abs();
             let qb = beam_charge(&nomr.parts[0], -Q_E, M_E, 0.2).abs();
             let qc = beam_charge(&coarse2d.parts[0], -Q_E, M_E, 0.2).abs();
-            println!("{:6.1}, {:10.3e}, {:10.3e}, {:10.3e}", mr.time / 1e-15, qa, qb, qc);
+            println!(
+                "{:6.1}, {:10.3e}, {:10.3e}, {:10.3e}",
+                mr.time / 1e-15,
+                qa,
+                qb,
+                qc
+            );
             rows.push((mr.time, qa, qb, qc));
             t_mark += 10.0e-15;
         }
@@ -160,7 +171,9 @@ fn main() {
     let s_coarse = electron_spectrum(&coarse2d.parts[0], 5.0, 40);
     s_mr.write_csv(&out.join("spectrum_mr.csv")).unwrap();
     s_fine.write_csv(&out.join("spectrum_nomr.csv")).unwrap();
-    s_coarse.write_csv(&out.join("spectrum_coarse.csv")).unwrap();
+    s_coarse
+        .write_csv(&out.join("spectrum_coarse.csv"))
+        .unwrap();
     let d_mr = s_fine.l1_distance(&s_mr);
     let d_coarse = s_fine.l1_distance(&s_coarse);
     println!("\n(b) spectra (L1 distance to the fine-resolution reference):");
@@ -179,9 +192,35 @@ fn main() {
     println!("  MR / no-MR ratio:                 {:.2}", qa / qb);
     let (mean, spread) = s_mr.mean_and_spread(0.2);
     if mean > 0.0 {
-        println!("  MR spectrum: mean {mean:.2} MeV, rms spread {:.0}%", 100.0 * spread / mean);
+        println!(
+            "  MR spectrum: mean {mean:.2} MeV, rms spread {:.0}%",
+            100.0 * spread / mean
+        );
     }
+    let ph = mr.telemetry.phase_totals();
+    println!(
+        "  MR run phase split (last {} steps): gather {:.1}s, push {:.1}s, deposit {:.1}s, \
+         maxwell {:.1}s, mr {:.1}s, fill {:.1}s",
+        mr.telemetry.records().len(),
+        ph.gather,
+        ph.push,
+        ph.deposit,
+        ph.maxwell,
+        ph.mr,
+        ph.fill,
+    );
+    mr.telemetry.flush();
     println!("  outputs in {}", out.display());
+    for (label, sim) in [("MR", &mr), ("no-MR", &nomr), ("coarse", &coarse2d)] {
+        if sim.telemetry.tripped() {
+            let t = &sim.telemetry.trips()[0];
+            eprintln!(
+                "  [{label}] INVARIANT GUARD TRIPPED at step {}: non-finite {} on {} (box {})",
+                t.step, t.component, t.grid, t.box_id,
+            );
+            std::process::exit(3);
+        }
+    }
 
     if with_3d {
         println!("\nminiature 3-D confirmation run:");

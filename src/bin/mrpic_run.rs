@@ -1,25 +1,47 @@
 //! Config-driven simulation runner.
 //!
 //! ```text
-//! cargo run --release --bin mrpic_run -- configs/lwfa_2d.json [outdir]
+//! cargo run --release --bin mrpic_run -- configs/lwfa_2d.json [outdir] [--steps N]
 //! ```
 //!
-//! Reads a JSON [`mrpic::core::config::RunConfig`], runs it to `t_end`,
-//! honoring MR patch-removal times, and writes diagnostics (spectra,
-//! field slices, run summary) to the output directory.
+//! Reads a JSON [`mrpic::core::config::RunConfig`], runs it to `t_end`
+//! (or at most `--steps N` steps — handy for smoke tests), honoring MR
+//! patch-removal times, and writes diagnostics (spectra, field slices,
+//! run summary) plus per-step telemetry (`telemetry.jsonl`) to the
+//! output directory. Exits with status 3 if an invariant guard tripped
+//! (a NaN/Inf appeared in field data) so CI can fail on silent blow-ups.
 
 use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
 
 fn main() {
+    let mut config_path = None;
+    let mut outdir_arg = None;
+    let mut max_steps = u64::MAX;
     let mut args = std::env::args().skip(1);
-    let path = args.next().unwrap_or_else(|| {
-        eprintln!("usage: mrpic_run <config.json> [outdir]");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--steps" => {
+                let v = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--steps needs an integer argument");
+                    std::process::exit(2);
+                });
+                max_steps = v;
+            }
+            _ if config_path.is_none() => config_path = Some(a),
+            _ if outdir_arg.is_none() => outdir_arg = Some(a),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = config_path.unwrap_or_else(|| {
+        eprintln!("usage: mrpic_run <config.json> [outdir] [--steps N]");
         std::process::exit(2);
     });
-    let outdir = std::path::PathBuf::from(
-        args.next().unwrap_or_else(|| "target/mrpic_run_out".into()),
-    );
+    let outdir =
+        std::path::PathBuf::from(outdir_arg.unwrap_or_else(|| "target/mrpic_run_out".into()));
     std::fs::create_dir_all(&outdir).expect("create output dir");
     let text = std::fs::read_to_string(&path).expect("read config");
     let cfg = RunConfig::from_json(&text).unwrap_or_else(|e| {
@@ -27,9 +49,14 @@ fn main() {
         std::process::exit(2);
     });
     let (mut sim, removals) = cfg.build();
+    if let Err(e) = sim.telemetry.open_jsonl(&outdir.join("telemetry.jsonl")) {
+        eprintln!("warning: cannot open telemetry sink: {e}");
+    }
     println!(
         "mrpic_run: {}x{}x{} cells, {} species, {} lasers, {} particles, dt = {:.3e} s",
-        cfg.cells[0], cfg.cells[1], cfg.cells[2],
+        cfg.cells[0],
+        cfg.cells[1],
+        cfg.cells[2],
         sim.species.len(),
         sim.lasers.len(),
         sim.total_particles(),
@@ -38,7 +65,7 @@ fn main() {
     let mut energy_ts = TimeSeries::new("total_energy_joules");
     let mut removed = vec![false; removals.len()];
     let t0 = std::time::Instant::now();
-    while sim.time < cfg.t_end {
+    while sim.time < cfg.t_end && sim.istep < max_steps {
         sim.step();
         for (i, &tr) in removals.iter().enumerate() {
             if !removed[i] && sim.time >= tr {
@@ -52,8 +79,15 @@ fn main() {
             energy_ts.push(sim.time, fe + ke);
             println!(
                 "step {:6} | t = {:9.3e} s | E_field = {:9.3e} J | E_kin = {:9.3e} J | np = {}",
-                sim.istep, sim.time, fe, ke, sim.total_particles(),
+                sim.istep,
+                sim.time,
+                fe,
+                ke,
+                sim.total_particles(),
             );
+        }
+        if sim.telemetry.tripped() {
+            break;
         }
     }
     let wall = t0.elapsed().as_secs_f64();
@@ -63,6 +97,19 @@ fn main() {
         wall,
         1e3 * wall / sim.istep.max(1) as f64,
     );
+    let ph = sim.telemetry.phase_totals();
+    println!(
+        "phase seconds (last {} steps): gather {:.3} | push {:.3} | deposit {:.3} | sum {:.3} \
+         | maxwell {:.3} | fill {:.3} | mr {:.3}",
+        sim.telemetry.records().len(),
+        ph.gather,
+        ph.push,
+        ph.deposit,
+        ph.sum,
+        ph.maxwell,
+        ph.fill,
+        ph.mr,
+    );
     // Final diagnostics.
     energy_ts.write_json(&outdir.join("energy.json")).unwrap();
     for (si, sp) in sim.species.iter().enumerate() {
@@ -70,7 +117,11 @@ fn main() {
         spec.write_csv(&outdir.join(format!("spectrum_{}.csv", sp.name)))
             .unwrap();
     }
-    for (name, pick) in [("ex", FieldPick::E(0)), ("ey", FieldPick::E(1)), ("bz", FieldPick::B(2))] {
+    for (name, pick) in [
+        ("ex", FieldPick::E(0)),
+        ("ey", FieldPick::E(1)),
+        ("bz", FieldPick::B(2)),
+    ] {
         write_field_slice(&sim.fs, pick, 0, &outdir.join(format!("{name}.csv")), 1).unwrap();
     }
     let summary = serde_json::json!({
@@ -79,11 +130,24 @@ fn main() {
         "wall_seconds": wall,
         "particles": sim.total_particles(),
         "window_x0": sim.fs.geom.x0[0],
+        "guard_trips": sim.telemetry.trips().len(),
     });
     std::fs::write(
         outdir.join("summary.json"),
         serde_json::to_string_pretty(&summary).unwrap(),
     )
     .unwrap();
+    sim.telemetry.flush();
+    if let Some(e) = sim.telemetry.write_error() {
+        eprintln!("warning: telemetry writes failed: {e}");
+    }
     println!("outputs in {}", outdir.display());
+    if sim.telemetry.tripped() {
+        let t = &sim.telemetry.trips()[0];
+        eprintln!(
+            "INVARIANT GUARD TRIPPED at step {}: non-finite {} on {} (box {}, after {})",
+            t.step, t.component, t.grid, t.box_id, t.phase,
+        );
+        std::process::exit(3);
+    }
 }

@@ -46,7 +46,11 @@ fn main() {
     let len = (N * N * N) as usize;
     let mut arrays = Arrays {
         fields: (0..6)
-            .map(|c| (0..len).map(|i| ((i * (c + 3)) as f32 * 1.3e-4).sin()).collect())
+            .map(|c| {
+                (0..len)
+                    .map(|i| ((i * (c + 3)) as f32 * 1.3e-4).sin())
+                    .collect()
+            })
             .collect(),
         j: (0..3).map(|_| vec![0.0f32; len]).collect(),
     };
@@ -127,9 +131,7 @@ fn main() {
                     &xs, &ys, &zs, &geom, &views, &mut eo,
                 );
             } else {
-                gather3::<mrpic::kernels::shape::Cubic, f32>(
-                    &xs, &ys, &zs, &geom, &views, &mut eo,
-                );
+                gather3::<mrpic::kernels::shape::Cubic, f32>(&xs, &ys, &zs, &geom, &views, &mut eo);
             }
         }
         t0.elapsed().as_secs_f64()
@@ -148,15 +150,24 @@ fn main() {
             let (jy, jz) = rest.split_at_mut(1);
             let mut jv = JViews {
                 jx: FieldViewMut {
-                    data: &mut jx[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    data: &mut jx[0],
+                    lo: [0, 0, 0],
+                    nx: N,
+                    nxy: N * N,
                     half: flags[0],
                 },
                 jy: FieldViewMut {
-                    data: &mut jy[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    data: &mut jy[0],
+                    lo: [0, 0, 0],
+                    nx: N,
+                    nxy: N * N,
                     half: flags[1],
                 },
                 jz: FieldViewMut {
-                    data: &mut jz[0], lo: [0, 0, 0], nx: N, nxy: N * N,
+                    data: &mut jz[0],
+                    lo: [0, 0, 0],
+                    nx: N,
+                    nxy: N * N,
                     half: flags[2],
                 },
             };
@@ -177,10 +188,18 @@ fn main() {
     let d_ref = time_deposit(false, &mut arrays);
     let d_opt = time_deposit(true, &mut arrays);
 
-    println!("§V-A.1 kernel-optimization table (this host, order 3, SP, {NP} particles x {REPS} reps)\n");
+    println!(
+        "§V-A.1 kernel-optimization table (this host, order 3, SP, {NP} particles x {REPS} reps)\n"
+    );
     println!("Routine      Reference (s)   Optimized (s)   Speed up");
-    println!("Gather       {g_ref:<15.3} {g_opt:<15.3} {:.2}X", g_ref / g_opt);
-    println!("Deposition   {d_ref:<15.3} {d_opt:<15.3} {:.2}X", d_ref / d_opt);
+    println!(
+        "Gather       {g_ref:<15.3} {g_opt:<15.3} {:.2}X",
+        g_ref / g_opt
+    );
+    println!(
+        "Deposition   {d_ref:<15.3} {d_opt:<15.3} {:.2}X",
+        d_ref / d_opt
+    );
     println!("\npaper (A64FX): Gather 2.63X, Deposition 4.60X");
     println!("expected shape: both speedups > 1 (absolute factors are ISA-specific;");
     println!("the paper's 4.6X deposition relies on A64FX NEON 4x4 register transposes)");

@@ -93,7 +93,7 @@ fn checkpoint_restore_is_bitwise() {
     a.run(15);
     let ck = Checkpoint::capture(&a);
     let mut b = build(5);
-    ck.restore(&mut b);
+    ck.restore(&mut b).expect("compatible sims must restore");
     for (ba_, bb) in a.parts[0].bufs.iter().zip(&b.parts[0].bufs) {
         for i in 0..ba_.len() {
             assert_eq!(ba_.z[i].to_bits(), bb.z[i].to_bits());

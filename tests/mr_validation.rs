@@ -112,8 +112,7 @@ fn laser_solid_mr_matches_unrefined() {
                 ),
             )
             .add_laser({
-                let mut l =
-                    antenna_for_a0(2.5, 0.8 * um, 8.0e-15, 3.0 * um, 3.2 * um, 2.5 * um);
+                let mut l = antenna_for_a0(2.5, 0.8 * um, 8.0e-15, 3.0 * um, 3.2 * um, 2.5 * um);
                 l.t_peak = 16.0e-15;
                 l
             })
@@ -216,7 +215,10 @@ fn mr_patch_removal_is_smooth() {
     }
     let after = sim.fs.e[0].max_abs(0);
     assert!(after.is_finite());
-    assert!(after < 20.0 * scale.max(1.0), "post-removal blow-up: {after:e}");
+    assert!(
+        after < 20.0 * scale.max(1.0),
+        "post-removal blow-up: {after:e}"
+    );
 }
 
 /// Subcycling: the parent keeps the coarse Courant step while the patch
@@ -316,10 +318,7 @@ fn mr_patch_preserves_3d_plasma_oscillation() {
     for _ in 0..50 {
         plain.step();
         refined.step();
-        let (a, b) = (
-            plain.fs.e[0].at(0, probe),
-            refined.fs.e[0].at(0, probe),
-        );
+        let (a, b) = (plain.fs.e[0].at(0, probe), refined.fs.e[0].at(0, probe));
         max_ref = max_ref.max(a.abs());
         max_diff = max_diff.max((a - b).abs());
     }
@@ -388,7 +387,10 @@ fn dynamic_patch_addition_from_tagging() {
         sim.step();
     }
     let peak = sim.fs.e[1].max_abs(0);
-    assert!(peak.is_finite() && peak < 20.0 * sim.lasers[0].e0, "blow-up {peak:e}");
+    assert!(
+        peak.is_finite() && peak < 20.0 * sim.lasers[0].e0,
+        "blow-up {peak:e}"
+    );
     let ba = sim.fs.boxarray().clone();
     let geom = sim.fs.geom;
     assert!(sim.parts[0].check_ownership(&ba, &geom));

@@ -24,8 +24,7 @@ fn vacuum_pulse_crosses_mr_patch_without_reflection() {
             .pml(8)
             .cfl(0.6)
             .add_laser({
-                let mut l =
-                    antenna_for_a0(1.0, 0.8e-6, 6.0e-15, 1.0e-6, 0.0, f64::INFINITY);
+                let mut l = antenna_for_a0(1.0, 0.8e-6, 6.0e-15, 1.0e-6, 0.0, f64::INFINITY);
                 l.t_peak = 10.0e-15;
                 l
             })
@@ -117,7 +116,7 @@ fn psatd_and_fdtd_agree_on_propagation() {
     let (nx, nz) = (128usize, 4usize);
     let dx = 1.0e-6;
     let k = 2.0 * std::f64::consts::PI / (32.0 * dx); // 32 cells/lambda
-    // PSATD state.
+                                                      // PSATD state.
     let mut spectral = Psatd2d::new(nx, nz, dx, dx);
     let mut ey = vec![0.0; nx * nz];
     let mut bz = vec![0.0; nx * nz];

@@ -1,19 +1,16 @@
 //! Cross-crate property-based tests (proptest): invariants that must
 //! hold for arbitrary geometries, decompositions and particle states.
 
-use mrpic::amr::{
-    BoxArray, DistributionMapping, IndexBox, IntVect, Periodicity, Stagger,
-    Strategy as LbStrategy,
-};
 use mrpic::amr::comm::ExchangePlan;
+use mrpic::amr::{
+    BoxArray, DistributionMapping, IndexBox, IntVect, Periodicity, Stagger, Strategy as LbStrategy,
+};
 use mrpic::core::particles::ParticleContainer;
 use mrpic::field::fieldset::GridGeom;
 use proptest::prelude::*;
 
 fn arb_domain() -> impl Strategy<Value = IndexBox> {
-    (4i64..24, 1i64..12, 4i64..24).prop_map(|(x, y, z)| {
-        IndexBox::from_size(IntVect::new(x, y, z))
-    })
+    (4i64..24, 1i64..12, 4i64..24).prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
 }
 
 proptest! {

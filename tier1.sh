@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full workspace tests, lints, and bench
-# compilation. Note: the root manifest is both [workspace] and
-# [package], so plain `cargo test` would only run the umbrella crate —
-# always pass --workspace.
+# Tier-1 verification: build, full workspace tests, lints, formatting,
+# bench compilation, and a telemetry-guarded smoke run. Note: the root
+# manifest is both [workspace] and [package], so plain `cargo test`
+# would only run the umbrella crate — always pass --workspace.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
 cargo bench --workspace --no-run
+
+# Telemetry smoke run: a short slice of the hybrid-target MR config with
+# the NaN/Inf sentinel on every step. mrpic_run exits 3 if a guard trips,
+# which fails this script.
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_out --steps 40
+test -s target/tier1_smoke_out/telemetry.jsonl

@@ -196,9 +196,7 @@ pub mod prop {
 }
 
 pub mod prelude {
-    pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
-    };
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
 }
 
 #[macro_export]

@@ -157,7 +157,8 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_f64().ok_or_else(|| Error::msg("expected number for f64"))
+        v.as_f64()
+            .ok_or_else(|| Error::msg("expected number for f64"))
     }
 }
 
@@ -169,7 +170,8 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        Ok(v.as_f64().ok_or_else(|| Error::msg("expected number for f32"))? as f32)
+        Ok(v.as_f64()
+            .ok_or_else(|| Error::msg("expected number for f32"))? as f32)
     }
 }
 
@@ -193,7 +195,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::msg("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg("expected string"))
     }
 }
 
@@ -273,9 +277,7 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Array(a) if a.len() == 2 => {
-                Ok((A::from_value(&a[0])?, B::from_value(&a[1])?))
-            }
+            Value::Array(a) if a.len() == 2 => Ok((A::from_value(&a[0])?, B::from_value(&a[1])?)),
             _ => Err(Error::msg("expected 2-element array")),
         }
     }
@@ -283,7 +285,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 

@@ -9,7 +9,7 @@
 //! * enums with unit / newtype / tuple / struct variants, externally
 //!   tagged by default;
 //! * container attributes `#[serde(tag = "...", rename_all = "snake_case")]`
-//!   (internally tagged enums);
+//!   (internally tagged enums) and `#[serde(deny_unknown_fields)]`;
 //! * field attributes `#[serde(skip)]`, `#[serde(default)]`,
 //!   `#[serde(default = "path")]`.
 //!
@@ -51,6 +51,7 @@ struct Input {
     kind: InputKind,
     tag: Option<String>,
     rename_all: Option<String>,
+    deny_unknown: bool,
 }
 
 // --------------------------------------------------------------- helpers
@@ -244,12 +245,14 @@ fn parse_input(input: TokenStream) -> Input {
     let mut i = 0;
     let mut tag = None;
     let mut rename_all = None;
+    let mut deny_unknown = false;
     while i < toks.len() && is_punct(&toks[i], '#') {
         if let TokenTree::Group(a) = &toks[i + 1] {
             for (k, v) in serde_attr_pairs(a) {
                 match k.as_str() {
                     "tag" => tag = v,
                     "rename_all" => rename_all = v,
+                    "deny_unknown_fields" => deny_unknown = true,
                     other => panic!("unsupported serde container attribute: {other}"),
                 }
             }
@@ -293,6 +296,7 @@ fn parse_input(input: TokenStream) -> Input {
         kind,
         tag,
         rename_all,
+        deny_unknown,
     }
 }
 
@@ -303,9 +307,7 @@ fn gen_serialize(inp: &Input) -> String {
     let ra = inp.rename_all.as_deref();
     let body = match &inp.kind {
         InputKind::Struct(fields) => {
-            let mut s = String::from(
-                "let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n",
-            );
+            let mut s = String::from("let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
                 s.push_str(&format!(
                     "__o.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
@@ -410,10 +412,7 @@ fn field_expr(f: &Field, obj: &str) -> String {
         return format!("{n}: ::core::default::Default::default()", n = f.name);
     }
     match &f.default {
-        None => format!(
-            "{n}: ::serde::de::field({obj}, \"{n}\")?",
-            n = f.name
-        ),
+        None => format!("{n}: ::serde::de::field({obj}, \"{n}\")?", n = f.name),
         Some(None) => format!(
             "{n}: ::serde::de::field_or_default({obj}, \"{n}\")?",
             n = f.name
@@ -425,14 +424,41 @@ fn field_expr(f: &Field, obj: &str) -> String {
     }
 }
 
+/// Generates a guard that rejects object keys not in `known` (the
+/// `deny_unknown_fields` container attribute). `obj` names the in-scope
+/// binding holding the `&[(String, Value)]` object being deserialized.
+fn unknown_check(known: &[String], ctx: &str, obj: &str) -> String {
+    let list: Vec<String> = known.iter().map(|k| format!("\"{k}\"")).collect();
+    let human = known.join(", ");
+    format!(
+        "{{ const __KNOWN: &[&str] = &[{list}];\n\
+         for (__k, _) in {obj}.iter() {{\n\
+         if !__KNOWN.contains(&__k.as_str()) {{\n\
+         return Err(::serde::Error::msg(format!(\
+         \"unknown field `{{__k}}` in {ctx} (expected one of: {human})\")));\n\
+         }}\n}}\n}}\n",
+        list = list.join(", ")
+    )
+}
+
 fn gen_deserialize(inp: &Input) -> String {
     let name = &inp.name;
     let ra = inp.rename_all.as_deref();
     let body = match &inp.kind {
         InputKind::Struct(fields) => {
             let inits: Vec<String> = fields.iter().map(|f| field_expr(f, "__o")).collect();
+            let check = if inp.deny_unknown {
+                let known: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| f.name.clone())
+                    .collect();
+                unknown_check(&known, name, "__o")
+            } else {
+                String::new()
+            };
             format!(
-                "let __o = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                "let __o = ::serde::de::as_object(__v, \"{name}\")?;\n{check}\
                  Ok({name} {{ {} }})",
                 inits.join(", ")
             )
@@ -458,20 +484,35 @@ fn gen_deserialize(inp: &Input) -> String {
                     let key = apply_rename(&v.name, ra);
                     match &v.kind {
                         VariantKind::Unit => {
-                            arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n", v = v.name))
+                            let check = if inp.deny_unknown {
+                                unknown_check(&[tag.to_string()], name, "__o")
+                            } else {
+                                String::new()
+                            };
+                            arms.push_str(&format!(
+                                "\"{key}\" => {{ {check}Ok({name}::{v}) }}\n",
+                                v = v.name
+                            ))
                         }
                         VariantKind::Struct(fields) => {
                             let inits: Vec<String> =
                                 fields.iter().map(|f| field_expr(f, "__o")).collect();
+                            let check = if inp.deny_unknown {
+                                let mut known = vec![tag.to_string()];
+                                known.extend(
+                                    fields.iter().filter(|f| !f.skip).map(|f| f.name.clone()),
+                                );
+                                unknown_check(&known, name, "__o")
+                            } else {
+                                String::new()
+                            };
                             arms.push_str(&format!(
-                                "\"{key}\" => Ok({name}::{v} {{ {} }}),\n",
+                                "\"{key}\" => {{ {check}Ok({name}::{v} {{ {} }}) }}\n",
                                 inits.join(", "),
                                 v = v.name
                             ));
                         }
-                        _ => panic!(
-                            "internally tagged enums support unit/struct variants only"
-                        ),
+                        _ => panic!("internally tagged enums support unit/struct variants only"),
                     }
                 }
                 format!(
@@ -541,11 +582,15 @@ fn gen_deserialize(inp: &Input) -> String {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let inp = parse_input(input);
-    gen_serialize(&inp).parse().expect("generated Serialize impl must parse")
+    gen_serialize(&inp)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let inp = parse_input(input);
-    gen_deserialize(&inp).parse().expect("generated Deserialize impl must parse")
+    gen_deserialize(&inp)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }

@@ -295,10 +295,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape \\{}",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape \\{}", other as char)))
                         }
                     }
                 }
