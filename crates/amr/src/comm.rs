@@ -179,6 +179,106 @@ impl ExchangePlan {
     }
 }
 
+/// One [`PlanItem`] annotated for a specific rank decomposition.
+///
+/// `index` is the item's position in the source [`ExchangePlan`]; it is the
+/// deterministic application key shared by every rank count: a distributed
+/// executor that applies all items targeting its boxes in ascending `index`
+/// reproduces the single-rank plan-order application exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanEntry {
+    /// Position in the source plan (global application order).
+    pub index: usize,
+    pub item: PlanItem,
+    /// Exchange region clipped to both fabs' grown point boxes (in source
+    /// indices), or `None` when nothing survives clipping. Precomputed
+    /// from the layout so pack/apply sides need only their own fab.
+    pub clip: Option<IndexBox>,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+}
+
+impl PlanEntry {
+    /// Points actually packed/applied for this entry (post-clip).
+    #[inline]
+    pub fn npts(&self) -> usize {
+        self.clip.map(|r| r.num_cells() as usize).unwrap_or(0)
+    }
+}
+
+/// The two per-rank halves of a [`PartitionedPlan`].
+#[derive(Clone, Debug, Default)]
+pub struct RankPlan {
+    /// Entries whose *source* box this rank owns (pack side), ascending
+    /// `index`. Rank-local entries appear here and in `apply`.
+    pub pack: Vec<PlanEntry>,
+    /// Entries whose *destination* box this rank owns (apply side),
+    /// ascending `index`.
+    pub apply: Vec<PlanEntry>,
+}
+
+/// An [`ExchangePlan`] split into local and remote halves per rank of a
+/// [`DistributionMapping`]: each rank packs the entries whose source box
+/// it owns (sending off-rank payloads as messages) and applies the
+/// entries whose destination box it owns, in ascending global item index.
+#[derive(Clone, Debug)]
+pub struct PartitionedPlan {
+    pub nranks: usize,
+    pub ranks: Vec<RankPlan>,
+    /// Total (unclipped) points of the source plan — matches the byte
+    /// accounting of the single-rank executors.
+    pub total_points: i64,
+    /// Items whose source and destination boxes differ (the single-rank
+    /// `messages` counter).
+    pub cross_box_items: u64,
+}
+
+impl PartitionedPlan {
+    /// Split `plan` (built for `(ba, stagger, ngrow)`) across the ranks of
+    /// `dm`, precomputing the clipped region of every item from the layout
+    /// alone — identical to the runtime clipping the single-rank
+    /// executors perform against `Fab::grown_pts()`.
+    pub fn new(
+        plan: &ExchangePlan,
+        ba: &BoxArray,
+        stagger: Stagger,
+        ngrow: IntVect,
+        dm: &DistributionMapping,
+    ) -> Self {
+        let grown: Vec<IndexBox> = ba
+            .iter()
+            .map(|b| stagger.point_box(&b.grow_vec(ngrow)))
+            .collect();
+        let mut ranks = vec![RankPlan::default(); dm.nranks()];
+        let mut total_points = 0i64;
+        let mut cross_box_items = 0u64;
+        for (index, it) in plan.items.iter().enumerate() {
+            let clip = it.region.intersect(&grown[it.src]).and_then(|r| {
+                r.shift(it.shift)
+                    .intersect(&grown[it.dst])
+                    .map(|d| d.shift(-it.shift))
+            });
+            let e = PlanEntry {
+                index,
+                item: *it,
+                clip,
+                src_rank: dm.owner(it.src),
+                dst_rank: dm.owner(it.dst),
+            };
+            ranks[e.src_rank].pack.push(e);
+            ranks[e.dst_rank].apply.push(e);
+            total_points += it.region.num_cells();
+            cross_box_items += u64::from(it.src != it.dst);
+        }
+        Self {
+            nranks: dm.nranks(),
+            ranks,
+            total_points,
+            cross_box_items,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +335,59 @@ mod tests {
                 .any(|o| o.src == it.dst && o.dst == it.src));
         }
         assert!(!plan.items.is_empty());
+    }
+
+    #[test]
+    fn partitioned_plan_covers_every_item_once() {
+        let dom = IndexBox::from_size(IntVect::new(16, 8, 4));
+        let ba = BoxArray::chop(dom, IntVect::new(4, 4, 4));
+        let per = Periodicity::new(dom, [true, false, false]);
+        let plan = ExchangePlan::fill(&ba, Stagger::CELL, IntVect::splat(2), &per);
+        for nranks in [1usize, 2, 3, 4] {
+            let dm = DistributionMapping::build(
+                &ba,
+                nranks,
+                crate::distribution::Strategy::RoundRobin,
+                &[],
+            );
+            let pp = PartitionedPlan::new(&plan, &ba, Stagger::CELL, IntVect::splat(2), &dm);
+            assert_eq!(pp.nranks, nranks);
+            // Each item appears in exactly one pack list and one apply list,
+            // and both halves are sorted by global index.
+            let mut packed: Vec<usize> = Vec::new();
+            let mut applied: Vec<usize> = Vec::new();
+            for rp in &pp.ranks {
+                assert!(rp.pack.windows(2).all(|w| w[0].index < w[1].index));
+                assert!(rp.apply.windows(2).all(|w| w[0].index < w[1].index));
+                packed.extend(rp.pack.iter().map(|e| e.index));
+                applied.extend(rp.apply.iter().map(|e| e.index));
+            }
+            packed.sort_unstable();
+            applied.sort_unstable();
+            let all: Vec<usize> = (0..plan.items.len()).collect();
+            assert_eq!(packed, all);
+            assert_eq!(applied, all);
+            assert_eq!(pp.total_points, plan.total_points());
+        }
+    }
+
+    #[test]
+    fn partitioned_plan_rank_assignment_matches_dm() {
+        let dom = IndexBox::from_size(IntVect::new(16, 8, 4));
+        let ba = BoxArray::chop(dom, IntVect::new(4, 4, 4));
+        let plan = ExchangePlan::sum(&ba, Stagger::NODAL, IntVect::splat(2), &period_none(dom));
+        let dm = DistributionMapping::build(&ba, 3, crate::distribution::Strategy::RoundRobin, &[]);
+        let pp = PartitionedPlan::new(&plan, &ba, Stagger::NODAL, IntVect::splat(2), &dm);
+        for (r, rp) in pp.ranks.iter().enumerate() {
+            for e in &rp.pack {
+                assert_eq!(dm.owner(e.item.src), r);
+                assert_eq!(e.src_rank, r);
+            }
+            for e in &rp.apply {
+                assert_eq!(dm.owner(e.item.dst), r);
+                assert_eq!(e.dst_rank, r);
+            }
+        }
     }
 
     #[test]

@@ -465,21 +465,27 @@ impl FabArray {
     }
 
     /// Value at a point, read from the first box whose valid region holds
-    /// it (panics if nowhere valid).
-    pub fn at(&self, c: usize, p: IntVect) -> f64 {
-        for f in &self.fabs {
-            if f.valid_pts().contains(p) {
-                return f.get(c, p);
-            }
-        }
-        panic!("point {p:?} not in any valid region");
+    /// it (`None` if the point lies in no valid region).
+    pub fn at(&self, c: usize, p: IntVect) -> Option<f64> {
+        self.fabs
+            .iter()
+            .find(|f| f.valid_pts().contains(p))
+            .map(|f| f.get(c, p))
+    }
+
+    /// Merge an externally measured exchange delta into this array's
+    /// [`CommStats`] — used by distributed executors that run the
+    /// pack/apply halves themselves but must keep the single-rank
+    /// accounting (bytes, messages, exchanges) intact.
+    pub fn record_exchange(&mut self, delta: &CommStats) {
+        self.stats.merge(delta);
     }
 }
 
 /// Clip an exchange region (source indices, destination at `+shift`) so
 /// both the reads and the shifted writes stay in bounds — the same rule
 /// `Fab::blend_region_from` applies internally.
-fn clip_exchange_region(
+pub fn clip_exchange_region(
     region: &IndexBox,
     shift: IntVect,
     src: &Fab,
@@ -494,7 +500,7 @@ fn clip_exchange_region(
 
 /// Append component `c` of `src` over the (already clipped) region `r`
 /// to `buf`, row-major.
-fn pack_region_into(src: &Fab, c: usize, r: &IndexBox, buf: &mut Vec<f64>) {
+pub fn pack_region_into(src: &Fab, c: usize, r: &IndexBox, buf: &mut Vec<f64>) {
     let ix = src.indexer();
     let comp = src.comp(c);
     let w = (r.hi.x - r.lo.x) as usize;
@@ -508,7 +514,7 @@ fn pack_region_into(src: &Fab, c: usize, r: &IndexBox, buf: &mut Vec<f64>) {
 
 /// Blend packed values (source indices over the already clipped region
 /// `r`) into `dst` at `r + shift`: `dst = f(dst, packed)`.
-fn blend_region_from_buf(
+pub fn blend_region_from_buf(
     dst: &mut Fab,
     c: usize,
     r: &IndexBox,
@@ -644,9 +650,9 @@ mod tests {
         // Shift data by +4 in x: value should appear at x=2 (another box).
         fa.shift_data(IntVect::new(4, 0, 0));
         let q = IntVect::new(2, 1, 1);
-        assert_eq!(fa.at(0, q), 5.0);
+        assert_eq!(fa.at(0, q), Some(5.0));
         // Old location now zero.
-        assert_eq!(fa.at(0, p), 0.0);
+        assert_eq!(fa.at(0, p), Some(0.0));
     }
 
     #[test]

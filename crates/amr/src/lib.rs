@@ -36,7 +36,7 @@ pub mod morton;
 pub mod stagger;
 
 pub use boxarray::BoxArray;
-pub use comm::{CommStats, ExchangePlan};
+pub use comm::{CommStats, ExchangePlan, PartitionedPlan, PlanEntry, RankPlan};
 pub use distribution::{DistributionMapping, Strategy};
 pub use fab::Fab;
 pub use fabarray::{FabArray, Periodicity};

@@ -82,7 +82,7 @@ proptest! {
         );
         if !interior.is_empty() {
             for p in interior.cells() {
-                prop_assert_eq!(a.at(0, p), b.at(0, p), "at {:?}", p);
+                prop_assert_eq!(a.at(0, p).unwrap(), b.at(0, p).unwrap(), "at {:?}", p);
             }
         }
     }

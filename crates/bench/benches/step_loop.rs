@@ -8,6 +8,10 @@
 //! plan on every exchange — the delta against the cached run is the
 //! plan-cache win.
 //!
+//! The `dist_cases` series steps the MR workload through the
+//! `mrpic-dist` message-passing runtime at 1, 2, and 4 ranks, recording
+//! per-rank communication volumes alongside the step time.
+//!
 //! Run with: `cargo bench -p mrpic-bench --bench step_loop`
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -18,6 +22,7 @@ use mrpic_core::profile::Profile;
 use mrpic_core::sim::{ShapeOrder, Simulation, SimulationBuilder};
 use mrpic_core::species::Species;
 use mrpic_core::telemetry::PhaseTimes;
+use mrpic_dist::DistSim;
 use mrpic_field::fieldset::Dim;
 use mrpic_kernels::constants::critical_density;
 use serde_json::{json, Value};
@@ -154,6 +159,50 @@ fn case(name: &str, mut sim: Simulation, invalidate: bool) -> Value {
     })
 }
 
+/// Step the MR hybrid target through the `mrpic-dist` in-process runtime
+/// at `nranks` ranks and report per-step timing plus the per-rank
+/// communication volume of the final step.
+fn dist_case(sim: Simulation, nranks: usize) -> Value {
+    let mut d = DistSim::in_process(sim, nranks);
+    d.run(3);
+    let t0 = Instant::now();
+    let (mut part, mut exch) = (0.0, 0.0);
+    const STEPS: usize = 20;
+    for _ in 0..STEPS {
+        let st = d.step();
+        part += st.particle_seconds;
+        exch += st.exchange_seconds;
+    }
+    let total = t0.elapsed().as_secs_f64() / STEPS as f64;
+    let ranks: Vec<Value> = d
+        .sim
+        .telemetry
+        .records()
+        .back()
+        .map(|r| &r.ranks[..])
+        .unwrap_or(&[])
+        .iter()
+        .map(|r| {
+            json!({
+                "rank": r.rank,
+                "sent_bytes": r.sent_bytes,
+                "sent_messages": r.sent_messages,
+                "exchange_seconds": r.exchange_seconds,
+                "particle_seconds": r.particle_seconds,
+            })
+        })
+        .collect();
+    json!({
+        "case": "mr_hybrid_target_dist",
+        "ranks": nranks,
+        "steps": STEPS,
+        "step_seconds": total,
+        "particle_seconds": part / STEPS as f64,
+        "exchange_seconds": exch / STEPS as f64,
+        "last_step_rank_records": ranks
+    })
+}
+
 fn emit_report() {
     // Phase profile runs single-threaded so the JSON numbers are the
     // single-thread step-time basis used for before/after comparisons.
@@ -168,10 +217,18 @@ fn emit_report() {
             case("mr_hybrid_target", build_mr(), false),
         ]
     });
+    // Multi-rank series: the same MR workload through the distributed
+    // runtime at 1/2/4 ranks (rank threads manage their own parallelism,
+    // so this runs outside the single-thread pool).
+    let dist_cases: Vec<Value> = [1, 2, 4]
+        .into_iter()
+        .map(|n| dist_case(build_mr(), n))
+        .collect();
     let report = json!({
         "bench": "step_loop",
         "threads": 1,
-        "cases": cases
+        "cases": cases,
+        "dist_cases": dist_cases
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_loop.json");
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -188,6 +245,9 @@ fn benches(c: &mut Criterion) {
     let mut mr = build_mr();
     mr.run(3);
     group.bench_function("mr_hybrid_target", |b| b.iter(|| mr.step()));
+    let mut mr2 = DistSim::in_process(build_mr(), 2);
+    mr2.run(3);
+    group.bench_function("mr_hybrid_target_2ranks", |b| b.iter(|| mr2.step()));
     group.finish();
     emit_report();
 }

@@ -2,12 +2,101 @@
 //! (paper cites 3.8x) and PML co-location with parent grids (paper: 25%).
 //!
 //! Run with: `cargo run --release -p mrpic-cluster --bin lb_ablation`
+//!
+//! With `--trace`, instead of modeled halo volumes the communication
+//! cost is replayed from *measured* message sizes: a real 4-rank
+//! laser–foil run executes on the `mrpic-dist` recording transport, and
+//! every framed message (fill, sum, particle redistribution, box
+//! migration) is priced on a latency/bandwidth machine model.
 
 use mrpic_amr::{BoxArray, IndexBox, IntVect};
-use mrpic_cluster::lb::{compare_strategies, multilevel_lb, pml_colocation_gain, solid_slab_costs};
+use mrpic_cluster::lb::{
+    compare_strategies, multilevel_lb, pml_colocation_gain, solid_slab_costs, trace_comm_times,
+    trace_step_comm_time,
+};
 use mrpic_cluster::tables::print_table;
+use mrpic_core::laser::antenna_for_a0;
+use mrpic_core::profile::Profile;
+use mrpic_core::sim::{ShapeOrder, SimulationBuilder};
+use mrpic_core::species::Species;
+use mrpic_dist::{DistSim, Phase};
+use mrpic_field::fieldset::Dim;
+
+/// Replay measured message traffic from a real multi-rank run.
+fn trace_mode() {
+    const NRANKS: usize = 4;
+    const STEPS: usize = 30;
+    println!("=== Trace-driven communication costing ({NRANKS} ranks, {STEPS} steps) ===\n");
+    let sim = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(16, 1, 12))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(29)
+        .add_species(
+            Species::electrons(
+                "foil",
+                Profile::Slab {
+                    n0: 2.0e27,
+                    axis: 0,
+                    x0: 4.0e-6,
+                    x1: 4.6e-6,
+                },
+                [2, 1, 2],
+            )
+            .with_thermal([1.0e6; 3]),
+        )
+        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6))
+        .build();
+    let (mut d, rec) = DistSim::recording(sim, NRANKS);
+    d.run(STEPS / 2);
+    d.force_rebalance(); // include one adopted box migration in the trace
+    d.run(STEPS - STEPS / 2);
+    let msgs = rec.messages();
+    let mut per_phase: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+    for m in &msgs {
+        let name = match m.phase {
+            Phase::Fill => "fill",
+            Phase::Sum => "sum",
+            Phase::Redist => "redistribute",
+            Phase::Migrate => "migrate",
+        };
+        let e = per_phase.entry(name).or_default();
+        e.0 += 1;
+        e.1 += m.bytes;
+    }
+    let rows: Vec<Vec<String>> = per_phase
+        .iter()
+        .map(|(name, &(n, b))| vec![name.to_string(), n.to_string(), format!("{b}")])
+        .collect();
+    print_table(&["phase", "messages", "bytes"], &rows);
+    println!();
+    let pairs = rec.pair_bytes();
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|&(s, dst, b)| vec![format!("{s} -> {dst}"), format!("{b}")])
+        .collect();
+    print_table(&["rank pair", "bytes"], &rows);
+    // Price the measured trace on a Slingshot-class NIC (2 us, 25 GB/s).
+    let (lat, bw) = (2.0e-6, 25.0e9);
+    let times = trace_comm_times(&pairs, NRANKS, lat, bw);
+    println!("\nper-rank comm seconds over the whole trace (2 us latency, 25 GB/s):");
+    for (r, t) in times.iter().enumerate() {
+        println!("  rank {r}: {t:.3e} s");
+    }
+    println!(
+        "bulk-synchronous comm time: {:.3e} s/step measured-trace replay",
+        trace_step_comm_time(&pairs, NRANKS, lat, bw) / STEPS as f64
+    );
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        trace_mode();
+        return;
+    }
     println!("=== Dynamic load balancing on a laser-solid cost field ===\n");
     // A thin dense slab (the plasma mirror) concentrates particle work.
     let dom = IndexBox::from_size(IntVect::new(512, 512, 1));

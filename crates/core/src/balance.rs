@@ -49,8 +49,17 @@ impl CostTracker {
         &self.costs
     }
 
+    /// Grow or shrink to `nboxes`, seeding new boxes with the current
+    /// mean smoothed cost. Seeding with the mean (rather than a flat 1.0,
+    /// whose scale is arbitrary next to measured seconds) keeps a regrid
+    /// from skewing the first rebalance decision after it.
     pub fn resize(&mut self, nboxes: usize) {
-        self.costs.resize(nboxes, 1.0);
+        let seed = if self.costs.is_empty() {
+            1.0
+        } else {
+            self.costs.iter().sum::<f64>() / self.costs.len() as f64
+        };
+        self.costs.resize(nboxes, seed);
     }
 }
 
@@ -116,6 +125,22 @@ mod tests {
         }
         // Box 1 has 0.1*1000 + 0.9*1000 = 1000; box 0 has 100.
         assert!((t.costs()[1] / t.costs()[0] - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn resize_seeds_new_boxes_with_mean_cost() {
+        let mut t = CostTracker::new(2);
+        for _ in 0..60 {
+            t.record(&[3.0e-3, 1.0e-3]);
+        }
+        t.resize(4);
+        let mean = (t.costs()[0] + t.costs()[1]) / 2.0;
+        assert!((t.costs()[2] - mean).abs() < 1e-12);
+        assert!((t.costs()[3] - mean).abs() < 1e-12);
+        // Empty tracker still gets a sane default.
+        let mut e = CostTracker::new(0);
+        e.resize(2);
+        assert_eq!(e.costs(), &[1.0, 1.0]);
     }
 
     #[test]

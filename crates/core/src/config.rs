@@ -299,7 +299,7 @@ impl RunConfig {
                 ));
             }
         }
-        if self.dim() == Dim::Two && self.cells[1] != 1 {
+        if self.dim()? == Dim::Two && self.cells[1] != 1 {
             return Err(format!(
                 "2d runs use a single y cell: cells[1] must be 1, got {}",
                 self.cells[1]
@@ -353,7 +353,7 @@ impl RunConfig {
                 ));
             }
             for d in 0..3 {
-                if mp.lo[d] >= mp.hi[d] && !(d == 1 && self.dim() == Dim::Two) {
+                if mp.lo[d] >= mp.hi[d] && !(d == 1 && self.dim()? == Dim::Two) {
                     return Err(format!(
                         "mr_patches[{i}]: lo[{d}] ({}) must be below hi[{d}] ({})",
                         mp.lo[d], mp.hi[d]
@@ -364,18 +364,23 @@ impl RunConfig {
         Ok(())
     }
 
-    pub fn dim(&self) -> Dim {
+    pub fn dim(&self) -> Result<Dim, String> {
         match self.dimension.as_str() {
-            "2d" | "2D" => Dim::Two,
-            "3d" | "3D" => Dim::Three,
-            other => panic!("dimension must be 2d or 3d, got {other}"),
+            "2d" | "2D" => Ok(Dim::Two),
+            "3d" | "3D" => Ok(Dim::Three),
+            other => Err(format!(
+                "dimension must be \"2d\" or \"3d\", got \"{other}\""
+            )),
         }
     }
 
     /// Build the simulation (MR patch removal times are returned for the
-    /// run loop to act on).
-    pub fn build(&self) -> (Simulation, Vec<f64>) {
-        let dim = self.dim();
+    /// run loop to act on). Re-validates first, so a hand-constructed
+    /// config with bad fields returns an actionable error instead of
+    /// aborting the process.
+    pub fn build(&self) -> Result<(Simulation, Vec<f64>), String> {
+        self.validate()?;
+        let dim = self.dim()?;
         let mut b = SimulationBuilder::new(dim)
             .domain(
                 IntVect::new(self.cells[0], self.cells[1], self.cells[2]),
@@ -388,7 +393,11 @@ impl RunConfig {
                 1 => ShapeOrder::Linear,
                 2 => ShapeOrder::Quadratic,
                 3 => ShapeOrder::Cubic,
-                o => panic!("shape_order must be 1..=3, got {o}"),
+                o => {
+                    return Err(format!(
+                        "shape_order must be 1 (linear), 2 (quadratic) or 3 (cubic), got {o}"
+                    ))
+                }
             })
             .seed(self.seed)
             .filter_passes(self.filter_passes)
@@ -407,10 +416,20 @@ impl RunConfig {
                 "electron" => (-Q_E, M_E),
                 "proton" => (Q_E, M_P),
                 "custom" => (
-                    sc.charge.expect("custom species needs charge"),
-                    sc.mass.expect("custom species needs mass"),
+                    sc.charge.ok_or_else(|| {
+                        format!("species \"{}\": kind \"custom\" needs charge [C]", sc.name)
+                    })?,
+                    sc.mass.ok_or_else(|| {
+                        format!("species \"{}\": kind \"custom\" needs mass [kg]", sc.name)
+                    })?,
                 ),
-                k => panic!("unknown species kind {k}"),
+                k => {
+                    return Err(format!(
+                        "species \"{}\": kind must be \"electron\", \"proton\" or \
+                         \"custom\", got \"{k}\"",
+                        sc.name
+                    ))
+                }
             };
             let mut sp = Species::electrons(&sc.name, sc.profile.build(), sc.ppc)
                 .with_drift(sc.u_drift)
@@ -452,7 +471,7 @@ impl RunConfig {
             });
             removals.push(mp.remove_at.unwrap_or(f64::INFINITY));
         }
-        (sim, removals)
+        Ok((sim, removals))
     }
 }
 
@@ -495,9 +514,9 @@ mod tests {
     #[test]
     fn parses_and_builds_sample() {
         let cfg = RunConfig::from_json(SAMPLE).unwrap();
-        assert_eq!(cfg.dim(), Dim::Two);
+        assert_eq!(cfg.dim(), Ok(Dim::Two));
         assert_eq!(cfg.shape_order, 2);
-        let (sim, removals) = cfg.build();
+        let (sim, removals) = cfg.build().unwrap();
         assert_eq!(sim.species.len(), 1);
         assert_eq!(sim.lasers.len(), 1);
         assert!(sim.mr.is_some());
@@ -509,7 +528,7 @@ mod tests {
     #[test]
     fn sample_run_executes() {
         let cfg = RunConfig::from_json(SAMPLE).unwrap();
-        let (mut sim, _) = cfg.build();
+        let (mut sim, _) = cfg.build().unwrap();
         sim.run(3);
         assert_eq!(sim.istep, 3);
     }
@@ -524,11 +543,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_bad_dimension() {
         let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
         cfg.dimension = "4d".into();
-        cfg.dim();
+        let err = cfg.dim().unwrap_err();
+        assert!(err.contains("dimension must be"), "{err}");
+        // build() revalidates, so it errors instead of aborting.
+        let err = cfg.build().err().unwrap();
+        assert!(err.contains("dimension must be"), "{err}");
+    }
+
+    #[test]
+    fn build_surfaces_errors_without_panicking() {
+        // A config mutated after parsing (bypassing from_json's validate)
+        // must still fail gracefully.
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.shape_order = 7;
+        let err = cfg.build().err().unwrap();
+        assert!(err.contains("shape_order must be"), "{err}");
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.species[0].kind = "positronium".into();
+        let err = cfg.build().err().unwrap();
+        assert!(err.contains("kind must be"), "{err}");
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.species[0].kind = "custom".into();
+        let err = cfg.build().err().unwrap();
+        assert!(err.contains("custom"), "{err}");
     }
 
     #[test]
@@ -606,7 +646,7 @@ mod tests {
             1,
         );
         let cfg = RunConfig::from_json(&text).unwrap();
-        let (sim, _) = cfg.build();
+        let (sim, _) = cfg.build().unwrap();
         assert!(sim.telemetry.cfg.enabled);
         assert_eq!(sim.telemetry.cfg.probe_interval, 5);
         assert_eq!(sim.telemetry.cfg.sentinel_interval, 0);

@@ -243,7 +243,7 @@ mod tests {
         // Symmetric emission: max on each side similar.
         let (mut lmax, mut rmax) = (0.0f64, 0.0f64);
         for i in 0..n {
-            let v = fs.e[1].at(0, IntVect::new(i, 0, 2)).abs();
+            let v = fs.e[1].at(0, IntVect::new(i, 0, 2)).unwrap().abs();
             if i < 256 {
                 lmax = lmax.max(v);
             } else {

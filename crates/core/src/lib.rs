@@ -27,6 +27,7 @@ pub mod boost;
 pub mod checkpoint;
 pub mod config;
 pub mod diag;
+pub mod exchange;
 pub mod ionization;
 pub mod laser;
 pub mod mr;

@@ -711,10 +711,10 @@ mod tests {
         // Parent Jz inside the patch must now be ~2.0 (restriction of a
         // constant), coarse patch too.
         let probe = IntVect::new(24, 0, 16);
-        assert!((parent.j[2].at(0, probe) - 2.0).abs() < 1e-12);
+        assert!((parent.j[2].at(0, probe).unwrap() - 2.0).abs() < 1e-12);
         assert!((lvl.coarse.j[2].fab(0).get(0, probe) - 2.0).abs() < 1e-12);
         // Far outside the patch: untouched.
-        assert_eq!(parent.j[2].at(0, IntVect::new(2, 0, 2)), 0.0);
+        assert_eq!(parent.j[2].at(0, IntVect::new(2, 0, 2)).unwrap(), 0.0);
     }
 
     #[test]

@@ -150,6 +150,79 @@ impl ParticleBuf {
     }
 }
 
+/// Scan one box's buffer for particles that left it: apply periodic
+/// wraps, delete particles off a non-periodic domain edge or the box
+/// union, and hand every surviving out-of-box particle (position already
+/// wrapped) to `route(owner, tuple)` in scan order. Returns the number
+/// deleted. This is the single source of truth for the migration scan —
+/// the serial `redistribute` and the distributed runtime both use it, so
+/// their per-buffer visit order (and therefore the bitwise result) is
+/// identical.
+pub fn scan_box_moves(
+    buf: &mut ParticleBuf,
+    my_box: &IndexBox,
+    ba: &BoxArray,
+    geom: &GridGeom,
+    period: &Periodicity,
+    mut route: impl FnMut(usize, ParticleTuple),
+) -> usize {
+    let dom = period.domain;
+    let phys_lo = [
+        geom.node(0, dom.lo.x),
+        geom.node(1, dom.lo.y),
+        geom.node(2, dom.lo.z),
+    ];
+    let phys_hi = [
+        geom.node(0, dom.hi.x),
+        geom.node(1, dom.hi.y),
+        geom.node(2, dom.hi.z),
+    ];
+    let mut deleted = 0usize;
+    let mut i = 0;
+    while i < buf.len() {
+        let mut pos = [buf.x[i], buf.y[i], buf.z[i]];
+        // Periodic wrap / out-of-domain detection.
+        let mut alive = true;
+        for d in 0..3 {
+            let len = phys_hi[d] - phys_lo[d];
+            if period.periodic[d] {
+                while pos[d] < phys_lo[d] {
+                    pos[d] += len;
+                }
+                while pos[d] >= phys_hi[d] {
+                    pos[d] -= len;
+                }
+            } else if pos[d] < phys_lo[d] || pos[d] >= phys_hi[d] {
+                alive = false;
+            }
+        }
+        if !alive {
+            buf.swap_remove(i);
+            deleted += 1;
+            continue;
+        }
+        let cell = IntVect::new(
+            geom.cell_of(0, pos[0]),
+            geom.cell_of(1, pos[1]),
+            geom.cell_of(2, pos[2]),
+        );
+        if my_box.contains(cell) && pos == [buf.x[i], buf.y[i], buf.z[i]] {
+            i += 1;
+            continue;
+        }
+        // Wrapped or moved: reinsert into the owning box.
+        let mut p = buf.swap_remove(i);
+        p.0 = pos[0];
+        p.1 = pos[1];
+        p.2 = pos[2];
+        match ba.find_cell(cell) {
+            Some(owner) => route(owner, p),
+            None => deleted += 1, // fell off the box union
+        }
+    }
+    deleted
+}
+
 /// All tiles of one species.
 #[derive(Clone, Debug, Default)]
 pub struct ParticleContainer {
@@ -180,63 +253,13 @@ impl ParticleContainer {
     /// periodic wraps; delete particles that left a non-periodic domain.
     /// Returns the number of deleted particles.
     pub fn redistribute(&mut self, ba: &BoxArray, geom: &GridGeom, period: &Periodicity) -> usize {
-        let dom = period.domain;
-        let phys_lo = [
-            geom.node(0, dom.lo.x),
-            geom.node(1, dom.lo.y),
-            geom.node(2, dom.lo.z),
-        ];
-        let phys_hi = [
-            geom.node(0, dom.hi.x),
-            geom.node(1, dom.hi.y),
-            geom.node(2, dom.hi.z),
-        ];
         let mut deleted = 0usize;
         let mut moved: Vec<(usize, ParticleTuple)> = Vec::new();
         for (bi, buf) in self.bufs.iter_mut().enumerate() {
             let my_box = ba.get(bi);
-            let mut i = 0;
-            while i < buf.len() {
-                let mut pos = [buf.x[i], buf.y[i], buf.z[i]];
-                // Periodic wrap / out-of-domain detection.
-                let mut alive = true;
-                for d in 0..3 {
-                    let len = phys_hi[d] - phys_lo[d];
-                    if period.periodic[d] {
-                        while pos[d] < phys_lo[d] {
-                            pos[d] += len;
-                        }
-                        while pos[d] >= phys_hi[d] {
-                            pos[d] -= len;
-                        }
-                    } else if pos[d] < phys_lo[d] || pos[d] >= phys_hi[d] {
-                        alive = false;
-                    }
-                }
-                if !alive {
-                    buf.swap_remove(i);
-                    deleted += 1;
-                    continue;
-                }
-                let cell = IntVect::new(
-                    geom.cell_of(0, pos[0]),
-                    geom.cell_of(1, pos[1]),
-                    geom.cell_of(2, pos[2]),
-                );
-                if my_box.contains(cell) && pos == [buf.x[i], buf.y[i], buf.z[i]] {
-                    i += 1;
-                    continue;
-                }
-                // Wrapped or moved: reinsert into the owning box.
-                let mut p = buf.swap_remove(i);
-                p.0 = pos[0];
-                p.1 = pos[1];
-                p.2 = pos[2];
-                match ba.find_cell(cell) {
-                    Some(owner) => moved.push((owner, p)),
-                    None => deleted += 1, // fell off the box union
-                }
-            }
+            deleted += scan_box_moves(buf, &my_box, ba, geom, period, |owner, p| {
+                moved.push((owner, p))
+            });
         }
         for (owner, p) in moved {
             self.bufs[owner].push_tuple(p);

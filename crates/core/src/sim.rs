@@ -578,11 +578,21 @@ impl Simulation {
         }
     }
 
-    /// Advance one full PIC step.
+    /// Advance one full PIC step (single-rank communication backend).
     pub fn step(&mut self) -> StepStats {
+        self.step_with(&mut crate::exchange::LocalComm)
+    }
+
+    /// Advance one full PIC step, routing all cross-ownership
+    /// communication (guard fills, current sums, particle
+    /// redistribution, rebalance adoption) through `comm`. Every
+    /// conforming backend produces bitwise identical state — see the
+    /// determinism contract on [`crate::exchange::StepComm`].
+    pub fn step_with(&mut self, comm: &mut dyn crate::exchange::StepComm) -> StepStats {
         let mut stats = StepStats::default();
         let mut phases = PhaseTimes::default();
         let step_idx = self.istep;
+        comm.begin_step(step_idx);
         let dt = self.dt;
         let comm0 = self.comm_stats_total();
         let sentinel_due = self.telemetry.sentinel_due(step_idx);
@@ -627,7 +637,11 @@ impl Simulation {
 
         // 3. Current exchanges, smoothing and MR coupling.
         let t0 = std::time::Instant::now();
-        self.fs.sum_j_boundaries();
+        {
+            let period = self.fs.period;
+            let [j0, j1, j2] = &mut self.fs.j;
+            comm.sum_group(&mut [j0, j1, j2], &period);
+        }
         if self.filter_passes > 0 {
             mrpic_field::filter::filter_current(&mut self.fs, self.filter_passes);
         }
@@ -650,7 +664,7 @@ impl Simulation {
 
         // 5. Field advance (B half / E / B half) with PML exchanges.
         let t_field = std::time::Instant::now();
-        self.advance_fields(dt);
+        self.advance_fields(dt, comm);
         phases.maxwell = t_field.elapsed().as_secs_f64();
         let t0 = std::time::Instant::now();
         if let Some(mr) = &mut self.mr {
@@ -669,7 +683,7 @@ impl Simulation {
         let geom = self.fs.geom;
         let period = self.fs.period;
         for pc in &mut self.parts {
-            stats.deleted += pc.redistribute(self.fs.boxarray(), &geom, &period);
+            stats.deleted += comm.redistribute(pc, self.fs.boxarray(), &geom, &period);
         }
         phases.redistribute = t0.elapsed().as_secs_f64();
 
@@ -696,6 +710,7 @@ impl Simulation {
             *s = s.max(1e-9);
         }
         self.cost.record(&self.box_seconds);
+        comm.note_box_seconds(&self.box_seconds);
         if let Some(lb) = self.lb {
             if lb.interval > 0 && self.istep.is_multiple_of(lb.interval) {
                 let d = crate::balance::rebalance(
@@ -707,6 +722,9 @@ impl Simulation {
                 );
                 if d.adopted {
                     stats.rebalances += 1;
+                    // Physically migrate fab data and particle tiles to
+                    // the new owners (a no-op in a single address space).
+                    comm.adopt_mapping(&self.dm, &d.mapping, &mut self.fs, &mut self.parts);
                     // Ownership changed: conservatively drop cached plans.
                     self.fs.invalidate_plans();
                 }
@@ -719,6 +737,7 @@ impl Simulation {
         phases.fill = comm_delta.seconds;
         stats.exchange_seconds = comm_delta.seconds;
         self.stats = stats;
+        let rank_records = comm.take_rank_records();
 
         if self.telemetry.cfg.enabled {
             let probes = self.telemetry.probes_due(step_idx).then(|| Probes {
@@ -748,6 +767,7 @@ impl Simulation {
                 rebalances: stats.rebalances,
                 probes,
                 guard,
+                ranks: rank_records,
             });
         }
         stats
@@ -1203,10 +1223,21 @@ impl Simulation {
         );
     }
 
-    /// Full leapfrog field advance with PML interface exchanges.
-    fn advance_fields(&mut self, dt: f64) {
+    /// Full leapfrog field advance with PML interface exchanges. Guard
+    /// fills of E and B go through `comm`; the Yee updates and the
+    /// (rank-colocated, paper §V-C) PML exchanges stay local.
+    fn advance_fields(&mut self, dt: f64, comm: &mut dyn crate::exchange::StepComm) {
+        fn fill3(
+            comm: &mut dyn crate::exchange::StepComm,
+            arrays: &mut [FabArray; 3],
+            period: &Periodicity,
+        ) {
+            let [a0, a1, a2] = arrays;
+            comm.fill_group(&mut [a0, a1, a2], period);
+        }
+        let period = self.fs.period;
         let fs = &mut self.fs;
-        fs.fill_e_boundaries();
+        fill3(comm, &mut fs.e, &period);
         if let Some(pml) = &mut self.pml {
             pml.exchange_e(fs);
         }
@@ -1214,7 +1245,7 @@ impl Simulation {
         if let Some(pml) = &mut self.pml {
             pml.advance_b(0.5 * dt);
         }
-        fs.fill_b_boundaries();
+        fill3(comm, &mut fs.b, &period);
         if let Some(pml) = &mut self.pml {
             pml.exchange_b(fs);
         }
@@ -1222,7 +1253,7 @@ impl Simulation {
         if let Some(pml) = &mut self.pml {
             pml.advance_e(dt);
         }
-        fs.fill_e_boundaries();
+        fill3(comm, &mut fs.e, &period);
         if let Some(pml) = &mut self.pml {
             pml.exchange_e(fs);
         }
@@ -1230,7 +1261,7 @@ impl Simulation {
         if let Some(pml) = &mut self.pml {
             pml.advance_b(0.5 * dt);
         }
-        fs.fill_b_boundaries();
+        fill3(comm, &mut fs.b, &period);
         if let Some(pml) = &mut self.pml {
             pml.exchange_b(fs);
         }
@@ -1271,6 +1302,13 @@ impl Simulation {
                 );
             }
         }
+    }
+
+    /// Per-box particle-phase seconds measured during the last step
+    /// (empty before the first step). Distributed drivers aggregate
+    /// these by owner for per-rank load records.
+    pub fn box_seconds(&self) -> &[f64] {
+        &self.box_seconds
     }
 
     /// Field + particle energy (diagnostics).
@@ -1325,7 +1363,7 @@ mod tests {
         let steps = (2.5 * 2.0 * std::f64::consts::PI / wp / sim.dt) as usize;
         for _ in 0..steps {
             sim.step();
-            exs.push(sim.fs.e[0].at(0, IntVect::new(16, 0, 4)));
+            exs.push(sim.fs.e[0].at(0, IntVect::new(16, 0, 4)).unwrap());
         }
         // The oscillation is (1 - cos)-like: detect upward crossings of
         // the mean value.
@@ -1427,10 +1465,11 @@ mod tests {
             for k in 1..n.z {
                 for i in 1..n.x {
                     let p = IntVect::new(i, 0, k);
-                    let dive = (sim.fs.e[0].at(0, p)
-                        - sim.fs.e[0].at(0, IntVect::new(i - 1, 0, k)))
+                    let dive = (sim.fs.e[0].at(0, p).unwrap()
+                        - sim.fs.e[0].at(0, IntVect::new(i - 1, 0, k)).unwrap())
                         / geom.dx[0]
-                        + (sim.fs.e[2].at(0, p) - sim.fs.e[2].at(0, IntVect::new(i, 0, k - 1)))
+                        + (sim.fs.e[2].at(0, p).unwrap()
+                            - sim.fs.e[2].at(0, IntVect::new(i, 0, k - 1)).unwrap())
                             / geom.dx[2];
                     let r = rho[((k + m) * mx + (i + m)) as usize];
                     max_resid = max_resid.max((dive - r / EPS0).abs());
@@ -1578,7 +1617,10 @@ mod optimized_kernel_tests {
             b.step();
         }
         let probe = IntVect::new(12, 0, 8);
-        let (va, vb) = (a.fs.e[0].at(0, probe), b.fs.e[0].at(0, probe));
+        let (va, vb) = (
+            a.fs.e[0].at(0, probe).unwrap(),
+            b.fs.e[0].at(0, probe).unwrap(),
+        );
         let scale = a.fs.e[0].max_abs(0).max(1e-30);
         assert!(
             (va - vb).abs() < 1e-9 * scale,

@@ -173,6 +173,10 @@ pub struct StepRecord {
     pub probes: Option<Probes>,
     #[serde(default)]
     pub guard: Option<GuardTrip>,
+    /// Per-rank communication/timing records from a distributed run
+    /// (empty for the single-rank driver).
+    #[serde(default)]
+    pub ranks: Vec<crate::exchange::RankStepComm>,
 }
 
 /// Step-record ring plus optional JSONL sink and tripped-guard log.
@@ -424,6 +428,7 @@ mod tests {
                     component: "Ex".into(),
                     box_id: 0,
                 }),
+                ranks: Vec::new(),
             });
         }
         assert_eq!(t.records().len(), 2);
@@ -478,10 +483,18 @@ mod tests {
                 gauss_residual: 3.5e-7,
             }),
             guard: None,
+            ranks: vec![crate::exchange::RankStepComm {
+                rank: 1,
+                sent_bytes: 512,
+                sent_messages: 3,
+                ..Default::default()
+            }],
         };
         let s = serde_json::to_string(&rec).unwrap();
         let back: StepRecord = serde_json::from_str(&s).unwrap();
         assert_eq!(back.step, 11);
+        assert_eq!(back.ranks.len(), 1);
+        assert_eq!(back.ranks[0].sent_bytes, 512);
         assert_eq!(back.phases, rec.phases);
         assert_eq!(back.comm, rec.comm);
         assert_eq!(back.particles, rec.particles);

@@ -1,0 +1,87 @@
+//! Little-endian binary framing for transport payloads.
+//!
+//! Frames are built from three primitives (`u32`, `u64`, `f64`) so the
+//! wire format is trivially portable and the float payloads round-trip
+//! bit-exactly (`to_le_bytes`/`from_le_bytes` preserve every bit).
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
+    for v in vals {
+        put_f64(buf, *v);
+    }
+}
+
+/// Cursor over a received frame; every accessor panics on truncation
+/// (a malformed frame is a protocol bug, not a recoverable condition).
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let b: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        self.pos += 4;
+        u32::from_le_bytes(b)
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        let b: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
+        self.pos += 8;
+        u64::from_le_bytes(b)
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    pub fn f64s_into(&mut self, n: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let vals = [0.0, -0.0, 1.5e-300, f64::MIN_POSITIVE, -3.25, 1e308];
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_f64s(&mut buf, &vals);
+        put_u64(&mut buf, u64::MAX);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), 7);
+        let mut back = Vec::new();
+        r.f64s_into(vals.len(), &mut back);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.u64(), u64::MAX);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Pluggable point-to-point transport.
+//!
+//! The distributed runtime speaks to its peers only through [`Endpoint`]:
+//! ordered, reliable, tagged byte messages between ranks (the MPI subset
+//! the step loop needs). v1 ships two backends — an in-process
+//! [`MemEndpoint`] over `std::sync::mpsc` channel pairs, and a
+//! [`RecordingEndpoint`] wrapper that captures every message (step,
+//! phase, src, dst, size) so the cluster simulator can price real traffic
+//! instead of modeled traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Communication phase of a message (part of its tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Guard-cell fill (copy semantics).
+    Fill = 1,
+    /// Guard-deposit sum (add semantics).
+    Sum = 2,
+    /// Particle redistribution.
+    Redist = 3,
+    /// Box migration after an adopted rebalance.
+    Migrate = 4,
+}
+
+/// Message tag: phase plus a per-communicator sequence number. Both
+/// sides derive the tag from the same deterministic schedule, so a
+/// mismatch on receive means the protocol desynchronized — we assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tag {
+    pub phase: Phase,
+    pub seq: u32,
+}
+
+/// One rank's handle on the transport.
+///
+/// Guarantees the runtime relies on: per ordered pair `(src, dst)`,
+/// messages arrive exactly once and in send order; `recv` blocks until
+/// the matching message arrives. Ranks never send to themselves.
+pub trait Endpoint: Send {
+    fn rank(&self) -> usize;
+    fn nranks(&self) -> usize;
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>);
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8>;
+    /// Current simulation step, for trace grouping.
+    fn set_step(&mut self, _step: u64) {}
+}
+
+type Msg = (Tag, Vec<u8>);
+type MsgTx = Sender<Msg>;
+type MsgRx = Receiver<Msg>;
+
+/// In-process backend: an n×n mesh of mpsc channels.
+pub struct MemEndpoint {
+    rank: usize,
+    senders: Vec<Option<MsgTx>>,
+    receivers: Vec<Option<MsgRx>>,
+}
+
+/// Build a fully connected in-process transport for `nranks` ranks.
+pub fn mem_transport(nranks: usize) -> Vec<MemEndpoint> {
+    let mut senders: Vec<Vec<Option<MsgTx>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<MsgRx>>> = (0..nranks)
+        .map(|_| (0..nranks).map(|_| None).collect())
+        .collect();
+    for s in 0..nranks {
+        for d in 0..nranks {
+            if s == d {
+                continue;
+            }
+            let (tx, rx) = channel();
+            senders[s][d] = Some(tx);
+            receivers[d][s] = Some(rx);
+        }
+    }
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (senders, receivers))| MemEndpoint {
+            rank,
+            senders,
+            receivers,
+        })
+        .collect()
+}
+
+impl Endpoint for MemEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) {
+        self.senders[dst]
+            .as_ref()
+            .expect("no channel to self")
+            .send((tag, payload))
+            .expect("peer endpoint dropped");
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        let (got, payload) = self.receivers[src]
+            .as_ref()
+            .expect("no channel to self")
+            .recv()
+            .expect("peer endpoint dropped");
+        assert_eq!(
+            got, tag,
+            "rank {} desynchronized receiving from rank {src}",
+            self.rank
+        );
+        payload
+    }
+}
+
+/// One captured message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgRecord {
+    pub step: u64,
+    pub phase: Phase,
+    pub src: usize,
+    pub dst: usize,
+    pub bytes: u64,
+}
+
+/// Shared trace sink for a recording transport.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    msgs: Mutex<Vec<MsgRecord>>,
+    step: AtomicU64,
+}
+
+impl Recorder {
+    /// Snapshot of all messages captured so far.
+    pub fn messages(&self) -> Vec<MsgRecord> {
+        self.msgs.lock().unwrap().clone()
+    }
+
+    /// Total bytes per ordered `(src, dst)` rank pair.
+    pub fn pair_bytes(&self) -> Vec<(usize, usize, u64)> {
+        let msgs = self.msgs.lock().unwrap();
+        let mut acc: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        for m in msgs.iter() {
+            *acc.entry((m.src, m.dst)).or_default() += m.bytes;
+        }
+        acc.into_iter().map(|((s, d), b)| (s, d, b)).collect()
+    }
+}
+
+/// Wraps any [`Endpoint`], logging every sent message into a shared
+/// [`Recorder`].
+pub struct RecordingEndpoint<E: Endpoint> {
+    inner: E,
+    recorder: Arc<Recorder>,
+}
+
+/// Build an in-process transport whose message traffic is captured in
+/// the returned [`Recorder`].
+pub fn recording_mem_transport(
+    nranks: usize,
+) -> (Vec<RecordingEndpoint<MemEndpoint>>, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::default());
+    let eps = mem_transport(nranks)
+        .into_iter()
+        .map(|inner| RecordingEndpoint {
+            inner,
+            recorder: Arc::clone(&recorder),
+        })
+        .collect();
+    (eps, recorder)
+}
+
+impl<E: Endpoint> Endpoint for RecordingEndpoint<E> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn nranks(&self) -> usize {
+        self.inner.nranks()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) {
+        self.recorder.msgs.lock().unwrap().push(MsgRecord {
+            step: self.recorder.step.load(Ordering::Relaxed),
+            phase: tag.phase,
+            src: self.inner.rank(),
+            dst,
+            bytes: payload.len() as u64,
+        });
+        self.inner.send(dst, tag, payload);
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
+        self.inner.recv(src, tag)
+    }
+
+    fn set_step(&mut self, step: u64) {
+        self.recorder.step.store(step, Ordering::Relaxed);
+        self.inner.set_step(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Tag = Tag {
+        phase: Phase::Fill,
+        seq: 7,
+    };
+
+    #[test]
+    fn mem_transport_delivers_in_order() {
+        let mut eps = mem_transport(3);
+        let (a, rest) = eps.split_at_mut(1);
+        a[0].send(1, T, vec![1]);
+        a[0].send(1, Tag { seq: 8, ..T }, vec![2, 2]);
+        a[0].send(2, T, vec![3]);
+        assert_eq!(rest[0].recv(0, T), vec![1]);
+        assert_eq!(rest[0].recv(0, Tag { seq: 8, ..T }), vec![2, 2]);
+        assert_eq!(rest[1].recv(0, T), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "desynchronized")]
+    fn tag_mismatch_asserts() {
+        let mut eps = mem_transport(2);
+        let (a, b) = eps.split_at_mut(1);
+        a[0].send(1, T, vec![]);
+        b[0].recv(0, Tag { seq: 9, ..T });
+    }
+
+    #[test]
+    fn recorder_captures_traffic() {
+        let (mut eps, rec) = recording_mem_transport(2);
+        eps[0].set_step(5);
+        let (a, b) = eps.split_at_mut(1);
+        a[0].send(1, T, vec![0; 64]);
+        b[0].recv(0, T);
+        b[0].send(0, Tag { seq: 8, ..T }, vec![0; 16]);
+        a[0].recv(1, Tag { seq: 8, ..T });
+        let msgs = rec.messages();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].step, 5);
+        assert_eq!(msgs[0].bytes, 64);
+        assert_eq!(rec.pair_bytes(), vec![(0, 1, 64), (1, 0, 16)]);
+    }
+}

@@ -408,7 +408,7 @@ mod tests {
             .fab_mut(fs.boxarray().find_cell(p).unwrap())
             .set(0, p, 3.0);
         fs.shift_window(IntVect::new(2, 0, 0));
-        assert_eq!(fs.b[2].at(0, IntVect::new(3, 2, 2)), 3.0);
+        assert_eq!(fs.b[2].at(0, IntVect::new(3, 2, 2)).unwrap(), 3.0);
     }
 
     #[test]

@@ -89,7 +89,7 @@ mod tests {
         }
         filter_current(&mut fs, 3);
         for c in 0..3 {
-            let v = fs.j[c].at(0, IntVect::new(7, 0, 9));
+            let v = fs.j[c].at(0, IntVect::new(7, 0, 9)).unwrap();
             assert!((v - 3.0).abs() < 1e-12, "comp {c}: {v}");
         }
     }
@@ -105,14 +105,14 @@ mod tests {
         filter_current(&mut fs, 1);
         // After one pass in x and z: center 16 * 0.5 * 0.5 = 4.
         assert!(
-            (fs.j[0].at(0, p) - 4.0).abs() < 1e-12,
+            (fs.j[0].at(0, p).unwrap() - 4.0).abs() < 1e-12,
             "{}",
-            fs.j[0].at(0, p)
+            fs.j[0].at(0, p).unwrap()
         );
         // Face neighbor: 16 * 0.25 * 0.5 = 2.
-        assert!((fs.j[0].at(0, IntVect::new(7, 0, 8)) - 2.0).abs() < 1e-12);
+        assert!((fs.j[0].at(0, IntVect::new(7, 0, 8)).unwrap() - 2.0).abs() < 1e-12);
         // Diagonal: 16 * 0.25 * 0.25 = 1.
-        assert!((fs.j[0].at(0, IntVect::new(7, 0, 7)) - 1.0).abs() < 1e-12);
+        assert!((fs.j[0].at(0, IntVect::new(7, 0, 7)).unwrap() - 1.0).abs() < 1e-12);
         // Total is conserved.
         let total = fs.j[0].sum_comp(0);
         assert!((total - 16.0).abs() < 1e-9, "{total}");
@@ -157,7 +157,7 @@ mod tests {
             }
             filter_current(&mut fs, 2);
             (0..16)
-                .map(|i| fs.j[1].at(0, IntVect::new(i, 0, 4)))
+                .map(|i| fs.j[1].at(0, IntVect::new(i, 0, 4)).unwrap())
                 .collect::<Vec<f64>>()
         };
         let a = run(1);

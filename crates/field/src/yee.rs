@@ -357,13 +357,13 @@ mod tests {
         // One full period: wave crosses the periodic box exactly once.
         let steps = (n * dx / (C * dt)).round() as usize;
         let before: Vec<f64> = (0..64)
-            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)))
+            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)).unwrap())
             .collect();
         for _ in 0..steps {
             step_fields(&mut fs, dt);
         }
         let after: Vec<f64> = (0..64)
-            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)))
+            .map(|i| fs.e[1].at(0, IntVect::new(i, 2, 2)).unwrap())
             .collect();
         let err: f64 = before
             .iter()
@@ -386,7 +386,7 @@ mod tests {
         }
         for i in 0..64 {
             let p = IntVect::new(i, 2, 2);
-            let (va, vb) = (a.e[1].at(0, p), b.e[1].at(0, p));
+            let (va, vb) = (a.e[1].at(0, p).unwrap(), b.e[1].at(0, p).unwrap());
             assert!(
                 (va - vb).abs() <= 1e-12 * va.abs().max(1.0),
                 "mismatch at {i}: {va} vs {vb}"
@@ -442,7 +442,7 @@ mod tests {
         // Energy-weighted centroid of Ey^2 along x.
         let (mut num, mut den) = (0.0, 0.0);
         for i in 0..n {
-            let v = fs.e[1].at(0, IntVect::new(i, 0, 4));
+            let v = fs.e[1].at(0, IntVect::new(i, 0, 4)).unwrap();
             num += (i as f64 * dx) * v * v;
             den += v * v;
         }

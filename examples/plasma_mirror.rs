@@ -72,7 +72,12 @@ fn main() {
         let probe_x = ((6.0 * um) / dx) as i64;
         let mut column_max = 0.0f64;
         for k in 0..nz {
-            column_max = column_max.max(sim.fs.e[1].at(0, IntVect::new(probe_x, 0, k)).abs());
+            column_max = column_max.max(
+                sim.fs.e[1]
+                    .at(0, IntVect::new(probe_x, 0, k))
+                    .unwrap()
+                    .abs(),
+            );
         }
         if sim.time < 40.0e-15 {
             incident_peak = incident_peak.max(column_max);

@@ -54,7 +54,7 @@ fn main() {
     let mut err_fdtd = 0.0;
     let mut norm = 0.0;
     for i in 0..n {
-        let v = fdtd.e[1].at(0, IntVect::new(i as i64, 0, 2));
+        let v = fdtd.e[1].at(0, IntVect::new(i as i64, 0, 2)).unwrap();
         let d = v - wave(i as f64 * dx);
         err_fdtd += d * d;
         norm += wave(i as f64 * dx).powi(2);

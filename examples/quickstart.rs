@@ -74,7 +74,7 @@ fn main() {
     let mut trace = Vec::with_capacity(steps);
     for _ in 0..steps {
         sim.step();
-        trace.push(sim.fs.e[0].at(0, probe));
+        trace.push(sim.fs.e[0].at(0, probe).unwrap());
     }
 
     // Crude period measurement from mean-crossings.

@@ -11,7 +11,10 @@
 //! * [`core`] — the simulation driver: species, lasers, mesh refinement,
 //!   diagnostics, load balancing;
 //! * [`cluster`] — exascale machine models and the scaling/FOM/Flop-rate
-//!   simulator used to regenerate the paper's performance studies.
+//!   simulator used to regenerate the paper's performance studies;
+//! * [`dist`] — multi-rank distributed runtime: message-passing halo
+//!   exchange, particle migration, and box-migration load balancing over
+//!   a pluggable transport.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -19,6 +22,7 @@
 pub use mrpic_amr as amr;
 pub use mrpic_cluster as cluster;
 pub use mrpic_core as core;
+pub use mrpic_dist as dist;
 pub use mrpic_field as field;
 pub use mrpic_kernels as kernels;
 

@@ -1,0 +1,237 @@
+//! Distributed-runtime invariants: stepping through the message-passing
+//! backend is bitwise identical to the serial step loop for any rank
+//! count — on a moving-window mesh-refined laser-foil run, through an
+//! adopted rebalance that physically migrates box data between ranks,
+//! and for randomized layouts under the property tests.
+
+use mrpic::amr::{
+    BoxArray, DistributionMapping, FabArray, IndexBox, IntVect, Periodicity, Stagger,
+    Strategy as DmStrategy,
+};
+use mrpic::core::exchange::StepComm;
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::dist::{boxed, mem_transport, DistComm, DistSim, Phase};
+use mrpic::field::fieldset::Dim;
+use proptest::prelude::*;
+
+/// The same moving-window MR laser-foil run the threading invariants
+/// use: 8 parent boxes, a refined patch, PML, digital filtering.
+fn build(seed: u64, window: bool) -> Simulation {
+    let mut b = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(16, 1, 12))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(seed)
+        .sort_interval(10)
+        .filter_passes(1)
+        .add_species(
+            Species::electrons(
+                "foil",
+                Profile::Slab {
+                    n0: 2.0e27,
+                    axis: 0,
+                    x0: 4.0e-6,
+                    x1: 4.6e-6,
+                },
+                [2, 1, 2],
+            )
+            .with_thermal([1.0e6; 3]),
+        )
+        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6));
+    if window {
+        b = b.moving_window(6.0e-15);
+    }
+    let mut sim = b.build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(30, 0, 0), IntVect::new(56, 1, 24)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    sim
+}
+
+fn assert_sims_bitwise(a: &Simulation, b: &Simulation) {
+    // Particles, every component to the bit.
+    for (pa, pb) in a.parts.iter().zip(&b.parts) {
+        for (x, y) in pa.bufs.iter().zip(&pb.bufs) {
+            assert_eq!(x.len(), y.len());
+            for i in 0..x.len() {
+                assert_eq!(x.x[i].to_bits(), y.x[i].to_bits());
+                assert_eq!(x.y[i].to_bits(), y.y[i].to_bits());
+                assert_eq!(x.z[i].to_bits(), y.z[i].to_bits());
+                assert_eq!(x.ux[i].to_bits(), y.ux[i].to_bits());
+                assert_eq!(x.uy[i].to_bits(), y.uy[i].to_bits());
+                assert_eq!(x.uz[i].to_bits(), y.uz[i].to_bits());
+                assert_eq!(x.w[i].to_bits(), y.w[i].to_bits());
+            }
+        }
+    }
+    // Parent fields and currents.
+    for c in 0..3 {
+        for fi in 0..a.fs.e[c].nfabs() {
+            assert_eq!(a.fs.e[c].fab(fi).raw(), b.fs.e[c].fab(fi).raw());
+            assert_eq!(a.fs.b[c].fab(fi).raw(), b.fs.b[c].fab(fi).raw());
+            assert_eq!(a.fs.j[c].fab(fi).raw(), b.fs.j[c].fab(fi).raw());
+        }
+    }
+    // MR fine-patch state.
+    match (a.mr.as_ref(), b.mr.as_ref()) {
+        (Some(ma), Some(mb)) => {
+            for c in 0..3 {
+                assert_eq!(ma.fine.e[c].fab(0).raw(), mb.fine.e[c].fab(0).raw());
+                assert_eq!(ma.fine.b[c].fab(0).raw(), mb.fine.b[c].fab(0).raw());
+                assert_eq!(ma.fine.j[c].fab(0).raw(), mb.fine.j[c].fab(0).raw());
+            }
+        }
+        (None, None) => {}
+        _ => panic!("one run has an MR level, the other does not"),
+    }
+}
+
+/// The headline acceptance invariant: the full step over the
+/// message-passing runtime is bitwise identical across 1, 2, and 4 ranks
+/// and to the serial step loop, on a moving-window MR run that shifts
+/// the window several times.
+#[test]
+fn step_is_bitwise_identical_across_rank_counts() {
+    const STEPS: usize = 48;
+    let serial = {
+        let mut s = build(11, true);
+        s.run(STEPS);
+        s
+    };
+    for nranks in [1, 2, 4] {
+        let mut d = DistSim::in_process(build(11, true), nranks);
+        d.run(STEPS);
+        assert_sims_bitwise(&serial, &d.sim);
+    }
+}
+
+/// Adopting a rebalance mid-run physically migrates fab data and
+/// particle tiles between ranks; the run must sail through it bitwise
+/// unchanged (and with the same particle census as right before).
+#[test]
+fn rebalance_adoption_migrates_boxes_and_preserves_state() {
+    const STEPS: usize = 24;
+    let serial = {
+        let mut s = build(7, true);
+        s.run(STEPS);
+        s
+    };
+    for nranks in [2, 4] {
+        let mut d = DistSim::in_process(build(7, true), nranks);
+        d.run(STEPS / 2);
+        let census: usize = d.sim.parts[0].bufs.iter().map(|b| b.len()).sum();
+        let prev = d.sim.dm.clone();
+        d.force_rebalance();
+        assert_ne!(
+            prev, d.sim.dm,
+            "forced rebalance must actually change the mapping"
+        );
+        let moved = (0..d.sim.fs.boxarray().len())
+            .filter(|&bi| prev.owner(bi) != d.sim.dm.owner(bi))
+            .count();
+        assert!(moved > 0, "at least one box must change owner");
+        assert_eq!(
+            census,
+            d.sim.parts[0].bufs.iter().map(|b| b.len()).sum::<usize>(),
+            "migration must preserve the particle census"
+        );
+        d.run(STEPS / 2);
+        assert_sims_bitwise(&serial, &d.sim);
+    }
+}
+
+/// The recording transport captures real traffic for every phase, and
+/// the per-rank records surface in the step telemetry.
+#[test]
+fn recording_transport_captures_all_phases() {
+    let mut sim = build(3, false);
+    sim.telemetry.cfg.enabled = true;
+    let (mut d, rec) = DistSim::recording(sim, 2);
+    d.run(6);
+    d.force_rebalance();
+    let msgs = rec.messages();
+    for phase in [Phase::Fill, Phase::Sum, Phase::Redist, Phase::Migrate] {
+        assert!(
+            msgs.iter().any(|m| m.phase == phase),
+            "no {phase:?} message captured"
+        );
+    }
+    // Both ordered rank pairs carried bytes.
+    let pairs = rec.pair_bytes();
+    assert_eq!(pairs.len(), 2);
+    assert!(pairs.iter().all(|&(_, _, b)| b > 0));
+    // Telemetry aggregated one record per rank per step.
+    let last = d.sim.telemetry.records().back().unwrap();
+    assert_eq!(last.ranks.len(), 2);
+    assert!(last.ranks.iter().any(|r| r.sent_messages > 0));
+    assert!(last.ranks.iter().all(|r| r.particle_seconds > 0.0));
+}
+
+fn arb_dom() -> impl Strategy<Value = IndexBox> {
+    (4i64..20, 1i64..6, 4i64..20).prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
+}
+
+fn painted(ba: &BoxArray, stagger: Stagger, ng: i64, seed: u64) -> FabArray {
+    let mut fa = FabArray::new(ba.clone(), stagger, 2, ng);
+    let mut state = seed | 1;
+    for bi in 0..fa.nfabs() {
+        for v in fa.fab_mut(bi).raw_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = ((state >> 33) as f64) / (1u64 << 31) as f64 - 0.5;
+        }
+    }
+    fa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded guard exchange over any layout, periodicity, stagger, and
+    /// rank count is bitwise identical to the serial executor — for both
+    /// fill (copy) and sum (add) semantics.
+    #[test]
+    fn sharded_exchange_matches_serial(
+        dom in arb_dom(),
+        seed in 0u64..1000,
+        ng in 1i64..4,
+        nranks in 1usize..6,
+        flags in 0u8..8,
+        staggered in any::<bool>(),
+        strategy_rr in any::<bool>(),
+    ) {
+        let periodic = Periodicity::new(dom, [flags & 1 != 0, flags & 2 != 0, flags & 4 != 0]);
+        let stagger = if staggered { Stagger::efield(0) } else { Stagger::CELL };
+        let ba = BoxArray::chop(dom, IntVect::new(5, 4, 6));
+        let strategy = if strategy_rr { DmStrategy::RoundRobin } else { DmStrategy::SpaceFillingCurve };
+        let dm = DistributionMapping::build(&ba, nranks, strategy, &[]);
+        for sum in [false, true] {
+            let mut reference = painted(&ba, stagger, ng, seed);
+            let mut sharded = painted(&ba, stagger, ng, seed);
+            let mut comm = DistComm::new(boxed(mem_transport(nranks)), dm.clone());
+            if sum {
+                reference.sum_boundary(&periodic);
+                comm.sum_group(&mut [&mut sharded], &periodic);
+            } else {
+                reference.fill_boundary(&periodic);
+                comm.fill_group(&mut [&mut sharded], &periodic);
+            }
+            for bi in 0..reference.nfabs() {
+                let (ra, rb) = (reference.fab(bi).raw(), sharded.fab(bi).raw());
+                for (x, y) in ra.iter().zip(rb) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -53,12 +53,12 @@ fn mr_patch_preserves_uniform_plasma_oscillation() {
         plain.step();
         refined.step();
         let (po, ro) = (
-            plain.fs.e[0].at(0, probe_out),
-            refined.fs.e[0].at(0, probe_out),
+            plain.fs.e[0].at(0, probe_out).unwrap(),
+            refined.fs.e[0].at(0, probe_out).unwrap(),
         );
         let (pi, ri) = (
-            plain.fs.e[0].at(0, probe_in),
-            refined.fs.e[0].at(0, probe_in),
+            plain.fs.e[0].at(0, probe_in).unwrap(),
+            refined.fs.e[0].at(0, probe_in).unwrap(),
         );
         max_ref = max_ref.max(po.abs()).max(pi.abs());
         max_diff_out = max_diff_out.max((po - ro).abs());
@@ -202,12 +202,12 @@ fn mr_patch_removal_is_smooth() {
         sim.step();
     }
     let probe = IntVect::new(16, 0, 8);
-    let before = sim.fs.e[0].at(0, probe);
+    let before = sim.fs.e[0].at(0, probe).unwrap();
     sim.remove_mr_patch();
     assert!(sim.mr.is_none());
     assert!(sim.dt > dt_fine, "dt must relax to the coarse limit");
     // Field state is untouched by removal.
-    assert_eq!(sim.fs.e[0].at(0, probe), before);
+    assert_eq!(sim.fs.e[0].at(0, probe).unwrap(), before);
     // And the run continues stably.
     let scale = sim.fs.e[0].max_abs(0);
     for _ in 0..40 {
@@ -269,7 +269,10 @@ fn subcycled_mr_matches_non_subcycled() {
     let mut max_diff: f64 = 0.0;
     for i in 0..48 {
         let p = IntVect::new(i, 0, 8);
-        let (a, b) = (nosub.fs.e[0].at(0, p), sub.fs.e[0].at(0, p));
+        let (a, b) = (
+            nosub.fs.e[0].at(0, p).unwrap(),
+            sub.fs.e[0].at(0, p).unwrap(),
+        );
         max_ref = max_ref.max(a.abs());
         max_diff = max_diff.max((a - b).abs());
     }
@@ -318,7 +321,10 @@ fn mr_patch_preserves_3d_plasma_oscillation() {
     for _ in 0..50 {
         plain.step();
         refined.step();
-        let (a, b) = (plain.fs.e[0].at(0, probe), refined.fs.e[0].at(0, probe));
+        let (a, b) = (
+            plain.fs.e[0].at(0, probe).unwrap(),
+            refined.fs.e[0].at(0, probe).unwrap(),
+        );
         max_ref = max_ref.max(a.abs());
         max_diff = max_diff.max((a - b).abs());
     }

@@ -52,7 +52,10 @@ fn vacuum_pulse_crosses_mr_patch_without_reflection() {
     let mut max_ref = 0.0f64;
     for i in 0..256 {
         let p = IntVect::new(i, 0, 8);
-        let (a, b) = (plain.fs.e[1].at(0, p), refined.fs.e[1].at(0, p));
+        let (a, b) = (
+            plain.fs.e[1].at(0, p).unwrap(),
+            refined.fs.e[1].at(0, p).unwrap(),
+        );
         max_diff = max_diff.max((a - b).abs());
         max_ref = max_ref.max(a.abs());
     }

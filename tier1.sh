@@ -18,3 +18,9 @@ cargo bench --workspace --no-run
 cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
     target/tier1_smoke_out --steps 40
 test -s target/tier1_smoke_out/telemetry.jsonl
+
+# Same config through the mrpic-dist multi-rank runtime (2 rank threads
+# over the in-process message-passing transport).
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_dist_out --steps 40 --ranks 2
+test -s target/tier1_smoke_dist_out/telemetry.jsonl
