@@ -90,6 +90,36 @@ fn trace_mode() {
         "bulk-synchronous comm time: {:.3e} s/step measured-trace replay",
         trace_step_comm_time(&pairs, NRANKS, lat, bw) / STEPS as f64
     );
+    // The recorder also times every blocking receive, so alongside the
+    // modeled wire cost we can price what the run *actually* waited:
+    // time a rank sat in recv with no frame ready is pure imbalance the
+    // balancer could reclaim.
+    let waits = rec.rank_wait_seconds(NRANKS);
+    let recvs = rec.receives();
+    let mut recv_counts = [0u64; NRANKS];
+    for r in &recvs {
+        recv_counts[r.dst] += 1;
+    }
+    println!("\nmeasured receive-side wait (in-process transport):");
+    let rows: Vec<Vec<String>> = (0..NRANKS)
+        .map(|r| {
+            vec![
+                format!("{r}"),
+                recv_counts[r].to_string(),
+                format!("{:.3e}", waits[r]),
+                format!("{:.3e}", waits[r] / STEPS as f64),
+            ]
+        })
+        .collect();
+    print_table(&["rank", "receives", "wait s", "wait s/step"], &rows);
+    let (min_w, max_w) = waits.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &w| {
+        (lo.min(w), hi.max(w))
+    });
+    println!(
+        "wait imbalance (max/min across ranks): {:.2}x — the slack a \
+         cost-aware rebalance converts into compute",
+        max_w / min_w.max(1e-12)
+    );
 }
 
 fn main() {

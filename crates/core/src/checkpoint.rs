@@ -195,6 +195,12 @@ impl Checkpoint {
     /// same PML / MR patch configuration. Drops all cached exchange plans
     /// afterwards — the field data and window position changed under them.
     pub fn restore(&self, sim: &mut crate::sim::Simulation) -> Result<(), RestoreError> {
+        if self.version > 2 {
+            return Err(err(format!(
+                "checkpoint version {} is newer than this build understands (max 2)",
+                self.version
+            )));
+        }
         if self.species.len() != sim.parts.len() {
             return Err(err(format!(
                 "checkpoint has {} species, simulation has {} \
@@ -262,13 +268,7 @@ impl Checkpoint {
         }
         // The restore rewrote field data and (possibly) the window
         // position in place: cached exchange plans are stale.
-        sim.fs.invalidate_plans();
-        if let Some(pml) = &mut sim.pml {
-            pml.invalidate_plans();
-        }
-        if let Some(mr) = &mut sim.mr {
-            mr.invalidate_plans();
-        }
+        sim.invalidate_all_plans();
         Ok(())
     }
 

@@ -97,6 +97,14 @@ pub trait StepComm {
     fn take_rank_records(&mut self) -> Vec<RankStepComm> {
         Vec::new()
     }
+
+    /// Drain the fault-injection / recovery counters accumulated since
+    /// the last call. `None` means no fault layer is attached at all;
+    /// `Some` (possibly all-zero) means a chaos transport is active and
+    /// its counters belong in the step telemetry.
+    fn take_fault_stats(&mut self) -> Option<crate::telemetry::FaultStats> {
+        None
+    }
 }
 
 /// Single-address-space backend: everything is rank-local, exchanges go

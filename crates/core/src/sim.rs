@@ -738,6 +738,7 @@ impl Simulation {
         stats.exchange_seconds = comm_delta.seconds;
         self.stats = stats;
         let rank_records = comm.take_rank_records();
+        let fault_stats = comm.take_fault_stats();
 
         if self.telemetry.cfg.enabled {
             let probes = self.telemetry.probes_due(step_idx).then(|| Probes {
@@ -768,6 +769,7 @@ impl Simulation {
                 probes,
                 guard,
                 ranks: rank_records,
+                faults: fault_stats,
             });
         }
         stats
@@ -1331,6 +1333,21 @@ impl Simulation {
     pub fn run(&mut self, n: usize) {
         for _ in 0..n {
             self.step();
+        }
+    }
+
+    /// Drop every cached exchange plan (parent grids, PML shells, MR
+    /// patch). Required whenever field data or ownership changed under
+    /// the caches — a checkpoint restore rewrote state in place, or a
+    /// crash recovery shrank the rank set and rebuilt the distribution
+    /// mapping.
+    pub fn invalidate_all_plans(&mut self) {
+        self.fs.invalidate_plans();
+        if let Some(pml) = &mut self.pml {
+            pml.invalidate_plans();
+        }
+        if let Some(mr) = &mut self.mr {
+            mr.invalidate_plans();
         }
     }
 }

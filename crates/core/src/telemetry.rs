@@ -146,6 +146,62 @@ pub struct GuardTrip {
     pub box_id: usize,
 }
 
+/// Per-step fault-injection and recovery counters from a distributed
+/// run with a chaos transport attached (all zero / absent otherwise).
+/// Injected counts come from the fault layer itself; detected counts
+/// from the comm layer's CRC checks and retry loops — under a correct
+/// retry policy every injected corruption is also detected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Message deliveries artificially delayed by the fault layer.
+    #[serde(default)]
+    pub delays_injected: u64,
+    /// Payloads corrupted in flight by the fault layer.
+    #[serde(default)]
+    pub corruptions_injected: u64,
+    /// Payloads the comm layer rejected via CRC and re-received.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Transient send/recv failures injected by the fault layer.
+    #[serde(default)]
+    pub transients_injected: u64,
+    /// Operations the comm layer retried (transient faults + corrupt
+    /// frames).
+    #[serde(default)]
+    pub retries: u64,
+    /// Hard rank crashes fired by the fault layer.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Times a rank observed that a peer is gone (crashed or dropped).
+    #[serde(default)]
+    pub peer_losses_detected: u64,
+    /// Completed crash recoveries (epoch rollback + rank-set shrink).
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Steps re-executed from the last checkpoint epoch during recovery.
+    #[serde(default)]
+    pub replayed_steps: u64,
+}
+
+impl FaultStats {
+    pub fn merge(&mut self, o: &FaultStats) {
+        self.delays_injected += o.delays_injected;
+        self.corruptions_injected += o.corruptions_injected;
+        self.corruptions_detected += o.corruptions_detected;
+        self.transients_injected += o.transients_injected;
+        self.retries += o.retries;
+        self.crashes += o.crashes;
+        self.peer_losses_detected += o.peer_losses_detected;
+        self.recoveries += o.recoveries;
+        self.replayed_steps += o.replayed_steps;
+    }
+
+    /// True when no fault activity at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Particle count of one species at the end of a step.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SpeciesCount {
@@ -177,6 +233,10 @@ pub struct StepRecord {
     /// (empty for the single-rank driver).
     #[serde(default)]
     pub ranks: Vec<crate::exchange::RankStepComm>,
+    /// Fault-injection / recovery counters for this step (present only
+    /// when a chaos transport is attached to the run).
+    #[serde(default)]
+    pub faults: Option<FaultStats>,
 }
 
 /// Step-record ring plus optional JSONL sink and tripped-guard log.
@@ -429,6 +489,7 @@ mod tests {
                     box_id: 0,
                 }),
                 ranks: Vec::new(),
+                faults: None,
             });
         }
         assert_eq!(t.records().len(), 2);
@@ -489,6 +550,12 @@ mod tests {
                 sent_messages: 3,
                 ..Default::default()
             }],
+            faults: Some(FaultStats {
+                corruptions_injected: 2,
+                corruptions_detected: 2,
+                retries: 3,
+                ..Default::default()
+            }),
         };
         let s = serde_json::to_string(&rec).unwrap();
         let back: StepRecord = serde_json::from_str(&s).unwrap();
@@ -500,5 +567,26 @@ mod tests {
         assert_eq!(back.particles, rec.particles);
         assert_eq!(back.probes, rec.probes);
         assert!(back.guard.is_none());
+        assert_eq!(back.faults, rec.faults);
+    }
+
+    #[test]
+    fn fault_stats_merge_and_emptiness() {
+        let mut a = FaultStats::default();
+        assert!(a.is_empty());
+        let b = FaultStats {
+            delays_injected: 1,
+            transients_injected: 2,
+            retries: 2,
+            crashes: 1,
+            recoveries: 1,
+            replayed_steps: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert!(!a.is_empty());
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.replayed_steps, 8);
     }
 }

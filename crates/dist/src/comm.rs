@@ -26,11 +26,23 @@
 //! the destination rank's boxes, so the threads need no barrier beyond
 //! the messages themselves (exactly one per ordered rank pair and
 //! exchange, empty frames included).
+//!
+//! **Fault handling.** Every frame is CRC-sealed (`msg::seal`); a frame
+//! that fails its check on receive is dropped and re-received, and
+//! transient transport failures are retried with bounded backoff —
+//! both invisible to physics, visible in [`FaultStats`]. An
+//! unrecoverable failure (rank crash, peer loss, timeout, retry budget
+//! exhausted) is recorded as a [`RankLoss`] instead of panicking; the
+//! remaining communication phases of the step then *drain* (no-op) so
+//! the step loop reaches a safe point, and [`crate::sim::DistSim`]
+//! rolls the run back to its last checkpoint epoch and replays without
+//! the dead rank (DESIGN.md §10).
 
 use std::sync::Arc;
 
-use crate::msg::{put_f64s, put_u32, Reader};
-use crate::transport::{Endpoint, Phase, Tag};
+use crate::faults::FaultInjector;
+use crate::msg::{put_f64s, put_u32, seal, unseal, Reader};
+use crate::transport::{Endpoint, Phase, Tag, TransportError, TransportErrorKind};
 use mrpic_amr::fabarray::{blend_region_from_buf, pack_region_into};
 use mrpic_amr::{
     BoxArray, CommStats, DistributionMapping, ExchangePlan, Fab, FabArray, IntVect,
@@ -38,6 +50,7 @@ use mrpic_amr::{
 };
 use mrpic_core::exchange::{RankStepComm, StepComm};
 use mrpic_core::particles::{scan_box_moves, ParticleBuf, ParticleContainer, ParticleTuple};
+use mrpic_core::telemetry::FaultStats;
 use mrpic_field::fieldset::{FieldSet, GridGeom};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -56,6 +69,105 @@ struct PlanKey {
     dm_version: u64,
 }
 
+/// An unrecoverable rank failure observed by a communication phase.
+#[derive(Clone, Copy, Debug)]
+pub struct RankLoss {
+    /// The rank judged dead (crashed, unreachable, or retry-exhausted).
+    pub dead_rank: usize,
+    /// Step during which the loss was detected.
+    pub step: u64,
+    /// Phase that detected it.
+    pub phase: Phase,
+    /// The first transport error that condemned the rank.
+    pub error: TransportError,
+}
+
+/// Per-operation retry budget for transient failures and corrupt frames.
+const MAX_ATTEMPTS: u32 = 10;
+
+fn backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_micros(40u64 << attempt.min(8)));
+}
+
+/// Seal and send one frame, retrying transient failures with bounded
+/// backoff. Byte/message accounting covers the sealed frame once.
+fn send_framed(
+    ep: &mut dyn Endpoint,
+    dst: usize,
+    tag: Tag,
+    mut frame: Vec<u8>,
+    rec: &mut RankStepComm,
+    faults: &mut FaultStats,
+) -> Result<(), TransportError> {
+    seal(&mut frame);
+    rec.sent_bytes += frame.len() as u64;
+    rec.sent_messages += 1;
+    let mut attempt = 0;
+    loop {
+        match ep.send(dst, tag, frame.clone()) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_transient() && attempt + 1 < MAX_ATTEMPTS => {
+                attempt += 1;
+                faults.retries += 1;
+                backoff(attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Receive and unseal one frame. Transient failures are retried with
+/// bounded backoff; a frame failing its CRC is counted, dropped, and
+/// re-received (a faulty transport redelivers the pristine payload).
+fn recv_framed(
+    ep: &mut dyn Endpoint,
+    src: usize,
+    tag: Tag,
+    step: u64,
+    rec: &mut RankStepComm,
+    faults: &mut FaultStats,
+) -> Result<Vec<u8>, TransportError> {
+    let mut attempt = 0;
+    loop {
+        match ep.recv(src, tag) {
+            Ok(mut frame) => {
+                let sealed_len = frame.len() as u64;
+                if unseal(&mut frame).is_ok() {
+                    rec.recv_bytes += sealed_len;
+                    rec.recv_messages += 1;
+                    return Ok(frame);
+                }
+                faults.corruptions_detected += 1;
+                if attempt + 1 >= MAX_ATTEMPTS {
+                    return Err(TransportError::new(
+                        TransportErrorKind::Corrupt,
+                        ep.rank(),
+                        src,
+                        tag,
+                        step,
+                    ));
+                }
+                attempt += 1;
+                faults.retries += 1;
+            }
+            Err(e) if e.is_transient() && attempt + 1 < MAX_ATTEMPTS => {
+                attempt += 1;
+                faults.retries += 1;
+                backoff(attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// What one rank thread brings back from a communication phase.
+struct RankOut {
+    rec: RankStepComm,
+    faults: FaultStats,
+    err: Option<TransportError>,
+    deleted: usize,
+}
+
 /// Multi-rank communication backend over boxed [`Endpoint`]s.
 pub struct DistComm {
     eps: Vec<Box<dyn Endpoint>>,
@@ -64,6 +176,10 @@ pub struct DistComm {
     plans: Vec<(PlanKey, Arc<PartitionedPlan>)>,
     records: Vec<RankStepComm>,
     seq: u32,
+    step: u64,
+    injector: Option<Arc<FaultInjector>>,
+    stats: FaultStats,
+    loss: Option<RankLoss>,
 }
 
 fn fresh_records(nranks: usize) -> Vec<RankStepComm> {
@@ -93,6 +209,10 @@ impl DistComm {
             plans: Vec::new(),
             records: fresh_records(n),
             seq: 0,
+            step: 0,
+            injector: None,
+            stats: FaultStats::default(),
+            loss: None,
         }
     }
 
@@ -102,6 +222,64 @@ impl DistComm {
 
     pub fn mapping(&self) -> &DistributionMapping {
         &self.dm
+    }
+
+    /// Attach the shared state of a fault-injected transport so its
+    /// injected-side counters drain into the step telemetry.
+    pub fn attach_injector(&mut self, inj: Arc<FaultInjector>) {
+        self.injector = Some(inj);
+    }
+
+    /// Take the pending unrecoverable rank loss, if any. While a loss is
+    /// pending, every communication phase drains (no-ops) so the step
+    /// loop reaches a safe point for rollback.
+    pub fn take_loss(&mut self) -> Option<RankLoss> {
+        self.loss.take()
+    }
+
+    /// Count a completed crash recovery (rollback + `replayed` replayed
+    /// steps) into the next telemetry drain.
+    pub fn note_recovery(&mut self, replayed: u64) {
+        self.stats.recoveries += 1;
+        self.stats.replayed_steps += replayed;
+    }
+
+    /// Fold a phase's rank results into the step accounting and, on the
+    /// first error, condemn a rank: an explicit `Crashed` names itself,
+    /// a `PeerLost`/`Timeout` names its peer, anything else (transient
+    /// budget exhausted, persistent corruption, desync) names the
+    /// reporting rank. Thread-join order is rank order, so the choice is
+    /// deterministic.
+    fn absorb(&mut self, outs: Vec<RankOut>, phase: Phase) -> usize {
+        let mut deleted = 0;
+        let mut errs: Vec<TransportError> = Vec::new();
+        for o in outs {
+            deleted += o.deleted;
+            self.records[o.rec.rank].merge(&o.rec);
+            self.stats.merge(&o.faults);
+            if let Some(e) = o.err {
+                errs.push(e);
+            }
+        }
+        if self.loss.is_none() && !errs.is_empty() {
+            let pick = |kind: TransportErrorKind| errs.iter().find(|e| e.kind == kind).copied();
+            let (error, dead_rank) = if let Some(e) = pick(TransportErrorKind::Crashed) {
+                (e, e.rank)
+            } else if let Some(e) = pick(TransportErrorKind::PeerLost) {
+                (e, e.peer)
+            } else if let Some(e) = pick(TransportErrorKind::Timeout) {
+                (e, e.peer)
+            } else {
+                (errs[0], errs[0].rank)
+            };
+            self.loss = Some(RankLoss {
+                dead_rank,
+                step: self.step,
+                phase,
+                error,
+            });
+        }
+        deleted
     }
 
     fn plan_for(
@@ -174,9 +352,10 @@ impl DistComm {
             Kind::Fill => Phase::Fill,
             Kind::Sum => Phase::Sum,
         };
+        let step = self.step;
         let plans_ref = &plans;
         let ncomps_ref = &ncomps;
-        let recs: Vec<RankStepComm> = std::thread::scope(|s| {
+        let outs: Vec<RankOut> = std::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .into_iter()
                 .zip(self.eps.iter_mut())
@@ -184,16 +363,14 @@ impl DistComm {
                 .map(|(r, (shard, ep))| {
                     s.spawn(move || {
                         rank_exchange(
-                            r, nranks, shard, ep, plans_ref, ncomps_ref, phase, seq0, kind,
+                            r, nranks, shard, ep, plans_ref, ncomps_ref, phase, seq0, kind, step,
                         )
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for (rec, slot) in recs.iter().zip(self.records.iter_mut()) {
-            slot.merge(rec);
-        }
+        self.absorb(outs, phase);
         // Keep the arrays' own CommStats accounting identical to the
         // single-rank executors (unclipped points, cross-box messages);
         // wall time of the whole group lands on its first array.
@@ -220,7 +397,9 @@ fn find_fab<'s>(shard: &'s mut [(usize, &mut Fab)], bi: usize) -> &'s mut Fab {
 /// One rank's half of an exchange group: pack own entries (ascending
 /// global index), send one frame per peer and array, receive one frame
 /// per peer and array, then apply all entries targeting own boxes in
-/// ascending global index — reproducing the serial plan order.
+/// ascending global index — reproducing the serial plan order. A
+/// non-retryable transport error aborts the rank's remaining work for
+/// the whole group; the driver records the loss and drains the step.
 #[allow(clippy::too_many_arguments)]
 fn rank_exchange(
     r: usize,
@@ -232,124 +411,145 @@ fn rank_exchange(
     phase: Phase,
     seq0: u32,
     kind: Kind,
-) -> RankStepComm {
+    step: u64,
+) -> RankOut {
     let t0 = std::time::Instant::now();
     let mut rec = RankStepComm {
         rank: r,
         ..Default::default()
     };
+    let mut faults = FaultStats::default();
     let mut scratch: Vec<f64> = Vec::new();
     let mut vals: Vec<f64> = Vec::new();
-    for (i, pp) in plans.iter().enumerate() {
-        let rp = &pp.ranks[r];
-        let ncomp = ncomps[i];
-        let tag = Tag {
-            phase,
-            seq: seq0.wrapping_add(i as u32),
-        };
-        // Pack. For `Sum` this must complete before any apply so every
-        // payload holds pre-sum values — the same two-phase structure as
-        // the serial `execute_sum`. (Safe for `Fill` too: fills read
-        // valid regions and write guard regions, which never alias.)
-        let mut local: std::collections::VecDeque<(usize, Vec<f64>)> = Default::default();
-        let mut bodies: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
-        let mut counts: Vec<u32> = vec![0; nranks];
-        for e in &rp.pack {
-            let Some(clip) = e.clip else { continue };
-            let npts = clip.num_cells() as usize;
-            scratch.clear();
-            let src = find_fab(&mut shard[i], e.item.src);
-            for c in 0..ncomp {
-                pack_region_into(src, c, &clip, &mut scratch);
+    let mut run = || -> Result<(), TransportError> {
+        for (i, pp) in plans.iter().enumerate() {
+            let rp = &pp.ranks[r];
+            let ncomp = ncomps[i];
+            let tag = Tag {
+                phase,
+                seq: seq0.wrapping_add(i as u32),
+            };
+            // Pack. For `Sum` this must complete before any apply so every
+            // payload holds pre-sum values — the same two-phase structure as
+            // the serial `execute_sum`. (Safe for `Fill` too: fills read
+            // valid regions and write guard regions, which never alias.)
+            let mut local: std::collections::VecDeque<(usize, Vec<f64>)> = Default::default();
+            let mut bodies: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
+            let mut counts: Vec<u32> = vec![0; nranks];
+            for e in &rp.pack {
+                let Some(clip) = e.clip else { continue };
+                let npts = clip.num_cells() as usize;
+                scratch.clear();
+                let src = find_fab(&mut shard[i], e.item.src);
+                for c in 0..ncomp {
+                    pack_region_into(src, c, &clip, &mut scratch);
+                }
+                debug_assert_eq!(scratch.len(), npts * ncomp);
+                if e.dst_rank == r {
+                    local.push_back((e.index, scratch.clone()));
+                } else {
+                    let body = &mut bodies[e.dst_rank];
+                    put_u32(body, e.index as u32);
+                    put_u32(body, scratch.len() as u32);
+                    put_f64s(body, &scratch);
+                    counts[e.dst_rank] += 1;
+                }
             }
-            debug_assert_eq!(scratch.len(), npts * ncomp);
-            if e.dst_rank == r {
-                local.push_back((e.index, scratch.clone()));
-            } else {
-                let body = &mut bodies[e.dst_rank];
-                put_u32(body, e.index as u32);
-                put_u32(body, scratch.len() as u32);
-                put_f64s(body, &scratch);
-                counts[e.dst_rank] += 1;
+            for (d, body) in bodies.into_iter().enumerate() {
+                if d == r {
+                    continue;
+                }
+                let mut frame = Vec::with_capacity(4 + body.len());
+                put_u32(&mut frame, counts[d]);
+                frame.extend_from_slice(&body);
+                send_framed(ep.as_mut(), d, tag, frame, &mut rec, &mut faults)?;
             }
-        }
-        for (d, body) in bodies.into_iter().enumerate() {
-            if d == r {
-                continue;
+            // Receive one frame from every peer (ascending rank) — doubles
+            // as the exchange barrier.
+            let mut frames: Vec<Option<Vec<u8>>> = (0..nranks).map(|_| None).collect();
+            for (src, slot) in frames.iter_mut().enumerate() {
+                if src == r {
+                    continue;
+                }
+                *slot = Some(recv_framed(
+                    ep.as_mut(),
+                    src,
+                    tag,
+                    step,
+                    &mut rec,
+                    &mut faults,
+                )?);
             }
-            let mut frame = Vec::with_capacity(4 + body.len());
-            put_u32(&mut frame, counts[d]);
-            frame.extend_from_slice(&body);
-            rec.sent_bytes += frame.len() as u64;
-            rec.sent_messages += 1;
-            ep.send(d, tag, frame);
-        }
-        // Receive one frame from every peer (ascending rank) — doubles
-        // as the exchange barrier.
-        let frames: Vec<Option<Vec<u8>>> = (0..nranks)
-            .map(|src| {
-                (src != r).then(|| {
-                    let f = ep.recv(src, tag);
-                    rec.recv_bytes += f.len() as u64;
-                    rec.recv_messages += 1;
-                    f
+            let mut readers: Vec<Option<Reader>> = frames
+                .iter()
+                .map(|o| {
+                    o.as_deref().map(|f| {
+                        let mut rd = Reader::new(f);
+                        let _count = rd.u32();
+                        rd
+                    })
                 })
-            })
-            .collect();
-        let mut readers: Vec<Option<Reader>> = frames
-            .iter()
-            .map(|o| {
-                o.as_deref().map(|f| {
-                    let mut rd = Reader::new(f);
-                    let _count = rd.u32();
-                    rd
-                })
-            })
-            .collect();
-        // Apply in ascending global plan index, merging the local stash
-        // with the per-peer streams (each already ascending).
-        for e in &rp.apply {
-            let Some(clip) = e.clip else { continue };
-            let npts = clip.num_cells() as usize;
-            if e.src_rank == r {
-                let (idx, v) = local.pop_front().expect("local stream underrun");
-                assert_eq!(idx, e.index, "local apply stream desynchronized");
-                vals = v;
-            } else {
-                let rd = readers[e.src_rank].as_mut().unwrap();
-                let idx = rd.u32() as usize;
-                assert_eq!(idx, e.index, "remote apply stream desynchronized");
-                let n = rd.u32() as usize;
-                rd.f64s_into(n, &mut vals);
-            }
-            debug_assert_eq!(vals.len(), npts * ncomp);
-            let dst = find_fab(&mut shard[i], e.item.dst);
-            for c in 0..ncomp {
-                let seg = &vals[c * npts..(c + 1) * npts];
-                match kind {
-                    Kind::Fill => blend_region_from_buf(dst, c, &clip, e.item.shift, seg, |_, s| s),
-                    Kind::Sum => {
-                        blend_region_from_buf(dst, c, &clip, e.item.shift, seg, |d2, s| d2 + s)
+                .collect();
+            // Apply in ascending global plan index, merging the local stash
+            // with the per-peer streams (each already ascending).
+            for e in &rp.apply {
+                let Some(clip) = e.clip else { continue };
+                let npts = clip.num_cells() as usize;
+                if e.src_rank == r {
+                    let (idx, v) = local.pop_front().expect("local stream underrun");
+                    assert_eq!(idx, e.index, "local apply stream desynchronized");
+                    vals = v;
+                } else {
+                    let rd = readers[e.src_rank].as_mut().unwrap();
+                    let idx = rd.u32() as usize;
+                    assert_eq!(idx, e.index, "remote apply stream desynchronized");
+                    let n = rd.u32() as usize;
+                    rd.f64s_into(n, &mut vals);
+                }
+                debug_assert_eq!(vals.len(), npts * ncomp);
+                let dst = find_fab(&mut shard[i], e.item.dst);
+                for c in 0..ncomp {
+                    let seg = &vals[c * npts..(c + 1) * npts];
+                    match kind {
+                        Kind::Fill => {
+                            blend_region_from_buf(dst, c, &clip, e.item.shift, seg, |_, s| s)
+                        }
+                        Kind::Sum => {
+                            blend_region_from_buf(dst, c, &clip, e.item.shift, seg, |d2, s| d2 + s)
+                        }
                     }
                 }
             }
+            debug_assert!(local.is_empty(), "unapplied local entries");
+            debug_assert!(
+                readers.iter_mut().flatten().all(|rd| rd.is_empty()),
+                "unapplied remote entries"
+            );
         }
-        debug_assert!(local.is_empty(), "unapplied local entries");
-        debug_assert!(
-            readers.iter_mut().flatten().all(|rd| rd.is_empty()),
-            "unapplied remote entries"
-        );
-    }
+        Ok(())
+    };
+    let err = run().err();
     rec.exchange_seconds = t0.elapsed().as_secs_f64();
-    rec
+    RankOut {
+        rec,
+        faults,
+        err,
+        deleted: 0,
+    }
 }
 
 impl StepComm for DistComm {
     fn fill_group(&mut self, arrays: &mut [&mut FabArray], period: &Periodicity) {
+        if self.loss.is_some() {
+            return;
+        }
         self.exchange_group(arrays, period, Kind::Fill);
     }
 
     fn sum_group(&mut self, arrays: &mut [&mut FabArray], period: &Periodicity) {
+        if self.loss.is_some() {
+            return;
+        }
         self.exchange_group(arrays, period, Kind::Sum);
     }
 
@@ -360,6 +560,9 @@ impl StepComm for DistComm {
         geom: &GridGeom,
         period: &Periodicity,
     ) -> usize {
+        if self.loss.is_some() {
+            return 0;
+        }
         let nranks = self.nranks();
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
@@ -367,31 +570,27 @@ impl StepComm for DistComm {
             phase: Phase::Redist,
             seq,
         };
+        let step = self.step;
         let dm = &self.dm;
         let mut shards: Vec<Vec<(usize, &mut ParticleBuf)>> =
             (0..nranks).map(|_| Vec::new()).collect();
         for (bi, buf) in pc.bufs.iter_mut().enumerate() {
             shards[dm.owner(bi)].push((bi, buf));
         }
-        let out: Vec<(usize, RankStepComm)> = std::thread::scope(|s| {
+        let outs: Vec<RankOut> = std::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .into_iter()
                 .zip(self.eps.iter_mut())
                 .enumerate()
                 .map(|(r, (shard, ep))| {
                     s.spawn(move || {
-                        rank_redistribute(r, nranks, shard, ep, dm, ba, geom, period, tag)
+                        rank_redistribute(r, nranks, shard, ep, dm, ba, geom, period, tag, step)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        let mut deleted = 0;
-        for (del, rec) in out {
-            deleted += del;
-            self.records[rec.rank].merge(&rec);
-        }
-        deleted
+        self.absorb(outs, Phase::Redist)
     }
 
     fn adopt_mapping(
@@ -401,10 +600,26 @@ impl StepComm for DistComm {
         fs: &mut FieldSet,
         parts: &mut [ParticleContainer],
     ) {
-        self.migrate(prev, next, fs, parts);
+        if self.loss.is_some() {
+            return;
+        }
+        if let Err(e) = self.migrate(prev, next, fs, parts) {
+            let dead_rank = match e.kind {
+                TransportErrorKind::Crashed => e.rank,
+                TransportErrorKind::PeerLost | TransportErrorKind::Timeout => e.peer,
+                _ => e.rank,
+            };
+            self.loss = Some(RankLoss {
+                dead_rank,
+                step: self.step,
+                phase: Phase::Migrate,
+                error: e,
+            });
+        }
     }
 
     fn begin_step(&mut self, istep: u64) {
+        self.step = istep;
         for ep in &mut self.eps {
             ep.set_step(istep);
         }
@@ -419,6 +634,14 @@ impl StepComm for DistComm {
     fn take_rank_records(&mut self) -> Vec<RankStepComm> {
         let n = self.nranks();
         std::mem::replace(&mut self.records, fresh_records(n))
+    }
+
+    fn take_fault_stats(&mut self) -> Option<FaultStats> {
+        let mut s = std::mem::take(&mut self.stats);
+        if let Some(inj) = &self.injector {
+            s.merge(&inj.take_stats());
+        }
+        (self.injector.is_some() || !s.is_empty()).then_some(s)
     }
 }
 
@@ -438,83 +661,90 @@ fn rank_redistribute(
     geom: &GridGeom,
     period: &Periodicity,
     tag: Tag,
-) -> (usize, RankStepComm) {
+    step: u64,
+) -> RankOut {
     let t0 = std::time::Instant::now();
     let mut rec = RankStepComm {
         rank: r,
         ..Default::default()
     };
+    let mut faults = FaultStats::default();
     let mut deleted = 0usize;
-    // (src box, dst box, particle), in scan order per source box.
-    let mut local: Vec<(usize, usize, ParticleTuple)> = Vec::new();
-    let mut bodies: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
-    let mut counts: Vec<u32> = vec![0; nranks];
-    for (bi, buf) in shard.iter_mut() {
-        let bi = *bi;
-        let my_box = ba.get(bi);
-        deleted += scan_box_moves(buf, &my_box, ba, geom, period, |owner, p| {
-            let dr = dm.owner(owner);
-            if dr == r {
-                local.push((bi, owner, p));
-            } else {
-                let body = &mut bodies[dr];
-                put_u32(body, bi as u32);
-                put_u32(body, owner as u32);
-                put_f64s(body, &[p.0, p.1, p.2, p.3, p.4, p.5, p.6]);
-                counts[dr] += 1;
-                rec.migrated_out += 1;
+    let mut run = || -> Result<(), TransportError> {
+        // (src box, dst box, particle), in scan order per source box.
+        let mut local: Vec<(usize, usize, ParticleTuple)> = Vec::new();
+        let mut bodies: Vec<Vec<u8>> = (0..nranks).map(|_| Vec::new()).collect();
+        let mut counts: Vec<u32> = vec![0; nranks];
+        for (bi, buf) in shard.iter_mut() {
+            let bi = *bi;
+            let my_box = ba.get(bi);
+            deleted += scan_box_moves(buf, &my_box, ba, geom, period, |owner, p| {
+                let dr = dm.owner(owner);
+                if dr == r {
+                    local.push((bi, owner, p));
+                } else {
+                    let body = &mut bodies[dr];
+                    put_u32(body, bi as u32);
+                    put_u32(body, owner as u32);
+                    put_f64s(body, &[p.0, p.1, p.2, p.3, p.4, p.5, p.6]);
+                    counts[dr] += 1;
+                    rec.migrated_out += 1;
+                }
+            });
+        }
+        for (d, body) in bodies.into_iter().enumerate() {
+            if d == r {
+                continue;
             }
-        });
-    }
-    for (d, body) in bodies.into_iter().enumerate() {
-        if d == r {
-            continue;
+            let mut frame = Vec::with_capacity(4 + body.len());
+            put_u32(&mut frame, counts[d]);
+            frame.extend_from_slice(&body);
+            send_framed(ep.as_mut(), d, tag, frame, &mut rec, &mut faults)?;
         }
-        let mut frame = Vec::with_capacity(4 + body.len());
-        put_u32(&mut frame, counts[d]);
-        frame.extend_from_slice(&body);
-        rec.sent_bytes += frame.len() as u64;
-        rec.sent_messages += 1;
-        ep.send(d, tag, frame);
-    }
-    // Collect incoming movers; every stream is ascending in source box,
-    // and a source box lives in exactly one stream, so a stable sort by
-    // source box merges them into the serial insertion order.
-    let mut movers = local;
-    for src in 0..nranks {
-        if src == r {
-            continue;
+        // Collect incoming movers; every stream is ascending in source box,
+        // and a source box lives in exactly one stream, so a stable sort by
+        // source box merges them into the serial insertion order.
+        let mut movers = local;
+        for src in 0..nranks {
+            if src == r {
+                continue;
+            }
+            let frame = recv_framed(ep.as_mut(), src, tag, step, &mut rec, &mut faults)?;
+            let mut rd = Reader::new(&frame);
+            let n = rd.u32() as usize;
+            for _ in 0..n {
+                let sbi = rd.u32() as usize;
+                let dbi = rd.u32() as usize;
+                let p = (
+                    rd.f64(),
+                    rd.f64(),
+                    rd.f64(),
+                    rd.f64(),
+                    rd.f64(),
+                    rd.f64(),
+                    rd.f64(),
+                );
+                movers.push((sbi, dbi, p));
+            }
+            assert!(rd.is_empty(), "trailing bytes in redistribution frame");
         }
-        let frame = ep.recv(src, tag);
-        rec.recv_bytes += frame.len() as u64;
-        rec.recv_messages += 1;
-        let mut rd = Reader::new(&frame);
-        let n = rd.u32() as usize;
-        for _ in 0..n {
-            let sbi = rd.u32() as usize;
-            let dbi = rd.u32() as usize;
-            let p = (
-                rd.f64(),
-                rd.f64(),
-                rd.f64(),
-                rd.f64(),
-                rd.f64(),
-                rd.f64(),
-                rd.f64(),
-            );
-            movers.push((sbi, dbi, p));
+        movers.sort_by_key(|(sbi, _, _)| *sbi);
+        for (_, dbi, p) in movers {
+            let idx = shard
+                .binary_search_by_key(&dbi, |(b, _)| *b)
+                .expect("mover routed to unowned box");
+            shard[idx].1.push_tuple(p);
         }
-        assert!(rd.is_empty(), "trailing bytes in redistribution frame");
-    }
-    movers.sort_by_key(|(sbi, _, _)| *sbi);
-    for (_, dbi, p) in movers {
-        let idx = shard
-            .binary_search_by_key(&dbi, |(b, _)| *b)
-            .expect("mover routed to unowned box");
-        shard[idx].1.push_tuple(p);
-    }
+        Ok(())
+    };
+    let err = run().err();
     rec.exchange_seconds = t0.elapsed().as_secs_f64();
-    (deleted, rec)
+    RankOut {
+        rec,
+        faults,
+        err,
+        deleted,
+    }
 }
 
 impl DistComm {
@@ -530,7 +760,7 @@ impl DistComm {
         next: &DistributionMapping,
         fs: &mut FieldSet,
         parts: &mut [ParticleContainer],
-    ) {
+    ) -> Result<(), TransportError> {
         let nranks = self.nranks();
         assert_eq!(prev.nranks(), nranks);
         assert_eq!(next.nranks(), nranks);
@@ -540,6 +770,7 @@ impl DistComm {
             seq: self.seq,
         };
         self.seq = self.seq.wrapping_add(1);
+        let step = self.step;
         // Group migrating boxes by ordered (src, dst) rank pair.
         let mut pairs: std::collections::BTreeMap<(usize, usize), Vec<usize>> = Default::default();
         for bi in 0..nboxes {
@@ -573,9 +804,14 @@ impl DistComm {
                     self.records[s].migrated_out += buf.len() as u64;
                 }
             }
-            self.records[s].sent_bytes += frame.len() as u64;
-            self.records[s].sent_messages += 1;
-            self.eps[s].send(d, tag, frame);
+            send_framed(
+                self.eps[s].as_mut(),
+                d,
+                tag,
+                frame,
+                &mut self.records[s],
+                &mut self.stats,
+            )?;
             // The sender's copies are gone: zero the fabs and clear the
             // tiles so only the transported bytes can restore them.
             for &bi in boxes {
@@ -588,9 +824,14 @@ impl DistComm {
             }
         }
         for (&(s, d), boxes) in &pairs {
-            let frame = self.eps[d].recv(s, tag);
-            self.records[d].recv_bytes += frame.len() as u64;
-            self.records[d].recv_messages += 1;
+            let frame = recv_framed(
+                self.eps[d].as_mut(),
+                s,
+                tag,
+                step,
+                &mut self.records[d],
+                &mut self.stats,
+            )?;
             let mut rd = Reader::new(&frame);
             let n = rd.u32() as usize;
             assert_eq!(n, boxes.len());
@@ -625,6 +866,7 @@ impl DistComm {
         }
         self.dm = next.clone();
         self.dm_version += 1;
+        Ok(())
     }
 }
 
@@ -639,6 +881,7 @@ fn nine(fs: &mut FieldSet) -> [&mut FabArray; 9] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{faulty_mem_transport, CrashPoint, FaultPlan};
     use crate::sim::boxed;
     use crate::transport::mem_transport;
     use mrpic_amr::{IndexBox, Strategy};
@@ -710,6 +953,58 @@ mod tests {
     }
 
     #[test]
+    fn dist_fill_is_bitwise_identical_under_transient_faults() {
+        let periodic = Periodicity::all(dom());
+        let mut reference = painted(2, Stagger::CELL, true);
+        reference.fill_boundary(&periodic);
+        for seed in [1u64, 2, 3] {
+            let mut fa = painted(2, Stagger::CELL, true);
+            let (eps, inj) = faulty_mem_transport(3, FaultPlan::transient(seed));
+            let dm = DistributionMapping::build(fa.boxarray(), 3, Strategy::RoundRobin, &[]);
+            let mut comm = DistComm::new(boxed(eps), dm);
+            comm.attach_injector(inj);
+            comm.fill_group(&mut [&mut fa], &periodic);
+            assert!(comm.take_loss().is_none(), "transient plan must recover");
+            assert_bitwise_eq(&reference, &fa);
+            let stats = comm.take_fault_stats().expect("chaos comm reports stats");
+            assert_eq!(stats.corruptions_detected, stats.corruptions_injected);
+        }
+    }
+
+    #[test]
+    fn rank_crash_is_recorded_and_the_step_drains() {
+        let periodic = Periodicity::none(dom());
+        let mut fa = painted(1, Stagger::CELL, true);
+        let plan = FaultPlan {
+            seed: 11,
+            recv_timeout_ms: 50,
+            crash: Some(CrashPoint {
+                rank: 1,
+                step: 0,
+                phase: None,
+            }),
+            ..FaultPlan::default()
+        };
+        let (eps, inj) = faulty_mem_transport(2, plan);
+        let dm = DistributionMapping::build(fa.boxarray(), 2, Strategy::RoundRobin, &[]);
+        let mut comm = DistComm::new(boxed(eps), dm);
+        comm.attach_injector(inj);
+        comm.begin_step(0); // fires the step-level crash
+        comm.fill_group(&mut [&mut fa], &periodic);
+        let loss = comm.take_loss().expect("crash must be detected");
+        assert_eq!(loss.dead_rank, 1);
+        assert_eq!(loss.step, 0);
+        assert_eq!(loss.phase, Phase::Fill);
+        // With the loss pending, later phases drain instead of hanging.
+        comm.loss = Some(loss);
+        comm.fill_group(&mut [&mut fa], &periodic);
+        comm.sum_group(&mut [&mut fa], &periodic);
+        let stats = comm.take_fault_stats().unwrap();
+        assert_eq!(stats.crashes, 1);
+        assert!(stats.peer_losses_detected >= 1);
+    }
+
+    #[test]
     fn rank_records_account_messages() {
         let mut fa = painted(1, Stagger::CELL, true);
         let mut comm = comm_for(&fa, 2);
@@ -719,11 +1014,13 @@ mod tests {
         assert_eq!(recs.len(), 2);
         // One frame per ordered pair per array.
         assert_eq!(recs.iter().map(|r| r.sent_messages).sum::<u64>(), 2);
-        assert!(recs.iter().all(|r| r.sent_bytes >= 4));
+        assert!(recs.iter().all(|r| r.sent_bytes >= 8));
         assert!(comm
             .take_rank_records()
             .iter()
             .all(|r| r.sent_messages == 0));
+        // No fault layer attached: no stats block either.
+        assert!(comm.take_fault_stats().is_none());
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! Frames are built from three primitives (`u32`, `u64`, `f64`) so the
 //! wire format is trivially portable and the float payloads round-trip
 //! bit-exactly (`to_le_bytes`/`from_le_bytes` preserve every bit).
+//!
+//! Every frame the distributed runtime puts on the wire is *sealed*: a
+//! CRC-32 of the body is appended ([`seal`]) and verified on receive
+//! ([`unseal`]). A failed check is a recoverable [`FrameCorrupt`] — the
+//! comm layer retries the receive (the fault-injection transport
+//! redelivers the pristine payload, a real link layer would retransmit)
+//! instead of applying corrupted physics data.
 
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -22,8 +29,74 @@ pub fn put_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `data` (IEEE polynomial, as used by zlib/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The trailing CRC of a received frame did not match its body, or the
+/// frame was too short to carry one — the payload was corrupted in
+/// flight and must not be applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameCorrupt;
+
+impl std::fmt::Display for FrameCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame failed CRC-32 integrity check")
+    }
+}
+
+impl std::error::Error for FrameCorrupt {}
+
+/// Append the CRC-32 of the frame body, making the frame self-checking.
+pub fn seal(frame: &mut Vec<u8>) {
+    let c = crc32(frame);
+    put_u32(frame, c);
+}
+
+/// Verify and strip a trailing CRC-32 appended by [`seal`], leaving the
+/// original body in place. Returns [`FrameCorrupt`] on any mismatch.
+pub fn unseal(frame: &mut Vec<u8>) -> Result<(), FrameCorrupt> {
+    if frame.len() < 4 {
+        return Err(FrameCorrupt);
+    }
+    let body_len = frame.len() - 4;
+    let want = u32::from_le_bytes(frame[body_len..].try_into().unwrap());
+    if crc32(&frame[..body_len]) != want {
+        return Err(FrameCorrupt);
+    }
+    frame.truncate(body_len);
+    Ok(())
+}
+
 /// Cursor over a received frame; every accessor panics on truncation
-/// (a malformed frame is a protocol bug, not a recoverable condition).
+/// (a malformed frame is a protocol bug, not a recoverable condition —
+/// corruption is already excluded by the CRC seal).
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -83,5 +156,33 @@ mod tests {
         }
         assert_eq!(r.u64(), u64::MAX);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_detects_corruption() {
+        let mut frame = Vec::new();
+        put_u32(&mut frame, 3);
+        put_f64s(&mut frame, &[1.5, -2.25, 1e-300]);
+        let body = frame.clone();
+        seal(&mut frame);
+        assert_eq!(frame.len(), body.len() + 4);
+        let mut good = frame.clone();
+        unseal(&mut good).unwrap();
+        assert_eq!(good, body);
+        // Any single flipped bit anywhere in the sealed frame trips.
+        for pos in [0, 7, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x40;
+            assert_eq!(unseal(&mut bad), Err(FrameCorrupt), "flip at {pos}");
+        }
+        let mut short = vec![1u8, 2, 3];
+        assert_eq!(unseal(&mut short), Err(FrameCorrupt));
     }
 }

@@ -6,18 +6,56 @@
 //! inputs are the work partition and the message routing — never the
 //! floating-point values or their application order — `step()` is
 //! bitwise identical for any rank count.
+//!
+//! **Crash recovery.** With fault injection attached
+//! ([`DistSim::with_fault_injection`]), the driver captures a full-state
+//! checkpoint epoch every `epoch_interval` steps. When a communication
+//! phase reports an unrecoverable [`RankLoss`], the remaining phases of
+//! the step drain, and the driver: restores the last epoch, rebuilds the
+//! transport over the surviving ranks (with the crash cleared from the
+//! plan), redistributes the dead rank's boxes via a space-filling-curve
+//! split seeded with the measured per-box costs ([`Simulation::cost`]'s
+//! `CostTracker`), invalidates every cached exchange plan, and replays
+//! the lost steps. Rank-count independence of `step()` makes the
+//! replayed physics bitwise identical to an unfaulted run.
 
 use std::sync::Arc;
 
-use crate::comm::DistComm;
-use crate::transport::{mem_transport, recording_mem_transport, Endpoint, Recorder};
+use crate::comm::{DistComm, RankLoss};
+use crate::faults::{faulty_mem_transport, FaultInjector, FaultPlan};
+use crate::transport::{mem_transport, recording_mem_transport, Endpoint, Phase, Recorder};
 use mrpic_amr::{DistributionMapping, Strategy};
+use mrpic_core::checkpoint::Checkpoint;
 use mrpic_core::sim::{Simulation, StepStats};
+
+/// One completed crash recovery, for diagnostics and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Step during which the loss surfaced.
+    pub detected_step: u64,
+    /// Communication phase that detected it.
+    pub phase: Phase,
+    pub dead_rank: usize,
+    /// Rank count after the shrink.
+    pub survivors: usize,
+    /// Step of the checkpoint epoch rolled back to.
+    pub epoch_step: u64,
+    /// Steps replayed to catch back up.
+    pub replayed: u64,
+}
 
 /// A simulation executing across N in-process ranks.
 pub struct DistSim {
     pub sim: Simulation,
     comm: DistComm,
+    /// Fault plan of the active transport (None: plain transport).
+    fault_plan: Option<FaultPlan>,
+    injector: Option<Arc<FaultInjector>>,
+    /// Steps between full-state checkpoint epochs (chaos runs only).
+    epoch_interval: u64,
+    epoch: Option<Checkpoint>,
+    /// Every crash recovery performed, in order.
+    pub recovery_log: Vec<RecoveryEvent>,
 }
 
 /// Box a homogeneous endpoint set for [`DistSim::new`].
@@ -37,7 +75,15 @@ impl DistSim {
             DistributionMapping::build(sim.fs.boxarray(), nranks, Strategy::SpaceFillingCurve, &[]);
         sim.dm = dm.clone();
         let comm = DistComm::new(endpoints, dm);
-        Self { sim, comm }
+        Self {
+            sim,
+            comm,
+            fault_plan: None,
+            injector: None,
+            epoch_interval: 10,
+            epoch: None,
+            recovery_log: Vec::new(),
+        }
     }
 
     /// In-process transport over `nranks` ranks.
@@ -52,6 +98,20 @@ impl DistSim {
         (Self::new(sim, boxed(eps)), rec)
     }
 
+    /// In-process transport perturbed by the seeded fault `plan`:
+    /// delays, corruption, and transient failures are absorbed
+    /// transparently (and counted in the step telemetry's `FaultStats`);
+    /// a planned rank crash triggers checkpoint rollback and replay on
+    /// the surviving ranks.
+    pub fn with_fault_injection(sim: Simulation, nranks: usize, plan: FaultPlan) -> Self {
+        let (eps, inj) = faulty_mem_transport(nranks, plan.clone());
+        let mut ds = Self::new(sim, boxed(eps));
+        ds.comm.attach_injector(Arc::clone(&inj));
+        ds.fault_plan = Some(plan);
+        ds.injector = Some(inj);
+        ds
+    }
+
     pub fn nranks(&self) -> usize {
         self.comm.nranks()
     }
@@ -60,9 +120,38 @@ impl DistSim {
         self.comm.mapping()
     }
 
-    /// Advance one step through the distributed backend.
+    /// Shared fault-injection state (chaos runs only).
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Steps between checkpoint epochs in chaos runs (default 10). A
+    /// crash costs at most `n` replayed steps.
+    pub fn set_epoch_interval(&mut self, n: u64) {
+        assert!(n > 0, "epoch interval must be positive");
+        self.epoch_interval = n;
+    }
+
+    /// Re-capture the recovery epoch right now. Call after mutating the
+    /// simulation outside the step loop (e.g. removing an MR patch), so
+    /// a later rollback restores into a structurally identical target.
+    pub fn refresh_epoch(&mut self) {
+        if self.fault_plan.is_some() {
+            self.epoch = Some(Checkpoint::capture(&self.sim));
+        }
+    }
+
+    /// Advance one step through the distributed backend, recovering from
+    /// an injected rank crash if one surfaces.
     pub fn step(&mut self) -> StepStats {
-        self.sim.step_with(&mut self.comm)
+        if self.fault_plan.is_some() && self.sim.istep.is_multiple_of(self.epoch_interval) {
+            self.epoch = Some(Checkpoint::capture(&self.sim));
+        }
+        let stats = self.sim.step_with(&mut self.comm);
+        if let Some(loss) = self.comm.take_loss() {
+            return self.recover(loss);
+        }
+        stats
     }
 
     /// Advance `n` steps.
@@ -70,6 +159,65 @@ impl DistSim {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Survive `loss`: roll back to the last checkpoint epoch, shrink
+    /// the rank set, and replay. The drained step left finite-but-stale
+    /// state behind; the restore discards all of it.
+    fn recover(&mut self, loss: RankLoss) -> StepStats {
+        let plan = self
+            .fault_plan
+            .as_ref()
+            .unwrap_or_else(|| panic!("unrecoverable transport failure: {}", loss.error));
+        let epoch = self
+            .epoch
+            .take()
+            .unwrap_or_else(|| panic!("rank loss before first epoch: {}", loss.error));
+        let survivors = self.nranks() - 1;
+        assert!(survivors >= 1, "no surviving ranks: {}", loss.error);
+        // The target is wherever the run had gotten to: the drained step
+        // still advanced the clock, so replay re-runs it cleanly.
+        let target = self.sim.istep;
+        epoch
+            .restore(&mut self.sim)
+            .unwrap_or_else(|e| panic!("epoch restore failed during recovery: {e}"));
+        // Adopt the dead rank's boxes: SFC split over the survivors,
+        // seeded with the measured per-box costs so the redistribution
+        // is load-aware, like a regular rebalance.
+        let dm = DistributionMapping::build(
+            self.sim.fs.boxarray(),
+            survivors,
+            Strategy::SpaceFillingCurve,
+            self.sim.cost.costs(),
+        );
+        self.sim.dm = dm.clone();
+        // Fresh transport over the survivors, same seed, crash cleared —
+        // in-flight frames of the dead transport are dropped with it.
+        let mut replay_plan = plan.clone();
+        replay_plan.crash = None;
+        let (eps, inj) = faulty_mem_transport(survivors, replay_plan.clone());
+        let mut comm = DistComm::new(boxed(eps), dm);
+        comm.attach_injector(Arc::clone(&inj));
+        self.comm = comm;
+        self.fault_plan = Some(replay_plan);
+        self.injector = Some(inj);
+        // The rank set changed under every cached exchange plan.
+        self.sim.invalidate_all_plans();
+        let replayed = target - self.sim.istep;
+        self.comm.note_recovery(replayed);
+        self.recovery_log.push(RecoveryEvent {
+            detected_step: loss.step,
+            phase: loss.phase,
+            dead_rank: loss.dead_rank,
+            survivors,
+            epoch_step: self.sim.istep,
+            replayed,
+        });
+        let mut last = StepStats::default();
+        for _ in 0..replayed {
+            last = self.step();
+        }
+        last
     }
 
     /// Force an immediate rebalance adoption, physically migrating box

@@ -2,15 +2,23 @@
 //!
 //! The distributed runtime speaks to its peers only through [`Endpoint`]:
 //! ordered, reliable, tagged byte messages between ranks (the MPI subset
-//! the step loop needs). v1 ships two backends — an in-process
-//! [`MemEndpoint`] over `std::sync::mpsc` channel pairs, and a
-//! [`RecordingEndpoint`] wrapper that captures every message (step,
-//! phase, src, dst, size) so the cluster simulator can price real traffic
-//! instead of modeled traffic.
+//! the step loop needs). Backends: an in-process [`MemEndpoint`] over
+//! `std::sync::mpsc` channel pairs, a [`RecordingEndpoint`] wrapper that
+//! captures every message (step, phase, seq, src, dst, size) plus the
+//! receive-side wait time so the cluster simulator can price real
+//! traffic, and a [`crate::faults::FaultyEndpoint`] wrapper that injects
+//! a seeded, deterministic schedule of delays, corruption, transient
+//! failures, and rank crashes.
+//!
+//! Transport operations return [`TransportError`] instead of panicking:
+//! a lost peer, a receive timeout, or a desynchronized tag is reported
+//! with full rank/phase/seq/step context so the runtime can retry,
+//! degrade, or recover instead of killing the whole run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Communication phase of a message (part of its tag).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,24 +36,91 @@ pub enum Phase {
 
 /// Message tag: phase plus a per-communicator sequence number. Both
 /// sides derive the tag from the same deterministic schedule, so a
-/// mismatch on receive means the protocol desynchronized — we assert.
+/// mismatch on receive means the protocol desynchronized.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Tag {
     pub phase: Phase,
     pub seq: u32,
 }
 
+/// What went wrong in a transport operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// No matching message arrived within the receive timeout.
+    Timeout,
+    /// A transient (retryable) send/recv failure — the operation did not
+    /// take effect and may be retried immediately.
+    Transient,
+    /// The received payload failed its integrity check.
+    Corrupt,
+    /// The received tag did not match the expected deterministic
+    /// schedule — the protocol desynchronized.
+    Desync,
+    /// The remote peer is gone (crashed rank or dropped endpoint).
+    PeerLost,
+    /// This rank itself has crashed (fault injection) and must stop
+    /// participating.
+    Crashed,
+}
+
+/// A failed transport operation, with enough context to say *which*
+/// rank, talking to *whom*, in *which* phase of *which* step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportError {
+    pub kind: TransportErrorKind,
+    /// Rank reporting the error.
+    pub rank: usize,
+    /// Remote rank involved in the failed operation.
+    pub peer: usize,
+    pub phase: Phase,
+    pub seq: u32,
+    /// Simulation step the transport was marked with via `set_step`.
+    pub step: u64,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} on rank {} (peer {}, phase {:?}, seq {}, step {})",
+            self.kind, self.rank, self.peer, self.phase, self.seq, self.step
+        )
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    pub fn new(kind: TransportErrorKind, rank: usize, peer: usize, tag: Tag, step: u64) -> Self {
+        Self {
+            kind,
+            rank,
+            peer,
+            phase: tag.phase,
+            seq: tag.seq,
+            step,
+        }
+    }
+
+    /// True for failures worth an immediate bounded retry (the message
+    /// was not consumed, or the sender will redeliver).
+    pub fn is_transient(&self) -> bool {
+        self.kind == TransportErrorKind::Transient
+    }
+}
+
 /// One rank's handle on the transport.
 ///
 /// Guarantees the runtime relies on: per ordered pair `(src, dst)`,
 /// messages arrive exactly once and in send order; `recv` blocks until
-/// the matching message arrives. Ranks never send to themselves.
+/// the matching message arrives or the backend's receive timeout
+/// expires. Ranks never send to themselves.
 pub trait Endpoint: Send {
     fn rank(&self) -> usize;
     fn nranks(&self) -> usize;
-    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>);
-    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8>;
-    /// Current simulation step, for trace grouping.
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) -> Result<(), TransportError>;
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError>;
+    /// Current simulation step, for trace grouping and error context.
     fn set_step(&mut self, _step: u64) {}
 }
 
@@ -53,15 +128,28 @@ type Msg = (Tag, Vec<u8>);
 type MsgTx = Sender<Msg>;
 type MsgRx = Receiver<Msg>;
 
+/// Default receive timeout of the in-process backend: generous enough
+/// that a healthy peer always answers in time, short enough that a dead
+/// peer is detected rather than hanging the run forever.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// In-process backend: an n×n mesh of mpsc channels.
 pub struct MemEndpoint {
     rank: usize,
+    step: u64,
+    timeout: Duration,
     senders: Vec<Option<MsgTx>>,
     receivers: Vec<Option<MsgRx>>,
 }
 
 /// Build a fully connected in-process transport for `nranks` ranks.
 pub fn mem_transport(nranks: usize) -> Vec<MemEndpoint> {
+    mem_transport_with_timeout(nranks, DEFAULT_RECV_TIMEOUT)
+}
+
+/// Build a fully connected in-process transport whose `recv` gives up
+/// with [`TransportErrorKind::Timeout`] after `timeout`.
+pub fn mem_transport_with_timeout(nranks: usize, timeout: Duration) -> Vec<MemEndpoint> {
     let mut senders: Vec<Vec<Option<MsgTx>>> = (0..nranks)
         .map(|_| (0..nranks).map(|_| None).collect())
         .collect();
@@ -84,6 +172,8 @@ pub fn mem_transport(nranks: usize) -> Vec<MemEndpoint> {
         .enumerate()
         .map(|(rank, (senders, receivers))| MemEndpoint {
             rank,
+            step: 0,
+            timeout,
             senders,
             receivers,
         })
@@ -99,50 +189,82 @@ impl Endpoint for MemEndpoint {
         self.senders.len()
     }
 
-    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) {
-        self.senders[dst]
-            .as_ref()
-            .expect("no channel to self")
-            .send((tag, payload))
-            .expect("peer endpoint dropped");
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) -> Result<(), TransportError> {
+        let tx = self.senders[dst].as_ref().expect("no channel to self");
+        tx.send((tag, payload)).map_err(|_| {
+            TransportError::new(TransportErrorKind::PeerLost, self.rank, dst, tag, self.step)
+        })
     }
 
-    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        let (got, payload) = self.receivers[src]
-            .as_ref()
-            .expect("no channel to self")
-            .recv()
-            .expect("peer endpoint dropped");
-        assert_eq!(
-            got, tag,
-            "rank {} desynchronized receiving from rank {src}",
-            self.rank
-        );
-        payload
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
+        let rx = self.receivers[src].as_ref().expect("no channel to self");
+        let (got, payload) = rx.recv_timeout(self.timeout).map_err(|e| {
+            let kind = match e {
+                RecvTimeoutError::Timeout => TransportErrorKind::Timeout,
+                RecvTimeoutError::Disconnected => TransportErrorKind::PeerLost,
+            };
+            TransportError::new(kind, self.rank, src, tag, self.step)
+        })?;
+        if got != tag {
+            return Err(TransportError::new(
+                TransportErrorKind::Desync,
+                self.rank,
+                src,
+                got,
+                self.step,
+            ));
+        }
+        Ok(payload)
+    }
+
+    fn set_step(&mut self, step: u64) {
+        self.step = step;
     }
 }
 
-/// One captured message.
+/// One captured sent message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MsgRecord {
     pub step: u64,
     pub phase: Phase,
+    pub seq: u32,
     pub src: usize,
     pub dst: usize,
     pub bytes: u64,
+}
+
+/// One captured receive, including how long the receiver waited for the
+/// message to arrive — the trace-replay costing uses this to price wait
+/// (straggler) time, not just moved bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecvRecord {
+    pub step: u64,
+    pub phase: Phase,
+    pub seq: u32,
+    pub src: usize,
+    pub dst: usize,
+    pub bytes: u64,
+    /// Wall seconds the receiving rank blocked in `recv`.
+    pub wait_seconds: f64,
 }
 
 /// Shared trace sink for a recording transport.
 #[derive(Debug, Default)]
 pub struct Recorder {
     msgs: Mutex<Vec<MsgRecord>>,
+    recvs: Mutex<Vec<RecvRecord>>,
     step: AtomicU64,
 }
 
 impl Recorder {
-    /// Snapshot of all messages captured so far.
+    /// Snapshot of all sent messages captured so far.
     pub fn messages(&self) -> Vec<MsgRecord> {
         self.msgs.lock().unwrap().clone()
+    }
+
+    /// Snapshot of all receives captured so far (with wait times).
+    pub fn receives(&self) -> Vec<RecvRecord> {
+        self.recvs.lock().unwrap().clone()
     }
 
     /// Total bytes per ordered `(src, dst)` rank pair.
@@ -154,10 +276,39 @@ impl Recorder {
         }
         acc.into_iter().map(|((s, d), b)| (s, d, b)).collect()
     }
+
+    /// Total seconds each receiving rank spent blocked in `recv`,
+    /// indexed by rank (`nranks` long).
+    pub fn rank_wait_seconds(&self, nranks: usize) -> Vec<f64> {
+        let recvs = self.recvs.lock().unwrap();
+        let mut acc = vec![0.0f64; nranks];
+        for r in recvs.iter() {
+            if r.dst < nranks {
+                acc[r.dst] += r.wait_seconds;
+            }
+        }
+        acc
+    }
+
+    /// The deterministic message schedule: every sent message as
+    /// `(step, phase, seq, src, dst)`, sorted. Capture order across rank
+    /// threads is racy, but the *schedule* — which messages exist — is
+    /// not, so the sorted view is stable across runs and thread counts.
+    pub fn schedule(&self) -> Vec<(u64, u8, u32, usize, usize)> {
+        let mut sched: Vec<_> = self
+            .msgs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|m| (m.step, m.phase as u8, m.seq, m.src, m.dst))
+            .collect();
+        sched.sort_unstable();
+        sched
+    }
 }
 
-/// Wraps any [`Endpoint`], logging every sent message into a shared
-/// [`Recorder`].
+/// Wraps any [`Endpoint`], logging every sent message and every receive
+/// (with wait time) into a shared [`Recorder`].
 pub struct RecordingEndpoint<E: Endpoint> {
     inner: E,
     recorder: Arc<Recorder>,
@@ -188,19 +339,31 @@ impl<E: Endpoint> Endpoint for RecordingEndpoint<E> {
         self.inner.nranks()
     }
 
-    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) {
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) -> Result<(), TransportError> {
         self.recorder.msgs.lock().unwrap().push(MsgRecord {
             step: self.recorder.step.load(Ordering::Relaxed),
             phase: tag.phase,
+            seq: tag.seq,
             src: self.inner.rank(),
             dst,
             bytes: payload.len() as u64,
         });
-        self.inner.send(dst, tag, payload);
+        self.inner.send(dst, tag, payload)
     }
 
-    fn recv(&mut self, src: usize, tag: Tag) -> Vec<u8> {
-        self.inner.recv(src, tag)
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
+        let t0 = std::time::Instant::now();
+        let payload = self.inner.recv(src, tag)?;
+        self.recorder.recvs.lock().unwrap().push(RecvRecord {
+            step: self.recorder.step.load(Ordering::Relaxed),
+            phase: tag.phase,
+            seq: tag.seq,
+            src,
+            dst: self.inner.rank(),
+            bytes: payload.len() as u64,
+            wait_seconds: t0.elapsed().as_secs_f64(),
+        });
+        Ok(payload)
     }
 
     fn set_step(&mut self, step: u64) {
@@ -222,36 +385,82 @@ mod tests {
     fn mem_transport_delivers_in_order() {
         let mut eps = mem_transport(3);
         let (a, rest) = eps.split_at_mut(1);
-        a[0].send(1, T, vec![1]);
-        a[0].send(1, Tag { seq: 8, ..T }, vec![2, 2]);
-        a[0].send(2, T, vec![3]);
-        assert_eq!(rest[0].recv(0, T), vec![1]);
-        assert_eq!(rest[0].recv(0, Tag { seq: 8, ..T }), vec![2, 2]);
-        assert_eq!(rest[1].recv(0, T), vec![3]);
+        a[0].send(1, T, vec![1]).unwrap();
+        a[0].send(1, Tag { seq: 8, ..T }, vec![2, 2]).unwrap();
+        a[0].send(2, T, vec![3]).unwrap();
+        assert_eq!(rest[0].recv(0, T).unwrap(), vec![1]);
+        assert_eq!(rest[0].recv(0, Tag { seq: 8, ..T }).unwrap(), vec![2, 2]);
+        assert_eq!(rest[1].recv(0, T).unwrap(), vec![3]);
     }
 
     #[test]
-    #[should_panic(expected = "desynchronized")]
-    fn tag_mismatch_asserts() {
+    fn tag_mismatch_is_a_desync_error() {
         let mut eps = mem_transport(2);
         let (a, b) = eps.split_at_mut(1);
-        a[0].send(1, T, vec![]);
-        b[0].recv(0, Tag { seq: 9, ..T });
+        a[0].set_step(3);
+        b[0].set_step(3);
+        a[0].send(1, T, vec![]).unwrap();
+        let e = b[0].recv(0, Tag { seq: 9, ..T }).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::Desync);
+        assert_eq!((e.rank, e.peer, e.step), (1, 0, 3));
+        // The error carries the tag actually received.
+        assert_eq!(e.seq, 7);
     }
 
     #[test]
-    fn recorder_captures_traffic() {
+    fn recv_times_out_with_context() {
+        let mut eps = mem_transport_with_timeout(2, Duration::from_millis(10));
+        eps[1].set_step(5);
+        let e = eps[1].recv(0, T).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::Timeout);
+        assert_eq!(
+            (e.rank, e.peer, e.phase, e.seq, e.step),
+            (1, 0, Phase::Fill, 7, 5)
+        );
+        assert!(e.to_string().contains("rank 1"));
+    }
+
+    #[test]
+    fn dropped_peer_is_reported_not_panicked() {
+        let mut eps = mem_transport(2);
+        let ep1 = eps.pop().unwrap();
+        drop(ep1);
+        let e = eps[0].send(1, T, vec![1, 2]).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::PeerLost);
+        let e = eps[0].recv(1, T).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::PeerLost);
+    }
+
+    #[test]
+    fn recorder_captures_traffic_and_recv_waits() {
         let (mut eps, rec) = recording_mem_transport(2);
         eps[0].set_step(5);
         let (a, b) = eps.split_at_mut(1);
-        a[0].send(1, T, vec![0; 64]);
-        b[0].recv(0, T);
-        b[0].send(0, Tag { seq: 8, ..T }, vec![0; 16]);
-        a[0].recv(1, Tag { seq: 8, ..T });
+        a[0].send(1, T, vec![0; 64]).unwrap();
+        b[0].recv(0, T).unwrap();
+        b[0].send(0, Tag { seq: 8, ..T }, vec![0; 16]).unwrap();
+        a[0].recv(1, Tag { seq: 8, ..T }).unwrap();
         let msgs = rec.messages();
         assert_eq!(msgs.len(), 2);
         assert_eq!(msgs[0].step, 5);
+        assert_eq!(msgs[0].seq, 7);
         assert_eq!(msgs[0].bytes, 64);
         assert_eq!(rec.pair_bytes(), vec![(0, 1, 64), (1, 0, 16)]);
+        // Receive side: both receives logged, with non-negative waits.
+        let recvs = rec.receives();
+        assert_eq!(recvs.len(), 2);
+        assert_eq!((recvs[0].src, recvs[0].dst, recvs[0].bytes), (0, 1, 64));
+        assert!(recvs.iter().all(|r| r.wait_seconds >= 0.0));
+        let waits = rec.rank_wait_seconds(2);
+        assert_eq!(waits.len(), 2);
+        assert!(waits.iter().all(|&w| w >= 0.0));
+        // The sorted schedule view is deterministic.
+        assert_eq!(
+            rec.schedule(),
+            vec![
+                (5, Phase::Fill as u8, 7, 0, 1),
+                (5, Phase::Fill as u8, 8, 1, 0)
+            ]
+        );
     }
 }

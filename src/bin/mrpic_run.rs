@@ -15,17 +15,66 @@
 //! multi-rank runtime: N rank threads over the in-process message-passing
 //! transport, with per-rank communication records in the telemetry. The
 //! physics is bitwise identical to a single-rank run.
+//!
+//! Chaos testing (requires `--ranks` ≥ 2): `--fault-seed N` runs the
+//! built-in chaos plan (delays, corruption, transient failures, plus a
+//! rank crash at step 20) seeded with N; `--fault-plan plan.json` loads
+//! a custom [`mrpic::dist::FaultPlan`]. Injected faults are absorbed —
+//! retried, re-received, or survived via checkpoint rollback — and
+//! counted in the `faults` block of each telemetry record.
 
-use mrpic::amr::{DistributionMapping, Strategy};
 use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
-use mrpic::dist::{boxed, mem_transport, DistComm};
+use mrpic::core::sim::Simulation;
+use mrpic::dist::{DistSim, FaultPlan};
+
+/// The step-loop driver: serial in-process, or the multi-rank runtime
+/// (which also owns chaos recovery when a fault plan is attached).
+enum Runner {
+    Serial(Box<Simulation>),
+    Dist(Box<DistSim>),
+}
+
+impl Runner {
+    fn sim(&self) -> &Simulation {
+        match self {
+            Runner::Serial(s) => s,
+            Runner::Dist(d) => &d.sim,
+        }
+    }
+
+    fn sim_mut(&mut self) -> &mut Simulation {
+        match self {
+            Runner::Serial(s) => s,
+            Runner::Dist(d) => &mut d.sim,
+        }
+    }
+
+    fn step(&mut self) {
+        match self {
+            Runner::Serial(s) => {
+                s.step();
+            }
+            Runner::Dist(d) => {
+                d.step();
+            }
+        }
+    }
+
+    /// Re-arm the recovery epoch after out-of-loop state surgery.
+    fn refresh_epoch(&mut self) {
+        if let Runner::Dist(d) = self {
+            d.refresh_epoch();
+        }
+    }
+}
 
 fn main() {
     let mut config_path = None;
     let mut outdir_arg = None;
     let mut max_steps = u64::MAX;
     let mut ranks = 1usize;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -46,6 +95,27 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--fault-seed" => {
+                let seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fault-seed needs an integer argument");
+                    std::process::exit(2);
+                });
+                fault_plan = Some(FaultPlan::chaos_smoke(seed));
+            }
+            "--fault-plan" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--fault-plan needs a path argument");
+                    std::process::exit(2);
+                });
+                let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+                    eprintln!("cannot read fault plan {p}: {e}");
+                    std::process::exit(2);
+                });
+                fault_plan = Some(FaultPlan::from_json(&text).unwrap_or_else(|e| {
+                    eprintln!("fault plan error: {e}");
+                    std::process::exit(2);
+                }));
+            }
             _ if config_path.is_none() => config_path = Some(a),
             _ if outdir_arg.is_none() => outdir_arg = Some(a),
             other => {
@@ -55,9 +125,16 @@ fn main() {
         }
     }
     let path = config_path.unwrap_or_else(|| {
-        eprintln!("usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N]");
+        eprintln!(
+            "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] \
+             [--fault-seed N | --fault-plan plan.json]"
+        );
         std::process::exit(2);
     });
+    if fault_plan.is_some() && ranks < 2 {
+        eprintln!("fault injection needs --ranks 2 or more (a crash must leave survivors)");
+        std::process::exit(2);
+    }
     let outdir =
         std::path::PathBuf::from(outdir_arg.unwrap_or_else(|| "target/mrpic_run_out".into()));
     std::fs::create_dir_all(&outdir).expect("create output dir");
@@ -73,15 +150,6 @@ fn main() {
     if let Err(e) = sim.telemetry.open_jsonl(&outdir.join("telemetry.jsonl")) {
         eprintln!("warning: cannot open telemetry sink: {e}");
     }
-    // With more than one rank, step through the distributed runtime:
-    // realign the mapping to one shard per rank and route every exchange
-    // over the in-process transport.
-    let mut dist_comm = (ranks > 1).then(|| {
-        let dm =
-            DistributionMapping::build(sim.fs.boxarray(), ranks, Strategy::SpaceFillingCurve, &[]);
-        sim.dm = dm.clone();
-        DistComm::new(boxed(mem_transport(ranks)), dm)
-    });
     println!(
         "mrpic_run: {}x{}x{} cells, {} species, {} lasers, {} particles, {ranks} rank(s), dt = {:.3e} s",
         cfg.cells[0],
@@ -92,38 +160,68 @@ fn main() {
         sim.total_particles(),
         sim.dt,
     );
+    // With more than one rank, step through the distributed runtime:
+    // the DistSim realigns the mapping to one shard per rank and routes
+    // every exchange over the in-process transport (fault-injected when
+    // a chaos plan is active).
+    let mut runner = if ranks > 1 {
+        Runner::Dist(Box::new(match &fault_plan {
+            Some(plan) => {
+                println!(
+                    "chaos transport: seed {}, delay {}‰, corrupt {}‰, transient {}‰, crash {:?}",
+                    plan.seed,
+                    plan.delay_per_mille,
+                    plan.corrupt_per_mille,
+                    plan.transient_per_mille,
+                    plan.crash,
+                );
+                DistSim::with_fault_injection(sim, ranks, plan.clone())
+            }
+            None => DistSim::in_process(sim, ranks),
+        }))
+    } else {
+        Runner::Serial(Box::new(sim))
+    };
     let mut energy_ts = TimeSeries::new("total_energy_joules");
     let mut removed = vec![false; removals.len()];
     let t0 = std::time::Instant::now();
-    while sim.time < cfg.t_end && sim.istep < max_steps {
-        match &mut dist_comm {
-            Some(comm) => sim.step_with(comm),
-            None => sim.step(),
-        };
+    while runner.sim().time < cfg.t_end && runner.sim().istep < max_steps {
+        runner.step();
         for (i, &tr) in removals.iter().enumerate() {
-            if !removed[i] && sim.time >= tr {
-                sim.remove_mr_patch();
+            if !removed[i] && runner.sim().time >= tr {
+                runner.sim_mut().remove_mr_patch();
+                runner.refresh_epoch();
                 removed[i] = true;
-                println!("t = {:.3e}: MR patch removed", sim.time);
+                println!("t = {:.3e}: MR patch removed", runner.sim().time);
             }
         }
-        if cfg.diag_interval > 0 && sim.istep % cfg.diag_interval == 0 {
-            let (fe, ke) = sim.total_energy();
-            energy_ts.push(sim.time, fe + ke);
+        if cfg.diag_interval > 0 && runner.sim().istep % cfg.diag_interval == 0 {
+            let (fe, ke) = runner.sim().total_energy();
+            energy_ts.push(runner.sim().time, fe + ke);
             println!(
                 "step {:6} | t = {:9.3e} s | E_field = {:9.3e} J | E_kin = {:9.3e} J | np = {}",
-                sim.istep,
-                sim.time,
+                runner.sim().istep,
+                runner.sim().time,
                 fe,
                 ke,
-                sim.total_particles(),
+                runner.sim().total_particles(),
             );
         }
-        if sim.telemetry.tripped() {
+        if runner.sim().telemetry.tripped() {
             break;
         }
     }
     let wall = t0.elapsed().as_secs_f64();
+    if let Runner::Dist(d) = &runner {
+        for ev in &d.recovery_log {
+            println!(
+                "recovered from rank {} loss at step {} ({:?} phase): rolled back to step {}, \
+                 replayed {} step(s) on {} survivor(s)",
+                ev.dead_rank, ev.detected_step, ev.phase, ev.epoch_step, ev.replayed, ev.survivors,
+            );
+        }
+    }
+    let sim = runner.sim();
     println!(
         "done: {} steps in {:.1} s wall ({:.1} ms/step)",
         sim.istep,
@@ -157,6 +255,11 @@ fn main() {
     ] {
         write_field_slice(&sim.fs, pick, 0, &outdir.join(format!("{name}.csv")), 1).unwrap();
     }
+    let recoveries = match &runner {
+        Runner::Dist(d) => d.recovery_log.len(),
+        Runner::Serial(_) => 0,
+    };
+    let sim = runner.sim();
     let summary = serde_json::json!({
         "ranks": ranks,
         "steps": sim.istep,
@@ -165,12 +268,14 @@ fn main() {
         "particles": sim.total_particles(),
         "window_x0": sim.fs.geom.x0[0],
         "guard_trips": sim.telemetry.trips().len(),
+        "recoveries": recoveries,
     });
     std::fs::write(
         outdir.join("summary.json"),
         serde_json::to_string_pretty(&summary).unwrap(),
     )
     .unwrap();
+    let sim = runner.sim_mut();
     sim.telemetry.flush();
     if let Some(e) = sim.telemetry.write_error() {
         eprintln!("warning: telemetry writes failed: {e}");

@@ -178,6 +178,43 @@ fn recording_transport_captures_all_phases() {
     assert!(last.ranks.iter().all(|r| r.particle_seconds > 0.0));
 }
 
+/// Golden-trace regression: the `(step, phase, seq, src, dst)` message
+/// schedule of a 2-rank moving-window MR run is a pure function of the
+/// configuration — identical across repeated runs and across rayon
+/// thread counts. A schedule change means the communication pattern
+/// changed and must be a deliberate decision, not thread-timing noise.
+#[test]
+fn message_schedule_is_a_golden_trace() {
+    const STEPS: usize = 10;
+    let trace = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let (mut d, rec) = DistSim::recording(build(11, true), 2);
+            d.run(STEPS);
+            rec.schedule()
+        })
+    };
+    let golden = trace(1);
+    assert!(!golden.is_empty(), "a 2-rank MR run must exchange messages");
+    // Both directions appear, and fill + sum phases are both scheduled.
+    assert!(golden.iter().any(|&(_, _, _, s, d)| (s, d) == (0, 1)));
+    assert!(golden.iter().any(|&(_, _, _, s, d)| (s, d) == (1, 0)));
+    assert!(golden.iter().any(|&(_, p, _, _, _)| p == Phase::Fill as u8));
+    assert!(golden.iter().any(|&(_, p, _, _, _)| p == Phase::Sum as u8));
+    // Stable across re-runs and across worker thread counts.
+    assert_eq!(golden, trace(1), "schedule must be stable across runs");
+    for threads in [2, 4] {
+        assert_eq!(
+            golden,
+            trace(threads),
+            "schedule must not depend on rayon thread count ({threads})"
+        );
+    }
+}
+
 fn arb_dom() -> impl Strategy<Value = IndexBox> {
     (4i64..20, 1i64..6, 4i64..20).prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
 }

@@ -24,3 +24,13 @@ test -s target/tier1_smoke_out/telemetry.jsonl
 cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
     target/tier1_smoke_dist_out --steps 40 --ranks 2
 test -s target/tier1_smoke_dist_out/telemetry.jsonl
+
+# Seeded chaos smoke: the built-in fault plan injects delays, corruption,
+# and transient failures, then crashes rank 1 at step 20; the run must
+# recover (checkpoint rollback + replay on the survivor) and exit 0, with
+# the injected-fault counters visible in the telemetry.
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_chaos_out --steps 40 --ranks 2 --fault-seed 42
+test -s target/tier1_smoke_chaos_out/telemetry.jsonl
+grep -q '"faults":{' target/tier1_smoke_chaos_out/telemetry.jsonl
+grep -q '"recoveries":1' target/tier1_smoke_chaos_out/telemetry.jsonl
