@@ -12,6 +12,12 @@
 //! `mrpic-dist` message-passing runtime at 1, 2, and 4 ranks, recording
 //! per-rank communication volumes alongside the step time.
 //!
+//! The `tracing_overhead` block steps the MR workload twice through
+//! identical trajectories — once with mrpic-trace span tracing enabled,
+//! once without — and records the relative step-time overhead (budget:
+//! <5%) plus the per-call cost of a *disabled* span guard, which must
+//! stay in single-digit nanoseconds (one relaxed atomic load).
+//!
 //! Run with: `cargo bench -p mrpic-bench --bench step_loop`
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -203,6 +209,63 @@ fn dist_case(sim: Simulation, nranks: usize) -> Value {
     })
 }
 
+/// Traced vs. untraced step time on identical MR trajectories, plus
+/// the per-call cost of a disabled span guard.
+fn tracing_overhead_case() -> Value {
+    const STEPS: usize = 40;
+    // Two deterministic builds follow the same trajectory, so the only
+    // difference between the timed windows is the tracing itself.
+    let mut plain = build_mr();
+    let mut traced = build_mr();
+    plain.run(3);
+    traced.run(3);
+    mrpic_trace::disable();
+    let _ = mrpic_trace::take_trace();
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        plain.step();
+    }
+    let untraced_s = t0.elapsed().as_secs_f64() / STEPS as f64;
+    mrpic_trace::enable();
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        traced.step();
+        mrpic_trace::collect();
+    }
+    let traced_s = t0.elapsed().as_secs_f64() / STEPS as f64;
+    mrpic_trace::disable();
+    let trace = mrpic_trace::take_trace();
+    let overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s;
+    // Disabled spans must compile down to a flag check: measure the
+    // per-call cost of entering+dropping a guard while tracing is off.
+    const CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        let _g = mrpic_trace::span!("bench_noop", -1, i);
+    }
+    let disabled_span_ns = t0.elapsed().as_nanos() as f64 / CALLS as f64;
+    let _ = mrpic_trace::take_trace();
+    // Gate with an absolute floor so scheduler noise on a sub-ms step
+    // cannot trip the relative budget spuriously.
+    assert!(
+        overhead_pct < 5.0 || traced_s - untraced_s < 50e-6,
+        "tracing overhead {overhead_pct:.2}% exceeds the 5% budget \
+         (untraced {untraced_s:.6} s/step, traced {traced_s:.6} s/step)"
+    );
+    assert!(
+        disabled_span_ns < 100.0,
+        "disabled span guard costs {disabled_span_ns:.1} ns/call — not a no-op"
+    );
+    json!({
+        "steps": STEPS,
+        "untraced_step_seconds": untraced_s,
+        "traced_step_seconds": traced_s,
+        "overhead_pct": overhead_pct,
+        "spans_per_step": trace.spans.len() as f64 / STEPS as f64,
+        "disabled_span_ns": disabled_span_ns
+    })
+}
+
 fn emit_report() {
     // Phase profile runs single-threaded so the JSON numbers are the
     // single-thread step-time basis used for before/after comparisons.
@@ -224,11 +287,13 @@ fn emit_report() {
         .into_iter()
         .map(|n| dist_case(build_mr(), n))
         .collect();
+    let tracing_overhead = tracing_overhead_case();
     let report = json!({
         "bench": "step_loop",
         "threads": 1,
         "cases": cases,
-        "dist_cases": dist_cases
+        "dist_cases": dist_cases,
+        "tracing_overhead": tracing_overhead
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_loop.json");
     let text = serde_json::to_string_pretty(&report).expect("serialize report");

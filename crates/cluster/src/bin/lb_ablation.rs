@@ -8,6 +8,12 @@
 //! laser–foil run executes on the `mrpic-dist` recording transport, and
 //! every framed message (fill, sum, particle redistribution, box
 //! migration) is priced on a latency/bandwidth machine model.
+//!
+//! `--trace trace.json` (a path after the flag) skips the in-process
+//! run and prices waits from *real* mrpic-trace spans instead of the
+//! recorder: the Chrome-trace file written by `mrpic_run --trace-out`
+//! supplies the per-pair byte matrix (matched `send` spans) and the
+//! measured per-rank `recv_wait` blocked time.
 
 use mrpic_amr::{BoxArray, IndexBox, IntVect};
 use mrpic_cluster::lb::{
@@ -122,9 +128,89 @@ fn trace_mode() {
     );
 }
 
+/// Price communication and waits from real mrpic-trace spans: a
+/// Chrome-trace file from `mrpic_run --trace-out` replaces both the
+/// recording transport's byte log (via matched `send` spans) and its
+/// modeled wait estimate (via measured `recv_wait` spans).
+fn trace_file_mode(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read trace {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = mrpic_trace::chrome::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not a valid Chrome trace: {e}");
+        std::process::exit(2);
+    });
+    let nranks = trace.nranks();
+    if nranks < 2 {
+        eprintln!("{path} holds fewer than two rank tracks — nothing to price");
+        std::process::exit(2);
+    }
+    let steps = trace.named("step").count().max(1);
+    println!("=== Span-driven communication costing ({path}: {nranks} ranks, {steps} steps) ===\n");
+    let matrix = mrpic_trace::analysis::comm_matrix(&trace, nranks);
+    let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
+    for (s, row) in matrix.iter().enumerate() {
+        for (d, &b) in row.iter().enumerate() {
+            if b > 0 {
+                pairs.push((s, d, b));
+            }
+        }
+    }
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|&(s, d, b)| vec![format!("{s} -> {d}"), format!("{b}")])
+        .collect();
+    print_table(&["rank pair", "bytes"], &rows);
+    let (lat, bw) = (2.0e-6, 25.0e9);
+    let times = trace_comm_times(&pairs, nranks, lat, bw);
+    println!("\nper-rank comm seconds over the whole trace (2 us latency, 25 GB/s):");
+    for (r, t) in times.iter().enumerate() {
+        println!("  rank {r}: {t:.3e} s");
+    }
+    println!(
+        "bulk-synchronous comm time: {:.3e} s/step measured-trace replay",
+        trace_step_comm_time(&pairs, nranks, lat, bw) / steps as f64
+    );
+    // Real blocked time, straight from the recv_wait spans — no model.
+    let waits = mrpic_trace::analysis::recv_wait_seconds(&trace, nranks);
+    let mut recv_counts = vec![0u64; nranks];
+    for s in trace.named("recv") {
+        if s.rank >= 0 && (s.rank as usize) < nranks {
+            recv_counts[s.rank as usize] += 1;
+        }
+    }
+    println!("\nmeasured receive-side wait (recv_wait spans):");
+    let rows: Vec<Vec<String>> = (0..nranks)
+        .map(|r| {
+            vec![
+                format!("{r}"),
+                recv_counts[r].to_string(),
+                format!("{:.3e}", waits[r]),
+                format!("{:.3e}", waits[r] / steps as f64),
+            ]
+        })
+        .collect();
+    print_table(&["rank", "receives", "wait s", "wait s/step"], &rows);
+    let (min_w, max_w) = waits.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &w| {
+        (lo.min(w), hi.max(w))
+    });
+    println!(
+        "wait imbalance (max/min across ranks): {:.2}x — the slack a \
+         cost-aware rebalance converts into compute",
+        max_w / min_w.max(1e-12)
+    );
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--trace") {
-        trace_mode();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        // A path after the flag prices from real spans; bare `--trace`
+        // falls back to the in-process recording transport.
+        match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => trace_file_mode(p),
+            _ => trace_mode(),
+        }
         return;
     }
     println!("=== Dynamic load balancing on a laser-solid cost field ===\n");

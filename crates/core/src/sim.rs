@@ -116,6 +116,30 @@ pub struct StepStats {
     pub exchange_seconds: f64,
 }
 
+/// The paper's load-balance metric over one step's per-rank records:
+/// max/mean of each rank's busy seconds (particle + exchange time).
+/// `None` for fewer than two ranks, where the ratio is vacuous.
+pub fn rank_imbalance(ranks: &[crate::exchange::RankStepComm]) -> Option<f64> {
+    if ranks.len() < 2 {
+        return None;
+    }
+    let busy: Vec<f64> = ranks
+        .iter()
+        .map(|r| r.particle_seconds + r.exchange_seconds)
+        .collect();
+    let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+    let max = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+    (mean > 0.0).then(|| max / mean)
+}
+
+/// Cached handle for the per-box kernel-time histogram (nanoseconds per
+/// box per species per step), fed while tracing is enabled.
+fn box_kernel_hist() -> &'static mrpic_trace::metrics::Histogram {
+    static H: std::sync::OnceLock<&'static mrpic_trace::metrics::Histogram> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| mrpic_trace::histogram("core.box_ns"))
+}
+
 /// Workspace buffers reused across boxes/steps.
 #[derive(Default)]
 struct Scratch {
@@ -381,6 +405,7 @@ impl SimulationBuilder {
             box_seconds: Vec::new(),
             box_phase: Vec::new(),
             fine_j_pool: Vec::new(),
+            metrics_mark: Vec::new(),
             stats: StepStats::default(),
             telemetry: Telemetry::default(),
         }
@@ -419,6 +444,9 @@ pub struct Simulation {
     box_phase: Vec<[f64; 3]>,
     /// Per-box fine-patch deposition buffers (reused).
     fine_j_pool: Vec<FineJBuf>,
+    /// Metrics-registry snapshot at the end of the previous step, so a
+    /// traced step can report per-step histogram deltas in telemetry.
+    metrics_mark: Vec<mrpic_trace::metrics::HistSnapshot>,
     pub stats: StepStats,
     /// Step records, physics probes, and NaN/Inf guards.
     pub telemetry: Telemetry,
@@ -597,11 +625,13 @@ impl Simulation {
         let comm0 = self.comm_stats_total();
         let sentinel_due = self.telemetry.sentinel_due(step_idx);
         let mut guard: Option<GuardTrip> = None;
+        let _step_span = mrpic_trace::span!("step", -1, step_idx);
         let t_step = std::time::Instant::now();
         let t_part = t_step;
 
         // Periodic locality sort.
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("sort");
         if self.sort_interval > 0 && self.istep.is_multiple_of(self.sort_interval) && self.istep > 0
         {
             let geom = self.fs.geom;
@@ -611,6 +641,7 @@ impl Simulation {
                 }
             }
         }
+        drop(sp);
         phases.sort = t0.elapsed().as_secs_f64();
 
         // 1. Zero currents.
@@ -626,9 +657,11 @@ impl Simulation {
         self.box_phase.resize(nfabs, [0.0; 3]);
         self.box_phase.fill([0.0; 3]);
         let nspecies = self.species.len();
+        let sp = mrpic_trace::span!("particle");
         for si in 0..nspecies {
             stats.pushed += self.advance_species(si, dt);
         }
+        drop(sp);
         for ph in &self.box_phase {
             phases.gather += ph[0];
             phases.push += ph[1];
@@ -637,6 +670,7 @@ impl Simulation {
 
         // 3. Current exchanges, smoothing and MR coupling.
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("sum");
         {
             let period = self.fs.period;
             let [j0, j1, j2] = &mut self.fs.j;
@@ -659,18 +693,23 @@ impl Simulation {
             }
         }
         self.lasers = lasers;
+        drop(sp);
         phases.sum = t0.elapsed().as_secs_f64();
         stats.particle_seconds = t_part.elapsed().as_secs_f64();
 
         // 5. Field advance (B half / E / B half) with PML exchanges.
         let t_field = std::time::Instant::now();
+        let sp = mrpic_trace::span!("maxwell");
         self.advance_fields(dt, comm);
+        drop(sp);
         phases.maxwell = t_field.elapsed().as_secs_f64();
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("mr");
         if let Some(mr) = &mut self.mr {
             mr.advance_fields(dt);
             mr.build_aux(&self.fs);
         }
+        drop(sp);
         phases.mr = t0.elapsed().as_secs_f64();
         stats.field_seconds = t_field.elapsed().as_secs_f64();
 
@@ -680,15 +719,18 @@ impl Simulation {
 
         // 6. Particle redistribution.
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("redistribute");
         let geom = self.fs.geom;
         let period = self.fs.period;
         for pc in &mut self.parts {
             stats.deleted += comm.redistribute(pc, self.fs.boxarray(), &geom, &period);
         }
+        drop(sp);
         phases.redistribute = t0.elapsed().as_secs_f64();
 
         // 7. Moving window.
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("window");
         self.time += dt;
         self.istep += 1;
         if let Some(mut win) = self.window {
@@ -702,10 +744,12 @@ impl Simulation {
             }
             self.window = Some(win);
         }
+        drop(sp);
         phases.window = t0.elapsed().as_secs_f64();
 
         // 8. Cost tracking & dynamic load balancing bookkeeping.
         let t0 = std::time::Instant::now();
+        let sp = mrpic_trace::span!("lb");
         for s in &mut self.box_seconds {
             *s = s.max(1e-9);
         }
@@ -731,6 +775,7 @@ impl Simulation {
                 self.dm = d.mapping;
             }
         }
+        drop(sp);
         phases.lb = t0.elapsed().as_secs_f64();
 
         let comm_delta = self.comm_stats_total().delta_since(&comm0);
@@ -739,6 +784,16 @@ impl Simulation {
         self.stats = stats;
         let rank_records = comm.take_rank_records();
         let fault_stats = comm.take_fault_stats();
+        let imbalance = rank_imbalance(&rank_records);
+        // Per-step deltas of the trace metrics registry (message bytes,
+        // recv-wait, per-box kernel times, ...), only while tracing.
+        let trace_hists = if mrpic_trace::enabled() {
+            let (summaries, mark) = mrpic_trace::metrics::summaries_since(&self.metrics_mark);
+            self.metrics_mark = mark;
+            summaries
+        } else {
+            Vec::new()
+        };
 
         if self.telemetry.cfg.enabled {
             let probes = self.telemetry.probes_due(step_idx).then(|| Probes {
@@ -770,6 +825,8 @@ impl Simulation {
                 guard,
                 ranks: rank_records,
                 faults: fault_stats,
+                imbalance,
+                trace_hists,
             });
         }
         stats
@@ -931,6 +988,8 @@ impl Simulation {
         tasks.par_iter_mut().for_each_init(
             || ScratchGuard::checkout(pool),
             |guard, task| {
+                let _box_span = mrpic_trace::span!("box", -1, task.bi);
+                let gather_span = mrpic_trace::span!("gather", -1, task.bi);
                 let t0 = std::time::Instant::now();
                 let sc = &mut guard.sc;
                 let n = task.buf.len();
@@ -1048,6 +1107,8 @@ impl Simulation {
                         }
                     );
                 }
+                drop(gather_span);
+                let push_span = mrpic_trace::span!("push", -1, task.bi);
                 let t_push = std::time::Instant::now();
                 task.phase[0] += t_push.duration_since(t0).as_secs_f64();
                 // Momentum push.
@@ -1090,6 +1151,8 @@ impl Simulation {
                         dt,
                     ),
                 }
+                drop(push_span);
+                let deposit_span = mrpic_trace::span!("deposit", -1, task.bi);
                 let t_dep = std::time::Instant::now();
                 task.phase[1] += t_dep.duration_since(t_push).as_secs_f64();
                 // Deposit: [0..c_fine) to the per-box fine buffer (reduced
@@ -1129,8 +1192,13 @@ impl Simulation {
                         dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom, &mut jv,
                     );
                 }
+                drop(deposit_span);
                 task.phase[2] += t_dep.elapsed().as_secs_f64();
-                *task.seconds += t0.elapsed().as_secs_f64();
+                let box_ns = t0.elapsed().as_nanos() as u64;
+                *task.seconds += box_ns as f64 * 1e-9;
+                if mrpic_trace::enabled() {
+                    box_kernel_hist().record(box_ns);
+                }
             },
         );
         drop(tasks);

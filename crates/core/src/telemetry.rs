@@ -237,6 +237,15 @@ pub struct StepRecord {
     /// when a chaos transport is attached to the run).
     #[serde(default)]
     pub faults: Option<FaultStats>,
+    /// The paper's load-balance metric — max/mean of per-rank step
+    /// seconds — computed from the rank records (absent single-rank).
+    #[serde(default)]
+    pub imbalance: Option<f64>,
+    /// Per-step histogram summaries (message bytes, recv-wait, per-box
+    /// kernel times, ...) from the mrpic-trace metrics registry; only
+    /// populated while tracing is enabled.
+    #[serde(default)]
+    pub trace_hists: Vec<mrpic_trace::HistSummary>,
 }
 
 /// Step-record ring plus optional JSONL sink and tripped-guard log.
@@ -282,10 +291,15 @@ impl Telemetry {
     }
 
     /// Append a record to the ring (and the JSONL sink when attached).
+    /// A record carrying a guard trip flushes the sink immediately: the
+    /// driver typically aborts right after a trip, and the tripping
+    /// record is exactly the line a post-mortem must not lose to
+    /// writer buffering.
     pub fn record(&mut self, rec: StepRecord) {
         if !self.cfg.enabled {
             return;
         }
+        let tripping = rec.guard.is_some();
         if let Some(trip) = &rec.guard {
             self.trips.push(trip.clone());
         }
@@ -294,7 +308,11 @@ impl Telemetry {
                 .map_err(|e| std::io::Error::other(e.to_string()))
                 .and_then(|line| {
                     w.write_all(line.as_bytes())?;
-                    w.write_all(b"\n")
+                    w.write_all(b"\n")?;
+                    if tripping {
+                        w.flush()?;
+                    }
+                    Ok(())
                 });
             if let Err(e) = res {
                 self.write_error = Some(e.to_string());
@@ -490,6 +508,8 @@ mod tests {
                 }),
                 ranks: Vec::new(),
                 faults: None,
+                imbalance: None,
+                trace_hists: Vec::new(),
             });
         }
         assert_eq!(t.records().len(), 2);
@@ -556,6 +576,16 @@ mod tests {
                 retries: 3,
                 ..Default::default()
             }),
+            imbalance: Some(1.25),
+            trace_hists: vec![mrpic_trace::HistSummary {
+                name: "dist.msg_bytes".into(),
+                count: 12,
+                sum: 49152,
+                mean: 4096.0,
+                p50: 4095,
+                p99: 8191,
+                max: 8191,
+            }],
         };
         let s = serde_json::to_string(&rec).unwrap();
         let back: StepRecord = serde_json::from_str(&s).unwrap();
@@ -568,6 +598,73 @@ mod tests {
         assert_eq!(back.probes, rec.probes);
         assert!(back.guard.is_none());
         assert_eq!(back.faults, rec.faults);
+        assert_eq!(back.imbalance, Some(1.25));
+        assert_eq!(back.trace_hists, rec.trace_hists);
+    }
+
+    /// A minimal record for sink tests.
+    fn blank_record(step: u64, guard: Option<GuardTrip>) -> StepRecord {
+        StepRecord {
+            step,
+            time: 0.0,
+            dt: 1.0,
+            seconds: 0.0,
+            phases: PhaseTimes::default(),
+            comm: CommStats::default(),
+            particles: vec![],
+            pushed: 0,
+            deleted: 0,
+            window_shifts: 0,
+            rebalances: 0,
+            probes: None,
+            guard,
+            ranks: Vec::new(),
+            faults: None,
+            imbalance: None,
+            trace_hists: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn guard_trip_flushes_jsonl_immediately() {
+        let path =
+            std::env::temp_dir().join(format!("mrpic_telemetry_trip_{}.jsonl", std::process::id()));
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.open_jsonl(&path).unwrap();
+        t.record(blank_record(0, None));
+        t.record(blank_record(
+            1,
+            Some(GuardTrip {
+                step: 1,
+                phase: "maxwell".into(),
+                grid: "parent".into(),
+                component: "Ex".into(),
+                box_id: 0,
+            }),
+        ));
+        // No flush() and the Telemetry is still alive — the tripping
+        // record must already be on disk.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "tripping record lost to buffering");
+        assert!(text.lines().nth(1).unwrap().contains("\"maxwell\""));
+        drop(t);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_flushes_jsonl_sink() {
+        let path =
+            std::env::temp_dir().join(format!("mrpic_telemetry_drop_{}.jsonl", std::process::id()));
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.open_jsonl(&path).unwrap();
+        // Small untripping records sit in the BufWriter until a flush;
+        // dropping the Telemetry must be such a flush.
+        t.record(blank_record(0, None));
+        t.record(blank_record(1, None));
+        drop(t);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

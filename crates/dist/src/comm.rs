@@ -89,6 +89,27 @@ fn backoff(attempt: u32) {
     std::thread::sleep(std::time::Duration::from_micros(40u64 << attempt.min(8)));
 }
 
+/// Cached mrpic-trace metric handles; the steady-state cost per record
+/// is one relaxed atomic add (and nothing at all when tracing is off —
+/// every site gates on `mrpic_trace::enabled()`).
+fn msg_bytes_hist() -> &'static mrpic_trace::metrics::Histogram {
+    static H: std::sync::OnceLock<&'static mrpic_trace::metrics::Histogram> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| mrpic_trace::histogram("dist.msg_bytes"))
+}
+
+fn recv_wait_hist() -> &'static mrpic_trace::metrics::Histogram {
+    static H: std::sync::OnceLock<&'static mrpic_trace::metrics::Histogram> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| mrpic_trace::histogram("dist.recv_wait_ns"))
+}
+
+fn retries_counter() -> &'static mrpic_trace::metrics::Counter {
+    static C: std::sync::OnceLock<&'static mrpic_trace::metrics::Counter> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| mrpic_trace::counter("dist.retries"))
+}
+
 /// Seal and send one frame, retrying transient failures with bounded
 /// backoff. Byte/message accounting covers the sealed frame once.
 fn send_framed(
@@ -100,6 +121,10 @@ fn send_framed(
     faults: &mut FaultStats,
 ) -> Result<(), TransportError> {
     seal(&mut frame);
+    let _send_span = mrpic_trace::span!("send", ep.rank(), dst, frame.len());
+    if mrpic_trace::enabled() {
+        msg_bytes_hist().record(frame.len() as u64);
+    }
     rec.sent_bytes += frame.len() as u64;
     rec.sent_messages += 1;
     let mut attempt = 0;
@@ -109,6 +134,9 @@ fn send_framed(
             Err(e) if e.is_transient() && attempt + 1 < MAX_ATTEMPTS => {
                 attempt += 1;
                 faults.retries += 1;
+                if mrpic_trace::enabled() {
+                    retries_counter().incr();
+                }
                 backoff(attempt);
             }
             Err(e) => return Err(e),
@@ -127,9 +155,20 @@ fn recv_framed(
     rec: &mut RankStepComm,
     faults: &mut FaultStats,
 ) -> Result<Vec<u8>, TransportError> {
+    let _recv_span = mrpic_trace::span!("recv", ep.rank(), src);
     let mut attempt = 0;
     loop {
-        match ep.recv(src, tag) {
+        // The blocked time inside `ep.recv` is the quantity the load
+        // balancer wants priced: spanned separately from the unseal work
+        // and recorded into the recv-wait histogram.
+        let wait_span = mrpic_trace::span!("recv_wait", ep.rank(), src);
+        let t_wait = std::time::Instant::now();
+        let got = ep.recv(src, tag);
+        drop(wait_span);
+        if mrpic_trace::enabled() {
+            recv_wait_hist().record(t_wait.elapsed().as_nanos() as u64);
+        }
+        match got {
             Ok(mut frame) => {
                 let sealed_len = frame.len() as u64;
                 if unseal(&mut frame).is_ok() {
@@ -149,10 +188,16 @@ fn recv_framed(
                 }
                 attempt += 1;
                 faults.retries += 1;
+                if mrpic_trace::enabled() {
+                    retries_counter().incr();
+                }
             }
             Err(e) if e.is_transient() && attempt + 1 < MAX_ATTEMPTS => {
                 attempt += 1;
                 faults.retries += 1;
+                if mrpic_trace::enabled() {
+                    retries_counter().incr();
+                }
                 backoff(attempt);
             }
             Err(e) => return Err(e),
@@ -414,6 +459,13 @@ fn rank_exchange(
     step: u64,
 ) -> RankOut {
     let t0 = std::time::Instant::now();
+    let _phase_span = mrpic_trace::span!(
+        match kind {
+            Kind::Fill => "rank_fill",
+            Kind::Sum => "rank_sum",
+        },
+        r
+    );
     let mut rec = RankStepComm {
         rank: r,
         ..Default::default()
@@ -664,6 +716,7 @@ fn rank_redistribute(
     step: u64,
 ) -> RankOut {
     let t0 = std::time::Instant::now();
+    let _phase_span = mrpic_trace::span!("rank_redist", r);
     let mut rec = RankStepComm {
         rank: r,
         ..Default::default()
@@ -761,6 +814,7 @@ impl DistComm {
         fs: &mut FieldSet,
         parts: &mut [ParticleContainer],
     ) -> Result<(), TransportError> {
+        let _migrate_span = mrpic_trace::span!("migrate");
         let nranks = self.nranks();
         assert_eq!(prev.nranks(), nranks);
         assert_eq!(next.nranks(), nranks);

@@ -1,0 +1,233 @@
+//! Chrome tracing / Perfetto JSON export and import.
+//!
+//! The export is the classic `traceEvents` JSON array understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one complete
+//! (`"ph":"X"`) event per span with microsecond timestamps, one *pid*
+//! per rank (pid 0 is the driver / serial phases, pid `r+1` is rank
+//! `r`), one *tid* per worker thread, plus `process_name`/`thread_name`
+//! metadata so tracks are labeled. Span metadata travels in `args`
+//! (`rank`, `arg0`, `arg1` — box id for kernel spans, peer/bytes for
+//! `send`/`recv` spans), which is how [`parse`] reconstructs a
+//! [`Trace`] losslessly modulo sub-nanosecond rounding.
+
+use serde_json::Value;
+
+use crate::{SpanRec, Trace};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn pid_of(rank: i32) -> u64 {
+    (rank + 1).max(0) as u64
+}
+
+/// Serialize `trace` as Chrome-trace JSON.
+pub fn export(trace: &Trace) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(trace.spans.len() + 16);
+    // Label every (pid) and (pid, tid) track that appears.
+    let mut pids: Vec<i32> = trace.spans.iter().map(|s| s.rank).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for &rank in &pids {
+        let label = if rank < 0 {
+            "driver".to_string()
+        } else {
+            format!("rank {rank}")
+        };
+        events.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("name", Value::Str("process_name".into())),
+            ("pid", Value::UInt(pid_of(rank))),
+            ("args", obj(vec![("name", Value::Str(label))])),
+        ]));
+    }
+    let mut tracks: Vec<(i32, u32)> = trace.spans.iter().map(|s| (s.rank, s.tid)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for &(rank, tid) in &tracks {
+        events.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("name", Value::Str("thread_name".into())),
+            ("pid", Value::UInt(pid_of(rank))),
+            ("tid", Value::UInt(tid as u64)),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("worker-{tid}")))]),
+            ),
+        ]));
+    }
+    for s in &trace.spans {
+        events.push(obj(vec![
+            ("name", Value::Str(s.name.clone())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::Float(s.begin_ns as f64 / 1e3)),
+            (
+                "dur",
+                Value::Float(s.end_ns.saturating_sub(s.begin_ns) as f64 / 1e3),
+            ),
+            ("pid", Value::UInt(pid_of(s.rank))),
+            ("tid", Value::UInt(s.tid as u64)),
+            (
+                "args",
+                obj(vec![
+                    ("rank", Value::Int(s.rank as i64)),
+                    ("arg0", Value::Int(s.arg0)),
+                    ("arg1", Value::Int(s.arg1)),
+                ]),
+            ),
+        ]));
+    }
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+        ("droppedEvents", Value::UInt(trace.dropped)),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+/// Write `trace` as Chrome-trace JSON to `path`.
+pub fn write(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, export(trace))
+}
+
+/// Parse Chrome-trace JSON (as produced by [`export`]) back into a
+/// [`Trace`]. Span nesting depth is recomputed from the intervals.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(Value::Array(evs)) => evs,
+        _ => return Err("missing traceEvents array".to_string()),
+    };
+    let dropped = doc
+        .get("droppedEvents")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let mut spans = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if ph != "X" {
+            continue; // metadata and non-span phases
+        }
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("X event without name")?
+            .to_string();
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or("X event without ts")?;
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let pid = ev.get("pid").and_then(|v| v.as_i64()).unwrap_or(0);
+        let tid = ev.get("tid").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+        let args = ev.get("args");
+        let get_arg = |key: &str, fallback: i64| {
+            args.and_then(|a| a.get(key))
+                .and_then(|v| v.as_i64())
+                .unwrap_or(fallback)
+        };
+        let rank = get_arg("rank", pid - 1) as i32;
+        let begin_ns = (ts * 1e3).round() as u64;
+        let end_ns = ((ts + dur) * 1e3).round() as u64;
+        spans.push(SpanRec {
+            name,
+            rank,
+            tid,
+            begin_ns,
+            end_ns,
+            depth: 0,
+            arg0: get_arg("arg0", -1),
+            arg1: get_arg("arg1", -1),
+        });
+    }
+    spans.sort_by_key(|s| (s.begin_ns, std::cmp::Reverse(s.end_ns)));
+    recompute_depths(&mut spans);
+    Ok(Trace { spans, dropped })
+}
+
+/// Assign nesting depth per thread track from interval containment
+/// (spans must be sorted by begin, longest first on ties).
+fn recompute_depths(spans: &mut [SpanRec]) {
+    let mut open: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
+    for s in spans {
+        let stack = open.entry(s.tid).or_default();
+        while let Some(&end) = stack.last() {
+            if end <= s.begin_ns {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        s.depth = stack.len() as u32;
+        stack.push(s.end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mk = |name: &str, rank, tid, b, e, depth, a0, a1| SpanRec {
+            name: name.to_string(),
+            rank,
+            tid,
+            begin_ns: b,
+            end_ns: e,
+            depth,
+            arg0: a0,
+            arg1: a1,
+        };
+        Trace {
+            spans: vec![
+                mk("step", -1, 0, 0, 10_000, 0, 0, -1),
+                mk("particle", -1, 0, 1_000, 6_000, 1, -1, -1),
+                mk("box", -1, 1, 1_200, 2_200, 0, 3, -1),
+                mk("send", 0, 2, 2_000, 2_500, 0, 1, 4096),
+                mk("recv", 1, 3, 2_100, 2_700, 0, 0, 4096),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_parse_round_trip_preserves_span_tree() {
+        let t = sample_trace();
+        let json = export(&t);
+        let back = parse(&json).expect("round trip parses");
+        assert_eq!(back.signature(), t.signature());
+        assert_eq!(back.spans.len(), t.spans.len());
+        assert_eq!(back.dropped, 0);
+        back.check_nesting().expect("round trip nests");
+        // Depths recomputed from intervals match the originals.
+        for (a, b) in t.spans.iter().zip(back.spans.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.depth, b.depth, "span {}", a.name);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.arg0, b.arg0);
+            assert_eq!(a.arg1, b.arg1);
+        }
+    }
+
+    #[test]
+    fn export_labels_rank_tracks() {
+        let json = export(&sample_trace());
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"driver\""));
+        assert!(json.contains("\"rank 0\""));
+        assert!(json.contains("\"rank 1\""));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"foo\": 1}").is_err());
+    }
+}

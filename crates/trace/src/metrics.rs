@@ -1,0 +1,297 @@
+//! Global metrics registry: named counters and log2-bucket histograms.
+//!
+//! Handles are registered once (leaked `'static` allocations behind a
+//! mutex) and looked up by name; hot call sites should cache the
+//! returned reference (e.g. in a `OnceLock`) so the steady-state cost
+//! is a single relaxed atomic add. Histograms bucket by `floor(log2)`,
+//! which is plenty for the quantities traced here — message bytes,
+//! retry counts, recv-wait nanoseconds, per-box kernel nanoseconds —
+//! where order of magnitude is what matters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0 holds zero.
+pub const NBUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Monotonic named counter.
+pub struct Counter {
+    pub name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free log2-bucket histogram.
+pub struct Histogram {
+    pub name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NBUCKETS],
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the cumulative state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            name: self.name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// Fetch-or-register the counter `name`. Cache the handle at hot sites.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = COUNTERS.lock().unwrap();
+    if let Some(c) = reg.iter().find(|c| c.name == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    reg.push(c);
+    c
+}
+
+/// Fetch-or-register the histogram `name`. Cache the handle at hot
+/// sites.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = HISTOGRAMS.lock().unwrap();
+    if let Some(h) = reg.iter().find(|h| h.name == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name,
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+    }));
+    reg.push(h);
+    h
+}
+
+/// Cumulative values of all registered counters, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let reg = COUNTERS.lock().unwrap();
+    let mut v: Vec<(String, u64)> = reg.iter().map(|c| (c.name.to_string(), c.get())).collect();
+    v.sort();
+    v
+}
+
+/// Cumulative snapshots of all registered histograms, sorted by name.
+pub fn histograms_snapshot() -> Vec<HistSnapshot> {
+    let reg = HISTOGRAMS.lock().unwrap();
+    let mut v: Vec<HistSnapshot> = reg.iter().map(|h| h.snapshot()).collect();
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v
+}
+
+/// Copy of one histogram's cumulative state; subtract two snapshots to
+/// get a windowed (e.g. per-step) view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// The recorded activity since `prev` (which must be an earlier
+    /// snapshot of the same histogram).
+    pub fn delta_since(&self, prev: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            name: self.name.clone(),
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(prev.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return bucket_hi(i);
+            }
+        }
+        bucket_hi(NBUCKETS - 1)
+    }
+
+    /// Compact serializable summary.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            name: self.name.clone(),
+            count: self.count,
+            sum: self.sum,
+            mean: if self.count > 0 {
+                self.sum as f64 / self.count as f64
+            } else {
+                0.0
+            },
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            max: self.quantile(1.0),
+        }
+    }
+}
+
+/// Upper bound (inclusive) of log2 bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Serializable digest of a histogram window: emitted into telemetry
+/// `StepRecord`s when tracing is enabled. Quantiles are log2-bucket
+/// upper bounds, so accurate to within 2x.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Summaries of every histogram's activity since `prev` (an earlier
+/// [`histograms_snapshot`]); histograms with no new samples are
+/// omitted. Returns the new snapshot for the next window alongside.
+pub fn summaries_since(prev: &[HistSnapshot]) -> (Vec<HistSummary>, Vec<HistSnapshot>) {
+    let now = histograms_snapshot();
+    let mut out = Vec::new();
+    for snap in &now {
+        let delta = match prev.iter().find(|p| p.name == snap.name) {
+            Some(p) => snap.delta_since(p),
+            None => snap.clone(),
+        };
+        if delta.count > 0 {
+            out.push(delta.summary());
+        }
+    }
+    (out, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_hi(1), 1);
+        assert_eq!(bucket_hi(2), 3);
+        assert_eq!(bucket_hi(11), 2047);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_deltas() {
+        let h = histogram("test.metrics.quantiles");
+        let before = h.snapshot();
+        for v in [1u64, 2, 3, 900, 1000] {
+            h.record(v);
+        }
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 5);
+        assert_eq!(delta.sum, 1906);
+        // p50 falls in the bucket of 3 ([2,4) -> hi 3).
+        assert_eq!(delta.quantile(0.5), 3);
+        // max falls in the bucket of 1000 ([512,1024) -> hi 1023).
+        assert_eq!(delta.quantile(1.0), 1023);
+        let s = delta.summary();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 1906.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_and_identity_is_stable() {
+        let c1 = counter("test.metrics.counter");
+        let c2 = counter("test.metrics.counter");
+        assert!(std::ptr::eq(c1, c2));
+        let base = c1.get();
+        c1.add(3);
+        c2.incr();
+        assert_eq!(c1.get(), base + 4);
+    }
+
+    #[test]
+    fn summaries_since_reports_only_active_windows() {
+        let h = histogram("test.metrics.windowed");
+        let (_, mark) = summaries_since(&[]);
+        h.record(64);
+        let (sums, _) = summaries_since(&mark);
+        let s = sums
+            .iter()
+            .find(|s| s.name == "test.metrics.windowed")
+            .expect("active histogram reported");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 64);
+    }
+}

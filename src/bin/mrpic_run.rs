@@ -22,6 +22,13 @@
 //! a custom [`mrpic::dist::FaultPlan`]. Injected faults are absorbed —
 //! retried, re-received, or survived via checkpoint rollback — and
 //! counted in the `faults` block of each telemetry record.
+//!
+//! `--trace-out trace.json` enables mrpic-trace span tracing for the
+//! run and writes a Chrome-trace JSON (open in Perfetto / `chrome://
+//! tracing`; one process track per rank, one thread track per worker).
+//! The same file feeds `mrpic_prof` for top-span, rank-imbalance,
+//! comm-matrix, and critical-path reports. Tracing also lights up the
+//! per-step histogram summaries in `telemetry.jsonl`.
 
 use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
@@ -75,6 +82,7 @@ fn main() {
     let mut max_steps = u64::MAX;
     let mut ranks = 1usize;
     let mut fault_plan: Option<FaultPlan> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -102,6 +110,13 @@ fn main() {
                 });
                 fault_plan = Some(FaultPlan::chaos_smoke(seed));
             }
+            "--trace-out" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path argument");
+                    std::process::exit(2);
+                });
+                trace_out = Some(std::path::PathBuf::from(p));
+            }
             "--fault-plan" => {
                 let p = args.next().unwrap_or_else(|| {
                     eprintln!("--fault-plan needs a path argument");
@@ -127,13 +142,16 @@ fn main() {
     let path = config_path.unwrap_or_else(|| {
         eprintln!(
             "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] \
-             [--fault-seed N | --fault-plan plan.json]"
+             [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json]"
         );
         std::process::exit(2);
     });
     if fault_plan.is_some() && ranks < 2 {
         eprintln!("fault injection needs --ranks 2 or more (a crash must leave survivors)");
         std::process::exit(2);
+    }
+    if trace_out.is_some() {
+        mrpic::trace::enable();
     }
     let outdir =
         std::path::PathBuf::from(outdir_arg.unwrap_or_else(|| "target/mrpic_run_out".into()));
@@ -187,6 +205,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     while runner.sim().time < cfg.t_end && runner.sim().istep < max_steps {
         runner.step();
+        if trace_out.is_some() {
+            // Drain the per-thread rings once per step so short-lived
+            // rank/worker threads never wrap their rings.
+            mrpic::trace::collect();
+        }
         for (i, &tr) in removals.iter().enumerate() {
             if !removed[i] && runner.sim().time >= tr {
                 runner.sim_mut().remove_mr_patch();
@@ -241,6 +264,30 @@ fn main() {
         ph.fill,
         ph.mr,
     );
+    if let Some(tp) = &trace_out {
+        mrpic::trace::disable();
+        let trace = mrpic::trace::take_trace();
+        match mrpic::trace::chrome::write(&trace, tp) {
+            Ok(()) => {
+                println!(
+                    "trace: {} spans ({} dropped) -> {}",
+                    trace.spans.len(),
+                    trace.dropped,
+                    tp.display(),
+                );
+                if let Some(r) = mrpic::trace::analysis::imbalance(&trace) {
+                    println!("trace: rank imbalance (max/mean busy) = {r:.3}");
+                }
+                for a in mrpic::trace::analysis::top_spans(&trace, 5) {
+                    println!(
+                        "trace: {:<12} {:>8}x total {:8.3} s self {:8.3} s",
+                        a.name, a.count, a.total_s, a.self_s,
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot write trace {}: {e}", tp.display()),
+        }
+    }
     // Final diagnostics.
     energy_ts.write_json(&outdir.join("energy.json")).unwrap();
     for (si, sp) in sim.species.iter().enumerate() {

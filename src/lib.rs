@@ -14,7 +14,9 @@
 //!   simulator used to regenerate the paper's performance studies;
 //! * [`dist`] — multi-rank distributed runtime: message-passing halo
 //!   exchange, particle migration, and box-migration load balancing over
-//!   a pluggable transport.
+//!   a pluggable transport;
+//! * [`trace`] — low-overhead span tracing, counters/histograms, Chrome
+//!   trace export, and comm-matrix / critical-path analysis.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -25,6 +27,7 @@ pub use mrpic_core as core;
 pub use mrpic_dist as dist;
 pub use mrpic_field as field;
 pub use mrpic_kernels as kernels;
+pub use mrpic_trace as trace;
 
 /// Workspace version string.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -34,3 +34,15 @@ cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
 test -s target/tier1_smoke_chaos_out/telemetry.jsonl
 grep -q '"faults":{' target/tier1_smoke_chaos_out/telemetry.jsonl
 grep -q '"recoveries":1' target/tier1_smoke_chaos_out/telemetry.jsonl
+
+# Traced 2-rank smoke: --trace-out writes Chrome-trace JSON; mrpic_prof
+# validates that it parses and that spans nest correctly per thread
+# track (exit 1 otherwise) and reports imbalance / comm matrix / top
+# spans. While tracing is on, telemetry records carry the per-step
+# histogram summaries.
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_trace_out --steps 20 --ranks 2 \
+    --trace-out target/tier1_smoke_trace_out/trace.json
+test -s target/tier1_smoke_trace_out/trace.json
+cargo run --release --bin mrpic_prof -- target/tier1_smoke_trace_out/trace.json
+grep -q '"trace_hists":\[{' target/tier1_smoke_trace_out/telemetry.jsonl
