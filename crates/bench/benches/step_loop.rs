@@ -25,7 +25,7 @@ use mrpic_amr::{IndexBox, IntVect};
 use mrpic_core::laser::antenna_for_a0;
 use mrpic_core::mr::MrConfig;
 use mrpic_core::profile::Profile;
-use mrpic_core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic_core::sim::{Precision, ShapeOrder, Simulation, SimulationBuilder};
 use mrpic_core::species::Species;
 use mrpic_core::telemetry::PhaseTimes;
 use mrpic_dist::DistSim;
@@ -39,12 +39,21 @@ const UM: f64 = 1.0e-6;
 /// Periodic uniform drifting plasma over four boxes (no PML, no MR):
 /// the steady-state hot path with nothing but particles and exchanges.
 fn build_uniform() -> Simulation {
+    build_uniform_cfg(true, mrpic_kernels::DEFAULT_LANE_WIDTH, Precision::F64)
+}
+
+/// [`build_uniform`] with explicit kernel knobs (scalar-reference vs
+/// lane-blocked, lane width, precision mode).
+fn build_uniform_cfg(optimized: bool, lane_width: usize, precision: Precision) -> Simulation {
     SimulationBuilder::new(Dim::Two)
         .domain(IntVect::new(64, 1, 64), [0.1 * UM; 3], [0.0; 3])
         .periodic([true, true, true])
         .max_box(IntVect::new(32, 1, 32))
         .order(ShapeOrder::Quadratic)
         .cfl(0.6)
+        .optimized_kernels(optimized)
+        .lane_width(lane_width)
+        .precision(precision)
         .add_species(
             Species::electrons("e", Profile::Uniform { n0: 2.0e25 }, [2, 1, 2])
                 .with_thermal([1.0e6; 3]),
@@ -266,6 +275,82 @@ fn tracing_overhead_case() -> Value {
     })
 }
 
+/// Per-phase seconds of the uniform-plasma workload at each supported
+/// lane width (the fixed tile size W the blocked kernels process per
+/// iteration). Run inside the single-thread pool.
+fn lane_width_sweep() -> Vec<Value> {
+    mrpic_kernels::LANE_WIDTHS
+        .iter()
+        .map(|&w| {
+            let mut sim = build_uniform_cfg(true, w, Precision::F64);
+            sim.run(3);
+            let (total, _, _, _) = profile(&mut sim, 20, false);
+            let mut ph = PhaseTimes::default();
+            for r in sim.telemetry.records().iter().rev().take(20) {
+                ph.merge(&r.phases);
+            }
+            let n = 20.0;
+            json!({
+                "lane_width": w,
+                "steps": 20,
+                "step_seconds": total,
+                "gather_seconds": ph.gather / n,
+                "push_seconds": ph.push / n,
+                "deposit_seconds": ph.deposit / n
+            })
+        })
+        .collect()
+}
+
+/// Audited model intensity (flops/byte) per kernel variant, plus the
+/// achieved GFLOP/s implied by this run's measured gather/deposit phase
+/// seconds on the uniform-plasma workload (order 2, 2-D, `np`
+/// particles).
+fn kernel_intensity(cases: &[Value], np: f64) -> Vec<Value> {
+    use mrpic_kernels::flops::{KernelCosts, KernelVariant};
+    let entries = [
+        (
+            "uniform_plasma_scalar",
+            "scalar",
+            KernelVariant::Scalar,
+            8.0,
+        ),
+        (
+            "uniform_plasma",
+            "lane_blocked",
+            KernelVariant::LaneBlocked,
+            8.0,
+        ),
+        (
+            "uniform_plasma_f32",
+            "lane_blocked_f32",
+            KernelVariant::LaneBlocked,
+            4.0,
+        ),
+    ];
+    entries
+        .iter()
+        .filter_map(|&(case_name, variant_name, variant, wsize)| {
+            let c = cases
+                .iter()
+                .find(|c| c.get("case").and_then(Value::as_str) == Some(case_name))?;
+            let k = KernelCosts::for_variant(2, 2, wsize, variant);
+            let ph = c.get("phase_seconds")?;
+            let gather_s = ph.get("gather").and_then(Value::as_f64)?;
+            let deposit_s = ph.get("deposit").and_then(Value::as_f64)?;
+            Some(json!({
+                "case": case_name,
+                "variant": variant_name,
+                "wsize_bytes": wsize,
+                "gather_intensity_flops_per_byte": k.gather_intensity(),
+                "deposit_intensity_flops_per_byte": k.deposit_intensity(),
+                "gather_gflops_achieved": np * k.gather_flops / gather_s / 1e9,
+                "deposit_gflops_achieved": np * k.deposit_flops / deposit_s / 1e9
+            }))
+        })
+        .collect()
+}
+
 fn emit_report() {
     // Phase profile runs single-threaded so the JSON numbers are the
     // single-thread step-time basis used for before/after comparisons.
@@ -276,10 +361,27 @@ fn emit_report() {
     let cases: Vec<Value> = pool.install(|| {
         vec![
             case("uniform_plasma", build_uniform(), false),
+            case(
+                "uniform_plasma_scalar",
+                build_uniform_cfg(false, 8, Precision::F64),
+                false,
+            ),
+            case(
+                "uniform_plasma_f32",
+                build_uniform_cfg(
+                    true,
+                    mrpic_kernels::DEFAULT_LANE_WIDTH,
+                    Precision::F32Particles,
+                ),
+                false,
+            ),
             case("uniform_plasma_uncached_plans", build_uniform(), true),
             case("mr_hybrid_target", build_mr(), false),
         ]
     });
+    let sweep = pool.install(lane_width_sweep);
+    let np = build_uniform().total_particles() as f64;
+    let intensity = kernel_intensity(&cases, np);
     // Multi-rank series: the same MR workload through the distributed
     // runtime at 1/2/4 ranks (rank threads manage their own parallelism,
     // so this runs outside the single-thread pool).
@@ -292,6 +394,8 @@ fn emit_report() {
         "bench": "step_loop",
         "threads": 1,
         "cases": cases,
+        "lane_width_sweep": sweep,
+        "kernel_intensity": intensity,
         "dist_cases": dist_cases,
         "tracing_overhead": tracing_overhead
     });

@@ -8,7 +8,7 @@
 use crate::laser::{LaserAntenna, Polarization};
 use crate::mr::MrConfig;
 use crate::profile::Profile;
-use crate::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use crate::sim::{Precision, ShapeOrder, Simulation, SimulationBuilder};
 use crate::species::Species;
 use mrpic_amr::{IndexBox, IntVect};
 use mrpic_field::fieldset::Dim;
@@ -51,6 +51,14 @@ pub struct RunConfig {
     pub filter_passes: usize,
     #[serde(default = "default_true")]
     pub optimized_kernels: bool,
+    /// Lane width of the blocked kernels (particles per SIMD tile);
+    /// one of 4, 8, 16.
+    #[serde(default = "default_lane_width")]
+    pub lane_width: usize,
+    /// Particle-kernel precision: "f64" (bitwise-reproducible default)
+    /// or "f32_particles" (single-precision gather/push/deposit).
+    #[serde(default)]
+    pub precision: Precision,
     #[serde(default = "default_seed")]
     pub seed: u64,
     #[serde(default)]
@@ -84,6 +92,10 @@ fn default_order() -> usize {
 }
 fn default_true() -> bool {
     true
+}
+
+fn default_lane_width() -> usize {
+    mrpic_kernels::DEFAULT_LANE_WIDTH
 }
 
 fn default_seed() -> u64 {
@@ -305,6 +317,20 @@ impl RunConfig {
                 self.cells[1]
             ));
         }
+        if !mrpic_kernels::LANE_WIDTHS.contains(&self.lane_width) {
+            return Err(format!(
+                "lane_width must be one of {:?}, got {}",
+                mrpic_kernels::LANE_WIDTHS,
+                self.lane_width
+            ));
+        }
+        if self.precision == Precision::F32Particles && !self.mr_patches.is_empty() {
+            return Err(
+                "precision \"f32_particles\" cannot be combined with mr_patches \
+                 (mesh refinement is only validated in f64)"
+                    .into(),
+            );
+        }
         if self.pml < 0 {
             return Err(format!(
                 "pml must be >= 0 cells (0 disables it), got {}",
@@ -401,7 +427,9 @@ impl RunConfig {
             })
             .seed(self.seed)
             .filter_passes(self.filter_passes)
-            .optimized_kernels(self.optimized_kernels);
+            .optimized_kernels(self.optimized_kernels)
+            .lane_width(self.lane_width)
+            .precision(self.precision);
         if self.pml > 0 {
             b = b.pml(self.pml);
         }
@@ -636,6 +664,49 @@ mod tests {
         cfg.mr_patches[0].rr = 2;
         cfg.mr_patches[0].hi[0] = cfg.mr_patches[0].lo[0];
         assert!(cfg.validate().unwrap_err().contains("lo[0]"));
+    }
+
+    #[test]
+    fn precision_field_roundtrips_and_validates() {
+        // Default is f64 and serializes to the exact snake_case string.
+        let cfg = RunConfig::from_json(SAMPLE).unwrap();
+        assert_eq!(cfg.precision, Precision::F64);
+        assert_eq!(cfg.lane_width, mrpic_kernels::DEFAULT_LANE_WIDTH);
+        let text = serde_json::to_string(&cfg).unwrap();
+        assert!(text.contains("\"precision\":\"f64\""), "{text}");
+        let back = RunConfig::from_json(&text).unwrap();
+        assert_eq!(back.precision, Precision::F64);
+
+        // f32_particles parses, round-trips, and flows into the builder
+        // (the sample has an MR patch, which f32 rejects — drop it).
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.precision = Precision::F32Particles;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("f32_particles"), "{err}");
+        cfg.mr_patches.clear();
+        cfg.validate().unwrap();
+        let text = serde_json::to_string(&cfg).unwrap();
+        assert!(text.contains("\"precision\":\"f32_particles\""), "{text}");
+        let back = RunConfig::from_json(&text).unwrap();
+        assert_eq!(back.precision, Precision::F32Particles);
+        let (sim, _) = back.build().unwrap();
+        assert_eq!(sim.precision, Precision::F32Particles);
+
+        // Unknown precision strings are rejected by serde.
+        let text = text.replacen("f32_particles", "f16_particles", 1);
+        assert!(RunConfig::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn lane_width_validates_and_flows() {
+        let mut cfg = RunConfig::from_json(SAMPLE).unwrap();
+        cfg.lane_width = 5;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("lane_width"), "{err}");
+        cfg.lane_width = 16;
+        cfg.validate().unwrap();
+        let (sim, _) = cfg.build().unwrap();
+        assert_eq!(sim.lane_width, 16);
     }
 
     #[test]

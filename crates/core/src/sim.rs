@@ -26,13 +26,12 @@ use mrpic_field::fieldset::{
 };
 use mrpic_field::pml::Pml;
 use mrpic_field::yee;
-use mrpic_kernels::deposit::{
-    deposit_rho2, deposit_rho3, esirkepov2, esirkepov2_blocked, esirkepov3, esirkepov3_blocked,
-    JViews,
-};
-use mrpic_kernels::gather::{gather2, gather2_blocked, gather3, gather3_blocked, EmOut, EmViews};
-use mrpic_kernels::push::{gamma_of_u, push_momentum, push_position, push_position2};
+use mrpic_kernels::deposit::{deposit_rho2, deposit_rho3, esirkepov2, esirkepov3, JViews};
+use mrpic_kernels::gather::{gather2, gather3, EmOut, EmViews};
+use mrpic_kernels::lanes::{Lanes, DEFAULT_LANE_WIDTH, LANE_WIDTHS};
+use mrpic_kernels::push::{gamma_of_u, push_position, push_position2};
 use mrpic_kernels::shape::{Cubic, Linear, Quadratic};
+use mrpic_kernels::view::{FieldView, FieldViewMut};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -78,6 +77,54 @@ macro_rules! with_shape {
             }
         }
     };
+}
+
+/// Dispatch a lane-width-generic kernel call on a runtime width. The
+/// widths mirror [`LANE_WIDTHS`]; anything else was rejected at build
+/// time, so the fallback arm only keeps the match exhaustive.
+macro_rules! with_lanes {
+    ($lw:expr, $W:ident, $body:expr) => {
+        match $lw {
+            4 => {
+                const $W: usize = 4;
+                $body
+            }
+            16 => {
+                const $W: usize = 16;
+                $body
+            }
+            _ => {
+                const $W: usize = DEFAULT_LANE_WIDTH;
+                $body
+            }
+        }
+    };
+}
+
+/// Numeric precision of the particle kernels (paper §V-A mixed-precision
+/// mode). `F64` is the bitwise-reproducible default. `F32Particles`
+/// stages per-box field windows and particle attributes in `f32`, runs
+/// gather / momentum push / deposition in single precision, and keeps
+/// positions and the global field state in `f64` (positions lose too
+/// much resolution in `f32` once the moving window travels far from the
+/// origin; the field solve stays `f64` so Gauss-law conservation is
+/// limited only by the deposited currents).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Precision {
+    #[default]
+    F64,
+    F32Particles,
+}
+
+impl Precision {
+    /// Bytes per scalar in the particle kernels (roofline `wsize`).
+    pub fn wsize(self) -> f64 {
+        match self {
+            Precision::F64 => 8.0,
+            Precision::F32Particles => 4.0,
+        }
+    }
 }
 
 /// Moving-window configuration: the grid follows the laser at c along +x
@@ -194,6 +241,71 @@ impl Drop for ScratchGuard<'_> {
     }
 }
 
+/// `f32` staging workspace for the mixed-precision particle path: field
+/// windows, particle attributes, gathered fields, and per-box current
+/// tiles all live in single precision; only positions and the global
+/// field state stay `f64`.
+#[derive(Default)]
+struct Scratch32 {
+    /// Staged field windows (Ex, Ey, Ez, Bx, By, Bz over the guarded box).
+    fld: [Vec<f32>; 6],
+    /// Gathered per-particle fields, same component order.
+    em: [Vec<f32>; 6],
+    /// Pre-push positions (cast once, reused as the deposit's old state).
+    x0: Vec<f32>,
+    y0: Vec<f32>,
+    z0: Vec<f32>,
+    /// Post-push positions.
+    x1: Vec<f32>,
+    y1: Vec<f32>,
+    z1: Vec<f32>,
+    ux: Vec<f32>,
+    uy: Vec<f32>,
+    uz: Vec<f32>,
+    w: Vec<f32>,
+    vy: Vec<f32>,
+    /// Per-box current tiles, accumulated into the `f64` fabs afterwards.
+    j: [Vec<f32>; 3],
+}
+
+impl Scratch32 {
+    fn cast(dst: &mut Vec<f32>, src: &[f64]) {
+        dst.clear();
+        dst.extend(src.iter().map(|&v| v as f32));
+    }
+}
+
+/// Pool guard for [`Scratch32`], mirroring [`ScratchGuard`].
+struct Scratch32Guard<'a> {
+    pool: &'a Mutex<Vec<Scratch32>>,
+    sc: Scratch32,
+}
+
+impl<'a> Scratch32Guard<'a> {
+    fn checkout(pool: &'a Mutex<Vec<Scratch32>>) -> Self {
+        let sc = pool.lock().unwrap().pop().unwrap_or_default();
+        Self { pool, sc }
+    }
+}
+
+impl Drop for Scratch32Guard<'_> {
+    fn drop(&mut self) {
+        self.pool.lock().unwrap().push(std::mem::take(&mut self.sc));
+    }
+}
+
+/// Single-precision copy of a field view with the owning view's layout.
+fn stage_view<'a>(dst: &'a mut Vec<f32>, src: &FieldView<'_, f64>) -> FieldView<'a, f32> {
+    Scratch32::cast(dst, src.data);
+    FieldView {
+        data: dst,
+        lo: src.lo,
+        nx: src.nx,
+        nxy: src.nxy,
+        half: src.half,
+    }
+}
+
 /// Per-box fine-patch deposition buffer. Boxes deposit into their own
 /// buffer during the parallel particle loop; buffers are then reduced
 /// into the shared fine-grid currents in ascending box order, so the
@@ -237,6 +349,8 @@ pub struct SimulationBuilder {
     seed: u64,
     filter_passes: usize,
     use_optimized_kernels: bool,
+    lane_width: usize,
+    precision: Precision,
 }
 
 impl SimulationBuilder {
@@ -259,6 +373,8 @@ impl SimulationBuilder {
             seed: 20220101,
             filter_passes: 0,
             use_optimized_kernels: true,
+            lane_width: DEFAULT_LANE_WIDTH,
+            precision: Precision::default(),
         }
     }
 
@@ -345,6 +461,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Lane width `W` of the blocked kernels (particles per SIMD tile).
+    pub fn lane_width(mut self, w: usize) -> Self {
+        assert!(
+            LANE_WIDTHS.contains(&w),
+            "lane width must be one of {LANE_WIDTHS:?}"
+        );
+        self.lane_width = w;
+        self
+    }
+
+    /// Particle-kernel precision mode (see [`Precision`]).
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
     /// Allocate fields, inject initial plasma, compute dt.
     pub fn build(self) -> Simulation {
         let domain = IndexBox::from_size(self.cells);
@@ -401,7 +533,10 @@ impl SimulationBuilder {
             seed: self.seed,
             filter_passes: self.filter_passes,
             use_optimized_kernels: self.use_optimized_kernels,
+            lane_width: self.lane_width,
+            precision: self.precision,
             scratch_pool: Mutex::new(Vec::new()),
+            scratch32_pool: Mutex::new(Vec::new()),
             box_seconds: Vec::new(),
             box_phase: Vec::new(),
             fine_j_pool: Vec::new(),
@@ -436,8 +571,14 @@ pub struct Simulation {
     pub filter_passes: usize,
     /// Use the restructured gather/deposition kernels.
     pub use_optimized_kernels: bool,
+    /// Lane width of the blocked kernels (one of [`LANE_WIDTHS`]).
+    pub lane_width: usize,
+    /// Particle-kernel precision mode.
+    pub precision: Precision,
     /// Pool of per-thread particle workspaces.
     scratch_pool: Mutex<Vec<Scratch>>,
+    /// Pool of per-thread `f32` staging workspaces (mixed precision).
+    scratch32_pool: Mutex<Vec<Scratch32>>,
     /// Per-box particle-phase seconds of the current step (reused).
     box_seconds: Vec<f64>,
     /// Per-box [gather, push, deposit] seconds of the current step.
@@ -467,6 +608,11 @@ impl Simulation {
     /// sources, which is exactly consistent.
     pub fn add_mr_patch(&mut self, cfg: MrConfig) {
         assert!(self.mr.is_none(), "one refinement patch at a time");
+        assert!(
+            self.precision == Precision::F64,
+            "mesh refinement requires f64 precision (the fine/coarse \
+             linearity construction is not validated in mixed precision)"
+        );
         let lvl = MrLevel::new(&self.fs, cfg, self.order.ngrow());
         if cfg.subcycle {
             // c dt < dx_fine = dx/rr requires cfl < sqrt(d)/rr.
@@ -827,6 +973,7 @@ impl Simulation {
                 faults: fault_stats,
                 imbalance,
                 trace_hists,
+                precision: self.precision,
             });
         }
         stats
@@ -931,6 +1078,9 @@ impl Simulation {
     /// per-box cost timers live on the work items, so the physics *and*
     /// the accounting are bitwise independent of the thread count.
     fn advance_species(&mut self, si: usize, dt: f64) -> usize {
+        if self.precision == Precision::F32Particles {
+            return self.advance_species_f32(si, dt);
+        }
         let dim = self.dim;
         let order = self.order;
         let sp_charge = self.species[si].charge;
@@ -939,6 +1089,7 @@ impl Simulation {
         let qmdt2 = sp_charge * dt / (2.0 * sp_mass);
         let geom = self.fs.geom.kernel_geom();
         let optimized = self.use_optimized_kernels;
+        let lane_width = self.lane_width;
         // MR routing regions in physical coordinates.
         let mr_regions = self
             .mr
@@ -1074,13 +1225,17 @@ impl Simulation {
                         order,
                         S,
                         match dim {
-                            Dim::Three if optimized => gather3_blocked::<S, f64>(
-                                &buf.x[c_aux..n],
-                                &buf.y[c_aux..n],
-                                &buf.z[c_aux..n],
-                                &geom,
-                                &views,
-                                &mut out,
+                            Dim::Three if optimized => with_lanes!(
+                                lane_width,
+                                W,
+                                Lanes::<W>::gather3::<S, f64>(
+                                    &buf.x[c_aux..n],
+                                    &buf.y[c_aux..n],
+                                    &buf.z[c_aux..n],
+                                    &geom,
+                                    &views,
+                                    &mut out,
+                                )
                             ),
                             Dim::Three => gather3::<S, f64>(
                                 &buf.x[c_aux..n],
@@ -1090,12 +1245,16 @@ impl Simulation {
                                 &views,
                                 &mut out,
                             ),
-                            Dim::Two if optimized => gather2_blocked::<S, f64>(
-                                &buf.x[c_aux..n],
-                                &buf.z[c_aux..n],
-                                &geom,
-                                &views,
-                                &mut out,
+                            Dim::Two if optimized => with_lanes!(
+                                lane_width,
+                                W,
+                                Lanes::<W>::gather2::<S, f64>(
+                                    &buf.x[c_aux..n],
+                                    &buf.z[c_aux..n],
+                                    &geom,
+                                    &views,
+                                    &mut out,
+                                )
                             ),
                             Dim::Two => gather2::<S, f64>(
                                 &buf.x[c_aux..n],
@@ -1111,19 +1270,24 @@ impl Simulation {
                 let push_span = mrpic_trace::span!("push", -1, task.bi);
                 let t_push = std::time::Instant::now();
                 task.phase[0] += t_push.duration_since(t0).as_secs_f64();
-                // Momentum push.
-                push_momentum(
-                    pusher,
-                    &mut buf.ux[..n],
-                    &mut buf.uy[..n],
-                    &mut buf.uz[..n],
-                    &sc.ex[..n],
-                    &sc.ey[..n],
-                    &sc.ez[..n],
-                    &sc.bx[..n],
-                    &sc.by[..n],
-                    &sc.bz[..n],
-                    qmdt2,
+                // Momentum push (the lane tiling is bitwise identical to
+                // the scalar pusher, so no `optimized` split is needed).
+                with_lanes!(
+                    lane_width,
+                    W,
+                    Lanes::<W>::push_momentum(
+                        pusher,
+                        &mut buf.ux[..n],
+                        &mut buf.uy[..n],
+                        &mut buf.uz[..n],
+                        &sc.ex[..n],
+                        &sc.ey[..n],
+                        &sc.ez[..n],
+                        &sc.bx[..n],
+                        &sc.by[..n],
+                        &sc.bz[..n],
+                        qmdt2,
+                    )
                 );
                 // Save old positions, compute vy at the half step, push x.
                 sc.x0[..n].copy_from_slice(&buf.x[..n]);
@@ -1178,8 +1342,8 @@ impl Simulation {
                         jz: view_over(fine_fabs[2], fjz),
                     };
                     Self::deposit_slice(
-                        dim, order, optimized, buf, sc, 0, c_fine, sp_charge, dt, &fine_geom,
-                        &mut jv,
+                        dim, order, optimized, lane_width, buf, sc, 0, c_fine, sp_charge, dt,
+                        &fine_geom, &mut jv,
                     );
                 }
                 if c_fine < n {
@@ -1189,7 +1353,8 @@ impl Simulation {
                         jz: view_of_fab_mut(task.jz),
                     };
                     Self::deposit_slice(
-                        dim, order, optimized, buf, sc, c_fine, n, sp_charge, dt, &geom, &mut jv,
+                        dim, order, optimized, lane_width, buf, sc, c_fine, n, sp_charge, dt,
+                        &geom, &mut jv,
                     );
                 }
                 drop(deposit_span);
@@ -1221,11 +1386,298 @@ impl Simulation {
         pushed
     }
 
+    /// Mixed-precision (`f32_particles`) variant of `advance_species`.
+    ///
+    /// Per box: the six guarded field windows and the particle
+    /// attributes are cast to `f32` once, gather / momentum push /
+    /// Esirkepov deposition run in single precision through the same
+    /// lane-blocked kernels, and the deposited currents are accumulated
+    /// back into the `f64` fabs. Positions are pushed in `f64` (only
+    /// cast for the kernels), so long moving-window runs keep full cell
+    /// resolution. Mesh refinement is rejected at build/config time.
+    fn advance_species_f32(&mut self, si: usize, dt: f64) -> usize {
+        debug_assert!(self.mr.is_none(), "MR is rejected in f32 mode");
+        let dim = self.dim;
+        let order = self.order;
+        let sp_charge = self.species[si].charge;
+        let sp_mass = self.species[si].mass;
+        let pusher = self.species[si].pusher;
+        let qmdt2 = (sp_charge * dt / (2.0 * sp_mass)) as f32;
+        let geom = self.fs.geom.kernel_geom();
+        let optimized = self.use_optimized_kernels;
+        let lane_width = self.lane_width;
+        let nboxes = self.fs.nfabs();
+        self.fine_j_pool.resize_with(nboxes, FineJBuf::default);
+        let FieldSet { e, b, j, .. } = &mut self.fs;
+        let (e, b) = (&*e, &*b);
+        let [jx_arr, jy_arr, jz_arr] = j;
+        let mut pushed = 0usize;
+        let mut tasks: Vec<BoxTask<'_>> = Vec::with_capacity(nboxes);
+        {
+            let mut jxs = jx_arr.fabs_mut().iter_mut();
+            let mut jys = jy_arr.fabs_mut().iter_mut();
+            let mut jzs = jz_arr.fabs_mut().iter_mut();
+            let mut fine = self.fine_j_pool.iter_mut();
+            let mut secs = self.box_seconds.iter_mut();
+            let mut phs = self.box_phase.iter_mut();
+            for (bi, buf) in self.parts[si].bufs.iter_mut().enumerate() {
+                let jx = jxs.next().expect("J layout matches particle boxes");
+                let jy = jys.next().expect("J layout matches particle boxes");
+                let jz = jzs.next().expect("J layout matches particle boxes");
+                let fine_j = fine.next().expect("pool sized to nboxes");
+                let seconds = secs.next().expect("box_seconds sized to nboxes");
+                let phase = phs.next().expect("box_phase sized to nboxes");
+                if buf.is_empty() {
+                    continue;
+                }
+                pushed += buf.len();
+                tasks.push(BoxTask {
+                    bi,
+                    buf,
+                    jx,
+                    jy,
+                    jz,
+                    fine_j,
+                    seconds,
+                    phase,
+                });
+            }
+        }
+        let pool = &self.scratch32_pool;
+        tasks.par_iter_mut().for_each_init(
+            || Scratch32Guard::checkout(pool),
+            |guard, task| {
+                let _box_span = mrpic_trace::span!("box", -1, task.bi);
+                let gather_span = mrpic_trace::span!("gather", -1, task.bi);
+                let t0 = std::time::Instant::now();
+                let Scratch32 {
+                    fld,
+                    em,
+                    x0,
+                    y0,
+                    z0,
+                    x1,
+                    y1,
+                    z1,
+                    ux,
+                    uy,
+                    uz,
+                    w,
+                    vy,
+                    j,
+                } = &mut guard.sc;
+                let buf = &mut *task.buf;
+                let n = buf.len();
+                // Stage particle attributes and the box's field windows.
+                Scratch32::cast(x0, &buf.x[..n]);
+                Scratch32::cast(y0, &buf.y[..n]);
+                Scratch32::cast(z0, &buf.z[..n]);
+                Scratch32::cast(ux, &buf.ux[..n]);
+                Scratch32::cast(uy, &buf.uy[..n]);
+                Scratch32::cast(uz, &buf.uz[..n]);
+                Scratch32::cast(w, &buf.w[..n]);
+                for v in em.iter_mut() {
+                    v.resize(n.max(v.len()), 0.0);
+                }
+                vy.resize(n.max(vy.len()), 0.0);
+                let bi = task.bi;
+                let [f0, f1, f2, f3, f4, f5] = fld;
+                let views = EmViews {
+                    ex: stage_view(f0, &fab_view(&e[0], bi)),
+                    ey: stage_view(f1, &fab_view(&e[1], bi)),
+                    ez: stage_view(f2, &fab_view(&e[2], bi)),
+                    bx: stage_view(f3, &fab_view(&b[0], bi)),
+                    by: stage_view(f4, &fab_view(&b[1], bi)),
+                    bz: stage_view(f5, &fab_view(&b[2], bi)),
+                };
+                let [g0, g1, g2, g3, g4, g5] = em;
+                let mut out = EmOut {
+                    ex: &mut g0[..n],
+                    ey: &mut g1[..n],
+                    ez: &mut g2[..n],
+                    bx: &mut g3[..n],
+                    by: &mut g4[..n],
+                    bz: &mut g5[..n],
+                };
+                with_shape!(
+                    order,
+                    S,
+                    match dim {
+                        Dim::Three if optimized => with_lanes!(
+                            lane_width,
+                            W,
+                            Lanes::<W>::gather3::<S, f32>(x0, y0, z0, &geom, &views, &mut out)
+                        ),
+                        Dim::Three => gather3::<S, f32>(x0, y0, z0, &geom, &views, &mut out),
+                        Dim::Two if optimized => with_lanes!(
+                            lane_width,
+                            W,
+                            Lanes::<W>::gather2::<S, f32>(x0, z0, &geom, &views, &mut out)
+                        ),
+                        Dim::Two => gather2::<S, f32>(x0, z0, &geom, &views, &mut out),
+                    }
+                );
+                drop(gather_span);
+                let push_span = mrpic_trace::span!("push", -1, task.bi);
+                let t_push = std::time::Instant::now();
+                task.phase[0] += t_push.duration_since(t0).as_secs_f64();
+                with_lanes!(
+                    lane_width,
+                    W,
+                    Lanes::<W>::push_momentum(
+                        pusher,
+                        &mut ux[..n],
+                        &mut uy[..n],
+                        &mut uz[..n],
+                        &g0[..n],
+                        &g1[..n],
+                        &g2[..n],
+                        &g3[..n],
+                        &g4[..n],
+                        &g5[..n],
+                        qmdt2,
+                    )
+                );
+                // Momenta are owned by the f32 path; positions stay f64.
+                for p in 0..n {
+                    buf.ux[p] = ux[p] as f64;
+                    buf.uy[p] = uy[p] as f64;
+                    buf.uz[p] = uz[p] as f64;
+                    vy[p] = uy[p] / gamma_of_u(ux[p], uy[p], uz[p]);
+                }
+                match dim {
+                    Dim::Three => push_position(
+                        &mut buf.x[..n],
+                        &mut buf.y[..n],
+                        &mut buf.z[..n],
+                        &buf.ux[..n],
+                        &buf.uy[..n],
+                        &buf.uz[..n],
+                        dt,
+                    ),
+                    Dim::Two => push_position2(
+                        &mut buf.x[..n],
+                        &mut buf.z[..n],
+                        &buf.ux[..n],
+                        &buf.uy[..n],
+                        &buf.uz[..n],
+                        dt,
+                    ),
+                }
+                Scratch32::cast(x1, &buf.x[..n]);
+                Scratch32::cast(y1, &buf.y[..n]);
+                Scratch32::cast(z1, &buf.z[..n]);
+                drop(push_span);
+                let deposit_span = mrpic_trace::span!("deposit", -1, task.bi);
+                let t_dep = std::time::Instant::now();
+                task.phase[1] += t_dep.duration_since(t_push).as_secs_f64();
+                // Deposit into f32 tiles with the fabs' layout, then
+                // accumulate into the f64 currents.
+                let jx64 = view_of_fab_mut(task.jx);
+                let jy64 = view_of_fab_mut(task.jy);
+                let jz64 = view_of_fab_mut(task.jz);
+                let [tjx, tjy, tjz] = j;
+                for (tile, len) in [
+                    (&mut *tjx, jx64.data.len()),
+                    (&mut *tjy, jy64.data.len()),
+                    (&mut *tjz, jz64.data.len()),
+                ] {
+                    tile.resize(len, 0.0);
+                    tile.fill(0.0);
+                }
+                {
+                    let mut jv = JViews {
+                        jx: FieldViewMut {
+                            data: &mut tjx[..],
+                            lo: jx64.lo,
+                            nx: jx64.nx,
+                            nxy: jx64.nxy,
+                            half: jx64.half,
+                        },
+                        jy: FieldViewMut {
+                            data: &mut tjy[..],
+                            lo: jy64.lo,
+                            nx: jy64.nx,
+                            nxy: jy64.nxy,
+                            half: jy64.half,
+                        },
+                        jz: FieldViewMut {
+                            data: &mut tjz[..],
+                            lo: jz64.lo,
+                            nx: jz64.nx,
+                            nxy: jz64.nxy,
+                            half: jz64.half,
+                        },
+                    };
+                    let (qf, dtf) = (sp_charge as f32, dt as f32);
+                    with_shape!(
+                        order,
+                        S,
+                        match dim {
+                            Dim::Three if optimized => with_lanes!(
+                                lane_width,
+                                W,
+                                Lanes::<W>::esirkepov3::<S, f32>(
+                                    x0, y0, z0, x1, y1, z1, w, qf, dtf, &geom, &mut jv,
+                                )
+                            ),
+                            Dim::Three => esirkepov3::<S, f32>(
+                                x0, y0, z0, x1, y1, z1, w, qf, dtf, &geom, &mut jv,
+                            ),
+                            Dim::Two if optimized => with_lanes!(
+                                lane_width,
+                                W,
+                                Lanes::<W>::esirkepov2::<S, f32>(
+                                    x0,
+                                    z0,
+                                    x1,
+                                    z1,
+                                    &vy[..n],
+                                    w,
+                                    qf,
+                                    dtf,
+                                    &geom,
+                                    &mut jv,
+                                )
+                            ),
+                            Dim::Two => esirkepov2::<S, f32>(
+                                x0,
+                                z0,
+                                x1,
+                                z1,
+                                &vy[..n],
+                                w,
+                                qf,
+                                dtf,
+                                &geom,
+                                &mut jv,
+                            ),
+                        }
+                    );
+                }
+                for (dst, tile) in [(jx64, &*tjx), (jy64, &*tjy), (jz64, &*tjz)] {
+                    for (d, s) in dst.data.iter_mut().zip(tile.iter()) {
+                        *d += *s as f64;
+                    }
+                }
+                drop(deposit_span);
+                task.phase[2] += t_dep.elapsed().as_secs_f64();
+                let box_ns = t0.elapsed().as_nanos() as u64;
+                *task.seconds += box_ns as f64 * 1e-9;
+                if mrpic_trace::enabled() {
+                    box_kernel_hist().record(box_ns);
+                }
+            },
+        );
+        pushed
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn deposit_slice(
         dim: Dim,
         order: ShapeOrder,
         optimized: bool,
+        lane_width: usize,
         buf: &crate::particles::ParticleBuf,
         sc: &Scratch,
         lo: usize,
@@ -1239,18 +1691,22 @@ impl Simulation {
             order,
             S,
             match dim {
-                Dim::Three if optimized => esirkepov3_blocked::<S, f64>(
-                    &sc.x0[lo..hi],
-                    &sc.y0[lo..hi],
-                    &sc.z0[lo..hi],
-                    &buf.x[lo..hi],
-                    &buf.y[lo..hi],
-                    &buf.z[lo..hi],
-                    &buf.w[lo..hi],
-                    charge,
-                    dt,
-                    geom,
-                    jv,
+                Dim::Three if optimized => with_lanes!(
+                    lane_width,
+                    W,
+                    Lanes::<W>::esirkepov3::<S, f64>(
+                        &sc.x0[lo..hi],
+                        &sc.y0[lo..hi],
+                        &sc.z0[lo..hi],
+                        &buf.x[lo..hi],
+                        &buf.y[lo..hi],
+                        &buf.z[lo..hi],
+                        &buf.w[lo..hi],
+                        charge,
+                        dt,
+                        geom,
+                        jv,
+                    )
                 ),
                 Dim::Three => esirkepov3::<S, f64>(
                     &sc.x0[lo..hi],
@@ -1265,17 +1721,21 @@ impl Simulation {
                     geom,
                     jv,
                 ),
-                Dim::Two if optimized => esirkepov2_blocked::<S, f64>(
-                    &sc.x0[lo..hi],
-                    &sc.z0[lo..hi],
-                    &buf.x[lo..hi],
-                    &buf.z[lo..hi],
-                    &sc.vy[lo..hi],
-                    &buf.w[lo..hi],
-                    charge,
-                    dt,
-                    geom,
-                    jv,
+                Dim::Two if optimized => with_lanes!(
+                    lane_width,
+                    W,
+                    Lanes::<W>::esirkepov2::<S, f64>(
+                        &sc.x0[lo..hi],
+                        &sc.z0[lo..hi],
+                        &buf.x[lo..hi],
+                        &buf.z[lo..hi],
+                        &sc.vy[lo..hi],
+                        &buf.w[lo..hi],
+                        charge,
+                        dt,
+                        geom,
+                        jv,
+                    )
                 ),
                 Dim::Two => esirkepov2::<S, f64>(
                     &sc.x0[lo..hi],

@@ -246,6 +246,9 @@ pub struct StepRecord {
     /// populated while tracing is enabled.
     #[serde(default)]
     pub trace_hists: Vec<mrpic_trace::HistSummary>,
+    /// Particle-kernel precision mode the step ran under.
+    #[serde(default)]
+    pub precision: crate::sim::Precision,
 }
 
 /// Step-record ring plus optional JSONL sink and tripped-guard log.
@@ -510,6 +513,7 @@ mod tests {
                 faults: None,
                 imbalance: None,
                 trace_hists: Vec::new(),
+                precision: crate::sim::Precision::F64,
             });
         }
         assert_eq!(t.records().len(), 2);
@@ -586,6 +590,7 @@ mod tests {
                 p99: 8191,
                 max: 8191,
             }],
+            precision: crate::sim::Precision::F32Particles,
         };
         let s = serde_json::to_string(&rec).unwrap();
         let back: StepRecord = serde_json::from_str(&s).unwrap();
@@ -600,6 +605,7 @@ mod tests {
         assert_eq!(back.faults, rec.faults);
         assert_eq!(back.imbalance, Some(1.25));
         assert_eq!(back.trace_hists, rec.trace_hists);
+        assert_eq!(back.precision, rec.precision);
     }
 
     /// A minimal record for sink tests.
@@ -622,6 +628,7 @@ mod tests {
             faults: None,
             imbalance: None,
             trace_hists: Vec::new(),
+            precision: crate::sim::Precision::F64,
         }
     }
 

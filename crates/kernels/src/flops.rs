@@ -36,17 +36,39 @@ fn shape_eval_flops(order: usize) -> f64 {
     }
 }
 
+/// Which kernel implementation a cost model describes. The arithmetic
+/// differs: the scalar reference kernels re-evaluate the shape weights
+/// inside every component's interpolation (6 components × `dim` evals
+/// per particle), while the blocked/lane-blocked kernels stage both
+/// stagger variants once per particle (2 × `dim` evals) and reuse them
+/// across all six components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelVariant {
+    Scalar,
+    LaneBlocked,
+}
+
 impl KernelCosts {
     /// Costs for shape `order` in `dim` (2 or 3) dimensions, with `wsize`
-    /// bytes per scalar (8 = DP, 4 = SP).
+    /// bytes per scalar (8 = DP, 4 = SP). Models the blocked/lane-blocked
+    /// kernels (the production path); see [`KernelCosts::for_variant`].
     pub fn for_order(order: usize, dim: usize, wsize: f64) -> Self {
+        Self::for_variant(order, dim, wsize, KernelVariant::LaneBlocked)
+    }
+
+    /// Costs for a specific kernel implementation variant.
+    pub fn for_variant(order: usize, dim: usize, wsize: f64, variant: KernelVariant) -> Self {
         assert!(matches!(dim, 2 | 3));
         assert!((1..=3).contains(&order));
         let s = (order + 1) as f64; // support points per axis
         let sten = if dim == 3 { s * s * s } else { s * s };
-        // Gather: per axis 2 stagger variants of the eval, then 6
-        // components x stencil x (3 mul + 1 add).
-        let gather_flops = 2.0 * dim as f64 * shape_eval_flops(order) + 6.0 * sten * 4.0;
+        // Gather: shape evals (see `KernelVariant`), then 6 components x
+        // stencil x (3 mul + 1 add).
+        let evals = match variant {
+            KernelVariant::Scalar => 6.0 * dim as f64,
+            KernelVariant::LaneBlocked => 2.0 * dim as f64,
+        };
+        let gather_flops = evals * shape_eval_flops(order) + 6.0 * sten * 4.0;
         // Field loads: 6 components x stencil points; weights reused from
         // registers; output 6 stores.
         let gather_bytes = (6.0 * sten + 6.0) * wsize + 3.0 * wsize; // + positions
@@ -107,6 +129,16 @@ impl KernelCosts {
     pub fn intensity(&self, np: f64, nc: f64, reuse: f64) -> f64 {
         self.step_flops(np, nc) / self.step_bytes(np, nc, reuse)
     }
+
+    /// Arithmetic intensity (flops/byte) of the gather kernel alone.
+    pub fn gather_intensity(&self) -> f64 {
+        self.gather_flops / self.gather_bytes
+    }
+
+    /// Arithmetic intensity (flops/byte) of the deposit kernel alone.
+    pub fn deposit_intensity(&self) -> f64 {
+        self.deposit_flops / self.deposit_bytes
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +180,24 @@ mod tests {
         let sp = KernelCosts::for_order(2, 3, 4.0);
         assert_eq!(dp.gather_flops, sp.gather_flops);
         assert!((dp.gather_bytes / sp.gather_bytes - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variants_differ_only_in_shape_evals() {
+        for dim in [2, 3] {
+            for order in 1..=3 {
+                let lane = KernelCosts::for_variant(order, dim, 8.0, KernelVariant::LaneBlocked);
+                let scalar = KernelCosts::for_variant(order, dim, 8.0, KernelVariant::Scalar);
+                // for_order models the production (lane-blocked) path.
+                assert_eq!(lane, KernelCosts::for_order(order, dim, 8.0));
+                // Scalar re-evaluates weights per component: 4 extra
+                // evals per axis, identical bytes.
+                assert!(scalar.gather_flops > lane.gather_flops);
+                assert_eq!(scalar.gather_bytes, lane.gather_bytes);
+                assert!(scalar.gather_intensity() > lane.gather_intensity());
+                assert!(lane.deposit_intensity() > 0.0);
+            }
+        }
     }
 
     #[test]

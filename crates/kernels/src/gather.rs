@@ -27,7 +27,8 @@ fn interp_one<S: Shape, T: Real>(f: &FieldView<'_, T>, xi: [T; 3]) -> T {
         for b in 0..S::SUPPORT {
             let part = wz[c] * wy[b];
             for a in 0..S::SUPPORT {
-                acc += part * wx[a] * f.get(ix + a as i64, iy + b as i64, iz + c as i64);
+                let v = f.get(ix + a as i64, iy + b as i64, iz + c as i64);
+                acc = (part * wx[a]).mul_add(v, acc);
             }
         }
     }
@@ -43,7 +44,8 @@ fn interp_one_2d<S: Shape, T: Real>(f: &FieldView<'_, T>, xi_x: T, xi_z: T) -> T
     let mut acc = T::ZERO;
     for c in 0..S::SUPPORT {
         for a in 0..S::SUPPORT {
-            acc += wz[c] * wx[a] * f.get(ix + a as i64, j, iz + c as i64);
+            let v = f.get(ix + a as i64, j, iz + c as i64);
+            acc = (wz[c] * wx[a]).mul_add(v, acc);
         }
     }
     acc
@@ -153,7 +155,7 @@ fn interp_fast<S: Shape, T: Real>(f: &FieldView<'_, T>, dw: &DualWeights<T>) -> 
     let wz = &dw.w[2][hz];
     let base = f.idx(dw.i0[0][hx], dw.i0[1][hy], dw.i0[2][hz]);
     debug_assert!(
-        base + ((S::SUPPORT - 1) as i64 * (f.nxy + f.nx)) as usize + S::SUPPORT <= f.data.len() + 1
+        base + ((S::SUPPORT - 1) as i64 * (f.nxy + f.nx)) as usize + S::SUPPORT <= f.data.len()
     );
     let mut acc = T::ZERO;
     for c in 0..S::SUPPORT {
@@ -667,7 +669,7 @@ pub fn gather2_blocked<S: Shape, T: Real>(
             let (iz, wz) = pick(f.half[2], (izn, &wzn), (izh, &wzh));
             let base = f.idx(ix, f.lo[1], iz);
             debug_assert!(
-                base + ((S::SUPPORT - 1) as i64 * f.nxy) as usize + S::SUPPORT <= f.data.len() + 1
+                base + ((S::SUPPORT - 1) as i64 * f.nxy) as usize + S::SUPPORT <= f.data.len()
             );
             let mut acc = T::ZERO;
             for c in 0..S::SUPPORT {

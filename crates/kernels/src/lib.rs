@@ -31,11 +31,13 @@ pub mod constants;
 pub mod deposit;
 pub mod flops;
 pub mod gather;
+pub mod lanes;
 pub mod push;
 pub mod real;
 pub mod shape;
 pub mod view;
 
+pub use lanes::{Lanes, DEFAULT_LANE_WIDTH, LANE_WIDTHS};
 pub use real::Real;
 pub use shape::{Cubic, Linear, Ngp, Quadratic, Shape};
 pub use view::{FieldView, FieldViewMut, Geom};

@@ -37,6 +37,17 @@ pub trait Real:
     fn abs(self) -> Self;
     /// Largest integer `<= self`, as i64.
     fn floor_i64(self) -> i64;
+    /// Largest integer `<= self`, staying in the float domain (no
+    /// int round-trip on the dependency chain).
+    fn floor(self) -> Self;
+    /// Integer value of an *integral* float (a `floor` result) used as
+    /// a grid index. Equals `floor_i64` for every integral value with
+    /// magnitude below 2^51 (f64) / 2^23 (f32) — any conceivable grid
+    /// index; outside that domain (huge values, infinities, NaN) it
+    /// returns an arbitrary far-out-of-range integer instead of
+    /// saturating, never UB. Unlike an `as` cast, this compiles to a
+    /// branchless add + bit reinterpretation that vectorizes.
+    fn index_i64(self) -> i64;
     /// Fused (or contracted) multiply-add `self * a + b`.
     fn mul_add(self, a: Self, b: Self) -> Self;
     fn min(self, o: Self) -> Self;
@@ -68,13 +79,64 @@ macro_rules! impl_real {
             }
             #[inline(always)]
             fn floor_i64(self) -> i64 {
-                <$t>::floor(self) as i64
+                // Branchless truncate-and-correct floor. On the baseline
+                // x86-64 target (no SSE4.1 `roundsd`) `<$t>::floor` lowers
+                // to a libm call inside every shape evaluation; the cast
+                // form stays inline and vectorizes. Exactly equivalent to
+                // `floor(self) as i64`: below 2^52 (f64) / 2^23 (f32) the
+                // truncation is representable, above it every value is
+                // already an integer, and saturation/NaN casts match.
+                let t = self as i64;
+                t - ((self < t as $t) as i64)
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                // With SSE4.1+ (always true under the repo's
+                // `target-cpu=native`) this is a single `roundsd` /
+                // `vroundpd` and the shape evaluations' fractional
+                // offset `xi - xi.floor()` never leaves the FP unit.
+                // Elsewhere fall back to the same branchless cast form
+                // as `floor_i64` rather than a libm call.
+                #[cfg(any(target_feature = "sse4.1", not(target_arch = "x86_64")))]
+                {
+                    <$t>::floor(self)
+                }
+                #[cfg(all(target_arch = "x86_64", not(target_feature = "sse4.1")))]
+                {
+                    let t = (self as i64) as $t;
+                    t - (((self < t) as i64) as $t)
+                }
+            }
+            #[inline(always)]
+            fn index_i64(self) -> i64 {
+                // Magic-bias conversion: adding 1.5*2^52 pins the
+                // exponent so the mantissa bits *are* the biased
+                // integer; subtracting the bias bits recovers it. For
+                // integral `self` in (-2^51, 2^51) the add is exact and
+                // the result equals `floor_i64`; outside, the bit
+                // arithmetic lands far out of any grid box (the
+                // containment checks then route the block to the scalar
+                // fallback). No float compare, no saturation fixup —
+                // one packed add per vector of lanes.
+                const MAGIC: f64 = 6755399441055744.0; // 1.5 * 2^52
+                let y = (self as f64) + MAGIC;
+                (y.to_bits() as i64).wrapping_sub(MAGIC.to_bits() as i64)
             }
             #[inline(always)]
             fn mul_add(self, a: Self, b: Self) -> Self {
-                // Plain expression: lets LLVM contract when profitable
-                // without forcing a slow soft-FMA on targets lacking one.
-                self * a + b
+                // One hardware FMA (single rounding, deterministic) when
+                // the target has it — the repo builds with
+                // `target-cpu=native`, so that is the common case. The
+                // fallback stays a plain mul+add rather than forcing a
+                // slow soft-FMA libcall on targets without the unit.
+                #[cfg(target_feature = "fma")]
+                {
+                    <$t>::mul_add(self, a, b)
+                }
+                #[cfg(not(target_feature = "fma"))]
+                {
+                    self * a + b
+                }
             }
             #[inline(always)]
             fn min(self, o: Self) -> Self {
@@ -110,5 +172,42 @@ mod tests {
     fn both_precisions() {
         roundtrip::<f32>();
         roundtrip::<f64>();
+    }
+
+    #[test]
+    fn floor_matches_libm() {
+        // The branchless floor must agree with `floor()` everywhere the
+        // kernels use it: negatives, exact integers, half steps, and
+        // values just below/above integers.
+        let mut xs: Vec<f64> = Vec::new();
+        for i in -2000..2000 {
+            let x = i as f64 * 0.0625;
+            xs.extend_from_slice(&[x, x - 1e-12, x + 1e-12]);
+        }
+        xs.extend_from_slice(&[-0.0, 0.0, 1e9 + 0.5, -1e9 - 0.5]);
+        for &x in &xs {
+            assert_eq!(x.floor_i64(), f64::floor(x) as i64, "x = {x}");
+            assert_eq!(<f64 as Real>::floor(x), f64::floor(x), "x = {x}");
+            let y = x as f32;
+            assert_eq!(y.floor_i64(), f32::floor(y) as i64, "y = {y}");
+            assert_eq!(<f32 as Real>::floor(y), f32::floor(y), "y = {y}");
+        }
+    }
+
+    #[test]
+    fn index_matches_floor_on_integral_values() {
+        // `index_i64` must agree with `floor_i64` on every integral
+        // float a shape evaluation can anchor at.
+        for i in -1_000_000i64..1_000_000 {
+            let x = i as f64;
+            assert_eq!(x.index_i64(), x.floor_i64(), "x = {x}");
+        }
+        for &x in &[-2.0f64.powi(40), 2.0f64.powi(40), -1.0, -0.0, 0.0] {
+            assert_eq!(x.index_i64(), x.floor_i64(), "x = {x}");
+        }
+        for i in -100_000i64..100_000 {
+            let y = i as f32;
+            assert_eq!(y.index_i64(), y.floor_i64(), "y = {y}");
+        }
     }
 }

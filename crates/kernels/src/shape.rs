@@ -20,9 +20,48 @@ pub trait Shape: Copy + Send + Sync + 'static {
     /// reduces the order along staggered axes). NGP is its own lower.
     type Lower: Shape;
 
-    /// First touched grid index and the `SUPPORT` weights (tail of the
-    /// fixed-size array is zero).
-    fn eval<T: Real>(xi: T) -> (i64, [T; 4]);
+    /// FP-domain evaluation: the first touched grid index *as its exact
+    /// floating-point floor value* plus the `SUPPORT` weights (tail of
+    /// the fixed-size array is zero). Keeping the anchor in the FP
+    /// domain leaves the body pure branch-free floating point — no
+    /// int round-trip — so blocks of evaluations vectorize; `eval`
+    /// derives the integer index from it exactly (the anchor is an
+    /// integral float, representable well below 2^53).
+    fn eval_fp<T: Real>(xi: T) -> (T, [T; 4]);
+
+    /// First touched grid index and the `SUPPORT` weights.
+    #[inline(always)]
+    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
+        let (fa, w) = Self::eval_fp(xi);
+        (fa.floor_i64(), w)
+    }
+
+    /// Evaluate a whole lane block at once into k-major (`w[k][lane]`)
+    /// storage. Semantically the scalar `eval` per lane — bitwise
+    /// identical weights and indices — but laid out as contiguous array
+    /// passes the compiler auto-vectorizes: one pure-FP pass over the
+    /// lanes (weights + FP anchors), then a separate index-conversion
+    /// pass, so the integer converts never sit in the FP dependency
+    /// chain.
+    #[inline(always)]
+    fn eval_block<T: Real, const W: usize>(xi: &[T; W], i0: &mut [i64; W], w: &mut [[T; W]; 4]) {
+        let mut fa = [T::ZERO; W];
+        for l in 0..W {
+            let (f, wk) = Self::eval_fp(xi[l]);
+            fa[l] = f;
+            for k in 0..4 {
+                w[k][l] = wk[k];
+            }
+        }
+        // `index_i64` ≡ `floor_i64` on every in-grid anchor; out-of-grid
+        // garbage (NaN/inf positions) maps to far-out-of-box integers,
+        // which the block containment checks route to the scalar
+        // fallback — so block results never diverge from the scalar
+        // kernels.
+        for l in 0..W {
+            i0[l] = fa[l].index_i64();
+        }
+    }
 }
 
 /// Order-0 (nearest-grid-point) shape: the Galerkin reduction of linear.
@@ -35,11 +74,8 @@ impl Shape for Ngp {
     type Lower = Ngp;
 
     #[inline(always)]
-    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
-        (
-            (xi + T::HALF).floor_i64(),
-            [T::ONE, T::ZERO, T::ZERO, T::ZERO],
-        )
+    fn eval_fp<T: Real>(xi: T) -> (T, [T; 4]) {
+        ((xi + T::HALF).floor(), [T::ONE, T::ZERO, T::ZERO, T::ZERO])
     }
 }
 
@@ -63,10 +99,14 @@ impl Shape for Linear {
     type Lower = Ngp;
 
     #[inline(always)]
-    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
-        let i0 = xi.floor_i64();
-        let d = xi - T::from_f64(i0 as f64);
-        (i0, [T::ONE - d, d, T::ZERO, T::ZERO])
+    fn eval_fp<T: Real>(xi: T) -> (T, [T; 4]) {
+        // `floor` stays in the FP domain so `d` does not wait on an
+        // int round-trip; the index conversion runs off that chain.
+        // Bitwise identical to `xi - from_f64(floor_i64(xi) as f64)`:
+        // the floor value is exactly representable.
+        let fi = xi.floor();
+        let d = xi - fi;
+        (fi, [T::ONE - d, d, T::ZERO, T::ZERO])
     }
 }
 
@@ -76,13 +116,13 @@ impl Shape for Quadratic {
     type Lower = Linear;
 
     #[inline(always)]
-    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
-        let ic = (xi + T::HALF).floor_i64();
-        let d = xi - T::from_f64(ic as f64); // in [-1/2, 1/2)
+    fn eval_fp<T: Real>(xi: T) -> (T, [T; 4]) {
+        let fic = (xi + T::HALF).floor();
+        let d = xi - fic; // in [-1/2, 1/2)
         let a = T::HALF - d;
         let b = T::HALF + d;
         (
-            ic - 1,
+            fic - T::ONE,
             [
                 T::HALF * a * a,
                 T::from_f64(0.75) - d * d,
@@ -99,15 +139,15 @@ impl Shape for Cubic {
     type Lower = Quadratic;
 
     #[inline(always)]
-    fn eval<T: Real>(xi: T) -> (i64, [T; 4]) {
-        let il = xi.floor_i64();
-        let d = xi - T::from_f64(il as f64); // in [0, 1)
+    fn eval_fp<T: Real>(xi: T) -> (T, [T; 4]) {
+        let fil = xi.floor();
+        let d = xi - fil; // in [0, 1)
         let d2 = d * d;
         let d3 = d2 * d;
         let sixth = T::from_f64(1.0 / 6.0);
         let omd = T::ONE - d;
         (
-            il - 1,
+            fil - T::ONE,
             [
                 sixth * omd * omd * omd,
                 sixth * (T::from_f64(3.0) * d3 - T::from_f64(6.0) * d2 + T::from_f64(4.0)),
@@ -137,13 +177,38 @@ pub fn dual<S: Shape, T: Real>(xi_old: T, xi_new: T) -> (i64, [T; 5], [T; 5]) {
         "particle moved more than one cell per step (CFL violation)"
     );
     let anchor = i0o.min(i0n);
-    let mut s0 = [T::ZERO; 5];
-    let mut s1 = [T::ZERO; 5];
-    let oo = (i0o - anchor) as usize;
-    let on = (i0n - anchor) as usize;
-    s0[oo..oo + S::SUPPORT].copy_from_slice(&wo[..S::SUPPORT]);
-    s1[on..on + S::SUPPORT].copy_from_slice(&wn[..S::SUPPORT]);
+    // Branchless window placement: each window sits at offset 0 or 1
+    // from the anchor, so every padded slot is a select between a
+    // weight and its left neighbour (`eval`'s zero tail supplies the
+    // padding for orders below cubic). Same values as an offset copy,
+    // but branch-free and in registers, so blocks of `dual` calls
+    // vectorize across particles.
+    let o0 = i0o == anchor;
+    let n0 = i0n == anchor;
+    let s0 = [
+        sel(o0, wo[0], T::ZERO),
+        sel(o0, wo[1], wo[0]),
+        sel(o0, wo[2], wo[1]),
+        sel(o0, wo[3], wo[2]),
+        sel(o0, T::ZERO, wo[3]),
+    ];
+    let s1 = [
+        sel(n0, wn[0], T::ZERO),
+        sel(n0, wn[1], wn[0]),
+        sel(n0, wn[2], wn[1]),
+        sel(n0, wn[3], wn[2]),
+        sel(n0, T::ZERO, wn[3]),
+    ];
     (anchor, s0, s1)
+}
+
+#[inline(always)]
+pub(crate) fn sel<T: Real>(c: bool, a: T, b: T) -> T {
+    if c {
+        a
+    } else {
+        b
+    }
 }
 
 #[cfg(test)]

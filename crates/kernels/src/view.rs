@@ -67,6 +67,16 @@ impl<'a, T: Real> FieldView<'a, T> {
             0.0
         }
     }
+
+    /// Stored points per axis, derived from the strides and data length.
+    #[inline(always)]
+    pub fn extent(&self) -> [i64; 3] {
+        [
+            self.nx,
+            self.nxy / self.nx,
+            self.data.len() as i64 / self.nxy,
+        ]
+    }
 }
 
 /// Mutable staggered field component (deposition target).
@@ -90,6 +100,14 @@ impl<'a, T: Real> FieldViewMut<'a, T> {
         self.data[ix] += v;
     }
 
+    /// Fused accumulate: `self[i,j,k] += a * v` with a single rounding
+    /// (one FMA instruction on targets that have it).
+    #[inline(always)]
+    pub fn madd(&mut self, i: i64, j: i64, k: i64, a: T, v: T) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = a.mul_add(v, self.data[ix]);
+    }
+
     #[inline(always)]
     pub fn off(&self, d: usize) -> f64 {
         if self.half[d] {
@@ -97,6 +115,16 @@ impl<'a, T: Real> FieldViewMut<'a, T> {
         } else {
             0.0
         }
+    }
+
+    /// Stored points per axis, derived from the strides and data length.
+    #[inline(always)]
+    pub fn extent(&self) -> [i64; 3] {
+        [
+            self.nx,
+            self.nxy / self.nx,
+            self.data.len() as i64 / self.nxy,
+        ]
     }
 
     /// Reborrow as read-only.

@@ -1,0 +1,219 @@
+//! Single-thread ns/particle probe of the hot particle kernels, on a
+//! workload shaped like the `step_loop` uniform-plasma bench case (2-D,
+//! quadratic shapes, one 32x32 box with guards, cell-ordered particles).
+//!
+//! Ignored by default — it is a measurement aid, not a correctness test:
+//!
+//! ```text
+//! cargo test -p mrpic-kernels --release --test perf_probe -- --ignored --nocapture
+//! ```
+
+use mrpic_kernels::deposit::{esirkepov2, esirkepov2_blocked, JViews};
+use mrpic_kernels::gather::{gather2, gather2_blocked, EmOut, EmViews};
+use mrpic_kernels::lanes::Lanes;
+use mrpic_kernels::shape::{dual, Quadratic};
+use mrpic_kernels::view::{FieldView, FieldViewMut, Geom};
+use std::time::Instant;
+
+const NXC: i64 = 32; // interior cells per axis
+const NG: i64 = 4; // guard points
+const NP: usize = 4096;
+const REPS: usize = 200;
+
+struct Rng(u64);
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn npts() -> i64 {
+    NXC + 1 + 2 * NG
+}
+
+fn grid(seed: u64) -> Vec<f64> {
+    let mut r = Rng(seed);
+    (0..(npts() * npts()) as usize)
+        .map(|_| r.next_f64() * 2.0 - 1.0)
+        .collect()
+}
+
+fn view<'a>(data: &'a [f64], half: [bool; 3]) -> FieldView<'a, f64> {
+    FieldView {
+        data,
+        lo: [-NG, 0, -NG],
+        nx: npts(),
+        nxy: npts(),
+        half,
+    }
+}
+
+type ParticleBufs = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+fn particles() -> ParticleBufs {
+    let mut r = Rng(42);
+    let (mut x0, mut z0, mut x1, mut z1) = (
+        Vec::with_capacity(NP),
+        Vec::with_capacity(NP),
+        Vec::with_capacity(NP),
+        Vec::with_capacity(NP),
+    );
+    // Cell-ordered, 4 per cell, like the sorted production buffers.
+    let per_cell = NP / ((NXC * NXC) as usize);
+    for cz in 0..NXC {
+        for cx in 0..NXC {
+            for _ in 0..per_cell.max(1) {
+                if x0.len() == NP {
+                    break;
+                }
+                let x = cx as f64 + r.next_f64();
+                let z = cz as f64 + r.next_f64();
+                x0.push(x * 1e-6);
+                z0.push(z * 1e-6);
+                x1.push((x + 0.2 * (r.next_f64() - 0.5)) * 1e-6);
+                z1.push((z + 0.2 * (r.next_f64() - 0.5)) * 1e-6);
+            }
+        }
+    }
+    let vy: Vec<f64> = (0..NP).map(|_| 1.0e6 * (r.next_f64() - 0.5)).collect();
+    let w = vec![3.0e5; NP];
+    (x0, z0, x1, z1, vy, w)
+}
+
+fn time(label: &str, mut f: impl FnMut()) {
+    f(); // warm
+    let t = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    let ns = t.elapsed().as_nanos() as f64 / (REPS * NP) as f64;
+    println!("{label:<28} {ns:>7.2} ns/particle");
+}
+
+#[test]
+#[ignore = "timing probe, run explicitly with --ignored --nocapture"]
+fn kernel_ns_per_particle() {
+    let geom = Geom {
+        xmin: [0.0; 3],
+        dx: [1e-6; 3],
+    };
+    let store: Vec<Vec<f64>> = (0..6).map(|c| grid(100 + c as u64)).collect();
+    let f = EmViews {
+        ex: view(&store[0], [true, false, false]),
+        ey: view(&store[1], [false, true, false]),
+        ez: view(&store[2], [false, false, true]),
+        bx: view(&store[3], [false, true, true]),
+        by: view(&store[4], [true, false, true]),
+        bz: view(&store[5], [true, true, false]),
+    };
+    let (x0, z0, x1, z1, vy, w) = particles();
+    let mut em = vec![vec![0.0f64; NP]; 6];
+
+    macro_rules! em_out {
+        ($em:ident) => {{
+            let [e0, e1, e2, e3, e4, e5] = &mut $em[..] else {
+                unreachable!()
+            };
+            EmOut {
+                ex: e0,
+                ey: e1,
+                ez: e2,
+                bx: e3,
+                by: e4,
+                bz: e5,
+            }
+        }};
+    }
+
+    time("gather2 scalar", || {
+        let mut out = em_out!(em);
+        gather2::<Quadratic, f64>(&x0, &z0, &geom, &f, &mut out);
+    });
+    time("gather2 blocked", || {
+        let mut out = em_out!(em);
+        gather2_blocked::<Quadratic, f64>(&x0, &z0, &geom, &f, &mut out);
+    });
+    time("gather2 lanes W=4", || {
+        let mut out = em_out!(em);
+        Lanes::<4>::gather2::<Quadratic, f64>(&x0, &z0, &geom, &f, &mut out);
+    });
+    time("gather2 lanes W=8", || {
+        let mut out = em_out!(em);
+        Lanes::<8>::gather2::<Quadratic, f64>(&x0, &z0, &geom, &f, &mut out);
+    });
+    time("gather2 lanes W=16", || {
+        let mut out = em_out!(em);
+        Lanes::<16>::gather2::<Quadratic, f64>(&x0, &z0, &geom, &f, &mut out);
+    });
+
+    let len = (npts() * npts()) as usize;
+    let mut jx = vec![0.0f64; len];
+    let mut jy = vec![0.0f64; len];
+    let mut jz = vec![0.0f64; len];
+    macro_rules! jviews {
+        () => {
+            JViews {
+                jx: FieldViewMut {
+                    data: &mut jx,
+                    lo: [-NG, 0, -NG],
+                    nx: npts(),
+                    nxy: npts(),
+                    half: [true, false, false],
+                },
+                jy: FieldViewMut {
+                    data: &mut jy,
+                    lo: [-NG, 0, -NG],
+                    nx: npts(),
+                    nxy: npts(),
+                    half: [false, true, false],
+                },
+                jz: FieldViewMut {
+                    data: &mut jz,
+                    lo: [-NG, 0, -NG],
+                    nx: npts(),
+                    nxy: npts(),
+                    half: [false, false, true],
+                },
+            }
+        };
+    }
+    // Staging-only cost of the Esirkepov dual-window evaluation (two
+    // axes per particle), to see how much of the deposit kernels is
+    // weight staging vs scatter.
+    let mut sink = 0.0f64;
+    time("esirkepov2 staging only", || {
+        let inv = 1.0 / 1e-6;
+        for p in 0..NP {
+            let (ax, s0x, s1x) = dual::<Quadratic, f64>(x0[p] * inv, x1[p] * inv);
+            let (az, s0z, s1z) = dual::<Quadratic, f64>(z0[p] * inv, z1[p] * inv);
+            sink += s0x[0] + s1x[3] + s0z[1] + s1z[2] + (ax + az) as f64;
+        }
+    });
+    assert!(sink != 0.0);
+
+    let q = -1.602e-19;
+    let dt = 1.4e-15;
+    time("esirkepov2 scalar", || {
+        let mut j = jviews!();
+        esirkepov2::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geom, &mut j);
+    });
+    time("esirkepov2 blocked", || {
+        let mut j = jviews!();
+        esirkepov2_blocked::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geom, &mut j);
+    });
+    time("esirkepov2 lanes W=4", || {
+        let mut j = jviews!();
+        Lanes::<4>::esirkepov2::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geom, &mut j);
+    });
+    time("esirkepov2 lanes W=8", || {
+        let mut j = jviews!();
+        Lanes::<8>::esirkepov2::<Quadratic, f64>(&x0, &z0, &x1, &z1, &vy, &w, q, dt, &geom, &mut j);
+    });
+    time("esirkepov2 lanes W=16", || {
+        let mut j = jviews!();
+        Lanes::<16>::esirkepov2::<Quadratic, f64>(
+            &x0, &z0, &x1, &z1, &vy, &w, q, dt, &geom, &mut j,
+        );
+    });
+}

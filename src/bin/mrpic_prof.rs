@@ -38,7 +38,7 @@ fn fail(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: mrpic_prof <trace.json> [--top N]\n       \
-         mrpic_prof --compare <old.json> <new.json> [--threshold PCT]"
+         mrpic_prof --compare <old.json> <new.json> [--threshold PCT] [--only SUBSTR]"
     );
     std::process::exit(2);
 }
@@ -167,6 +167,19 @@ fn bench_metrics(doc: &Value) -> Vec<Metric> {
                     Some(r) => format!("{name}@{r}ranks"),
                     None => name.to_string(),
                 };
+                // Particle-kernel phases as their own gated metrics, so
+                // a gather or deposit regression cannot hide inside an
+                // improved total.
+                if let Some(ph) = c.get("phase_seconds") {
+                    for phase in ["gather", "deposit"] {
+                        if let Some(s) = ph.get(phase).and_then(|x| x.as_f64()) {
+                            v.push(Metric {
+                                label: format!("{label}:{phase}"),
+                                value: s,
+                            });
+                        }
+                    }
+                }
                 v.push(Metric { label, value: secs });
             }
         }
@@ -195,9 +208,11 @@ fn metrics_of(path: &str) -> Vec<Metric> {
     }
 }
 
-fn compare(old_path: &str, new_path: &str, threshold_pct: f64) {
+fn compare(old_path: &str, new_path: &str, threshold_pct: f64, only: &[String]) {
+    let keep = |label: &str| only.is_empty() || only.iter().any(|f| label.contains(f.as_str()));
     let old = metrics_of(old_path);
-    let new = metrics_of(new_path);
+    let mut new = metrics_of(new_path);
+    new.retain(|m| keep(&m.label));
     let mut regressed = 0usize;
     let mut compared = 0usize;
     println!(
@@ -245,6 +260,7 @@ fn main() {
     let mut compare_paths: Option<(String, String)> = None;
     let mut top_n = 10usize;
     let mut threshold = 10.0f64;
+    let mut only: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -265,12 +281,15 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--only" => {
+                only.push(it.next().unwrap_or_else(|| usage()));
+            }
             _ if trace_path.is_none() && !a.starts_with("--") => trace_path = Some(a),
             _ => usage(),
         }
     }
     match (compare_paths, trace_path) {
-        (Some((old, new)), None) => compare(&old, &new, threshold),
+        (Some((old, new)), None) => compare(&old, &new, threshold, &only),
         (None, Some(path)) => report(&path, top_n),
         _ => usage(),
     }

@@ -7,10 +7,24 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+# Fast lane: the kernel crate's unit + property tests (lane-blocked vs
+# scalar bitwise identity) fail in seconds when a kernel change is bad,
+# before the full workspace build/test cycle below.
+cargo test -q -p mrpic-kernels
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo bench --workspace --no-run
+
+# Kernel-performance gate: regenerate the step-loop bench report and
+# compare the uniform-plasma gather/deposit phase seconds against the
+# committed pre-lane-kernels baseline. A >5% regression of either phase
+# exits 4 and fails tier 1. (The dist/MR cases are excluded from the
+# gate: their multithreaded timings are too noisy for a 5% threshold.)
+cargo bench -p mrpic-bench --bench step_loop
+cargo run --release --bin mrpic_prof -- \
+    --compare crates/bench/baselines/BENCH_step_loop.pre_lanes.json \
+    BENCH_step_loop.json --threshold 5 --only uniform_plasma:
 
 # Telemetry smoke run: a short slice of the hybrid-target MR config with
 # the NaN/Inf sentinel on every step. mrpic_run exits 3 if a guard trips,
