@@ -87,16 +87,24 @@ impl DistributionMapping {
             .collect()
     }
 
-    /// Per-rank summed cost.
+    /// Per-rank summed cost. Mirrors [`DistributionMapping::build`]: a
+    /// cost slice whose length disagrees with the box count is treated
+    /// as uniform unit costs, never indexed out of bounds.
     pub fn rank_loads(&self, costs: &[f64]) -> Vec<f64> {
         let mut loads = vec![0.0; self.nranks];
+        let uniform = costs.len() != self.owners.len();
         for (i, &o) in self.owners.iter().enumerate() {
-            loads[o] += costs[i];
+            loads[o] += if uniform { 1.0 } else { costs[i] };
         }
         loads
     }
 
     /// Load imbalance: `max(rank load) / mean(rank load)`. 1.0 is perfect.
+    /// Inherits the same mismatched-length rule as [`rank_loads`]: a cost
+    /// slice of the wrong length degrades to uniform costs rather than
+    /// panicking mid-run.
+    ///
+    /// [`rank_loads`]: DistributionMapping::rank_loads
     pub fn imbalance(&self, costs: &[f64]) -> f64 {
         let loads = self.rank_loads(costs);
         let total: f64 = loads.iter().sum();
@@ -257,5 +265,23 @@ mod tests {
         let ba = ba_16();
         let dm = DistributionMapping::build(&ba, 4, Strategy::Knapsack, &[]);
         assert!((dm.imbalance(&vec![1.0; ba.len()]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_cost_lengths_degrade_to_uniform() {
+        // `build` already pads a wrong-length cost slice to uniform; the
+        // read paths must apply the same rule instead of panicking on
+        // `costs[i]` (a short slice used to be an out-of-bounds index).
+        let ba = ba_16();
+        let dm = DistributionMapping::build(&ba, 4, Strategy::RoundRobin, &[]);
+        let uniform = vec![1.0; ba.len()];
+        for costs in [&[] as &[f64], &[5.0, 1.0][..], &vec![2.0; ba.len() + 7][..]] {
+            assert_eq!(dm.rank_loads(costs), dm.rank_loads(&uniform));
+            assert!((dm.imbalance(costs) - dm.imbalance(&uniform)).abs() < 1e-12);
+        }
+        // Correct-length slices are still used verbatim.
+        let mut skewed = vec![1.0; ba.len()];
+        skewed[0] = 9.0;
+        assert!(dm.imbalance(&skewed) > 1.0);
     }
 }

@@ -67,6 +67,10 @@ pub struct RunConfig {
     pub lasers: Vec<LaserConfig>,
     #[serde(default)]
     pub mr_patches: Vec<MrPatchConfig>,
+    /// Online load-balance policy (trigger → predict → adopt); absent =
+    /// no live rebalancing.
+    #[serde(default)]
+    pub load_balance: Option<LoadBalanceConfig>,
     /// Stop after this physical time \[s\].
     pub t_end: f64,
     /// Diagnostics cadence in steps (0 = only at the end).
@@ -270,6 +274,92 @@ fn default_patch_pml() -> i64 {
     8
 }
 
+/// Online load-balance policy knobs (see
+/// [`crate::balance::LbPolicyCfg`], which every field maps onto 1:1
+/// except `ranks` — in a distributed run the endpoint count wins).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LoadBalanceConfig {
+    /// Rank count candidates are evaluated over in a single-process
+    /// run; a `DistSim` overrides it with the real endpoint count.
+    #[serde(default = "default_lb_ranks")]
+    pub ranks: usize,
+    /// Max/mean imbalance that arms the trigger (>= 1).
+    #[serde(default = "default_lb_threshold")]
+    pub threshold: f64,
+    /// Consecutive over-threshold steps before evaluating (>= 1).
+    #[serde(default = "default_lb_patience")]
+    pub patience: u64,
+    /// Minimum predicted relative imbalance improvement, in [0, 1).
+    #[serde(default = "default_lb_min_gain")]
+    pub min_gain: f64,
+    /// Steps migration cost is amortized over (>= 1).
+    #[serde(default = "default_lb_horizon")]
+    pub horizon: u64,
+    /// Migration-model per-message latency \[s\].
+    #[serde(default = "default_lb_latency")]
+    pub latency: f64,
+    /// Migration-model link bandwidth \[B/s\].
+    #[serde(default = "default_lb_bandwidth")]
+    pub bandwidth: f64,
+    /// Steps the trigger stays disarmed after an evaluation.
+    #[serde(default = "default_lb_cooldown")]
+    pub cooldown: u64,
+    /// "measured" (wall-clock box seconds) or "heuristic"
+    /// (deterministic cell/particle-count FOM).
+    #[serde(default)]
+    pub cost_source: crate::balance::CostSource,
+    /// Seconds per cost unit when predicting step savings.
+    #[serde(default = "default_lb_cost_scale")]
+    pub cost_scale: f64,
+}
+
+fn default_lb_ranks() -> usize {
+    1
+}
+fn default_lb_threshold() -> f64 {
+    crate::balance::LbPolicyCfg::default().threshold
+}
+fn default_lb_patience() -> u64 {
+    crate::balance::LbPolicyCfg::default().patience
+}
+fn default_lb_min_gain() -> f64 {
+    crate::balance::LbPolicyCfg::default().min_gain
+}
+fn default_lb_horizon() -> u64 {
+    crate::balance::LbPolicyCfg::default().horizon
+}
+fn default_lb_latency() -> f64 {
+    crate::balance::LbPolicyCfg::default().latency
+}
+fn default_lb_bandwidth() -> f64 {
+    crate::balance::LbPolicyCfg::default().bandwidth
+}
+fn default_lb_cooldown() -> u64 {
+    crate::balance::LbPolicyCfg::default().cooldown
+}
+fn default_lb_cost_scale() -> f64 {
+    crate::balance::LbPolicyCfg::default().cost_scale
+}
+
+impl LoadBalanceConfig {
+    /// Lower to the policy configuration the builder consumes.
+    pub fn to_policy_cfg(&self) -> crate::balance::LbPolicyCfg {
+        crate::balance::LbPolicyCfg {
+            nranks: self.ranks,
+            threshold: self.threshold,
+            patience: self.patience,
+            min_gain: self.min_gain,
+            horizon: self.horizon,
+            latency: self.latency,
+            bandwidth: self.bandwidth,
+            cooldown: self.cooldown,
+            cost_source: self.cost_source,
+            cost_scale: self.cost_scale,
+        }
+    }
+}
+
 impl RunConfig {
     pub fn from_json(text: &str) -> Result<Self, String> {
         let cfg: Self = serde_json::from_str(text).map_err(|e| e.to_string())?;
@@ -371,6 +461,55 @@ impl RunConfig {
                 ));
             }
         }
+        if let Some(lb) = &self.load_balance {
+            if lb.ranks < 1 {
+                return Err(format!("load_balance.ranks must be >= 1, got {}", lb.ranks));
+            }
+            if !(lb.threshold >= 1.0 && lb.threshold.is_finite()) {
+                return Err(format!(
+                    "load_balance.threshold is a max/mean imbalance ratio and must \
+                     be >= 1.0, got {}",
+                    lb.threshold
+                ));
+            }
+            if lb.patience < 1 {
+                return Err(format!(
+                    "load_balance.patience must be >= 1 step, got {}",
+                    lb.patience
+                ));
+            }
+            if !(0.0..1.0).contains(&lb.min_gain) {
+                return Err(format!(
+                    "load_balance.min_gain must be in [0, 1), got {}",
+                    lb.min_gain
+                ));
+            }
+            if lb.horizon < 1 {
+                return Err(format!(
+                    "load_balance.horizon must be >= 1 step, got {}",
+                    lb.horizon
+                ));
+            }
+            if !(lb.latency >= 0.0 && lb.latency.is_finite()) {
+                return Err(format!(
+                    "load_balance.latency must be >= 0 seconds, got {}",
+                    lb.latency
+                ));
+            }
+            if !(lb.bandwidth > 0.0 && lb.bandwidth.is_finite()) {
+                return Err(format!(
+                    "load_balance.bandwidth must be a positive byte rate, got {}",
+                    lb.bandwidth
+                ));
+            }
+            if !(lb.cost_scale > 0.0 && lb.cost_scale.is_finite()) {
+                return Err(format!(
+                    "load_balance.cost_scale must be a positive seconds-per-cost \
+                     factor, got {}",
+                    lb.cost_scale
+                ));
+            }
+        }
         for (i, mp) in self.mr_patches.iter().enumerate() {
             if mp.rr < 2 {
                 return Err(format!(
@@ -438,6 +577,9 @@ impl RunConfig {
         }
         if let Some(t) = self.moving_window_start {
             b = b.moving_window(t);
+        }
+        if let Some(lb) = &self.load_balance {
+            b = b.load_balance(lb.to_policy_cfg());
         }
         for sc in &self.species {
             let (q, m) = match sc.kind.as_str() {
@@ -721,6 +863,58 @@ mod tests {
         assert!(sim.telemetry.cfg.enabled);
         assert_eq!(sim.telemetry.cfg.probe_interval, 5);
         assert_eq!(sim.telemetry.cfg.sentinel_interval, 0);
+    }
+
+    #[test]
+    fn load_balance_section_parses_validates_and_flows() {
+        let text = SAMPLE.replacen(
+            "\"t_end\": 2e-14,",
+            "\"t_end\": 2e-14, \"load_balance\": {\"ranks\": 2, \"threshold\": 1.1, \
+             \"patience\": 2, \"cost_source\": \"heuristic\"},",
+            1,
+        );
+        let cfg = RunConfig::from_json(&text).unwrap();
+        let lb = cfg.load_balance.as_ref().unwrap();
+        assert_eq!(lb.ranks, 2);
+        assert_eq!(lb.cost_source, crate::balance::CostSource::Heuristic);
+        // Unspecified knobs take the policy defaults.
+        assert_eq!(lb.horizon, crate::balance::LbPolicyCfg::default().horizon);
+        let (sim, _) = cfg.build().unwrap();
+        let policy = sim.lb.as_ref().expect("policy enabled");
+        assert_eq!(policy.cfg().nranks, 2);
+        assert!((policy.cfg().threshold - 1.1).abs() < 1e-12);
+        // Absent section → no policy.
+        let (sim, _) = RunConfig::from_json(SAMPLE).unwrap().build().unwrap();
+        assert!(sim.lb.is_none());
+        // Unknown keys inside the section are rejected.
+        let bad = text.replacen("\"patience\"", "\"patients\"", 1);
+        let err = RunConfig::from_json(&bad).unwrap_err();
+        assert!(err.contains("unknown field `patients`"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_load_balance_knobs() {
+        let with = |frag: &str| {
+            let text = SAMPLE.replacen(
+                "\"t_end\": 2e-14,",
+                &format!("\"t_end\": 2e-14, \"load_balance\": {{{frag}}},"),
+                1,
+            );
+            RunConfig::from_json(&text).unwrap_err()
+        };
+        assert!(with("\"ranks\": 0").contains("load_balance.ranks"));
+        assert!(with("\"threshold\": 0.9").contains("load_balance.threshold"));
+        assert!(with("\"patience\": 0").contains("load_balance.patience"));
+        assert!(with("\"min_gain\": 1.0").contains("load_balance.min_gain"));
+        assert!(with("\"horizon\": 0").contains("load_balance.horizon"));
+        assert!(with("\"latency\": -1e-6").contains("load_balance.latency"));
+        assert!(with("\"bandwidth\": 0.0").contains("load_balance.bandwidth"));
+        assert!(with("\"cost_scale\": 0.0").contains("load_balance.cost_scale"));
+        let err = with("\"cost_source\": \"oracle\"");
+        assert!(
+            err.contains("oracle") || err.contains("unknown variant"),
+            "{err}"
+        );
     }
 
     #[test]

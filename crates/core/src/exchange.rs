@@ -27,8 +27,15 @@ pub struct RankStepComm {
     pub recv_bytes: u64,
     pub recv_messages: u64,
     /// Wall seconds this rank spent packing/sending/receiving/applying
-    /// exchange data.
+    /// exchange data. Includes the blocking recv-wait below, so *busy*
+    /// time is `exchange_seconds - recv_wait_seconds`.
     pub exchange_seconds: f64,
+    /// Wall seconds of `exchange_seconds` spent blocked inside `recv`
+    /// waiting for a peer's frame to arrive — idle time, not work. A
+    /// rank stalled on a hot neighbor accumulates it here so the
+    /// imbalance metric does not mistake the stall for load.
+    #[serde(default)]
+    pub recv_wait_seconds: f64,
     /// Wall seconds of particle work (gather/push/deposit) over the
     /// boxes this rank owns.
     pub particle_seconds: f64,
@@ -43,6 +50,7 @@ impl RankStepComm {
         self.recv_bytes += other.recv_bytes;
         self.recv_messages += other.recv_messages;
         self.exchange_seconds += other.exchange_seconds;
+        self.recv_wait_seconds += other.recv_wait_seconds;
         self.particle_seconds += other.particle_seconds;
         self.migrated_out += other.migrated_out;
     }

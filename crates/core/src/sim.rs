@@ -8,7 +8,7 @@
 //! grid (restricted onto the coarse patch and the parent) and gather
 //! from the auxiliary grid, per §V-B of the paper.
 
-use crate::balance::CostTracker;
+use crate::balance::{self, CostTracker};
 use crate::laser::LaserAntenna;
 use crate::mr::{MrConfig, MrLevel};
 use crate::particles::ParticleContainer;
@@ -138,15 +138,6 @@ pub struct MovingWindow {
     pub inject_at_front: bool,
 }
 
-/// Periodic dynamic load balancing settings.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct LoadBalanceCfg {
-    pub interval: u64,
-    pub strategy: Strategy,
-    pub min_gain: f64,
-    pub nranks: usize,
-}
-
 /// Per-step accounting.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct StepStats {
@@ -164,18 +155,38 @@ pub struct StepStats {
 }
 
 /// The paper's load-balance metric over one step's per-rank records:
-/// max/mean of each rank's busy seconds (particle + exchange time).
-/// `None` for fewer than two ranks, where the ratio is vacuous.
+/// max/mean of each rank's busy seconds. Busy time is particle work
+/// plus exchange work *minus* the blocking recv-wait — a rank stalled
+/// waiting on a hot neighbor is idle, not loaded, and counting the
+/// stall used to bias the reported ratio toward 1.0 exactly when the
+/// imbalance was worst. `None` for fewer than two ranks, where the
+/// ratio is vacuous.
 pub fn rank_imbalance(ranks: &[crate::exchange::RankStepComm]) -> Option<f64> {
     if ranks.len() < 2 {
         return None;
     }
     let busy: Vec<f64> = ranks
         .iter()
-        .map(|r| r.particle_seconds + r.exchange_seconds)
+        .map(|r| (r.particle_seconds + r.exchange_seconds - r.recv_wait_seconds).max(0.0))
         .collect();
     let mean = busy.iter().sum::<f64>() / busy.len() as f64;
     let max = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+    (mean > 0.0).then(|| max / mean)
+}
+
+/// Serial / rayon-threaded fallback for [`StepRecord::imbalance`]: the
+/// same max/mean ratio over per-*box* cost instead of per-rank busy
+/// time, so single-process runs (where no rank records exist) still
+/// feed the LB trigger. `None` for fewer than two boxes or all-zero
+/// costs.
+///
+/// [`StepRecord::imbalance`]: crate::telemetry::StepRecord::imbalance
+pub fn box_imbalance(costs: &[f64]) -> Option<f64> {
+    if costs.len() < 2 {
+        return None;
+    }
+    let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+    let max = costs.iter().fold(0.0f64, |a, &b| a.max(b));
     (mean > 0.0).then(|| max / mean)
 }
 
@@ -342,7 +353,7 @@ pub struct SimulationBuilder {
     npml: Option<i64>,
     max_box: Option<IntVect>,
     window: Option<MovingWindow>,
-    lb: Option<LoadBalanceCfg>,
+    lb: Option<balance::LbPolicyCfg>,
     species: Vec<Species>,
     lasers: Vec<LaserAntenna>,
     sort_interval: u64,
@@ -422,7 +433,9 @@ impl SimulationBuilder {
         self
     }
 
-    pub fn load_balance(mut self, cfg: LoadBalanceCfg) -> Self {
+    /// Enable the online trigger → predict → adopt load-balance policy
+    /// ([`balance::LbPolicy`]).
+    pub fn load_balance(mut self, cfg: balance::LbPolicyCfg) -> Self {
         self.lb = Some(cfg);
         self
     }
@@ -511,7 +524,10 @@ impl SimulationBuilder {
         }
         let nranks = self.lb.map(|l| l.nranks).unwrap_or(1);
         let dm = DistributionMapping::build(&ba, nranks, Strategy::SpaceFillingCurve, &[]);
-        let nboxes = ba.len();
+        // Seed the tracker from the fab count, not ba.len(): the step
+        // loop records one sample per fab, and the two diverge as soon
+        // as an MR level contributes fabs.
+        let nfabs = fs.nfabs();
         Simulation {
             dim: self.dim,
             order: self.order,
@@ -523,9 +539,9 @@ impl SimulationBuilder {
             parts,
             lasers: self.lasers,
             window: self.window,
-            lb: self.lb,
+            lb: self.lb.map(balance::LbPolicy::new),
             dm,
-            cost: CostTracker::new(nboxes),
+            cost: CostTracker::new(nfabs),
             dt,
             time: 0.0,
             istep: 0,
@@ -559,7 +575,8 @@ pub struct Simulation {
     pub parts: Vec<ParticleContainer>,
     pub lasers: Vec<LaserAntenna>,
     pub window: Option<MovingWindow>,
-    pub lb: Option<LoadBalanceCfg>,
+    /// Online load-balance policy; `None` disables live rebalancing.
+    pub lb: Option<balance::LbPolicy>,
     pub dm: DistributionMapping,
     pub cost: CostTracker,
     pub dt: f64,
@@ -893,33 +910,72 @@ impl Simulation {
         drop(sp);
         phases.window = t0.elapsed().as_secs_f64();
 
-        // 8. Cost tracking & dynamic load balancing bookkeeping.
+        // 8. Cost tracking & trace-driven dynamic load balancing.
         let t0 = std::time::Instant::now();
         let sp = mrpic_trace::span!("lb");
         for s in &mut self.box_seconds {
             *s = s.max(1e-9);
         }
-        self.cost.record(&self.box_seconds);
+        match self.lb.as_ref().map(|p| p.cfg().cost_source) {
+            Some(balance::CostSource::Heuristic) => {
+                let ba = self.fs.boxarray();
+                let cells: Vec<i64> = ba.iter().map(|b| b.num_cells()).collect();
+                let particles: Vec<usize> = (0..ba.len())
+                    .map(|bi| self.parts.iter().map(|pc| pc.bufs[bi].len()).sum())
+                    .collect();
+                self.cost.record_heuristic(&cells, &particles);
+            }
+            _ => self.cost.record(&self.box_seconds),
+        }
         comm.note_box_seconds(&self.box_seconds);
-        if let Some(lb) = self.lb {
-            if lb.interval > 0 && self.istep.is_multiple_of(lb.interval) {
-                let d = crate::balance::rebalance(
+        // The per-rank records are complete once the box seconds are
+        // attributed; drain them here so *this* step's measurement can
+        // drive the rebalance trigger. (Migration traffic from an
+        // adoption below is accounted to the next step's records.)
+        let rank_records = comm.take_rank_records();
+        let fault_stats = comm.take_fault_stats();
+        // Telemetry imbalance, two provenances: per-rank busy time when
+        // rank records exist, per-box cost max/mean otherwise.
+        let imbalance = rank_imbalance(&rank_records).or_else(|| box_imbalance(&self.box_seconds));
+        let mut lb_decision: Option<balance::LbDecision> = None;
+        // Take the policy out of `self` so candidate evaluation can
+        // borrow the rest of the simulation state.
+        if let Some(mut policy) = self.lb.take() {
+            // Trigger signal: the measured wall-clock metric, except in
+            // heuristic mode where the mapping imbalance over FOM costs
+            // keeps decisions bit-reproducible across runs.
+            let trigger_metric = match policy.cfg().cost_source {
+                balance::CostSource::Heuristic => self.dm.imbalance(self.cost.costs()),
+                balance::CostSource::Measured => {
+                    imbalance.unwrap_or_else(|| self.dm.imbalance(self.cost.costs()))
+                }
+            };
+            // Last step's evaluation gets its realized metric and goes
+            // out with this step's record.
+            lb_decision = policy.finish_pending(Some(trigger_metric));
+            if policy.observe(trigger_metric) {
+                let _dspan = mrpic_trace::span!("lb_decision", -1, step_idx);
+                let per_box_bytes = self.migration_bytes_per_box();
+                let adopt = policy.evaluate(
+                    step_idx,
+                    trigger_metric,
                     self.fs.boxarray(),
                     &self.dm,
-                    &self.cost,
-                    lb.strategy,
-                    lb.min_gain,
+                    self.cost.costs(),
+                    &per_box_bytes,
+                    self.fs.ngrow,
                 );
-                if d.adopted {
+                if let Some(mapping) = adopt {
                     stats.rebalances += 1;
                     // Physically migrate fab data and particle tiles to
                     // the new owners (a no-op in a single address space).
-                    comm.adopt_mapping(&self.dm, &d.mapping, &mut self.fs, &mut self.parts);
+                    comm.adopt_mapping(&self.dm, &mapping, &mut self.fs, &mut self.parts);
                     // Ownership changed: conservatively drop cached plans.
                     self.fs.invalidate_plans();
+                    self.dm = mapping;
                 }
-                self.dm = d.mapping;
             }
+            self.lb = Some(policy);
         }
         drop(sp);
         phases.lb = t0.elapsed().as_secs_f64();
@@ -928,9 +984,6 @@ impl Simulation {
         phases.fill = comm_delta.seconds;
         stats.exchange_seconds = comm_delta.seconds;
         self.stats = stats;
-        let rank_records = comm.take_rank_records();
-        let fault_stats = comm.take_fault_stats();
-        let imbalance = rank_imbalance(&rank_records);
         // Per-step deltas of the trace metrics registry (message bytes,
         // recv-wait, per-box kernel times, ...), only while tracing.
         let trace_hists = if mrpic_trace::enabled() {
@@ -972,11 +1025,31 @@ impl Simulation {
                 ranks: rank_records,
                 faults: fault_stats,
                 imbalance,
+                lb: lb_decision,
                 trace_hists,
                 precision: self.precision,
             });
         }
         stats
+    }
+
+    /// Payload bytes that would move if each box changed owner: the
+    /// nine parent-level fab raw slices plus every species' 7-`f64`
+    /// particle tuples — the exact wire format of the `mrpic-dist`
+    /// migration frames, so the policy's migration pricing matches what
+    /// an adoption actually ships.
+    fn migration_bytes_per_box(&self) -> Vec<u64> {
+        let nboxes = self.fs.nfabs();
+        let mut out = vec![0u64; nboxes];
+        for (bi, b) in out.iter_mut().enumerate() {
+            for fa in self.fs.e.iter().chain(&self.fs.b).chain(&self.fs.j) {
+                *b += 8 * fa.fab(bi).raw().len() as u64;
+            }
+            for pc in &self.parts {
+                *b += 8 * 7 * pc.bufs[bi].len() as u64;
+            }
+        }
+        out
     }
 
     /// Max-norm of the Gauss-law residual `div E - rho/eps0` over interior

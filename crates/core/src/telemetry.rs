@@ -237,10 +237,21 @@ pub struct StepRecord {
     /// when a chaos transport is attached to the run).
     #[serde(default)]
     pub faults: Option<FaultStats>,
-    /// The paper's load-balance metric — max/mean of per-rank step
-    /// seconds — computed from the rank records (absent single-rank).
+    /// The paper's load-balance metric, max/mean, with two provenances:
+    /// from per-rank *busy* seconds (particle + exchange minus blocking
+    /// recv-wait) when the step produced rank records, otherwise — the
+    /// serial and rayon-threaded case — from the per-box particle-phase
+    /// seconds, so single-process runs still feed the LB trigger.
+    /// `None` only when neither signal is defined (fewer than two
+    /// boxes).
     #[serde(default)]
     pub imbalance: Option<f64>,
+    /// The load-balance policy evaluation emitted with this step, if
+    /// one completed: trigger imbalance, every candidate considered
+    /// with predicted costs/savings, what (if anything) was adopted,
+    /// and the realized imbalance one step after the decision.
+    #[serde(default)]
+    pub lb: Option<crate::balance::LbDecision>,
     /// Per-step histogram summaries (message bytes, recv-wait, per-box
     /// kernel times, ...) from the mrpic-trace metrics registry; only
     /// populated while tracing is enabled.
@@ -512,6 +523,7 @@ mod tests {
                 ranks: Vec::new(),
                 faults: None,
                 imbalance: None,
+                lb: None,
                 trace_hists: Vec::new(),
                 precision: crate::sim::Precision::F64,
             });
@@ -581,6 +593,22 @@ mod tests {
                 ..Default::default()
             }),
             imbalance: Some(1.25),
+            lb: Some(crate::balance::LbDecision {
+                step: 11,
+                trigger_imbalance: 1.4,
+                candidates: vec![crate::balance::LbCandidate {
+                    strategy: "knapsack".into(),
+                    predicted_imbalance: 1.05,
+                    predicted_step_save: 2.0e-4,
+                    migration_bytes: 1 << 20,
+                    predicted_migration_seconds: 4.6e-5,
+                    predicted_exchange_delta_seconds: -1.2e-6,
+                    predicted_net_gain: 9.95e-3,
+                }],
+                adopted: Some("knapsack".into()),
+                bytes_migrated: 1 << 20,
+                realized_imbalance: Some(1.1),
+            }),
             trace_hists: vec![mrpic_trace::HistSummary {
                 name: "dist.msg_bytes".into(),
                 count: 12,
@@ -604,6 +632,7 @@ mod tests {
         assert!(back.guard.is_none());
         assert_eq!(back.faults, rec.faults);
         assert_eq!(back.imbalance, Some(1.25));
+        assert_eq!(back.lb, rec.lb);
         assert_eq!(back.trace_hists, rec.trace_hists);
         assert_eq!(back.precision, rec.precision);
     }
@@ -627,6 +656,7 @@ mod tests {
             ranks: Vec::new(),
             faults: None,
             imbalance: None,
+            lb: None,
             trace_hists: Vec::new(),
             precision: crate::sim::Precision::F64,
         }

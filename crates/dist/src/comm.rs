@@ -165,6 +165,9 @@ fn recv_framed(
         let t_wait = std::time::Instant::now();
         let got = ep.recv(src, tag);
         drop(wait_span);
+        // Always charged to the rank record (the imbalance metric
+        // subtracts it from busy time); the histogram is trace-only.
+        rec.recv_wait_seconds += t_wait.elapsed().as_secs_f64();
         if mrpic_trace::enabled() {
             recv_wait_hist().record(t_wait.elapsed().as_nanos() as u64);
         }

@@ -74,6 +74,11 @@ impl DistSim {
         let dm =
             DistributionMapping::build(sim.fs.boxarray(), nranks, Strategy::SpaceFillingCurve, &[]);
         sim.dm = dm.clone();
+        // The live LB policy must evaluate candidates over the actual
+        // endpoint count, not whatever the builder assumed.
+        if let Some(policy) = &mut sim.lb {
+            policy.set_nranks(nranks);
+        }
         let comm = DistComm::new(endpoints, dm);
         Self {
             sim,
@@ -191,6 +196,10 @@ impl DistSim {
             self.sim.cost.costs(),
         );
         self.sim.dm = dm.clone();
+        // Rebalance decisions now target the shrunken rank set.
+        if let Some(policy) = &mut self.sim.lb {
+            policy.set_nranks(survivors);
+        }
         // Fresh transport over the survivors, same seed, crash cleared —
         // in-flight frames of the dead transport are dropped with it.
         let mut replay_plan = plan.clone();

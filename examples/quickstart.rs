@@ -28,7 +28,7 @@ fn main() {
             "single-source CPU kernels",
             "mrpic-kernels (generic over f32/f64)",
         ),
-        ("dynamic load balancing", "core::balance + LoadBalanceCfg"),
+        ("dynamic load balancing", "core::balance + LbPolicyCfg"),
         ("mesh refinement", "Simulation::add_mr_patch"),
         ("boosted frame", "core::boost::Boost"),
         ("PSATD field solver", "field::psatd::Psatd2d"),

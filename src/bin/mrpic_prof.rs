@@ -19,11 +19,17 @@
 //! * a critical-path summary through the send/recv dependency DAG.
 //!
 //! **Compare mode** diffs two reports and exits 4 when any tracked
-//! quantity regressed by more than the threshold (default 10%). Both
-//! file kinds are understood: two Chrome traces (compares wall time and
-//! per-name span totals) or two `BENCH_step_loop.json` bench reports
+//! quantity regressed by more than the threshold (default 10%). Three
+//! file kinds are understood: two Chrome traces (compares wall time,
+//! rank imbalance, and per-name span totals), two `mrpic_run`
+//! `summary.json` files (compares wall seconds and the run-mean
+//! telemetry imbalance), or two `BENCH_step_loop.json` bench reports
 //! (compares `step_seconds` per case, keyed by case name and rank
-//! count) — so CI can gate on either artifact.
+//! count) — so CI can gate on any artifact.
+//! `--min-improve PCT` inverts the gate: every compared
+//! metric must *improve* by at least PCT, which is how the tier-1 suite
+//! proves live load balancing actually reduced the traced imbalance
+//! (`--only imbalance --min-improve 5`).
 
 use mrpic::trace::analysis;
 use mrpic::trace::chrome;
@@ -38,7 +44,8 @@ fn fail(msg: &str) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: mrpic_prof <trace.json> [--top N]\n       \
-         mrpic_prof --compare <old.json> <new.json> [--threshold PCT] [--only SUBSTR]"
+         mrpic_prof --compare <old.json> <new.json> [--threshold PCT] [--only SUBSTR] \
+         [--min-improve PCT]"
     );
     std::process::exit(2);
 }
@@ -136,12 +143,19 @@ struct Metric {
     value: f64,
 }
 
-/// Chrome trace → wall seconds plus per-name span totals.
+/// Chrome trace → wall seconds, rank imbalance (multi-rank traces
+/// only), plus per-name span totals.
 fn trace_metrics(trace: &Trace) -> Vec<Metric> {
     let mut v = vec![Metric {
         label: "wall_s".to_string(),
         value: trace.wall_s(),
     }];
+    if let Some(r) = analysis::imbalance(trace) {
+        v.push(Metric {
+            label: "imbalance".to_string(),
+            value: r,
+        });
+    }
     for a in analysis::top_spans(trace, usize::MAX) {
         v.push(Metric {
             label: format!("span:{}", a.name),
@@ -189,12 +203,34 @@ fn bench_metrics(doc: &Value) -> Vec<Metric> {
     v
 }
 
+/// `mrpic_run` summary.json → wall seconds plus the run-mean telemetry
+/// imbalance (when the run reported one). The imbalance label matches
+/// the trace metric so `--only imbalance` gates either artifact.
+fn summary_metrics(doc: &Value) -> Vec<Metric> {
+    let mut v = Vec::new();
+    if let Some(w) = doc.get("wall_seconds").and_then(|x| x.as_f64()) {
+        v.push(Metric {
+            label: "wall_s".to_string(),
+            value: w,
+        });
+    }
+    if let Some(r) = doc.get("mean_imbalance").and_then(|x| x.as_f64()) {
+        v.push(Metric {
+            label: "imbalance".to_string(),
+            value: r,
+        });
+    }
+    v
+}
+
 fn metrics_of(path: &str) -> Vec<Metric> {
     let text = read(path);
     let doc: Value =
         serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("{path} is not JSON: {e}")));
     if doc.get("traceEvents").is_some() {
         trace_metrics(&load_trace(path))
+    } else if doc.get("wall_seconds").is_some() {
+        summary_metrics(&doc)
     } else if doc.get("bench").is_some() {
         let m = bench_metrics(&doc);
         if m.is_empty() {
@@ -203,17 +239,25 @@ fn metrics_of(path: &str) -> Vec<Metric> {
         m
     } else {
         fail(&format!(
-            "{path}: neither a Chrome trace (traceEvents) nor a bench report (bench)"
+            "{path}: not a Chrome trace (traceEvents), run summary (wall_seconds), \
+             or bench report (bench)"
         ));
     }
 }
 
-fn compare(old_path: &str, new_path: &str, threshold_pct: f64, only: &[String]) {
+fn compare(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+    min_improve_pct: Option<f64>,
+    only: &[String],
+) {
     let keep = |label: &str| only.is_empty() || only.iter().any(|f| label.contains(f.as_str()));
     let old = metrics_of(old_path);
     let mut new = metrics_of(new_path);
     new.retain(|m| keep(&m.label));
     let mut regressed = 0usize;
+    let mut unimproved = 0usize;
     let mut compared = 0usize;
     println!(
         "{:<36} {:>12} {:>12} {:>9}",
@@ -233,6 +277,9 @@ fn compare(old_path: &str, new_path: &str, threshold_pct: f64, only: &[String]) 
         let flag = if pct > threshold_pct {
             regressed += 1;
             "  REGRESSED"
+        } else if min_improve_pct.is_some_and(|need| pct > -need) {
+            unimproved += 1;
+            "  NOT IMPROVED"
         } else {
             ""
         };
@@ -251,6 +298,17 @@ fn compare(old_path: &str, new_path: &str, threshold_pct: f64, only: &[String]) 
         );
         std::process::exit(4);
     }
+    if let Some(need) = min_improve_pct {
+        if unimproved > 0 {
+            eprintln!(
+                "mrpic_prof: {unimproved} metric(s) failed to improve by at least {need:.1}% \
+                 ({new_path} vs {old_path})"
+            );
+            std::process::exit(4);
+        }
+        println!("all {compared} metric(s) improved by at least {need:.1}%");
+        return;
+    }
     println!("no regression above {threshold_pct:.1}% across {compared} metric(s)");
 }
 
@@ -260,6 +318,7 @@ fn main() {
     let mut compare_paths: Option<(String, String)> = None;
     let mut top_n = 10usize;
     let mut threshold = 10.0f64;
+    let mut min_improve: Option<f64> = None;
     let mut only: Vec<String> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
@@ -284,12 +343,19 @@ fn main() {
             "--only" => {
                 only.push(it.next().unwrap_or_else(|| usage()));
             }
+            "--min-improve" => {
+                min_improve = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ if trace_path.is_none() && !a.starts_with("--") => trace_path = Some(a),
             _ => usage(),
         }
     }
     match (compare_paths, trace_path) {
-        (Some((old, new)), None) => compare(&old, &new, threshold, &only),
+        (Some((old, new)), None) => compare(&old, &new, threshold, min_improve, &only),
         (None, Some(path)) => report(&path, top_n),
         _ => usage(),
     }

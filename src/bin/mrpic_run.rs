@@ -57,14 +57,10 @@ impl Runner {
         }
     }
 
-    fn step(&mut self) {
+    fn step(&mut self) -> mrpic::core::sim::StepStats {
         match self {
-            Runner::Serial(s) => {
-                s.step();
-            }
-            Runner::Dist(d) => {
-                d.step();
-            }
+            Runner::Serial(s) => s.step(),
+            Runner::Dist(d) => d.step(),
         }
     }
 
@@ -83,9 +79,11 @@ fn main() {
     let mut ranks = 1usize;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut no_lb = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--no-lb" => no_lb = true,
             "--steps" => {
                 let v = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--steps needs an integer argument");
@@ -141,7 +139,7 @@ fn main() {
     }
     let path = config_path.unwrap_or_else(|| {
         eprintln!(
-            "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] \
+            "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] [--no-lb] \
              [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json]"
         );
         std::process::exit(2);
@@ -165,6 +163,17 @@ fn main() {
         eprintln!("config error: {e}");
         std::process::exit(2);
     });
+    // --no-lb: run the same config with live load balancing disabled
+    // (the LB-off arm of an A/B comparison on a skewed case).
+    if no_lb {
+        sim.lb = None;
+    } else if let Some(policy) = &sim.lb {
+        let c = policy.cfg();
+        println!(
+            "live LB: {:?} costs, trigger > {:.2} for {} step(s), horizon {} step(s)",
+            c.cost_source, c.threshold, c.patience, c.horizon,
+        );
+    }
     if let Err(e) = sim.telemetry.open_jsonl(&outdir.join("telemetry.jsonl")) {
         eprintln!("warning: cannot open telemetry sink: {e}");
     }
@@ -202,9 +211,26 @@ fn main() {
     };
     let mut energy_ts = TimeSeries::new("total_energy_joules");
     let mut removed = vec![false; removals.len()];
+    let mut lb_adoptions = 0u64;
+    // Run-mean of the per-step telemetry imbalance (max/mean busy for
+    // distributed runs, per-box cost spread for serial ones) — the
+    // load-balance A/B gate compares this across summary files.
+    let mut imb_sum = 0.0f64;
+    let mut imb_steps = 0u64;
     let t0 = std::time::Instant::now();
     while runner.sim().time < cfg.t_end && runner.sim().istep < max_steps {
-        runner.step();
+        let stats = runner.step();
+        lb_adoptions += stats.rebalances;
+        if let Some(x) = runner
+            .sim()
+            .telemetry
+            .records()
+            .back()
+            .and_then(|r| r.imbalance)
+        {
+            imb_sum += x;
+            imb_steps += 1;
+        }
         if trace_out.is_some() {
             // Drain the per-thread rings once per step so short-lived
             // rank/worker threads never wrap their rings.
@@ -251,6 +277,13 @@ fn main() {
         wall,
         1e3 * wall / sim.istep.max(1) as f64,
     );
+    let mean_imbalance = (imb_steps > 0).then(|| imb_sum / imb_steps as f64);
+    if let Some(x) = mean_imbalance {
+        println!("mean telemetry imbalance: {x:.3} over {imb_steps} step(s)");
+    }
+    if lb_adoptions > 0 {
+        println!("live LB: adopted {lb_adoptions} rebalance(s)");
+    }
     let ph = sim.telemetry.phase_totals();
     println!(
         "phase seconds (last {} steps): gather {:.3} | push {:.3} | deposit {:.3} | sum {:.3} \
@@ -316,6 +349,8 @@ fn main() {
         "window_x0": sim.fs.geom.x0[0],
         "guard_trips": sim.telemetry.trips().len(),
         "recoveries": recoveries,
+        "lb_adoptions": lb_adoptions,
+        "mean_imbalance": mean_imbalance,
     });
     std::fs::write(
         outdir.join("summary.json"),

@@ -215,6 +215,87 @@ fn message_schedule_is_a_golden_trace() {
     }
 }
 
+/// Live load balancing with the heuristic cost source is fully
+/// deterministic, and adoptions never perturb the physics:
+///
+/// * repeated runs at a given rank count produce identical
+///   [`LbDecision`] sequences (trigger metric, candidates, predicted
+///   gains, adopted strategy — all of it);
+/// * the skewed foil (all particles in two of eight parent boxes)
+///   actually triggers an adoption on 2+ ranks;
+/// * the final state is bitwise identical to the serial step loop at
+///   1, 2, and 4 ranks, *through* the adopted live migrations — on the
+///   same moving-window MR run, which also regression-tests that an
+///   MR + window run with the policy enabled never trips the cost
+///   tracker's length check.
+#[test]
+fn live_lb_decisions_are_deterministic_and_preserve_state() {
+    use mrpic::core::balance::{CostSource, LbDecision, LbPolicy, LbPolicyCfg};
+    const STEPS: usize = 24;
+    let lb_cfg = LbPolicyCfg {
+        threshold: 1.05,
+        patience: 2,
+        min_gain: 0.01,
+        horizon: 40,
+        cooldown: 4,
+        cost_source: CostSource::Heuristic,
+        ..LbPolicyCfg::default()
+    };
+    let build_lb = |seed: u64| {
+        let mut sim = build(seed, true);
+        sim.lb = Some(LbPolicy::new(lb_cfg));
+        sim
+    };
+    // Serial baseline: the policy is armed but evaluates over one rank
+    // (imbalance is identically 1), so the serial loop stays untouched.
+    let serial = {
+        let mut s = build_lb(11);
+        s.run(STEPS);
+        s
+    };
+    assert!(
+        serial
+            .telemetry
+            .records()
+            .iter()
+            .all(|r| r.lb.as_ref().is_none_or(|d| d.adopted.is_none())),
+        "a single-rank policy must never adopt"
+    );
+    for nranks in [1usize, 2, 4] {
+        let run = || {
+            let mut d = DistSim::in_process(build_lb(11), nranks);
+            d.run(STEPS);
+            d
+        };
+        let decisions = |d: &DistSim| -> Vec<LbDecision> {
+            d.sim
+                .telemetry
+                .records()
+                .iter()
+                .filter_map(|r| r.lb.clone())
+                .collect()
+        };
+        let (a, b) = (run(), run());
+        let (da, db) = (decisions(&a), decisions(&b));
+        assert_eq!(
+            da, db,
+            "heuristic LB decisions must be identical across runs ({nranks} ranks)"
+        );
+        if nranks >= 2 {
+            let adopted: Vec<&str> = da.iter().filter_map(|d| d.adopted.as_deref()).collect();
+            assert!(
+                !adopted.is_empty(),
+                "the skewed foil must trigger an adoption on {nranks} ranks"
+            );
+            for d in &da {
+                assert!(!d.candidates.is_empty(), "decisions must carry candidates");
+                assert!(d.trigger_imbalance > 1.0);
+            }
+        }
+        assert_sims_bitwise(&serial, &a.sim);
+    }
+}
+
 fn arb_dom() -> impl Strategy<Value = IndexBox> {
     (4i64..20, 1i64..6, 4i64..20).prop_map(|(x, y, z)| IndexBox::from_size(IntVect::new(x, y, z)))
 }

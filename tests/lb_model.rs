@@ -1,0 +1,63 @@
+//! The live LB policy (mrpic-core) prices candidate migrations with a
+//! latency/bandwidth model that must stay numerically identical to the
+//! offline ablation's trace-costing model (mrpic-cluster) — the whole
+//! point of the online policy is that its predictions agree with what
+//! the ablation would report for the same traffic. The core crate
+//! cannot depend on the cluster crate, so the contract is pinned here
+//! in the umbrella tests, over the exact fixture the cluster unit test
+//! uses plus denser synthetic traffic patterns.
+
+use mrpic::cluster::lb::trace_comm_times;
+use mrpic::core::balance::comm_time_model;
+
+fn max_time(pairs: &[(usize, usize, u64)], nranks: usize, lat: f64, bw: f64) -> f64 {
+    trace_comm_times(pairs, nranks, lat, bw)
+        .into_iter()
+        .fold(0.0f64, f64::max)
+}
+
+#[test]
+fn core_migration_pricing_matches_cluster_trace_costing() {
+    // The cluster unit test's fixture, bit for bit.
+    let pairs = [(0usize, 1usize, 8000u64), (1, 0, 2000), (0, 2, 1000)];
+    let core = comm_time_model(&pairs, 3, 1e-6, 1e9);
+    let cluster = max_time(&pairs, 3, 1e-6, 1e9);
+    assert_eq!(core.to_bits(), cluster.to_bits());
+    // Rank 0 dominates: three message touches of latency plus 9000 B out.
+    assert!((core - (3.0 * 1e-6 + 9000.0 / 1e9)).abs() < 1e-12);
+}
+
+#[test]
+fn pricing_models_agree_on_dense_traffic_at_lb_defaults() {
+    let cfg = mrpic::core::balance::LbPolicyCfg::default();
+    for nranks in [2usize, 3, 5, 8] {
+        // Deterministic all-pairs traffic with lumpy volumes.
+        let mut pairs = Vec::new();
+        for s in 0..nranks {
+            for d in 0..nranks {
+                if s != d {
+                    let b = ((s * 7919 + d * 104729) % 65536) as u64 * 512;
+                    if b > 0 {
+                        pairs.push((s, d, b));
+                    }
+                }
+            }
+        }
+        let core = comm_time_model(&pairs, nranks, cfg.latency, cfg.bandwidth);
+        let cluster = max_time(&pairs, nranks, cfg.latency, cfg.bandwidth);
+        assert_eq!(
+            core.to_bits(),
+            cluster.to_bits(),
+            "models diverge at {nranks} ranks"
+        );
+        assert!(core > 0.0);
+    }
+}
+
+#[test]
+fn empty_traffic_costs_nothing_in_both_models() {
+    assert_eq!(comm_time_model(&[], 4, 2e-6, 25e9), 0.0);
+    assert!(trace_comm_times(&[], 4, 2e-6, 25e9)
+        .iter()
+        .all(|&t| t == 0.0));
+}

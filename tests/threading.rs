@@ -95,6 +95,66 @@ fn step_is_bitwise_identical_across_thread_counts() {
     }
 }
 
+/// The live LB policy's heuristic cost source reads deterministic
+/// cell/particle counts, never wall-clock timings — so its decision
+/// sequence (and therefore the adopted mappings and the physics) must
+/// be identical whether the box-parallel particle loop ran on 1 rayon
+/// worker or 4.
+#[test]
+fn live_lb_decisions_ignore_rayon_thread_count() {
+    use mrpic::core::balance::{CostSource, LbDecision, LbPolicy, LbPolicyCfg};
+    let run = |threads: usize| -> (Vec<LbDecision>, Simulation) {
+        let mut sim = build(11, true);
+        sim.lb = Some(LbPolicy::new(LbPolicyCfg {
+            threshold: 1.05,
+            patience: 2,
+            min_gain: 0.01,
+            horizon: 40,
+            cooldown: 4,
+            cost_source: CostSource::Heuristic,
+            ..LbPolicyCfg::default()
+        }));
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut d = mrpic::dist::DistSim::in_process(sim, 2);
+                d.run(20);
+                let decisions = d
+                    .sim
+                    .telemetry
+                    .records()
+                    .iter()
+                    .filter_map(|r| r.lb.clone())
+                    .collect();
+                (decisions, d.sim)
+            })
+    };
+    let (da, sa) = run(1);
+    let (db, sb) = run(4);
+    assert!(
+        da.iter().any(|d| d.adopted.is_some()),
+        "the skewed foil must trigger an adoption"
+    );
+    assert_eq!(da, db, "decisions must not depend on rayon thread count");
+    for (x, y) in sa.parts[0].bufs.iter().zip(&sb.parts[0].bufs) {
+        assert_eq!(x.len(), y.len());
+        for i in 0..x.len() {
+            assert_eq!(x.x[i].to_bits(), y.x[i].to_bits());
+            assert_eq!(x.z[i].to_bits(), y.z[i].to_bits());
+            assert_eq!(x.ux[i].to_bits(), y.ux[i].to_bits());
+            assert_eq!(x.uz[i].to_bits(), y.uz[i].to_bits());
+        }
+    }
+    for c in 0..3 {
+        for fi in 0..sa.fs.e[c].nfabs() {
+            assert_eq!(sa.fs.e[c].fab(fi).raw(), sb.fs.e[c].fab(fi).raw());
+            assert_eq!(sa.fs.j[c].fab(fi).raw(), sb.fs.j[c].fab(fi).raw());
+        }
+    }
+}
+
 #[test]
 fn steady_state_steps_build_no_plans() {
     let mut sim = build(3, false);

@@ -167,6 +167,7 @@ fn telemetry_records_round_trip_through_serde() {
         recv_bytes: 2048,
         recv_messages: 5,
         exchange_seconds: 0.25,
+        recv_wait_seconds: 0.125,
         particle_seconds: 1.5,
         migrated_out: 42,
     };
@@ -178,8 +179,14 @@ fn telemetry_records_round_trip_through_serde() {
     assert_eq!(back.recv_bytes, 2048);
     assert_eq!(back.recv_messages, 5);
     assert_eq!(back.exchange_seconds, 0.25);
+    assert_eq!(back.recv_wait_seconds, 0.125);
     assert_eq!(back.particle_seconds, 1.5);
     assert_eq!(back.migrated_out, 42);
+    // Records written before the recv-wait split still parse (field
+    // defaults to zero, reproducing the old busy-time metric).
+    let sparse: RankStepComm =
+        serde_json::from_str(&s.replace("\"recv_wait_seconds\"", "\"_rw\"")).unwrap();
+    assert_eq!(sparse.recv_wait_seconds, 0.0);
 
     let faults = FaultStats {
         delays_injected: 1,
@@ -198,6 +205,64 @@ fn telemetry_records_round_trip_through_serde() {
     assert_eq!(back.recoveries, 8);
     assert_eq!(back.delays_injected, 1);
     assert_eq!(back.peer_losses_detected, 7);
+}
+
+/// The busy-time metric must not count blocking recv-wait as load: a
+/// rank stalled on a hot neighbor used to read as busy, biasing the
+/// reported imbalance toward 1.0 exactly when the skew was worst.
+#[test]
+fn skewed_two_rank_imbalance_subtracts_recv_wait() {
+    use mrpic::core::sim::rank_imbalance;
+
+    // Deterministic core of the fix: a starved rank whose "exchange"
+    // time is almost entirely blocking wait. Counting the wait as busy
+    // reports near-perfect balance; subtracting it exposes the skew.
+    let mk = |rank: usize, particle: f64, exchange: f64, wait: f64| RankStepComm {
+        rank,
+        particle_seconds: particle,
+        exchange_seconds: exchange,
+        recv_wait_seconds: wait,
+        ..Default::default()
+    };
+    let ranks = vec![mk(0, 1.0, 0.1, 0.0), mk(1, 0.1, 1.0, 0.9)];
+    let old_metric = {
+        let busy: Vec<f64> = ranks
+            .iter()
+            .map(|r| r.particle_seconds + r.exchange_seconds)
+            .collect();
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        busy.iter().fold(0.0f64, |a, &b| a.max(b)) / mean
+    };
+    let new_metric = rank_imbalance(&ranks).unwrap();
+    assert!(
+        (old_metric - 1.0).abs() < 1e-12,
+        "old metric reads balanced"
+    );
+    assert!(
+        new_metric > 1.6,
+        "recv-wait-corrected metric must expose the skew, got {new_metric}"
+    );
+
+    // And on a real skewed 2-rank run (the foil slab lives entirely in
+    // rank 1's boxes): recv waits are measured, and the corrected
+    // metric reports the imbalance the waits used to mask.
+    let _g = lock();
+    mrpic::trace::disable();
+    let _ = mrpic::trace::take_trace();
+    let mut d = DistSim::in_process(build(13), 2);
+    d.run(6);
+    let rec = d.sim.telemetry.records().back().unwrap();
+    assert_eq!(rec.ranks.len(), 2);
+    assert!(
+        rec.ranks.iter().any(|r| r.recv_wait_seconds > 0.0),
+        "distributed exchanges must accumulate recv-wait"
+    );
+    for r in &rec.ranks {
+        assert!(r.recv_wait_seconds <= r.exchange_seconds + 1e-9);
+    }
+    let measured = rank_imbalance(&rec.ranks).unwrap();
+    assert!(measured > 1.0, "skewed run must report imbalance > 1");
+    assert_eq!(rec.imbalance, Some(measured));
 }
 
 #[test]

@@ -60,3 +60,37 @@ cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
 test -s target/tier1_smoke_trace_out/trace.json
 cargo run --release --bin mrpic_prof -- target/tier1_smoke_trace_out/trace.json
 grep -q '"trace_hists":\[{' target/tier1_smoke_trace_out/telemetry.jsonl
+
+# Live load-balance gate: the skewed laser-foil config puts every
+# particle in the high-x boxes, so a uniform SFC split starves rank 0.
+# Run the same 2-rank slice with the policy disabled (--no-lb) and
+# enabled, then require the run-mean telemetry imbalance to improve by
+# at least 5% (mrpic_prof exits 4 otherwise) and an adopted LbDecision
+# to appear in the telemetry. Wall time is only sanity-checked with a
+# forgiving threshold: the in-process ranks share one address space, so
+# adoption mostly moves *attributed* work at this scale.
+cargo run --release --bin mrpic_run -- configs/laser_foil_skewed_2d.json \
+    target/tier1_lb_off --steps 40 --ranks 2 --no-lb
+cargo run --release --bin mrpic_run -- configs/laser_foil_skewed_2d.json \
+    target/tier1_lb_on --steps 40 --ranks 2
+cargo run --release --bin mrpic_prof -- \
+    --compare target/tier1_lb_off/summary.json target/tier1_lb_on/summary.json \
+    --only imbalance --min-improve 5
+cargo run --release --bin mrpic_prof -- \
+    --compare target/tier1_lb_off/summary.json target/tier1_lb_on/summary.json \
+    --only wall_s --threshold 50
+grep -q '"lb":{' target/tier1_lb_on/telemetry.jsonl
+grep -q '"adopted":"' target/tier1_lb_on/telemetry.jsonl
+grep -q '"lb_adoptions": 0' target/tier1_lb_off/summary.json
+
+# Balanced counterpart: same domain with the plasma spread uniformly.
+# The armed policy must decline to act (trigger never crosses the
+# threshold, so zero adoptions) and the run must not regress vs --no-lb.
+cargo run --release --bin mrpic_run -- configs/laser_foil_balanced_2d.json \
+    target/tier1_lb_bal_off --steps 40 --ranks 2 --no-lb
+cargo run --release --bin mrpic_run -- configs/laser_foil_balanced_2d.json \
+    target/tier1_lb_bal_on --steps 40 --ranks 2
+cargo run --release --bin mrpic_prof -- \
+    --compare target/tier1_lb_bal_off/summary.json target/tier1_lb_bal_on/summary.json \
+    --only wall_s --threshold 25
+grep -q '"lb_adoptions": 0' target/tier1_lb_bal_on/summary.json
