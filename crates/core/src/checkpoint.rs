@@ -272,6 +272,25 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Rebuild a simulation from `cfg` and restore this checkpoint into
+    /// it, returning the sim plus the config's MR-removal times — the
+    /// one-call resume path for parked jobs. Reconciles MR-patch
+    /// presence: a checkpoint captured *after* the config's `remove_at`
+    /// fired carries no MR state, so the freshly built patch is removed
+    /// before restoring (the caller re-derives which removals already
+    /// fired from the restored `time`).
+    pub fn resume(
+        &self,
+        cfg: &crate::config::RunConfig,
+    ) -> Result<(crate::sim::Simulation, Vec<f64>), String> {
+        let (mut sim, removals) = cfg.build()?;
+        if self.mr.is_none() && sim.mr.is_some() {
+            sim.remove_mr_patch();
+        }
+        self.restore(&mut sim).map_err(|e| e.to_string())?;
+        Ok((sim, removals))
+    }
+
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let bytes = serde_json::to_vec(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;

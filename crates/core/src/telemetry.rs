@@ -379,6 +379,22 @@ impl Telemetry {
             let _ = w.flush();
         }
     }
+
+    /// Flush the JSONL sink *and* fsync it to durable storage. Called at
+    /// job completion and server shutdown — the points where losing tail
+    /// records to OS page-cache buffering would silently truncate the
+    /// run's telemetry. A failure is recorded in [`Self::write_error`]
+    /// and the sink is dropped, matching the write-path policy.
+    pub fn sync(&mut self) {
+        let Some(w) = &mut self.writer else {
+            return;
+        };
+        let res = w.flush().and_then(|()| w.get_ref().sync_all());
+        if let Err(e) = res {
+            self.write_error = Some(e.to_string());
+            self.writer = None;
+        }
+    }
 }
 
 impl Drop for Telemetry {
@@ -701,6 +717,27 @@ mod tests {
         drop(t);
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_persists_tail_records() {
+        let path =
+            std::env::temp_dir().join(format!("mrpic_telemetry_sync_{}.jsonl", std::process::id()));
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.open_jsonl(&path).unwrap();
+        t.record(blank_record(0, None));
+        t.record(blank_record(1, None));
+        t.sync();
+        assert!(t.write_error().is_none());
+        // Telemetry still alive (no Drop flush) — both records must be
+        // on disk, fsynced.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        // A second sync on an already-synced (or sink-less) telemetry is
+        // a harmless no-op.
+        t.sync();
+        drop(t);
         let _ = std::fs::remove_file(&path);
     }
 

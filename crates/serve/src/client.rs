@@ -1,0 +1,184 @@
+//! Client side: submit a job and mirror its stream to local files.
+//!
+//! [`submit_job`] is what `mrpic_run --submit SOCKET` calls: it connects
+//! to the server, sends one `Submit` frame, and then consumes the event
+//! stream — every [`Response::Step`] record is appended to
+//! `<outdir>/telemetry.jsonl` (same format a local run writes) and the
+//! terminal [`Response::Done`] summary lands in `<outdir>/summary.json`.
+//! The telemetry file is fsynced before `summary.json` is written, so a
+//! summary on disk implies complete telemetry next to it.
+//!
+//! Errors are split by *who* failed, because the caller maps them to
+//! distinct exit codes: [`ClientError::Rejected`] and
+//! [`ClientError::Io`] are the client's fault or environment (bad spec,
+//! no server — exit 2), while [`ClientError::Transport`] and
+//! [`ClientError::Failed`] mean the job was accepted and then lost
+//! (connection died mid-stream, server aborted the job — exit 4).
+
+use crate::protocol::{
+    read_frame, write_frame, JobSpec, JobSummary, Request, Response, StatusReport,
+};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Why a client call failed, split by exit-code class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not reach or talk to the server at all (connect/IO error
+    /// before the job was accepted, or a malformed reply).
+    Io(String),
+    /// The server refused the submission (validation failure).
+    Rejected(String),
+    /// The connection was lost after the job was accepted — the job's
+    /// outcome is unknown (it may still complete server-side).
+    Transport(String),
+    /// The server killed the job (budget, activation error, shutdown).
+    Failed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(m) => write!(f, "server unreachable: {m}"),
+            ClientError::Rejected(m) => write!(f, "submission rejected: {m}"),
+            ClientError::Transport(m) => write!(f, "connection to server lost: {m}"),
+            ClientError::Failed(m) => write!(f, "job failed server-side: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A completed remote job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClientOutcome {
+    pub summary: JobSummary,
+}
+
+fn connect(socket: &Path) -> Result<UnixStream, ClientError> {
+    UnixStream::connect(socket)
+        .map_err(|e| ClientError::Io(format!("connect {}: {e}", socket.display())))
+}
+
+/// Submit `spec` and stream the job to completion, mirroring telemetry
+/// and the final summary into `outdir` (when given). `verbose` echoes
+/// lifecycle transitions to stderr.
+pub fn submit_job(
+    socket: &Path,
+    spec: &JobSpec,
+    outdir: Option<&Path>,
+    verbose: bool,
+) -> Result<ClientOutcome, ClientError> {
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, &Request::Submit { job: spec.clone() })
+        .map_err(|e| ClientError::Io(format!("send submission: {e}")))?;
+
+    let mut telemetry: Option<std::io::BufWriter<std::fs::File>> = match outdir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ClientError::Io(format!("create {}: {e}", dir.display())))?;
+            let f = std::fs::File::create(dir.join("telemetry.jsonl"))
+                .map_err(|e| ClientError::Io(format!("create telemetry.jsonl: {e}")))?;
+            Some(std::io::BufWriter::new(f))
+        }
+        None => None,
+    };
+
+    let mut job_id = None;
+    loop {
+        let resp: Response = match read_frame(&mut stream) {
+            Ok(Some(r)) => r,
+            Ok(None) => {
+                // EOF before a terminal frame: server went away.
+                return Err(match job_id {
+                    Some(id) => {
+                        ClientError::Transport(format!("stream ended before job {id} finished"))
+                    }
+                    None => ClientError::Io("server closed the connection".to_string()),
+                });
+            }
+            Err(e) => {
+                return Err(match job_id {
+                    Some(id) => ClientError::Transport(format!("job {id}: {e}")),
+                    None => ClientError::Io(e.to_string()),
+                })
+            }
+        };
+        match resp {
+            Response::Accepted { job_id: id } => {
+                job_id = Some(id);
+                if verbose {
+                    eprintln!("job {id} accepted (tenant {})", spec.tenant);
+                }
+            }
+            Response::Rejected { reason } => return Err(ClientError::Rejected(reason)),
+            Response::ShuttingDown => {
+                return Err(ClientError::Rejected("server is shutting down".to_string()))
+            }
+            Response::Step { record, .. } => {
+                if let Some(w) = &mut telemetry {
+                    let line = serde_json::to_string(&record)
+                        .map_err(|e| ClientError::Io(format!("encode record: {e}")))?;
+                    writeln!(w, "{line}")
+                        .map_err(|e| ClientError::Io(format!("write telemetry.jsonl: {e}")))?;
+                }
+            }
+            Response::State { state, job_id: id } => {
+                if verbose {
+                    eprintln!("job {id} {state}");
+                }
+            }
+            Response::Done { summary, .. } => {
+                if let Some(mut w) = telemetry.take() {
+                    // Telemetry durable before the summary exists: a
+                    // summary.json on disk implies complete telemetry.
+                    w.flush()
+                        .and_then(|()| w.get_ref().sync_all())
+                        .map_err(|e| ClientError::Io(format!("sync telemetry.jsonl: {e}")))?;
+                }
+                if let Some(dir) = outdir {
+                    let text = serde_json::to_string_pretty(&summary)
+                        .map_err(|e| ClientError::Io(format!("encode summary: {e}")))?;
+                    std::fs::write(dir.join("summary.json"), text)
+                        .map_err(|e| ClientError::Io(format!("write summary.json: {e}")))?;
+                }
+                return Ok(ClientOutcome { summary });
+            }
+            Response::Failed { reason, .. } => return Err(ClientError::Failed(reason)),
+            Response::Status { .. } => {
+                return Err(ClientError::Io(
+                    "unexpected status frame in a submission stream".to_string(),
+                ))
+            }
+        }
+    }
+}
+
+/// One-shot status snapshot.
+pub fn fetch_status(socket: &Path) -> Result<StatusReport, ClientError> {
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, &Request::Status)
+        .map_err(|e| ClientError::Io(format!("send status request: {e}")))?;
+    match read_frame(&mut stream) {
+        Ok(Some(Response::Status { report })) => Ok(report),
+        Ok(Some(Response::ShuttingDown)) => {
+            Err(ClientError::Rejected("server is shutting down".to_string()))
+        }
+        Ok(Some(other)) => Err(ClientError::Io(format!("unexpected reply: {other:?}"))),
+        Ok(None) => Err(ClientError::Io("server closed the connection".to_string())),
+        Err(e) => Err(ClientError::Io(e.to_string())),
+    }
+}
+
+/// Ask the server to drain and exit (same path as SIGTERM).
+pub fn request_shutdown(socket: &Path) -> Result<(), ClientError> {
+    let mut stream = connect(socket)?;
+    write_frame(&mut stream, &Request::Shutdown)
+        .map_err(|e| ClientError::Io(format!("send shutdown request: {e}")))?;
+    match read_frame::<_, Response>(&mut stream) {
+        Ok(Some(Response::ShuttingDown)) | Ok(None) => Ok(()),
+        Ok(Some(other)) => Err(ClientError::Io(format!("unexpected reply: {other:?}"))),
+        Err(e) => Err(ClientError::Io(e.to_string())),
+    }
+}

@@ -1,0 +1,368 @@
+//! Wire protocol: length-prefixed JSON frames and the message types.
+//!
+//! Every message on the Unix-domain socket is one *frame*: a little-endian
+//! `u32` byte count followed by that many bytes of JSON. Requests flow
+//! client → server ([`Request`]), everything else server → client
+//! ([`Response`]). A submission switches the connection into streaming
+//! mode: the server pushes [`Response::Step`] / [`Response::State`]
+//! frames as the job progresses and closes the exchange with a terminal
+//! [`Response::Done`] or [`Response::Failed`].
+//!
+//! Job specs reuse the validated [`RunConfig`] (unknown keys rejected,
+//! ranges checked server-side again before the job is accepted), so a
+//! submission is exactly a `mrpic_run` config plus tenancy metadata.
+
+use mrpic_core::config::RunConfig;
+use mrpic_core::telemetry::StepRecord;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame; a longer length prefix is treated as a
+/// protocol error (it is almost certainly garbage or a stream desync).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    let body = serde_json::to_vec(msg).map_err(std::io::Error::other)?;
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame of {} bytes exceeds the {} byte limit",
+            body.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> std::io::Result<Option<T>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame length {n} exceeds the {MAX_FRAME_BYTES} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; n];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Per-job resource budgets, enforced by the executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Budgets {
+    /// Stop (successfully) after this many steps, like `mrpic_run
+    /// --steps`; absent = run to the config's `t_end`.
+    #[serde(default)]
+    pub max_steps: Option<u64>,
+    /// Reject the job at first dispatch if the built simulation has more
+    /// parent-grid boxes than this (a coarse memory/footprint cap).
+    #[serde(default)]
+    pub max_boxes: Option<usize>,
+    /// Kill the job once its accumulated execution wall time (excluding
+    /// time spent parked or waiting) exceeds this many seconds.
+    #[serde(default)]
+    pub wall_ceiling_seconds: Option<f64>,
+}
+
+impl Budgets {
+    /// Range-check the budget values.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(s) = self.max_steps {
+            if s == 0 {
+                return Err("budgets.max_steps must be >= 1 when set".into());
+            }
+        }
+        if let Some(b) = self.max_boxes {
+            if b == 0 {
+                return Err("budgets.max_boxes must be >= 1 when set".into());
+            }
+        }
+        if let Some(w) = self.wall_ceiling_seconds {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(format!(
+                    "budgets.wall_ceiling_seconds must be a positive time, got {w}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One job submission: tenancy metadata, budgets, and the run config.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct JobSpec {
+    /// Tenant the job is accounted to (fair-share lane).
+    pub tenant: String,
+    /// Strict priority class; a higher-priority job preempts any
+    /// lower-priority job that has exhausted its quantum.
+    #[serde(default)]
+    pub priority: i32,
+    #[serde(default)]
+    pub budgets: Budgets,
+    /// The simulation to run — the same schema `mrpic_run` executes.
+    pub config: RunConfig,
+}
+
+impl JobSpec {
+    /// Validate tenancy metadata, budgets, and the embedded run config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenant.is_empty() {
+            return Err("tenant must be a non-empty string".into());
+        }
+        self.budgets.validate()?;
+        self.config.validate()
+    }
+}
+
+/// Client → server messages.
+///
+/// Wire messages live for one (de)serialization round trip; the
+/// vendored serde derive cannot see through `Box`, so the `Submit`
+/// payload stays inline and the variant-size lint is waived.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Request {
+    /// Submit a job; the connection then streams that job's events.
+    Submit { job: JobSpec },
+    /// One-shot queue/tenant/job status snapshot.
+    Status,
+    /// Ask the server to shut down cleanly (equivalent to SIGTERM).
+    Shutdown,
+}
+
+/// Final accounting for one finished job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobSummary {
+    pub job_id: u64,
+    pub tenant: String,
+    /// Steps executed across all slices (equals the simulation's final
+    /// step counter — jobs always start from step 0).
+    pub steps: u64,
+    /// Final simulation time [s].
+    pub time: f64,
+    pub particles: u64,
+    /// NaN/Inf guard trips observed; 0 for a guard-clean run.
+    pub guard_trips: u64,
+    /// Times the job was checkpointed and parked mid-run.
+    pub preemptions: u64,
+    /// Times the job was resumed from a parked checkpoint.
+    pub resumes: u64,
+    /// Run-mean of the per-step telemetry imbalance, as in `mrpic_run`'s
+    /// summary.json.
+    pub mean_imbalance: Option<f64>,
+    /// Execution wall seconds (excludes time spent parked or queued).
+    pub wall_seconds: f64,
+}
+
+/// Per-tenant scheduling state in a [`StatusReport`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatus {
+    pub tenant: String,
+    pub running: usize,
+    pub waiting: usize,
+    pub parked: usize,
+    /// Stride-scheduler virtual pass (lower = owed more service).
+    pub pass: u64,
+}
+
+/// Per-job progress in a [`StatusReport`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    pub job_id: u64,
+    pub tenant: String,
+    pub priority: i32,
+    /// "waiting", "running", "parked", "done", or "failed".
+    pub state: String,
+    pub steps_done: u64,
+    pub preemptions: u64,
+    pub mean_imbalance: Option<f64>,
+}
+
+/// Snapshot returned by [`Request::Status`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Jobs waiting for a slot (parked jobs waiting to resume included).
+    pub queue_depth: usize,
+    /// Jobs currently executing a slice.
+    pub running: usize,
+    /// Executor slot count.
+    pub slots: usize,
+    /// Preemption quantum in steps.
+    pub quantum: u64,
+    pub tenants: Vec<TenantStatus>,
+    pub jobs: Vec<JobStatus>,
+}
+
+/// Server → client messages.
+///
+/// Same waiver as [`Request`]: `Step` carries an inline `StepRecord`
+/// because the vendored serde derive cannot see through `Box`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Response {
+    /// Submission accepted; stream follows.
+    Accepted { job_id: u64 },
+    /// Submission rejected before it was queued (validation failure).
+    Rejected { reason: String },
+    /// One telemetry record, streamed as the job steps.
+    Step { job_id: u64, record: StepRecord },
+    /// Lifecycle transition: "running", "preempted", "resumed".
+    State { job_id: u64, state: String },
+    /// Terminal: the job finished (possibly guard-tripped — check
+    /// `summary.guard_trips`).
+    Done { job_id: u64, summary: JobSummary },
+    /// Terminal: the job was killed (budget, activation error, server
+    /// shutdown) and produced no final state.
+    Failed { job_id: u64, reason: String },
+    /// Reply to [`Request::Status`].
+    Status { report: StatusReport },
+    /// Reply to [`Request::Shutdown`] (and to requests that race a
+    /// shutdown already in progress).
+    ShuttingDown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config_json() -> String {
+        r#"{
+            "dimension": "2d",
+            "cells": [16, 1, 8],
+            "dx": [1e-7, 1e-7, 1e-7],
+            "periodic": [true, true, true],
+            "t_end": 1e-14,
+            "species": [
+                {"name": "e", "ppc": [1, 1, 1],
+                 "profile": {"type": "uniform", "n0": 1e24}}
+            ]
+        }"#
+        .to_string()
+    }
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            tenant: "alice".into(),
+            priority: 3,
+            budgets: Budgets {
+                max_steps: Some(10),
+                max_boxes: None,
+                wall_ceiling_seconds: Some(30.0),
+            },
+            config: RunConfig::from_json(&sample_config_json()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Submit { job: sample_spec() }).unwrap();
+        write_frame(&mut buf, &Request::Status).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        let a: Request = read_frame(&mut r).unwrap().expect("first frame");
+        match a {
+            Request::Submit { job } => {
+                assert_eq!(job.tenant, "alice");
+                assert_eq!(job.priority, 3);
+                assert_eq!(job.budgets.max_steps, Some(10));
+                assert_eq!(job.config.cells, [16, 1, 8]);
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+        let b: Request = read_frame(&mut r).unwrap().expect("second frame");
+        assert!(matches!(b, Request::Status));
+        // Clean EOF at a frame boundary is None, not an error.
+        let c: Option<Request> = read_frame(&mut r).unwrap();
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Status).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = std::io::Cursor::new(buf);
+        let e = read_frame::<_, Request>(&mut r).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut r = std::io::Cursor::new(buf);
+        let e = read_frame::<_, Request>(&mut r).unwrap_err();
+        assert!(e.to_string().contains("byte limit"), "{e}");
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resp = Response::Done {
+            job_id: 7,
+            summary: JobSummary {
+                job_id: 7,
+                tenant: "bob".into(),
+                steps: 40,
+                time: 1.0e-14,
+                particles: 1234,
+                guard_trips: 0,
+                preemptions: 2,
+                resumes: 2,
+                mean_imbalance: Some(1.2),
+                wall_seconds: 0.5,
+            },
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut std::io::Cursor::new(buf)).unwrap().unwrap();
+        match back {
+            Response::Done { job_id, summary } => {
+                assert_eq!(job_id, 7);
+                assert_eq!(summary.preemptions, 2);
+                assert_eq!(summary.mean_imbalance, Some(1.2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_fields() {
+        let mut s = sample_spec();
+        s.tenant.clear();
+        assert!(s.validate().unwrap_err().contains("tenant"));
+        let mut s = sample_spec();
+        s.budgets.max_steps = Some(0);
+        assert!(s.validate().unwrap_err().contains("max_steps"));
+        let mut s = sample_spec();
+        s.budgets.wall_ceiling_seconds = Some(-1.0);
+        assert!(s.validate().unwrap_err().contains("wall_ceiling_seconds"));
+        let mut s = sample_spec();
+        s.config.cfl = 2.0;
+        assert!(s.validate().unwrap_err().contains("cfl"));
+        assert!(sample_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_spec_keys_are_rejected() {
+        let text = format!(
+            r#"{{"tenant": "a", "prio": 1, "config": {}}}"#,
+            sample_config_json()
+        );
+        let e = serde_json::from_str::<JobSpec>(&text).unwrap_err();
+        assert!(e.to_string().contains("prio"), "{e}");
+    }
+}

@@ -29,11 +29,29 @@
 //! The same file feeds `mrpic_prof` for top-span, rank-imbalance,
 //! comm-matrix, and critical-path reports. Tracing also lights up the
 //! per-step histogram summaries in `telemetry.jsonl`.
+//!
+//! Server client mode: `--submit SOCKET` sends the config to a running
+//! `mrpic_serve` instead of executing locally, streams the job's
+//! telemetry into `<outdir>/telemetry.jsonl`, and writes the final
+//! `summary.json` when it completes. `--tenant NAME`, `--priority N`,
+//! and `--wall-ceiling SECONDS` set the job's tenancy metadata and
+//! budgets (`--steps` becomes the job's step budget). `--serve-status
+//! SOCKET` prints a server status snapshot and exits.
+//!
+//! Exit codes (local and submit mode alike):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | run completed, guard-clean |
+//! | 2    | usage, config/validation, or local IO error (incl. server unreachable / submission rejected) |
+//! | 3    | the NaN/Inf invariant guard tripped (locally, or in the remote job's summary) |
+//! | 4    | transport loss: unrecoverable rank loss in a `--ranks` run, or the connection/job was lost after the server accepted it |
 
 use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
 use mrpic::core::sim::Simulation;
 use mrpic::dist::{DistSim, FaultPlan};
+use mrpic::serve::{fetch_status, submit_job, Budgets, ClientError, JobSpec};
 
 /// The step-loop driver: serial in-process, or the multi-rank runtime
 /// (which also owns chaos recovery when a fault plan is attached).
@@ -72,6 +90,17 @@ impl Runner {
     }
 }
 
+/// Map a panic payload from the distributed runtime to its message, if
+/// it is one of the known transport-loss aborts.
+fn transport_loss_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))?;
+    (msg.contains("transport failure") || msg.contains("rank loss") || msg.contains("recovery"))
+        .then_some(msg)
+}
+
 fn main() {
     let mut config_path = None;
     let mut outdir_arg = None;
@@ -80,10 +109,48 @@ fn main() {
     let mut fault_plan: Option<FaultPlan> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut no_lb = false;
+    let mut submit: Option<std::path::PathBuf> = None;
+    let mut serve_status: Option<std::path::PathBuf> = None;
+    let mut tenant = "default".to_string();
+    let mut priority = 0i32;
+    let mut wall_ceiling: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-lb" => no_lb = true,
+            "--submit" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--submit needs a server socket path argument");
+                    std::process::exit(2);
+                });
+                submit = Some(std::path::PathBuf::from(p));
+            }
+            "--serve-status" => {
+                let p = args.next().unwrap_or_else(|| {
+                    eprintln!("--serve-status needs a server socket path argument");
+                    std::process::exit(2);
+                });
+                serve_status = Some(std::path::PathBuf::from(p));
+            }
+            "--tenant" => {
+                tenant = args.next().unwrap_or_else(|| {
+                    eprintln!("--tenant needs a name argument");
+                    std::process::exit(2);
+                });
+            }
+            "--priority" => {
+                priority = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--priority needs an integer argument");
+                    std::process::exit(2);
+                });
+            }
+            "--wall-ceiling" => {
+                let v = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--wall-ceiling needs a positive seconds argument");
+                    std::process::exit(2);
+                });
+                wall_ceiling = Some(v);
+            }
             "--steps" => {
                 let v = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--steps needs an integer argument");
@@ -137,10 +204,27 @@ fn main() {
             }
         }
     }
+    if let Some(sock) = &serve_status {
+        match fetch_status(sock) {
+            Ok(report) => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).unwrap_or_default()
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("status request failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let path = config_path.unwrap_or_else(|| {
         eprintln!(
             "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] [--no-lb] \
-             [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json]"
+             [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json] \
+             [--submit SOCKET [--tenant NAME] [--priority N] [--wall-ceiling SECONDS]] \
+             | mrpic_run --serve-status SOCKET"
         );
         std::process::exit(2);
     });
@@ -148,17 +232,78 @@ fn main() {
         eprintln!("fault injection needs --ranks 2 or more (a crash must leave survivors)");
         std::process::exit(2);
     }
-    if trace_out.is_some() {
-        mrpic::trace::enable();
-    }
     let outdir =
         std::path::PathBuf::from(outdir_arg.unwrap_or_else(|| "target/mrpic_run_out".into()));
-    std::fs::create_dir_all(&outdir).expect("create output dir");
-    let text = std::fs::read_to_string(&path).expect("read config");
+    if let Err(e) = std::fs::create_dir_all(&outdir) {
+        eprintln!("cannot create output dir {}: {e}", outdir.display());
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read config {path}: {e}");
+        std::process::exit(2);
+    });
     let cfg = RunConfig::from_json(&text).unwrap_or_else(|e| {
         eprintln!("config error: {e}");
         std::process::exit(2);
     });
+
+    // Client mode: ship the config to a running mrpic_serve and stream
+    // the job back instead of executing locally.
+    if let Some(sock) = &submit {
+        if ranks > 1 || fault_plan.is_some() || trace_out.is_some() || no_lb {
+            eprintln!(
+                "--submit runs the job server-side; --ranks/--fault-*/--trace-out/--no-lb \
+                 do not apply (set them in the server or the config)"
+            );
+            std::process::exit(2);
+        }
+        let spec = JobSpec {
+            tenant,
+            priority,
+            budgets: Budgets {
+                max_steps: (max_steps != u64::MAX).then_some(max_steps),
+                max_boxes: None,
+                wall_ceiling_seconds: wall_ceiling,
+            },
+            config: cfg,
+        };
+        match submit_job(sock, &spec, Some(&outdir), true) {
+            Ok(outcome) => {
+                let s = &outcome.summary;
+                println!(
+                    "job {} done: {} steps, t = {:.3e} s, {} particles, \
+                     {} preemption(s), {} resume(s); outputs in {}",
+                    s.job_id,
+                    s.steps,
+                    s.time,
+                    s.particles,
+                    s.preemptions,
+                    s.resumes,
+                    outdir.display(),
+                );
+                if s.guard_trips > 0 {
+                    eprintln!(
+                        "INVARIANT GUARD TRIPPED server-side ({} trip(s)) — see telemetry.jsonl",
+                        s.guard_trips
+                    );
+                    std::process::exit(3);
+                }
+                return;
+            }
+            Err(e @ (ClientError::Io(_) | ClientError::Rejected(_))) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            Err(e @ (ClientError::Transport(_) | ClientError::Failed(_))) => {
+                eprintln!("{e}");
+                std::process::exit(4);
+            }
+        }
+    }
+
+    if trace_out.is_some() {
+        mrpic::trace::enable();
+    }
     let (mut sim, removals) = cfg.build().unwrap_or_else(|e| {
         eprintln!("config error: {e}");
         std::process::exit(2);
@@ -219,7 +364,19 @@ fn main() {
     let mut imb_steps = 0u64;
     let t0 = std::time::Instant::now();
     while runner.sim().time < cfg.t_end && runner.sim().istep < max_steps {
-        let stats = runner.step();
+        // Distinguish an unrecoverable transport loss (exit 4) from a
+        // genuine bug (re-raised): the dist runtime aborts rank loss it
+        // cannot recover from via panic with a known message shape.
+        let stats = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.step())) {
+            Ok(stats) => stats,
+            Err(payload) => {
+                if let Some(msg) = transport_loss_message(payload.as_ref()) {
+                    eprintln!("TRANSPORT LOST: {msg}");
+                    std::process::exit(4);
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
         lb_adoptions += stats.rebalances;
         if let Some(x) = runner
             .sim()
@@ -321,19 +478,27 @@ fn main() {
             Err(e) => eprintln!("warning: cannot write trace {}: {e}", tp.display()),
         }
     }
-    // Final diagnostics.
-    energy_ts.write_json(&outdir.join("energy.json")).unwrap();
+    // Final diagnostics. IO failures here are environment errors, not
+    // physics failures: report and exit 2 rather than panic.
+    let io_fail = |what: &str, e: std::io::Error| -> ! {
+        eprintln!("cannot write {what}: {e}");
+        std::process::exit(2);
+    };
+    energy_ts
+        .write_json(&outdir.join("energy.json"))
+        .unwrap_or_else(|e| io_fail("energy.json", e));
     for (si, sp) in sim.species.iter().enumerate() {
         let spec = electron_spectrum(&sim.parts[si], 50.0, 100);
         spec.write_csv(&outdir.join(format!("spectrum_{}.csv", sp.name)))
-            .unwrap();
+            .unwrap_or_else(|e| io_fail("spectrum csv", e));
     }
     for (name, pick) in [
         ("ex", FieldPick::E(0)),
         ("ey", FieldPick::E(1)),
         ("bz", FieldPick::B(2)),
     ] {
-        write_field_slice(&sim.fs, pick, 0, &outdir.join(format!("{name}.csv")), 1).unwrap();
+        write_field_slice(&sim.fs, pick, 0, &outdir.join(format!("{name}.csv")), 1)
+            .unwrap_or_else(|e| io_fail("field slice csv", e));
     }
     let recoveries = match &runner {
         Runner::Dist(d) => d.recovery_log.len(),
@@ -356,9 +521,10 @@ fn main() {
         outdir.join("summary.json"),
         serde_json::to_string_pretty(&summary).unwrap(),
     )
-    .unwrap();
+    .unwrap_or_else(|e| io_fail("summary.json", e));
     let sim = runner.sim_mut();
-    sim.telemetry.flush();
+    // Flush + fsync: the run is over, its telemetry must be durable.
+    sim.telemetry.sync();
     if let Some(e) = sim.telemetry.write_error() {
         eprintln!("warning: telemetry writes failed: {e}");
     }

@@ -1,0 +1,117 @@
+//! Multi-tenant simulation job server.
+//!
+//! ```text
+//! cargo run --release --bin mrpic_serve -- --socket /tmp/mrpic.sock \
+//!     [--slots N] [--quantum STEPS] [--log server.jsonl] [--trace-out trace.json]
+//! ```
+//!
+//! Listens on a Unix-domain socket for job submissions (see `mrpic_run
+//! --submit`), runs up to `--slots` simulations concurrently on the
+//! shared rayon pool, and schedules tenants weighted-fair with strict
+//! priority classes. A job that exhausts its `--quantum` steps while a
+//! better job waits is checkpointed, parked, and later resumed bitwise
+//! identically.
+//!
+//! `--log` writes one JSONL line per lifecycle event (submit, dispatch,
+//! preempt, resume, complete, abort, shutdown, ...). `--trace-out`
+//! records `serve.*` spans alongside the simulation spans and writes a
+//! Chrome trace at shutdown.
+//!
+//! Shutdown: SIGTERM, SIGINT, or a client `Shutdown` request all drain
+//! cleanly — running jobs are aborted with a terminal event, the log is
+//! fsynced, and the socket file is removed. Exit status 0 after a clean
+//! drain, 2 on a setup/IO error.
+
+use mrpic::serve::{install_termination_handlers, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mrpic_serve --socket PATH [--slots N] [--quantum STEPS] \
+         [--log server.jsonl] [--trace-out trace.json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut socket = None;
+    let mut slots = 2usize;
+    let mut quantum = 10u64;
+    let mut log_path = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--slots" => {
+                slots = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--slots needs a positive integer argument");
+                    std::process::exit(2);
+                });
+                if slots == 0 {
+                    eprintln!("--slots needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            }
+            "--quantum" => {
+                quantum = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--quantum needs a positive integer argument");
+                    std::process::exit(2);
+                });
+                if quantum == 0 {
+                    eprintln!("--quantum needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            }
+            "--log" => {
+                log_path = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            "--trace-out" => {
+                trace_out = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    install_termination_handlers();
+    if trace_out.is_some() {
+        mrpic::trace::enable();
+    }
+    let cfg = ServerConfig {
+        socket: std::path::PathBuf::from(&socket),
+        slots,
+        quantum,
+        log_path,
+    };
+    println!("mrpic_serve: listening on {socket} ({slots} slot(s), quantum {quantum} step(s))");
+    match Server::new(cfg).run() {
+        Ok(stats) => {
+            println!(
+                "mrpic_serve: clean shutdown — {} submitted, {} completed, {} failed, \
+                 {} preemption(s), {} resume(s)",
+                stats.submitted, stats.completed, stats.failed, stats.preemptions, stats.resumes,
+            );
+            if let Some(tp) = &trace_out {
+                mrpic::trace::disable();
+                let trace = mrpic::trace::take_trace();
+                match mrpic::trace::chrome::write(&trace, tp) {
+                    Ok(()) => println!(
+                        "trace: {} spans ({} dropped) -> {}",
+                        trace.spans.len(),
+                        trace.dropped,
+                        tp.display(),
+                    ),
+                    Err(e) => eprintln!("warning: cannot write trace {}: {e}", tp.display()),
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("mrpic_serve: {e}");
+            std::process::exit(2);
+        }
+    }
+}

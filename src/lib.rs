@@ -15,6 +15,8 @@
 //! * [`dist`] — multi-rank distributed runtime: message-passing halo
 //!   exchange, particle migration, and box-migration load balancing over
 //!   a pluggable transport;
+//! * [`serve`] — multi-tenant job service: Unix-socket submission,
+//!   weighted-fair scheduling, and checkpoint-backed preemption;
 //! * [`trace`] — low-overhead span tracing, counters/histograms, Chrome
 //!   trace export, and comm-matrix / critical-path analysis.
 //!
@@ -27,6 +29,7 @@ pub use mrpic_core as core;
 pub use mrpic_dist as dist;
 pub use mrpic_field as field;
 pub use mrpic_kernels as kernels;
+pub use mrpic_serve as serve;
 pub use mrpic_trace as trace;
 
 /// Workspace version string.

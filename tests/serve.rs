@@ -1,0 +1,388 @@
+//! mrpic-serve integration: preemption equivalence and the socket path.
+//!
+//! * **Preempt/resume bitwise equivalence** — a job preempted at step 1,
+//!   mid-run, and at last-1 (checkpointed, parked, simulation dropped,
+//!   rebuilt from config, restored) must finish with final state
+//!   bitwise identical (`.to_bits()`) to the uninterrupted run, and
+//!   stream exactly the same number of telemetry records. The config
+//!   carries a laser, a moving window, and an MR patch with a mid-run
+//!   `remove_at`, so the cuts bracket the patch-removal boundary in
+//!   both directions (parked with the patch live, and parked after the
+//!   removal fired).
+//! * **End-to-end over the socket** — a real `Server` on a Unix socket,
+//!   one slot, short quantum: a low-priority job is overtaken by a
+//!   later high-priority submission (preempted, parked, resumed), the
+//!   status endpoint reports tenants and progress, both clients get
+//!   complete telemetry + summaries, and shutdown leaves no socket file
+//!   and no unfinished jobs.
+
+use mrpic::core::config::RunConfig;
+use mrpic::core::sim::Simulation;
+use mrpic::serve::{
+    fetch_status, request_shutdown, submit_job, Budgets, JobRunner, JobSpec, Server, ServerConfig,
+    SliceStatus,
+};
+
+/// Laser + plasma ramp + moving window + MR patch with a mid-run
+/// removal: the heaviest state a checkpoint has to carry.
+fn preemption_config() -> RunConfig {
+    RunConfig::from_json(
+        r#"{
+            "dimension": "2d",
+            "cells": [64, 1, 24],
+            "dx": [1e-7, 1e-7, 1e-7],
+            "periodic": [false, false, true],
+            "pml": 6,
+            "cfl": 0.6,
+            "moving_window_start": 0.0,
+            "t_end": 1.0,
+            "probe_interval": 5,
+            "species": [
+                {"name": "plasma", "ppc": [2, 1, 2],
+                 "u_thermal": [5e5, 5e5, 5e5],
+                 "profile": {"type": "ramped", "n0": 5e26, "axis": 0,
+                             "up_start": 2e-6, "up_end": 3e-6,
+                             "down_start": 1e3, "down_end": 1e3}}
+            ],
+            "lasers": [
+                {"a0": 1.2, "wavelength": 8e-7, "tau_fwhm": 5e-15,
+                 "t_peak": 1e-14, "x_plane": 1e-6, "z0": 1.2e-6}
+            ],
+            "mr_patches": [
+                {"lo": [28, 0, 4], "hi": [52, 1, 20], "rr": 2,
+                 "n_transition": 2, "npml": 6,
+                 "remove_at": 7.5e-16}
+            ]
+        }"#,
+    )
+    .expect("preemption config parses")
+}
+
+const TOTAL_STEPS: u64 = 20;
+
+fn assert_bitwise_equal(a: &Simulation, b: &Simulation, what: &str) {
+    assert_eq!(a.istep, b.istep, "{what}: step count");
+    assert_eq!(a.time.to_bits(), b.time.to_bits(), "{what}: time");
+    assert_eq!(a.fs.geom.x0, b.fs.geom.x0, "{what}: window origin");
+    assert_eq!(a.mr.is_some(), b.mr.is_some(), "{what}: MR patch presence");
+    for c in 0..3 {
+        for fi in 0..a.fs.e[c].nfabs() {
+            assert_eq!(
+                a.fs.e[c].fab(fi).raw(),
+                b.fs.e[c].fab(fi).raw(),
+                "{what}: E[{c}] fab {fi}"
+            );
+            assert_eq!(
+                a.fs.b[c].fab(fi).raw(),
+                b.fs.b[c].fab(fi).raw(),
+                "{what}: B[{c}] fab {fi}"
+            );
+        }
+    }
+    for (pa, pb) in a.parts[0].bufs.iter().zip(&b.parts[0].bufs) {
+        assert_eq!(pa.len(), pb.len(), "{what}: particle count per box");
+        for i in 0..pa.len() {
+            assert_eq!(pa.x[i].to_bits(), pb.x[i].to_bits(), "{what}: x[{i}]");
+            assert_eq!(pa.z[i].to_bits(), pb.z[i].to_bits(), "{what}: z[{i}]");
+            assert_eq!(pa.ux[i].to_bits(), pb.ux[i].to_bits(), "{what}: ux[{i}]");
+            assert_eq!(pa.uz[i].to_bits(), pb.uz[i].to_bits(), "{what}: uz[{i}]");
+        }
+    }
+}
+
+/// Run the job start-to-finish with no preemption; returns the runner
+/// (holding the final simulation) and the streamed record count.
+fn run_uninterrupted() -> (JobRunner, u64) {
+    let mut r = JobRunner::new(
+        preemption_config(),
+        Budgets {
+            max_steps: Some(TOTAL_STEPS),
+            ..Budgets::default()
+        },
+    );
+    let mut records = 0u64;
+    let rep = r.run_slice(u64::MAX, &mut |_| records += 1).unwrap();
+    assert_eq!(rep.status, SliceStatus::Completed);
+    (r, records)
+}
+
+#[test]
+fn preempt_resume_is_bitwise_identical_at_every_cut() {
+    let (reference, ref_records) = run_uninterrupted();
+    assert_eq!(ref_records, TOTAL_STEPS, "one record per step");
+    let ref_sim = reference.sim().expect("finished run keeps its sim");
+    // The removal must actually fire mid-run for the cuts to bracket it.
+    assert!(
+        ref_sim.mr.is_none(),
+        "remove_at must fire within {TOTAL_STEPS} steps for this test to bite"
+    );
+    // Cut at the first step, mid-run (before the MR removal fires, so
+    // the checkpoint carries the patch), and at last-1 (after the
+    // removal, so the checkpoint carries none and resume must strip the
+    // freshly built patch).
+    for cut in [1, TOTAL_STEPS / 2, TOTAL_STEPS - 1] {
+        let mut r = JobRunner::new(
+            preemption_config(),
+            Budgets {
+                max_steps: Some(TOTAL_STEPS),
+                ..Budgets::default()
+            },
+        );
+        let mut records = 0u64;
+        let rep = r.run_slice(cut, &mut |_| records += 1).unwrap();
+        assert_eq!(rep.status, SliceStatus::Quantum, "cut {cut}");
+        assert_eq!(rep.steps, cut, "cut {cut}");
+        r.park();
+        assert!(r.is_parked(), "cut {cut}");
+        assert!(r.sim().is_none(), "cut {cut}: parked job drops its sim");
+        let rep = r.run_slice(u64::MAX, &mut |_| records += 1).unwrap();
+        assert_eq!(rep.status, SliceStatus::Completed, "cut {cut}");
+        assert_eq!(
+            records, ref_records,
+            "cut {cut}: telemetry record count must match the uninterrupted run"
+        );
+        let sim = r.sim().expect("finished run keeps its sim");
+        assert_bitwise_equal(sim, ref_sim, &format!("cut {cut}"));
+        let s = r.summary(1, "t");
+        assert_eq!(s.steps, TOTAL_STEPS);
+        assert_eq!(s.preemptions, 1);
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.guard_trips, 0);
+    }
+}
+
+#[test]
+fn double_preemption_across_the_removal_boundary() {
+    // Park twice — once with the MR patch live, once after its removal —
+    // in the same job; still bitwise identical.
+    let (reference, ref_records) = run_uninterrupted();
+    let ref_sim = reference.sim().unwrap();
+    let mut r = JobRunner::new(
+        preemption_config(),
+        Budgets {
+            max_steps: Some(TOTAL_STEPS),
+            ..Budgets::default()
+        },
+    );
+    let mut records = 0u64;
+    let mut sink = |_: mrpic::core::telemetry::StepRecord| records += 1;
+    assert_eq!(
+        r.run_slice(2, &mut sink).unwrap().status,
+        SliceStatus::Quantum
+    );
+    r.park();
+    assert_eq!(
+        r.run_slice(TOTAL_STEPS - 4, &mut sink).unwrap().status,
+        SliceStatus::Quantum
+    );
+    r.park();
+    assert_eq!(
+        r.run_slice(u64::MAX, &mut sink).unwrap().status,
+        SliceStatus::Completed
+    );
+    assert_eq!(records, ref_records);
+    assert_bitwise_equal(r.sim().unwrap(), ref_sim, "double cut");
+    let s = r.summary(1, "t");
+    assert_eq!((s.preemptions, s.resumes), (2, 2));
+}
+
+/// Small, fast config for the socket tests; `t_end` is effectively
+/// infinite so `budgets.max_steps` controls the length.
+fn socket_config() -> RunConfig {
+    RunConfig::from_json(
+        r#"{
+            "dimension": "2d",
+            "cells": [24, 1, 12],
+            "dx": [1e-7, 1e-7, 1e-7],
+            "periodic": [true, true, true],
+            "max_box": [12, 1, 12],
+            "t_end": 1.0,
+            "species": [
+                {"name": "e", "ppc": [1, 1, 1],
+                 "profile": {"type": "uniform", "n0": 1e24}}
+            ]
+        }"#,
+    )
+    .expect("socket config parses")
+}
+
+fn spec(tenant: &str, priority: i32, steps: u64) -> JobSpec {
+    JobSpec {
+        tenant: tenant.to_string(),
+        priority,
+        budgets: Budgets {
+            max_steps: Some(steps),
+            ..Budgets::default()
+        },
+        config: socket_config(),
+    }
+}
+
+#[test]
+fn high_priority_job_overtakes_running_low_priority_job() {
+    let dir = std::env::temp_dir().join(format!("mrpic_serve_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("serve.sock");
+    let log = dir.join("server.jsonl");
+    let server = Server::new(ServerConfig {
+        socket: socket.clone(),
+        slots: 1,
+        quantum: 2,
+        log_path: Some(log.clone()),
+    });
+    let server_thread = std::thread::spawn(move || server.run());
+    // Wait for the socket to exist.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(socket.exists(), "server did not bind its socket");
+
+    // Low-priority long job in the background.
+    let lo_dir = dir.join("lo");
+    let lo_sock = socket.clone();
+    let lo = std::thread::spawn(move || {
+        submit_job(&lo_sock, &spec("lo-tenant", 0, 1500), Some(&lo_dir), false)
+    });
+    // Deterministic overlap: wait until the status endpoint shows the
+    // low-priority job actually executing before submitting the rival.
+    let mut lo_running = false;
+    for _ in 0..600 {
+        let report = fetch_status(&socket).expect("status while running");
+        assert_eq!(report.slots, 1);
+        assert_eq!(report.quantum, 2);
+        if report
+            .jobs
+            .iter()
+            .any(|j| j.tenant == "lo-tenant" && j.state == "running" && j.steps_done > 0)
+        {
+            lo_running = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(lo_running, "low-priority job never started running");
+
+    // High-priority job submitted while the low-priority one runs.
+    let hi_dir = dir.join("hi");
+    let hi = submit_job(&socket, &spec("hi-tenant", 5, 10), Some(&hi_dir), false)
+        .expect("high-priority job completes");
+    assert_eq!(hi.summary.steps, 10);
+    assert_eq!(hi.summary.guard_trips, 0);
+    assert_eq!(
+        hi.summary.preemptions, 0,
+        "nothing outranks the high-priority job"
+    );
+
+    let lo = lo
+        .join()
+        .expect("client thread")
+        .expect("low-priority job completes");
+    assert_eq!(lo.summary.steps, 1500);
+    assert_eq!(lo.summary.guard_trips, 0);
+    assert!(
+        lo.summary.preemptions >= 1,
+        "the low-priority job must have been parked for the rival"
+    );
+    assert_eq!(lo.summary.resumes, lo.summary.preemptions);
+
+    // Status after both finished: nothing waiting, both terminal.
+    let report = fetch_status(&socket).unwrap();
+    assert_eq!(report.queue_depth, 0);
+    assert_eq!(report.running, 0);
+    assert!(report.jobs.iter().all(|j| j.state == "done"));
+    assert!(report.tenants.iter().any(|t| t.tenant == "hi-tenant"));
+
+    // Client-side artifacts: one telemetry line per step, then summary.
+    let lo_telemetry = std::fs::read_to_string(dir.join("lo/telemetry.jsonl")).unwrap();
+    assert_eq!(lo_telemetry.lines().count(), 1500);
+    let hi_telemetry = std::fs::read_to_string(dir.join("hi/telemetry.jsonl")).unwrap();
+    assert_eq!(hi_telemetry.lines().count(), 10);
+    assert!(dir.join("lo/summary.json").exists());
+    assert!(dir.join("hi/summary.json").exists());
+
+    request_shutdown(&socket).expect("clean shutdown request");
+    let stats = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server exits cleanly");
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.preemptions >= 1);
+    assert_eq!(stats.resumes, stats.preemptions);
+    assert!(!socket.exists(), "socket file must be removed at shutdown");
+
+    // Server log: the high-priority job (id 2) completes before the
+    // low-priority one (id 1), and the preempt/resume edges are logged.
+    let log_text = std::fs::read_to_string(&log).unwrap();
+    let line_of = |needle: &str| {
+        log_text
+            .lines()
+            .position(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("log line missing: {needle}"))
+    };
+    assert!(
+        line_of("\"event\":\"complete\",\"job\":2") < line_of("\"event\":\"complete\",\"job\":1"),
+        "high-priority job must complete first"
+    );
+    let _ = line_of("\"event\":\"preempt\"");
+    let _ = line_of("\"event\":\"resume\"");
+    let _ = line_of("\"event\":\"shutdown\"");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_and_budget_failures_over_the_socket() {
+    let dir = std::env::temp_dir().join(format!("mrpic_serve_rej_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("serve.sock");
+    let server = Server::new(ServerConfig {
+        socket: socket.clone(),
+        slots: 1,
+        quantum: 4,
+        log_path: None,
+    });
+    let server_thread = std::thread::spawn(move || server.run());
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Validation failure → Rejected, never queued.
+    let mut bad = spec("t", 0, 10);
+    bad.config.cfl = 5.0;
+    match submit_job(&socket, &bad, None, false) {
+        Err(mrpic::serve::ClientError::Rejected(reason)) => {
+            assert!(reason.contains("cfl"), "{reason}")
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // Box budget exceeded → accepted, then failed at activation.
+    let mut boxed = spec("t", 0, 10);
+    boxed.budgets.max_boxes = Some(1);
+    match submit_job(&socket, &boxed, None, false) {
+        Err(mrpic::serve::ClientError::Failed(reason)) => {
+            assert!(reason.contains("max_boxes"), "{reason}")
+        }
+        other => panic!("expected server-side failure, got {other:?}"),
+    }
+
+    // A good job still completes on the same server afterwards.
+    let ok = submit_job(&socket, &spec("t", 0, 5), None, false).unwrap();
+    assert_eq!(ok.summary.steps, 5);
+
+    request_shutdown(&socket).unwrap();
+    let stats = server_thread.join().unwrap().unwrap();
+    assert_eq!(stats.submitted, 2); // the rejected spec was never queued
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

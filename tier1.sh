@@ -94,3 +94,53 @@ cargo run --release --bin mrpic_prof -- \
     --compare target/tier1_lb_bal_off/summary.json target/tier1_lb_bal_on/summary.json \
     --only wall_s --threshold 25
 grep -q '"lb_adoptions": 0' target/tier1_lb_bal_on/summary.json
+
+# mrpic-serve smoke: one-slot server, short quantum. A low-priority LWFA
+# job is submitted first; once the status endpoint shows it running, a
+# higher-priority laser-foil job is submitted and must overtake it (the
+# LWFA job is checkpointed, parked, and resumed bitwise identically).
+# The server log pins the order: job 2's "complete" line must precede
+# job 1's, with preempt/resume edges in between. SIGTERM must drain
+# cleanly (exit 0, fsynced log, socket file removed).
+SERVE_DIR=target/tier1_serve
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+SOCK="$SERVE_DIR/serve.sock"
+cargo run --release --bin mrpic_serve -- --socket "$SOCK" --slots 1 --quantum 5 \
+    --log "$SERVE_DIR/server.jsonl" &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+test -S "$SOCK"
+
+cargo run --release --bin mrpic_run -- configs/lwfa_2d.json "$SERVE_DIR/lo" \
+    --submit "$SOCK" --tenant background --steps 1200 &
+LO_PID=$!
+LO_SEEN=0
+for _ in $(seq 300); do
+    if cargo run --release --bin mrpic_run -- --serve-status "$SOCK" \
+        | grep -q '"state": "running"'; then
+        LO_SEEN=1
+        break
+    fi
+    sleep 0.1
+done
+test "$LO_SEEN" = 1
+
+cargo run --release --bin mrpic_run -- configs/laser_foil_skewed_2d.json "$SERVE_DIR/hi" \
+    --submit "$SOCK" --tenant interactive --priority 5 --steps 40
+wait "$LO_PID"
+
+grep -q '"guard_trips": 0' "$SERVE_DIR/lo/summary.json"
+grep -q '"guard_trips": 0' "$SERVE_DIR/hi/summary.json"
+test -s "$SERVE_DIR/lo/telemetry.jsonl"
+test -s "$SERVE_DIR/hi/telemetry.jsonl"
+HI_DONE=$(grep -n '"event":"complete","job":2' "$SERVE_DIR/server.jsonl" | cut -d: -f1)
+LO_DONE=$(grep -n '"event":"complete","job":1' "$SERVE_DIR/server.jsonl" | cut -d: -f1)
+test -n "$HI_DONE" && test -n "$LO_DONE" && test "$HI_DONE" -lt "$LO_DONE"
+grep -q '"event":"preempt"' "$SERVE_DIR/server.jsonl"
+grep -q '"event":"resume"' "$SERVE_DIR/server.jsonl"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+test ! -e "$SOCK"
+grep -q '"event":"shutdown"' "$SERVE_DIR/server.jsonl"
