@@ -14,12 +14,20 @@
 //! recorder: the Chrome-trace file written by `mrpic_run --trace-out`
 //! supplies the per-pair byte matrix (matched `send` spans) and the
 //! measured per-rank `recv_wait` blocked time.
+//!
+//! `--backend hsn|mem|socket|tcp` selects the latency/bandwidth model
+//! the trace is priced on (default `hsn`, the Slingshot-class NIC the
+//! costings always used): `mem` is the in-process mpsc transport,
+//! `socket`/`tcp` are the out-of-process loopback meshes of
+//! `mrpic_run --transport`, so the same recorded trace prices what a
+//! run costs on each real backend.
 
 use mrpic_amr::{BoxArray, IndexBox, IntVect};
 use mrpic_cluster::lb::{
     compare_strategies, multilevel_lb, pml_colocation_gain, solid_slab_costs, trace_comm_times,
     trace_step_comm_time,
 };
+use mrpic_cluster::machine::Network;
 use mrpic_cluster::tables::print_table;
 use mrpic_core::laser::antenna_for_a0;
 use mrpic_core::profile::Profile;
@@ -29,7 +37,7 @@ use mrpic_dist::{DistSim, Phase};
 use mrpic_field::fieldset::Dim;
 
 /// Replay measured message traffic from a real multi-rank run.
-fn trace_mode() {
+fn trace_mode(backend: &str, net: Network) {
     const NRANKS: usize = 4;
     const STEPS: usize = 30;
     println!("=== Trace-driven communication costing ({NRANKS} ranks, {STEPS} steps) ===\n");
@@ -85,10 +93,13 @@ fn trace_mode() {
         .map(|&(s, dst, b)| vec![format!("{s} -> {dst}"), format!("{b}")])
         .collect();
     print_table(&["rank pair", "bytes"], &rows);
-    // Price the measured trace on a Slingshot-class NIC (2 us, 25 GB/s).
-    let (lat, bw) = (2.0e-6, 25.0e9);
+    let (lat, bw) = (net.latency, net.bw_per_node);
     let times = trace_comm_times(&pairs, NRANKS, lat, bw);
-    println!("\nper-rank comm seconds over the whole trace (2 us latency, 25 GB/s):");
+    println!(
+        "\nper-rank comm seconds over the whole trace ({backend}: {:.1} us latency, {:.0} GB/s):",
+        lat * 1e6,
+        bw / 1e9,
+    );
     for (r, t) in times.iter().enumerate() {
         println!("  rank {r}: {t:.3e} s");
     }
@@ -132,7 +143,7 @@ fn trace_mode() {
 /// Chrome-trace file from `mrpic_run --trace-out` replaces both the
 /// recording transport's byte log (via matched `send` spans) and its
 /// modeled wait estimate (via measured `recv_wait` spans).
-fn trace_file_mode(path: &str) {
+fn trace_file_mode(path: &str, backend: &str, net: Network) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read trace {path}: {e}");
         std::process::exit(2);
@@ -162,9 +173,13 @@ fn trace_file_mode(path: &str) {
         .map(|&(s, d, b)| vec![format!("{s} -> {d}"), format!("{b}")])
         .collect();
     print_table(&["rank pair", "bytes"], &rows);
-    let (lat, bw) = (2.0e-6, 25.0e9);
+    let (lat, bw) = (net.latency, net.bw_per_node);
     let times = trace_comm_times(&pairs, nranks, lat, bw);
-    println!("\nper-rank comm seconds over the whole trace (2 us latency, 25 GB/s):");
+    println!(
+        "\nper-rank comm seconds over the whole trace ({backend}: {:.1} us latency, {:.0} GB/s):",
+        lat * 1e6,
+        bw / 1e9,
+    );
     for (r, t) in times.iter().enumerate() {
         println!("  rank {r}: {t:.3e} s");
     }
@@ -204,12 +219,20 @@ fn trace_file_mode(path: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = match args.iter().position(|a| a == "--backend") {
+        Some(i) => args.get(i + 1).cloned().unwrap_or_default(),
+        None => "hsn".to_string(),
+    };
+    let net = Network::for_backend(&backend).unwrap_or_else(|| {
+        eprintln!("--backend needs one of: hsn, mem, socket, tcp");
+        std::process::exit(2);
+    });
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         // A path after the flag prices from real spans; bare `--trace`
         // falls back to the in-process recording transport.
         match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => trace_file_mode(p),
-            _ => trace_mode(),
+            Some(p) if !p.starts_with("--") => trace_file_mode(p, &backend, net),
+            _ => trace_mode(&backend, net),
         }
         return;
     }

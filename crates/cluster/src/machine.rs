@@ -12,6 +12,57 @@ pub struct Network {
     pub bw_per_node: f64,
 }
 
+impl Network {
+    /// Slingshot-class HSN NIC — the historical default of the
+    /// trace-replay costings (2 us, 25 GB/s).
+    pub fn hsn() -> Self {
+        Network {
+            latency: 2.0e-6,
+            bw_per_node: 25.0e9,
+        }
+    }
+
+    /// The in-process mpsc transport: a channel wakeup and a memcpy —
+    /// no syscall, no framing.
+    pub fn mem_transport() -> Self {
+        Network {
+            latency: 0.3e-6,
+            bw_per_node: 40.0e9,
+        }
+    }
+
+    /// Unix-domain-socket mesh on one host (`mrpic_run --transport
+    /// socket`): a write+read syscall pair and a kernel copy per frame,
+    /// plus CRC framing.
+    pub fn uds_loopback() -> Self {
+        Network {
+            latency: 6.0e-6,
+            bw_per_node: 8.0e9,
+        }
+    }
+
+    /// TCP loopback mesh (`--transport tcp`): full stack traversal with
+    /// nodelay-flushed frames.
+    pub fn tcp_loopback() -> Self {
+        Network {
+            latency: 15.0e-6,
+            bw_per_node: 5.0e9,
+        }
+    }
+
+    /// Look up a costing preset by the transport-backend name the CLIs
+    /// use (`hsn`, `mem`, `socket`, `tcp`).
+    pub fn for_backend(name: &str) -> Option<Self> {
+        match name {
+            "hsn" => Some(Self::hsn()),
+            "mem" => Some(Self::mem_transport()),
+            "socket" | "uds" => Some(Self::uds_loopback()),
+            "tcp" => Some(Self::tcp_loopback()),
+            _ => None,
+        }
+    }
+}
+
 /// A machine: devices, peaks, memory bandwidth, network, noise.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MachineModel {

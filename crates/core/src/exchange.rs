@@ -41,6 +41,15 @@ pub struct RankStepComm {
     pub particle_seconds: f64,
     /// Particles this rank shipped to other ranks during redistribution.
     pub migrated_out: u64,
+    /// Bytes this rank actually put on a physical wire (socket frames,
+    /// headers and CRC trailers included). Zero for in-process
+    /// transports; distinct from `sent_bytes`, which counts logical
+    /// framed payloads regardless of backend.
+    #[serde(default)]
+    pub wire_bytes: u64,
+    /// Socket-stream flushes (one per wire frame enqueued).
+    #[serde(default)]
+    pub wire_flushes: u64,
 }
 
 impl RankStepComm {
@@ -53,6 +62,8 @@ impl RankStepComm {
         self.recv_wait_seconds += other.recv_wait_seconds;
         self.particle_seconds += other.particle_seconds;
         self.migrated_out += other.migrated_out;
+        self.wire_bytes += other.wire_bytes;
+        self.wire_flushes += other.wire_flushes;
     }
 }
 

@@ -1022,6 +1022,7 @@ impl Simulation {
                 rebalances: stats.rebalances,
                 probes,
                 guard,
+                rank_count: (!rank_records.is_empty()).then_some(rank_records.len()),
                 ranks: rank_records,
                 faults: fault_stats,
                 imbalance,
@@ -1031,6 +1032,49 @@ impl Simulation {
             });
         }
         stats
+    }
+
+    /// Order-fixed FNV-1a digest of the complete physics state: step
+    /// and time, every parent-level fab, the MR patch's fine/coarse/aux
+    /// fields, and every particle component, all hashed as raw `f64`
+    /// bits. Two runs whose digests agree hold bitwise-identical state
+    /// (up to hash collision); `mrpic_run` writes it to `summary.json`
+    /// so separate OS processes — e.g. the socket-transport rank mesh —
+    /// can prove state equivalence without sharing an address space.
+    pub fn state_digest(&self) -> u64 {
+        fn fnv(h: &mut u64, v: u64) {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        fn fnv_fs(h: &mut u64, fs: &FieldSet) {
+            for fa in fs.e.iter().chain(&fs.b).chain(&fs.j) {
+                for bi in 0..fa.nfabs() {
+                    for v in fa.fab(bi).raw() {
+                        fnv(h, v.to_bits());
+                    }
+                }
+            }
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        fnv(&mut h, self.istep);
+        fnv(&mut h, self.time.to_bits());
+        fnv_fs(&mut h, &self.fs);
+        if let Some(mr) = &self.mr {
+            fnv_fs(&mut h, &mr.fine);
+            fnv_fs(&mut h, &mr.coarse);
+            fnv_fs(&mut h, &mr.aux);
+        }
+        for pc in &self.parts {
+            for buf in &pc.bufs {
+                fnv(&mut h, buf.len() as u64);
+                for comp in [&buf.x, &buf.y, &buf.z, &buf.ux, &buf.uy, &buf.uz, &buf.w] {
+                    for v in comp {
+                        fnv(&mut h, v.to_bits());
+                    }
+                }
+            }
+        }
+        h
     }
 
     /// Payload bytes that would move if each box changed owner: the

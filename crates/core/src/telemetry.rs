@@ -233,6 +233,10 @@ pub struct StepRecord {
     /// (empty for the single-rank driver).
     #[serde(default)]
     pub ranks: Vec<crate::exchange::RankStepComm>,
+    /// Rank count the step executed at (distributed runs only). Changes
+    /// mid-run exactly at elastic grow/shrink barriers.
+    #[serde(default)]
+    pub rank_count: Option<usize>,
     /// Fault-injection / recovery counters for this step (present only
     /// when a chaos transport is attached to the run).
     #[serde(default)]
@@ -541,6 +545,7 @@ mod tests {
                 imbalance: None,
                 lb: None,
                 trace_hists: Vec::new(),
+                rank_count: None,
                 precision: crate::sim::Precision::F64,
             });
         }
@@ -634,6 +639,7 @@ mod tests {
                 p99: 8191,
                 max: 8191,
             }],
+            rank_count: Some(2),
             precision: crate::sim::Precision::F32Particles,
         };
         let s = serde_json::to_string(&rec).unwrap();
@@ -674,6 +680,7 @@ mod tests {
             imbalance: None,
             lb: None,
             trace_hists: Vec::new(),
+            rank_count: None,
             precision: crate::sim::Precision::F64,
         }
     }

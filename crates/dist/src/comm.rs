@@ -688,6 +688,14 @@ impl StepComm for DistComm {
 
     fn take_rank_records(&mut self) -> Vec<RankStepComm> {
         let n = self.nranks();
+        // Wire counters accumulate inside the endpoints (only a socket
+        // backend produces any); drain them into the owning rank's
+        // record once per telemetry cycle.
+        for (i, ep) in self.eps.iter_mut().enumerate() {
+            let (bytes, flushes) = ep.take_wire_counters();
+            self.records[i].wire_bytes += bytes;
+            self.records[i].wire_flushes += flushes;
+        }
         std::mem::replace(&mut self.records, fresh_records(n))
     }
 

@@ -421,6 +421,10 @@ impl<E: Endpoint> Endpoint for FaultyEndpoint<E> {
         self.injector.on_step(step);
         self.inner.set_step(step);
     }
+
+    fn take_wire_counters(&mut self) -> (u64, u64) {
+        self.inner.take_wire_counters()
+    }
 }
 
 #[cfg(test)]

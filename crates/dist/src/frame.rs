@@ -1,0 +1,315 @@
+//! Wire frame format of the out-of-process socket transport.
+//!
+//! Every byte string the socket backend puts on a stream is one
+//! length-prefixed frame:
+//!
+//! | offset | size | field                                            |
+//! |--------|------|--------------------------------------------------|
+//! | 0      | 4    | magic `0x4350524D` (`"MRPC"` little-endian)      |
+//! | 4      | 2    | protocol version ([`PROTO_VERSION`])             |
+//! | 6      | 1    | frame kind (data / hello / hello-ack / retire)   |
+//! | 7      | 1    | communication phase (0 for control frames)       |
+//! | 8      | 2    | source rank                                      |
+//! | 10     | 2    | destination rank                                 |
+//! | 12     | 4    | tag sequence number                              |
+//! | 16     | 8    | simulation step                                  |
+//! | 24     | 4    | payload length `n`                               |
+//! | 28     | n    | payload (itself CRC-sealed by `msg::seal`)       |
+//! | 28+n   | 4    | CRC-32 over bytes `[0, 28+n)`                    |
+//!
+//! The trailing CRC reuses the `msg::crc32` discipline (IEEE
+//! polynomial) and covers the *header too*, so a bit flip in routing
+//! metadata is as loud as one in the physics payload. Decoding never
+//! panics: every malformed input maps to a structured [`FrameError`]
+//! that the transport converts into a [`TransportError`]
+//! (`crates/dist/tests/frame.rs` drives the negative space with
+//! proptest).
+
+use crate::msg::crc32;
+use crate::transport::{Phase, Tag, TransportErrorKind};
+
+/// `"MRPC"` as a little-endian `u32`.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"MRPC");
+
+/// Bumped whenever the frame layout or the handshake changes; a peer
+/// speaking a different version is rejected at decode, not trusted.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Fixed bytes before the payload.
+pub const HEADER_LEN: usize = 28;
+
+/// Trailing CRC-32 bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Upper bound on a single frame payload (1 GiB): a length field larger
+/// than this is a desynchronized or hostile stream, not a real message.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// What a frame is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A tagged step-loop message (fill/sum/redistribute/migrate).
+    Data = 0,
+    /// Connection handshake, connector → acceptor.
+    Hello = 1,
+    /// Connection handshake, acceptor → connector.
+    HelloAck = 2,
+    /// Orderly goodbye from a rank leaving the mesh (elastic shrink).
+    Retire = 3,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::HelloAck),
+            3 => Some(FrameKind::Retire),
+            _ => None,
+        }
+    }
+}
+
+/// Decoded frame metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: FrameKind,
+    /// Communication phase byte; 0 for control frames, otherwise a
+    /// valid [`Phase`] discriminant.
+    pub phase: u8,
+    pub src: u16,
+    pub dst: u16,
+    pub seq: u32,
+    pub step: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl FrameHeader {
+    /// The message tag of a data frame (`None` for control frames or a
+    /// phase byte outside the [`Phase`] range).
+    pub fn tag(&self) -> Option<Tag> {
+        Some(Tag {
+            phase: Phase::from_u8(self.phase)?,
+            seq: self.seq,
+        })
+    }
+}
+
+/// Every way a received byte string can fail to be a frame. All are
+/// detected structurally — decoding never panics and never applies a
+/// damaged payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header + trailer demand.
+    Truncated { need: usize, have: usize },
+    /// The magic field is not [`FRAME_MAGIC`] — not our protocol.
+    BadMagic(u32),
+    /// The peer speaks a different frame-format version.
+    VersionMismatch { got: u16, want: u16 },
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// A data frame carrying a phase byte outside the [`Phase`] range.
+    BadPhase(u8),
+    /// Payload length field exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The trailing CRC-32 does not match the header + payload bytes.
+    CrcMismatch { got: u32, want: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::VersionMismatch { got, want } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks {got}, we speak {want}"
+                )
+            }
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::BadPhase(p) => write!(f, "data frame with invalid phase byte {p}"),
+            FrameError::Oversized(n) => write!(f, "frame payload length {n} exceeds cap"),
+            FrameError::CrcMismatch { got, want } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: computed {got:#010x}, trailer {want:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// The transport-error class this failure belongs to: integrity
+    /// failures (CRC, truncation) are [`Corrupt`]; structural mismatches
+    /// (magic, version, kind, phase, oversize) mean the stream is not —
+    /// or no longer — speaking our protocol: [`Desync`].
+    ///
+    /// [`Corrupt`]: TransportErrorKind::Corrupt
+    /// [`Desync`]: TransportErrorKind::Desync
+    pub fn kind(&self) -> TransportErrorKind {
+        match self {
+            FrameError::Truncated { .. } | FrameError::CrcMismatch { .. } => {
+                TransportErrorKind::Corrupt
+            }
+            _ => TransportErrorKind::Desync,
+        }
+    }
+}
+
+/// Encode one frame. `phase` must be 0 for control frames.
+pub fn encode(
+    kind: FrameKind,
+    phase: u8,
+    src: u16,
+    dst: u16,
+    seq: u32,
+    step: u64,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.push(phase);
+    out.extend_from_slice(&src.to_le_bytes());
+    out.extend_from_slice(&dst.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&step.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encode a data frame for `tag`.
+pub fn encode_data(src: u16, dst: u16, tag: Tag, step: u64, payload: &[u8]) -> Vec<u8> {
+    encode(
+        FrameKind::Data,
+        tag.phase as u8,
+        src,
+        dst,
+        tag.seq,
+        step,
+        payload,
+    )
+}
+
+fn rd_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(b[at..at + 2].try_into().unwrap())
+}
+
+fn rd_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn rd_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Validate the fixed header prefix of a frame. Used by the streaming
+/// reader to learn how many payload bytes to expect *before* the whole
+/// frame is in memory; [`decode`] reuses it for whole-buffer decoding.
+pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            need: HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let magic = rd_u32(buf, 0);
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = rd_u16(buf, 4);
+    if version != PROTO_VERSION {
+        return Err(FrameError::VersionMismatch {
+            got: version,
+            want: PROTO_VERSION,
+        });
+    }
+    let kind = FrameKind::from_u8(buf[6]).ok_or(FrameError::BadKind(buf[6]))?;
+    let phase = buf[7];
+    if kind == FrameKind::Data && Phase::from_u8(phase).is_none() {
+        return Err(FrameError::BadPhase(phase));
+    }
+    let len = rd_u32(buf, 24);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    Ok(FrameHeader {
+        kind,
+        phase,
+        src: rd_u16(buf, 8),
+        dst: rd_u16(buf, 10),
+        seq: rd_u32(buf, 12),
+        step: rd_u64(buf, 16),
+        len,
+    })
+}
+
+/// Decode one complete frame from `buf`, verifying structure and the
+/// trailing CRC. Returns the header and a copy of the payload.
+pub fn decode(buf: &[u8]) -> Result<(FrameHeader, Vec<u8>), FrameError> {
+    let h = decode_header(buf)?;
+    let total = HEADER_LEN + h.len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(FrameError::Truncated {
+            need: total,
+            have: buf.len(),
+        });
+    }
+    let body = &buf[..HEADER_LEN + h.len as usize];
+    let want = rd_u32(buf, HEADER_LEN + h.len as usize);
+    let got = crc32(body);
+    if got != want {
+        return Err(FrameError::CrcMismatch { got, want });
+    }
+    Ok((h, buf[HEADER_LEN..HEADER_LEN + h.len as usize].to_vec()))
+}
+
+/// Verify the trailing CRC of a frame whose header already validated
+/// and whose payload has been read off a stream.
+pub fn check_crc(header_and_payload: &[u8], trailer: [u8; 4]) -> Result<(), FrameError> {
+    let want = u32::from_le_bytes(trailer);
+    let got = crc32(header_and_payload);
+    if got != want {
+        return Err(FrameError::CrcMismatch { got, want });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let tag = Tag {
+            phase: Phase::Sum,
+            seq: 91,
+        };
+        let frame = encode_data(2, 5, tag, 1234, &[7, 8, 9]);
+        let (h, payload) = decode(&frame).unwrap();
+        assert_eq!(h.kind, FrameKind::Data);
+        assert_eq!((h.src, h.dst, h.seq, h.step, h.len), (2, 5, 91, 1234, 3));
+        assert_eq!(h.tag(), Some(tag));
+        assert_eq!(payload, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn control_frames_have_no_tag() {
+        let frame = encode(FrameKind::Hello, 0, 1, 0, 0, 0, &[1]);
+        let (h, _) = decode(&frame).unwrap();
+        assert_eq!(h.kind, FrameKind::Hello);
+        assert_eq!(h.tag(), None);
+    }
+}

@@ -20,15 +20,22 @@
 
 pub mod comm;
 pub mod faults;
+pub mod frame;
 pub mod msg;
 pub mod sim;
+pub mod socket;
 pub mod transport;
 
 pub use comm::{DistComm, RankLoss};
 pub use faults::{
     faulty_mem_transport, CrashPoint, FaultInjector, FaultPlan, FaultyEndpoint, PhasePick,
 };
-pub use sim::{boxed, DistSim, RecoveryEvent};
+pub use frame::{FrameError, FrameHeader, FrameKind, FRAME_MAGIC, PROTO_VERSION};
+pub use sim::{
+    boxed, parse_elastic_plan, DistSim, ElasticAction, ElasticEvent, RecoveryEvent, ResizeEvent,
+    TransportKind,
+};
+pub use socket::{proc_transport, socket_mesh, MeshCfg, ProcEndpoint, SocketEndpoint, WireKind};
 pub use transport::{
     mem_transport, mem_transport_with_timeout, recording_mem_transport, Endpoint, MemEndpoint,
     MsgRecord, Phase, Recorder, RecordingEndpoint, RecvRecord, Tag, TransportError,

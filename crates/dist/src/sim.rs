@@ -19,11 +19,25 @@
 //! the lost steps. Rank-count independence of `step()` makes the
 //! replayed physics bitwise identical to an unfaulted run.
 
+//! **Elastic ranks.** A planned [`ElasticEvent`] (`Grow(k)`/`Shrink(k)`)
+//! fires at the start of its step: the driver captures a checkpoint
+//! epoch (the barrier — a crash inside the resize window rolls back to
+//! exactly here), rebuilds the distribution mapping as a cost-seeded
+//! space-filling-curve split over the new rank count, rebuilds the
+//! transport through its [`TransportKind`] factory (socket meshes get a
+//! fresh generation), invalidates every cached exchange plan, and
+//! resumes. Rank-count independence of `step()` makes the continued run
+//! bitwise identical to an uninterrupted run at the final rank count.
+
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::comm::{DistComm, RankLoss};
 use crate::faults::{faulty_mem_transport, FaultInjector, FaultPlan};
-use crate::transport::{mem_transport, recording_mem_transport, Endpoint, Phase, Recorder};
+use crate::socket::{proc_transport, socket_mesh, MeshCfg};
+use crate::transport::{
+    mem_transport, recording_mem_transport, Endpoint, Phase, Recorder, RecordingEndpoint,
+};
 use mrpic_amr::{DistributionMapping, Strategy};
 use mrpic_core::checkpoint::Checkpoint;
 use mrpic_core::sim::{Simulation, StepStats};
@@ -44,18 +58,98 @@ pub struct RecoveryEvent {
     pub replayed: u64,
 }
 
+/// How to (re)build the transport of a [`DistSim`] — consulted whenever
+/// the mesh must be reconstructed (crash recovery, elastic resize).
+#[derive(Clone, Debug)]
+pub enum TransportKind {
+    /// Plain in-process mpsc mesh. Also the fallback for custom
+    /// endpoint sets handed to [`DistSim::new`] directly: a resize of
+    /// such a sim rebuilds as the in-process mesh.
+    Mem,
+    /// Fault-injected in-process mesh driven by the sim's `fault_plan`.
+    Faulty,
+    /// In-process mesh whose every pair is a real socket connection.
+    Socket(MeshCfg),
+    /// Process mode: this OS process owns `my_rank`; edges touching it
+    /// cross real sockets, everything else is the replicated local mesh
+    /// (DESIGN.md §15). A rank outside the current mesh runs as a pure
+    /// local spectator replica until a grow includes it.
+    Proc { mesh: MeshCfg, my_rank: usize },
+}
+
+/// What to do to the rank count, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElasticAction {
+    /// Add `k` ranks.
+    Grow(usize),
+    /// Remove `k` ranks.
+    Shrink(usize),
+}
+
+/// One planned rank-count change, applied at the start of `step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElasticEvent {
+    pub step: u64,
+    pub action: ElasticAction,
+}
+
+/// Parse an elastic plan spec: comma-separated `grow:STEP:K` /
+/// `shrink:STEP:K` events, e.g. `grow:20:2,shrink:30:2`.
+pub fn parse_elastic_plan(spec: &str) -> Result<Vec<ElasticEvent>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        let [action, step, k] = fields[..] else {
+            return Err(format!("elastic event `{part}`: want ACTION:STEP:K"));
+        };
+        let step: u64 = step
+            .parse()
+            .map_err(|_| format!("elastic event `{part}`: bad step `{step}`"))?;
+        let k: usize = k
+            .parse()
+            .ok()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| format!("elastic event `{part}`: bad rank delta `{k}`"))?;
+        let action = match action {
+            "grow" => ElasticAction::Grow(k),
+            "shrink" => ElasticAction::Shrink(k),
+            _ => return Err(format!("elastic event `{part}`: unknown action `{action}`")),
+        };
+        out.push(ElasticEvent { step, action });
+    }
+    out.sort_by_key(|e| e.step);
+    Ok(out)
+}
+
+/// One completed elastic resize, for diagnostics and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// Step at whose start the barrier ran.
+    pub step: u64,
+    pub from: usize,
+    pub to: usize,
+}
+
 /// A simulation executing across N in-process ranks.
 pub struct DistSim {
     pub sim: Simulation,
     comm: DistComm,
+    /// How to rebuild the transport on recovery or resize.
+    kind: TransportKind,
+    /// Recorder every rebuilt endpoint set is re-wrapped with.
+    recorder: Option<Arc<Recorder>>,
     /// Fault plan of the active transport (None: plain transport).
     fault_plan: Option<FaultPlan>,
     injector: Option<Arc<FaultInjector>>,
     /// Steps between full-state checkpoint epochs (chaos runs only).
     epoch_interval: u64,
     epoch: Option<Checkpoint>,
+    /// Planned rank-count changes, ascending by step, consumed once.
+    elastic: VecDeque<ElasticEvent>,
     /// Every crash recovery performed, in order.
     pub recovery_log: Vec<RecoveryEvent>,
+    /// Every elastic resize performed, in order.
+    pub resize_log: Vec<ResizeEvent>,
 }
 
 /// Box a homogeneous endpoint set for [`DistSim::new`].
@@ -83,11 +177,15 @@ impl DistSim {
         Self {
             sim,
             comm,
+            kind: TransportKind::Mem,
+            recorder: None,
             fault_plan: None,
             injector: None,
             epoch_interval: 10,
             epoch: None,
+            elastic: VecDeque::new(),
             recovery_log: Vec::new(),
+            resize_log: Vec::new(),
         }
     }
 
@@ -100,7 +198,52 @@ impl DistSim {
     /// returned [`Recorder`].
     pub fn recording(sim: Simulation, nranks: usize) -> (Self, Arc<Recorder>) {
         let (eps, rec) = recording_mem_transport(nranks);
-        (Self::new(sim, boxed(eps)), rec)
+        let mut ds = Self::new(sim, boxed(eps));
+        ds.recorder = Some(Arc::clone(&rec));
+        (ds, rec)
+    }
+
+    /// In-process mesh whose every rank pair is a real socket
+    /// connection (Unix-domain or TCP per `cfg`); the rank threads
+    /// exchange every byte through the kernel.
+    pub fn socket_mesh(sim: Simulation, cfg: MeshCfg) -> std::io::Result<Self> {
+        let eps = socket_mesh(&cfg)?;
+        let mut ds = Self::new(sim, boxed(eps));
+        ds.kind = TransportKind::Socket(cfg);
+        Ok(ds)
+    }
+
+    /// [`Self::socket_mesh`] with every endpoint wrapped in the
+    /// returned message [`Recorder`].
+    pub fn socket_mesh_recording(
+        sim: Simulation,
+        cfg: MeshCfg,
+    ) -> std::io::Result<(Self, Arc<Recorder>)> {
+        let rec = Arc::new(Recorder::default());
+        let eps: Vec<Box<dyn Endpoint>> = socket_mesh(&cfg)?
+            .into_iter()
+            .map(|e| Box::new(RecordingEndpoint::wrap(e, Arc::clone(&rec))) as Box<dyn Endpoint>)
+            .collect();
+        let mut ds = Self::new(sim, eps);
+        ds.kind = TransportKind::Socket(cfg);
+        ds.recorder = Some(Arc::clone(&rec));
+        Ok((ds, rec))
+    }
+
+    /// One `mrpic_rank` worker process: this process is authoritative
+    /// for `my_rank`, whose message edges cross real sockets to the
+    /// peer processes; every other rank runs as a local replica thread.
+    /// A `my_rank` outside the current mesh builds a pure local
+    /// spectator replica (it joins the wire when a grow includes it).
+    pub fn process_rank(sim: Simulation, mesh: MeshCfg, my_rank: usize) -> std::io::Result<Self> {
+        let eps: Vec<Box<dyn Endpoint>> = if my_rank < mesh.nranks {
+            boxed(proc_transport(&mesh, my_rank)?)
+        } else {
+            boxed(mem_transport(mesh.nranks))
+        };
+        let mut ds = Self::new(sim, eps);
+        ds.kind = TransportKind::Proc { mesh, my_rank };
+        Ok(ds)
     }
 
     /// In-process transport perturbed by the seeded fault `plan`:
@@ -112,6 +255,7 @@ impl DistSim {
         let (eps, inj) = faulty_mem_transport(nranks, plan.clone());
         let mut ds = Self::new(sim, boxed(eps));
         ds.comm.attach_injector(Arc::clone(&inj));
+        ds.kind = TransportKind::Faulty;
         ds.fault_plan = Some(plan);
         ds.injector = Some(inj);
         ds
@@ -146,9 +290,149 @@ impl DistSim {
         }
     }
 
+    /// Install a planned elastic schedule; each event fires once, at
+    /// the start of its step. Events must be sorted (use
+    /// [`parse_elastic_plan`]).
+    pub fn set_elastic_plan(&mut self, events: Vec<ElasticEvent>) {
+        assert!(
+            events.windows(2).all(|w| w[0].step <= w[1].step),
+            "elastic plan must be sorted by step"
+        );
+        self.elastic = events.into();
+    }
+
+    /// Resize the mesh to `target` ranks right now (between steps): the
+    /// checkpoint-epoch barrier, a cost-seeded SFC re-adoption of every
+    /// box onto the new rank set, a transport rebuild (socket meshes
+    /// get a fresh generation), and full plan invalidation. The
+    /// continued run is bitwise identical to an uninterrupted run at
+    /// `target` ranks.
+    pub fn resize(&mut self, target: usize) {
+        assert!(target >= 1, "cannot shrink below one rank");
+        let from = self.nranks();
+        if target == from {
+            return;
+        }
+        // The barrier: the step boundary is already quiesced (no frames
+        // in flight), and the captured epoch pins the rollback target
+        // should a rank crash inside the resize window.
+        self.epoch = Some(Checkpoint::capture(&self.sim));
+        let dm = DistributionMapping::build(
+            self.sim.fs.boxarray(),
+            target,
+            Strategy::SpaceFillingCurve,
+            self.sim.cost.costs(),
+        );
+        self.sim.dm = dm.clone();
+        if let Some(policy) = &mut self.sim.lb {
+            policy.set_nranks(target);
+        }
+        match &mut self.kind {
+            TransportKind::Socket(cfg) => {
+                cfg.nranks = target;
+                cfg.generation += 1;
+            }
+            TransportKind::Proc { mesh, .. } => {
+                mesh.nranks = target;
+                mesh.generation += 1;
+            }
+            TransportKind::Mem | TransportKind::Faulty => {}
+        }
+        let (eps, inj) =
+            Self::build_endpoints(&self.kind, target, &self.fault_plan, &self.recorder);
+        let mut comm = DistComm::new(eps, dm);
+        if let Some(inj) = &inj {
+            comm.attach_injector(Arc::clone(inj));
+        }
+        self.comm = comm;
+        self.injector = inj;
+        // Every cached exchange plan was partitioned for the old mesh.
+        self.sim.invalidate_all_plans();
+        self.resize_log.push(ResizeEvent {
+            step: self.sim.istep,
+            from,
+            to: target,
+        });
+    }
+
+    /// Build a fresh endpoint set per the transport kind, re-wrapping
+    /// with the recorder when one is attached.
+    fn build_endpoints(
+        kind: &TransportKind,
+        nranks: usize,
+        fault_plan: &Option<FaultPlan>,
+        recorder: &Option<Arc<Recorder>>,
+    ) -> (Vec<Box<dyn Endpoint>>, Option<Arc<FaultInjector>>) {
+        fn finish<E: Endpoint + 'static>(
+            eps: Vec<E>,
+            recorder: &Option<Arc<Recorder>>,
+        ) -> Vec<Box<dyn Endpoint>> {
+            match recorder {
+                Some(rec) => eps
+                    .into_iter()
+                    .map(|e| {
+                        Box::new(RecordingEndpoint::wrap(e, Arc::clone(rec))) as Box<dyn Endpoint>
+                    })
+                    .collect(),
+                None => boxed(eps),
+            }
+        }
+        match kind {
+            TransportKind::Mem => (finish(mem_transport(nranks), recorder), None),
+            TransportKind::Faulty => {
+                let plan = fault_plan.clone().expect("faulty transport without a plan");
+                let (eps, inj) = faulty_mem_transport(nranks, plan);
+                (finish(eps, recorder), Some(inj))
+            }
+            TransportKind::Socket(cfg) => {
+                let eps = socket_mesh(cfg).unwrap_or_else(|e| {
+                    panic!(
+                        "rebuilding socket mesh (generation {}): {e}",
+                        cfg.generation
+                    )
+                });
+                (finish(eps, recorder), None)
+            }
+            TransportKind::Proc { mesh, my_rank } => {
+                let eps = if *my_rank < mesh.nranks {
+                    finish(
+                        proc_transport(mesh, *my_rank).unwrap_or_else(|e| {
+                            panic!(
+                                "rank {} rejoining mesh generation {}: {e}",
+                                my_rank, mesh.generation
+                            )
+                        }),
+                        recorder,
+                    )
+                } else {
+                    // Shrunk out of (or not yet grown into) the mesh:
+                    // keep stepping as a local spectator replica.
+                    finish(mem_transport(mesh.nranks), recorder)
+                };
+                (eps, None)
+            }
+        }
+    }
+
     /// Advance one step through the distributed backend, recovering from
     /// an injected rank crash if one surfaces.
     pub fn step(&mut self) -> StepStats {
+        while self
+            .elastic
+            .front()
+            .is_some_and(|e| e.step <= self.sim.istep)
+        {
+            let ev = self.elastic.pop_front().unwrap();
+            let cur = self.nranks();
+            let target = match ev.action {
+                ElasticAction::Grow(k) => cur + k,
+                ElasticAction::Shrink(k) => {
+                    assert!(k < cur, "elastic shrink below one rank");
+                    cur - k
+                }
+            };
+            self.resize(target);
+        }
         if self.fault_plan.is_some() && self.sim.istep.is_multiple_of(self.epoch_interval) {
             self.epoch = Some(Checkpoint::capture(&self.sim));
         }

@@ -1,0 +1,834 @@
+//! Out-of-process transport: a Unix-domain-socket (or TCP loopback)
+//! process mesh speaking the [`crate::frame`] format.
+//!
+//! **Topology.** Rank `r` listens at a generation-suffixed address
+//! (`dir/g{gen}.r{r}.sock` for UDS, `base_port + gen·64 + r` for TCP);
+//! for every pair `(a, b)` with `a < b`, rank `b` connects to rank `a`'s
+//! listener. Each duplex connection carries exactly two logical message
+//! streams — `a → b` frames written by `a`, `b → a` frames written by
+//! `b` — which reproduces the channel-per-ordered-pair semantics of the
+//! in-process [`MemEndpoint`] mesh exactly. Listener sockets are closed
+//! (and UDS paths unlinked) as soon as the mesh is fully connected, so a
+//! healthy run leaves no socket files behind. The generation suffix lets
+//! an elastic resize build a fresh mesh while the old one drains.
+//!
+//! **Handshake.** A connector opens with a `Hello` frame carrying its
+//! rank and a 16-byte payload (job nonce, rank count, mesh generation);
+//! the acceptor validates all three against its own configuration plus
+//! the frame layer's magic and protocol version, pins the claimed rank
+//! (in range, above the acceptor, not a duplicate), and answers
+//! `HelloAck` with the mirrored payload. Neither side sends data until
+//! the ack round-trips, so a mis-wired, stale-generation, or
+//! version-skewed peer is rejected before any physics bytes move.
+//!
+//! **No write deadlock.** Every connection owns a background writer
+//! thread fed by an unbounded queue: `send` never blocks on a kernel
+//! socket buffer, so the step loop's all-to-all bursts (including bulk
+//! migration frames far larger than a socket buffer) cannot deadlock two
+//! ranks each stuck in `write` waiting for the other to read. Wire
+//! byte/flush counters are charged at enqueue time, which keeps them
+//! deterministic. Dropping the connection joins the writer, flushing
+//! every queued frame first.
+//!
+//! **Process mode.** [`ProcEndpoint`] runs the replicated-driver scheme
+//! (DESIGN.md §15): every `mrpic_rank` process steps the full
+//! deterministic simulation with all N rank threads, but each message
+//! edge touching the process's *own* rank `R` crosses a real socket —
+//! endpoint `R`'s sends are mirrored onto the wire, and every local send
+//! *into* `R` is dropped so endpoint `R`'s receives read the
+//! authoritative bytes from the owning process instead. Wire schedule ≡
+//! mpsc schedule, and rank `R`'s state genuinely depends on remote
+//! bytes, while `DistComm` runs unchanged on top.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::frame::{
+    self, decode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN, TRAILER_LEN,
+};
+use crate::msg::{put_u32, put_u64, Reader};
+use crate::transport::{
+    mem_transport_with_timeout, Endpoint, MemEndpoint, Tag, TransportError, TransportErrorKind,
+    DEFAULT_RECV_TIMEOUT,
+};
+
+/// How long mesh construction waits for peers to appear and answer the
+/// handshake before giving up. Generous: process spawn plus a cold
+/// filesystem is still far below this.
+const SETUP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Physical wire of the mesh.
+#[derive(Clone, Debug)]
+pub enum WireKind {
+    /// Unix-domain sockets under `dir` (created if missing).
+    Uds { dir: PathBuf },
+    /// TCP on 127.0.0.1; rank `r` of generation `g` listens on
+    /// `base_port + g·64 + r` (so at most 64 ranks per generation).
+    Tcp { base_port: u16 },
+}
+
+/// Everything a rank needs to (re)build its socket mesh.
+#[derive(Clone, Debug)]
+pub struct MeshCfg {
+    pub wire: WireKind,
+    pub nranks: usize,
+    /// Job identity: both handshake sides must present the same nonce,
+    /// so a stray process from another run cannot join the mesh.
+    pub nonce: u64,
+    /// Mesh generation, bumped on every elastic resize; listeners and
+    /// handshakes are generation-scoped so old and new meshes never mix.
+    pub generation: u32,
+    pub recv_timeout: Duration,
+}
+
+impl MeshCfg {
+    pub fn uds(dir: impl Into<PathBuf>, nranks: usize, nonce: u64) -> Self {
+        Self {
+            wire: WireKind::Uds { dir: dir.into() },
+            nranks,
+            nonce,
+            generation: 0,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+
+    pub fn tcp(base_port: u16, nranks: usize, nonce: u64) -> Self {
+        Self {
+            wire: WireKind::Tcp { base_port },
+            nranks,
+            nonce,
+            generation: 0,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
+    }
+
+    fn uds_path(&self, rank: usize) -> PathBuf {
+        match &self.wire {
+            WireKind::Uds { dir } => dir.join(format!("g{}.r{}.sock", self.generation, rank)),
+            WireKind::Tcp { .. } => unreachable!("uds_path on tcp mesh"),
+        }
+    }
+
+    fn tcp_port(&self, rank: usize) -> u16 {
+        match &self.wire {
+            WireKind::Tcp { base_port } => base_port
+                .wrapping_add((self.generation as u16).wrapping_mul(64))
+                .wrapping_add(rank as u16),
+            WireKind::Uds { .. } => unreachable!("tcp_port on uds mesh"),
+        }
+    }
+
+    /// The 16-byte handshake payload both sides must agree on.
+    fn hs_payload(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16);
+        put_u64(&mut p, self.nonce);
+        put_u32(&mut p, self.nranks as u32);
+        put_u32(&mut p, self.generation);
+        p
+    }
+}
+
+enum WireStream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl WireStream {
+    fn try_clone(&self) -> io::Result<WireStream> {
+        Ok(match self {
+            WireStream::Uds(s) => WireStream::Uds(s.try_clone()?),
+            WireStream::Tcp(s) => WireStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            WireStream::Uds(s) => s.set_read_timeout(t),
+            WireStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            WireStream::Uds(s) => s.set_nonblocking(nb),
+            WireStream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for WireStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Uds(s) => s.read(buf),
+            WireStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WireStream::Uds(s) => s.write(buf),
+            WireStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WireStream::Uds(s) => s.flush(),
+            WireStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Listener half; dropping it unlinks the UDS path.
+enum WireListener {
+    Uds(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl WireListener {
+    fn accept(&self) -> io::Result<WireStream> {
+        match self {
+            WireListener::Uds(l, _) => l.accept().map(|(s, _)| WireStream::Uds(s)),
+            WireListener::Tcp(l) => l.accept().map(|(s, _)| WireStream::Tcp(s)),
+        }
+    }
+}
+
+impl Drop for WireListener {
+    fn drop(&mut self) {
+        if let WireListener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Why a framed read failed.
+enum RecvFail {
+    Frame(FrameError),
+    TimedOut(Duration),
+    Eof,
+    Io(io::Error),
+}
+
+/// The read half of one connection, with a carry buffer for bytes read
+/// past the current frame boundary (stream reads are not frame-aligned).
+struct ConnReader {
+    stream: WireStream,
+    buf: Vec<u8>,
+}
+
+impl ConnReader {
+    fn new(stream: WireStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Read one complete, CRC-verified frame, waiting at most `timeout`.
+    fn read_frame(&mut self, timeout: Duration) -> Result<(FrameHeader, Vec<u8>), RecvFail> {
+        let t0 = Instant::now();
+        loop {
+            if self.buf.len() >= HEADER_LEN {
+                let h = decode_header(&self.buf).map_err(RecvFail::Frame)?;
+                let total = HEADER_LEN + h.len as usize + TRAILER_LEN;
+                if self.buf.len() >= total {
+                    let frame_bytes: Vec<u8> = self.buf.drain(..total).collect();
+                    let (h, payload) = frame::decode(&frame_bytes).map_err(RecvFail::Frame)?;
+                    return Ok((h, payload));
+                }
+            }
+            let waited = t0.elapsed();
+            let Some(remaining) = timeout.checked_sub(waited) else {
+                return Err(RecvFail::TimedOut(waited));
+            };
+            if self
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                return Err(RecvFail::Eof);
+            }
+            let mut tmp = [0u8; 64 * 1024];
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Err(RecvFail::Eof),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(RecvFail::Io(e)),
+            }
+        }
+    }
+}
+
+/// One fully handshaken connection: a carry-buffered reader plus a
+/// background writer thread draining an unbounded frame queue.
+pub struct PeerConn {
+    reader: ConnReader,
+    tx: Option<Sender<Vec<u8>>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl PeerConn {
+    fn new(reader: ConnReader) -> io::Result<Self> {
+        let mut wstream = reader.stream.try_clone()?;
+        wstream.set_nonblocking(false)?;
+        let (tx, rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = channel();
+        let writer = std::thread::spawn(move || {
+            // A write error means the peer is gone; the receive side of
+            // whoever still needs its bytes reports the loss with full
+            // context, so the writer just stops.
+            while let Ok(f) = rx.recv() {
+                if wstream.write_all(&f).is_err() {
+                    return;
+                }
+            }
+            let _ = wstream.flush();
+        });
+        Ok(Self {
+            reader,
+            tx: Some(tx),
+            writer: Some(writer),
+        })
+    }
+
+    fn enqueue(&self, frame_bytes: Vec<u8>) {
+        if let Some(tx) = &self.tx {
+            // A closed queue means the writer saw the peer die; the next
+            // recv involving this peer reports it.
+            let _ = tx.send(frame_bytes);
+        }
+    }
+}
+
+impl Drop for PeerConn {
+    fn drop(&mut self) {
+        // Close the queue, then join: every enqueued frame is flushed to
+        // the kernel before the connection (or the process) goes away.
+        self.tx.take();
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn setup_err(ctx: &str, f: RecvFail) -> io::Error {
+    let msg = match f {
+        RecvFail::Frame(e) => format!("{ctx}: {e}"),
+        RecvFail::TimedOut(w) => format!("{ctx}: timed out after {} ms", w.as_millis()),
+        RecvFail::Eof => format!("{ctx}: peer closed the connection"),
+        RecvFail::Io(e) => return io::Error::new(e.kind(), format!("{ctx}: {e}")),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn listen(cfg: &MeshCfg, rank: usize) -> io::Result<WireListener> {
+    match &cfg.wire {
+        WireKind::Uds { dir } => {
+            std::fs::create_dir_all(dir)?;
+            let path = cfg.uds_path(rank);
+            let _ = std::fs::remove_file(&path);
+            let l = UnixListener::bind(&path)?;
+            l.set_nonblocking(true)?;
+            Ok(WireListener::Uds(l, path))
+        }
+        WireKind::Tcp { .. } => {
+            let l = TcpListener::bind(("127.0.0.1", cfg.tcp_port(rank)))?;
+            l.set_nonblocking(true)?;
+            Ok(WireListener::Tcp(l))
+        }
+    }
+}
+
+/// Connect to `rank`'s listener, retrying until it exists or the
+/// deadline passes (peer processes start at their own pace).
+fn connect_retry(cfg: &MeshCfg, rank: usize, deadline: Instant) -> io::Result<WireStream> {
+    loop {
+        let r = match &cfg.wire {
+            WireKind::Uds { .. } => UnixStream::connect(cfg.uds_path(rank)).map(WireStream::Uds),
+            WireKind::Tcp { .. } => {
+                TcpStream::connect(("127.0.0.1", cfg.tcp_port(rank))).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    WireStream::Tcp(s)
+                })
+            }
+        };
+        match r {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("connecting to rank {rank}: {e}"),
+                ))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Connector half of the handshake: send `Hello`, await `HelloAck`.
+fn handshake_connect(
+    stream: WireStream,
+    cfg: &MeshCfg,
+    my_rank: usize,
+    peer: usize,
+) -> io::Result<ConnReader> {
+    let mut stream = stream;
+    stream.write_all(&frame::encode(
+        FrameKind::Hello,
+        0,
+        my_rank as u16,
+        peer as u16,
+        0,
+        0,
+        &cfg.hs_payload(),
+    ))?;
+    let mut rd = ConnReader::new(stream);
+    let (h, payload) = rd
+        .read_frame(SETUP_TIMEOUT)
+        .map_err(|f| setup_err("awaiting HelloAck", f))?;
+    if h.kind != FrameKind::HelloAck || h.src as usize != peer || h.dst as usize != my_rank {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "bad HelloAck from rank {peer}: kind {:?}, src {}, dst {}",
+                h.kind, h.src, h.dst
+            ),
+        ));
+    }
+    check_hs_payload(cfg, &payload, peer)?;
+    Ok(rd)
+}
+
+/// Acceptor half: read `Hello`, pin the claimed rank, answer `HelloAck`.
+fn handshake_accept(
+    stream: WireStream,
+    cfg: &MeshCfg,
+    my_rank: usize,
+) -> io::Result<(usize, ConnReader)> {
+    stream.set_nonblocking(false)?;
+    let mut rd = ConnReader::new(stream);
+    let (h, payload) = rd
+        .read_frame(SETUP_TIMEOUT)
+        .map_err(|f| setup_err("awaiting Hello", f))?;
+    let peer = h.src as usize;
+    if h.kind != FrameKind::Hello || h.dst as usize != my_rank {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "bad Hello: kind {:?}, src {}, dst {} (I am rank {my_rank})",
+                h.kind, h.src, h.dst
+            ),
+        ));
+    }
+    // Only higher ranks dial us, so the claimed identity must sit in
+    // (my_rank, nranks).
+    if peer <= my_rank || peer >= cfg.nranks {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "peer claims invalid rank {peer} (I am {my_rank} of {})",
+                cfg.nranks
+            ),
+        ));
+    }
+    check_hs_payload(cfg, &payload, peer)?;
+    rd.stream.write_all(&frame::encode(
+        FrameKind::HelloAck,
+        0,
+        my_rank as u16,
+        peer as u16,
+        0,
+        0,
+        &cfg.hs_payload(),
+    ))?;
+    Ok((peer, rd))
+}
+
+fn check_hs_payload(cfg: &MeshCfg, payload: &[u8], peer: usize) -> io::Result<()> {
+    if payload.len() != 16 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "handshake payload from rank {peer} is {} bytes, want 16",
+                payload.len()
+            ),
+        ));
+    }
+    let mut rd = Reader::new(payload);
+    let (nonce, nranks, generation) = (rd.u64(), rd.u32() as usize, rd.u32());
+    if nonce != cfg.nonce || nranks != cfg.nranks || generation != cfg.generation {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "handshake mismatch with rank {peer}: nonce {nonce:#x}/{:#x}, nranks {nranks}/{}, generation {generation}/{}",
+                cfg.nonce, cfg.nranks, cfg.generation
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Build rank `my_rank`'s connections to every peer of the mesh: dial
+/// every lower rank, accept every higher one, handshake each. On return
+/// the listener is closed and its UDS path unlinked.
+pub fn connect_peers(cfg: &MeshCfg, my_rank: usize) -> io::Result<Vec<Option<PeerConn>>> {
+    assert!(
+        my_rank < cfg.nranks,
+        "rank {my_rank} outside mesh of {}",
+        cfg.nranks
+    );
+    assert!(cfg.nranks <= u16::MAX as usize, "rank ids must fit u16");
+    let listener = listen(cfg, my_rank)?;
+    let deadline = Instant::now() + SETUP_TIMEOUT;
+    let mut peers: Vec<Option<PeerConn>> = (0..cfg.nranks).map(|_| None).collect();
+    for (p, slot) in peers.iter_mut().enumerate().take(my_rank) {
+        let stream = connect_retry(cfg, p, deadline)?;
+        let rd = handshake_connect(stream, cfg, my_rank, p)?;
+        *slot = Some(PeerConn::new(rd)?);
+    }
+    let expect = cfg.nranks - 1 - my_rank;
+    let mut accepted = 0;
+    while accepted < expect {
+        match listener.accept() {
+            Ok(stream) => {
+                let (peer, rd) = handshake_accept(stream, cfg, my_rank)?;
+                if peers[peer].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("duplicate connection claiming rank {peer}"),
+                    ));
+                }
+                peers[peer] = Some(PeerConn::new(rd)?);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("rank {my_rank}: only {accepted}/{expect} peers connected"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(peers)
+}
+
+/// An [`Endpoint`] whose every peer edge is a real socket connection.
+pub struct SocketEndpoint {
+    rank: usize,
+    nranks: usize,
+    step: u64,
+    recv_timeout: Duration,
+    peers: Vec<Option<PeerConn>>,
+    wire_bytes: u64,
+    wire_flushes: u64,
+}
+
+impl SocketEndpoint {
+    fn new(rank: usize, cfg: &MeshCfg, peers: Vec<Option<PeerConn>>) -> Self {
+        Self {
+            rank,
+            nranks: cfg.nranks,
+            step: 0,
+            recv_timeout: cfg.recv_timeout,
+            peers,
+            wire_bytes: 0,
+            wire_flushes: 0,
+        }
+    }
+
+    fn wire_send(&mut self, dst: usize, tag: Tag, payload: &[u8]) {
+        let f = frame::encode_data(self.rank as u16, dst as u16, tag, self.step, payload);
+        self.wire_bytes += f.len() as u64;
+        self.wire_flushes += 1;
+        self.peers[dst]
+            .as_ref()
+            .expect("no connection to self")
+            .enqueue(f);
+    }
+
+    fn wire_recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
+        let (rank, step, timeout) = (self.rank, self.step, self.recv_timeout);
+        let conn = self.peers[src].as_mut().expect("no connection to self");
+        let (h, payload) = match conn.reader.read_frame(timeout) {
+            Ok(ok) => ok,
+            Err(RecvFail::TimedOut(w)) => {
+                return Err(
+                    TransportError::new(TransportErrorKind::Timeout, rank, src, tag, step)
+                        .with_wait(w),
+                )
+            }
+            Err(RecvFail::Eof) | Err(RecvFail::Io(_)) => {
+                return Err(TransportError::new(
+                    TransportErrorKind::PeerLost,
+                    rank,
+                    src,
+                    tag,
+                    step,
+                ))
+            }
+            Err(RecvFail::Frame(fe)) => {
+                return Err(TransportError::new(fe.kind(), rank, src, tag, step))
+            }
+        };
+        if h.kind != FrameKind::Data || h.src as usize != src || h.dst as usize != rank {
+            return Err(TransportError::new(
+                TransportErrorKind::Desync,
+                rank,
+                src,
+                tag,
+                step,
+            ));
+        }
+        match h.tag() {
+            Some(got) if got == tag => Ok(payload),
+            // Mirror MemEndpoint: a desync error carries the tag
+            // actually received.
+            Some(got) => Err(TransportError::new(
+                TransportErrorKind::Desync,
+                rank,
+                src,
+                got,
+                step,
+            )),
+            None => Err(TransportError::new(
+                TransportErrorKind::Desync,
+                rank,
+                src,
+                tag,
+                step,
+            )),
+        }
+    }
+}
+
+impl Endpoint for SocketEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) -> Result<(), TransportError> {
+        self.wire_send(dst, tag, &payload);
+        Ok(())
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
+        self.wire_recv(src, tag)
+    }
+
+    fn set_step(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    fn take_wire_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.wire_bytes),
+            std::mem::take(&mut self.wire_flushes),
+        )
+    }
+}
+
+/// Build a full socket mesh *within one process*: `nranks` endpoints,
+/// every pair connected by a real socket. Used by the cross-transport
+/// equivalence tests, where the step loop's rank threads exchange every
+/// byte through the kernel while staying in one address space for
+/// bitwise state comparison.
+pub fn socket_mesh(cfg: &MeshCfg) -> io::Result<Vec<SocketEndpoint>> {
+    let eps: io::Result<Vec<SocketEndpoint>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.nranks)
+            .map(|r| s.spawn(move || connect_peers(cfg, r).map(|p| SocketEndpoint::new(r, cfg, p))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    eps
+}
+
+/// Replicated-driver endpoint for process mode (see module docs): the
+/// full local mpsc mesh, with the edges touching this *process's* rank
+/// substituted by the real socket connections.
+pub struct ProcEndpoint {
+    inner: MemEndpoint,
+    /// The rank this OS process is authoritative for.
+    my_rank: usize,
+    /// Real connections; present only on the endpoint whose thread rank
+    /// equals `my_rank`.
+    wire: Option<SocketEndpoint>,
+}
+
+impl Endpoint for ProcEndpoint {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn nranks(&self) -> usize {
+        self.inner.nranks()
+    }
+
+    fn send(&mut self, dst: usize, tag: Tag, payload: Vec<u8>) -> Result<(), TransportError> {
+        if let Some(wire) = &mut self.wire {
+            // This process's own rank: the send is authoritative. Put it
+            // on the wire for the process owning `dst`, and deliver the
+            // local copy so this replica's thread `dst` advances too.
+            wire.wire_send(dst, tag, &payload);
+            return self.inner.send(dst, tag, payload);
+        }
+        if dst == self.my_rank {
+            // A local replica thread sending *into* this process's rank:
+            // drop the copy — the authoritative bytes arrive over the
+            // socket from the process that owns the sender.
+            return Ok(());
+        }
+        self.inner.send(dst, tag, payload)
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
+        if let Some(wire) = &mut self.wire {
+            return wire.wire_recv(src, tag);
+        }
+        self.inner.recv(src, tag)
+    }
+
+    fn set_step(&mut self, step: u64) {
+        self.inner.set_step(step);
+        if let Some(wire) = &mut self.wire {
+            wire.set_step(step);
+        }
+    }
+
+    fn take_wire_counters(&mut self) -> (u64, u64) {
+        match &mut self.wire {
+            Some(wire) => wire.take_wire_counters(),
+            None => (0, 0),
+        }
+    }
+}
+
+/// Build the endpoint set of one `mrpic_rank` process: connect this
+/// process's rank to its peers over sockets, and wrap the local mpsc
+/// mesh with the substitution rules above.
+pub fn proc_transport(cfg: &MeshCfg, my_rank: usize) -> io::Result<Vec<ProcEndpoint>> {
+    let peers = connect_peers(cfg, my_rank)?;
+    let mut wire = Some(SocketEndpoint::new(my_rank, cfg, peers));
+    Ok(mem_transport_with_timeout(cfg.nranks, cfg.recv_timeout)
+        .into_iter()
+        .map(|inner| {
+            let w = if inner.rank() == my_rank {
+                wire.take()
+            } else {
+                None
+            };
+            ProcEndpoint {
+                inner,
+                my_rank,
+                wire: w,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Phase;
+
+    fn uds_cfg(nranks: usize, tag: &str) -> MeshCfg {
+        let dir = std::env::temp_dir().join(format!("mrpic-sock-{}-{tag}", std::process::id()));
+        MeshCfg::uds(dir, nranks, 0xC0FFEE)
+    }
+
+    const T: Tag = Tag {
+        phase: Phase::Fill,
+        seq: 3,
+    };
+
+    #[test]
+    fn socket_mesh_delivers_in_order_and_unlinks_paths() {
+        let cfg = uds_cfg(3, "order");
+        let mut eps = socket_mesh(&cfg).unwrap();
+        // All listener paths are gone as soon as the mesh is up.
+        for r in 0..3 {
+            assert!(!cfg.uds_path(r).exists(), "socket file left behind");
+        }
+        let (a, rest) = eps.split_at_mut(1);
+        a[0].send(1, T, vec![1]).unwrap();
+        a[0].send(1, Tag { seq: 4, ..T }, vec![2, 2]).unwrap();
+        a[0].send(2, T, vec![3]).unwrap();
+        assert_eq!(rest[0].recv(0, T).unwrap(), vec![1]);
+        assert_eq!(rest[0].recv(0, Tag { seq: 4, ..T }).unwrap(), vec![2, 2]);
+        assert_eq!(rest[1].recv(0, T).unwrap(), vec![3]);
+        let (b, f) = rest[1].take_wire_counters();
+        assert_eq!((b, f), (0, 0), "rank 2 sent nothing");
+        let (b, f) = a[0].take_wire_counters();
+        assert_eq!(f, 3);
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn socket_recv_timeout_reports_wait_and_seq() {
+        let mut cfg = uds_cfg(2, "timeout");
+        cfg.recv_timeout = Duration::from_millis(20);
+        let mut eps = socket_mesh(&cfg).unwrap();
+        eps[1].set_step(9);
+        let e = eps[1].recv(0, T).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::Timeout);
+        assert_eq!((e.rank, e.peer, e.seq, e.step), (1, 0, 3, 9));
+        assert!(e.waited_ms >= 20, "waited_ms = {}", e.waited_ms);
+        assert!(e.to_string().contains("outstanding seq 3"));
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_nonce() {
+        let dir = std::env::temp_dir().join(format!("mrpic-sock-{}-nonce", std::process::id()));
+        let good = MeshCfg::uds(&dir, 2, 1);
+        let mut bad = good.clone();
+        bad.nonce = 2;
+        let r = std::thread::scope(|s| {
+            let a = s.spawn(|| connect_peers(&good, 0));
+            let b = s.spawn(|| connect_peers(&bad, 1));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert!(
+            r.0.is_err() || r.1.is_err(),
+            "nonce mismatch must not connect"
+        );
+    }
+
+    #[test]
+    fn dropped_socket_peer_is_reported_not_panicked() {
+        let mut cfg = uds_cfg(2, "drop");
+        cfg.recv_timeout = Duration::from_secs(5);
+        let mut eps = socket_mesh(&cfg).unwrap();
+        let ep1 = eps.pop().unwrap();
+        drop(ep1);
+        let e = eps[0].recv(1, T).unwrap_err();
+        assert_eq!(e.kind, TransportErrorKind::PeerLost);
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrips() {
+        let cfg = MeshCfg::tcp(39310, 2, 7);
+        let mut eps = socket_mesh(&cfg).unwrap();
+        let (a, b) = eps.split_at_mut(1);
+        a[0].send(1, T, vec![9; 100_000]).unwrap();
+        b[0].send(0, Tag { seq: 4, ..T }, vec![5]).unwrap();
+        assert_eq!(b[0].recv(0, T).unwrap(), vec![9; 100_000]);
+        assert_eq!(a[0].recv(1, Tag { seq: 4, ..T }).unwrap(), vec![5]);
+    }
+}

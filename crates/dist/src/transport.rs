@@ -34,6 +34,21 @@ pub enum Phase {
     Migrate = 4,
 }
 
+impl Phase {
+    /// Inverse of `phase as u8`, for wire decoding. `None` for bytes
+    /// outside the phase range (including 0, reserved for control
+    /// frames).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Phase::Fill),
+            2 => Some(Phase::Sum),
+            3 => Some(Phase::Redist),
+            4 => Some(Phase::Migrate),
+            _ => None,
+        }
+    }
+}
+
 /// Message tag: phase plus a per-communicator sequence number. Both
 /// sides derive the tag from the same deterministic schedule, so a
 /// mismatch on receive means the protocol desynchronized.
@@ -76,6 +91,10 @@ pub struct TransportError {
     pub seq: u32,
     /// Simulation step the transport was marked with via `set_step`.
     pub step: u64,
+    /// Milliseconds the operation blocked before failing. Nonzero only
+    /// for receive timeouts, where "how long did we wait" and "which
+    /// seq is outstanding" are the two facts a recovery decision needs.
+    pub waited_ms: u64,
 }
 
 impl std::fmt::Display for TransportError {
@@ -84,7 +103,15 @@ impl std::fmt::Display for TransportError {
             f,
             "{:?} on rank {} (peer {}, phase {:?}, seq {}, step {})",
             self.kind, self.rank, self.peer, self.phase, self.seq, self.step
-        )
+        )?;
+        if self.kind == TransportErrorKind::Timeout {
+            write!(
+                f,
+                " after waiting {} ms for outstanding seq {}",
+                self.waited_ms, self.seq
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -99,7 +126,14 @@ impl TransportError {
             phase: tag.phase,
             seq: tag.seq,
             step,
+            waited_ms: 0,
         }
+    }
+
+    /// Attach the blocked duration of a failed wait (receive timeouts).
+    pub fn with_wait(mut self, waited: Duration) -> Self {
+        self.waited_ms = waited.as_millis() as u64;
+        self
     }
 
     /// True for failures worth an immediate bounded retry (the message
@@ -122,6 +156,13 @@ pub trait Endpoint: Send {
     fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError>;
     /// Current simulation step, for trace grouping and error context.
     fn set_step(&mut self, _step: u64) {}
+    /// Drain `(bytes, flushes)` actually put on a physical wire since
+    /// the last call. Zero for in-process backends; the socket transport
+    /// counts framed bytes and stream flushes so telemetry can separate
+    /// wire traffic from logical message volume.
+    fn take_wire_counters(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 type Msg = (Tag, Vec<u8>);
@@ -198,12 +239,13 @@ impl Endpoint for MemEndpoint {
 
     fn recv(&mut self, src: usize, tag: Tag) -> Result<Vec<u8>, TransportError> {
         let rx = self.receivers[src].as_ref().expect("no channel to self");
+        let t0 = std::time::Instant::now();
         let (got, payload) = rx.recv_timeout(self.timeout).map_err(|e| {
             let kind = match e {
                 RecvTimeoutError::Timeout => TransportErrorKind::Timeout,
                 RecvTimeoutError::Disconnected => TransportErrorKind::PeerLost,
             };
-            TransportError::new(kind, self.rank, src, tag, self.step)
+            TransportError::new(kind, self.rank, src, tag, self.step).with_wait(t0.elapsed())
         })?;
         if got != tag {
             return Err(TransportError::new(
@@ -314,6 +356,13 @@ pub struct RecordingEndpoint<E: Endpoint> {
     recorder: Arc<Recorder>,
 }
 
+impl<E: Endpoint> RecordingEndpoint<E> {
+    /// Wrap an endpoint so its traffic lands in `recorder`.
+    pub fn wrap(inner: E, recorder: Arc<Recorder>) -> Self {
+        Self { inner, recorder }
+    }
+}
+
 /// Build an in-process transport whose message traffic is captured in
 /// the returned [`Recorder`].
 pub fn recording_mem_transport(
@@ -370,6 +419,10 @@ impl<E: Endpoint> Endpoint for RecordingEndpoint<E> {
         self.recorder.step.store(step, Ordering::Relaxed);
         self.inner.set_step(step);
     }
+
+    fn take_wire_counters(&mut self) -> (u64, u64) {
+        self.inner.take_wire_counters()
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +471,13 @@ mod tests {
             (1, 0, Phase::Fill, 7, 5)
         );
         assert!(e.to_string().contains("rank 1"));
+        // The timeout reports how long the receiver actually blocked and
+        // which seq it was still waiting on.
+        assert!(e.waited_ms >= 10, "waited_ms = {}", e.waited_ms);
+        let msg = e.to_string();
+        assert!(msg.contains("after waiting"), "display: {msg}");
+        assert!(msg.contains("ms"), "display: {msg}");
+        assert!(msg.contains("outstanding seq 7"), "display: {msg}");
     }
 
     #[test]

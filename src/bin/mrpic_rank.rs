@@ -1,0 +1,227 @@
+//! One OS process of an out-of-process socket-transport run.
+//!
+//! Spawned by `mrpic_run --transport socket|tcp` (once per rank), not
+//! usually invoked by hand:
+//!
+//! ```text
+//! mrpic_rank --config c.json --outdir out --rank R --ranks N \
+//!            --nonce X (--socket-dir DIR | --tcp-base PORT) \
+//!            [--steps N] [--elastic SPEC] [--no-lb]
+//! ```
+//!
+//! Each process runs the full replicated driver (`DistSim::process_rank`):
+//! it steps every rank's share of the physics deterministically, but the
+//! message edges that touch rank `R` travel over the real wire — this
+//! process *sends* rank `R`'s frames and trusts only the *received* bytes
+//! for messages into `R`. The wire schedule is therefore exactly the
+//! in-process schedule, and every replica holds bitwise-identical state;
+//! rank 0 is the one that writes `telemetry.jsonl` and `summary.json`
+//! (including the FNV-1a `state_digest` the equivalence smoke compares).
+//!
+//! A process whose rank is at or beyond the *initial* rank count is a
+//! spectator: it replicates the physics off the mesh and joins the wire
+//! when an `--elastic` grow raises the rank count past it. Exit codes
+//! match `mrpic_run` (0 clean, 2 usage/config, 3 guard trip, 4 transport
+//! loss).
+
+use mrpic::core::config::RunConfig;
+use mrpic::dist::{parse_elastic_plan, DistSim, MeshCfg};
+
+fn req<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
+    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{what} needs an argument");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut config_path: Option<String> = None;
+    let mut outdir: Option<std::path::PathBuf> = None;
+    let mut rank = usize::MAX;
+    let mut ranks = 0usize;
+    let mut nonce = 0u64;
+    let mut socket_dir: Option<std::path::PathBuf> = None;
+    let mut tcp_base: Option<u16> = None;
+    let mut max_steps = u64::MAX;
+    let mut elastic_spec: Option<String> = None;
+    let mut no_lb = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => config_path = Some(req(&mut args, "--config")),
+            "--outdir" => {
+                outdir = Some(std::path::PathBuf::from(req::<String>(
+                    &mut args, "--outdir",
+                )))
+            }
+            "--rank" => rank = req(&mut args, "--rank"),
+            "--ranks" => ranks = req(&mut args, "--ranks"),
+            "--nonce" => nonce = req(&mut args, "--nonce"),
+            "--socket-dir" => {
+                socket_dir = Some(std::path::PathBuf::from(req::<String>(
+                    &mut args,
+                    "--socket-dir",
+                )))
+            }
+            "--tcp-base" => tcp_base = Some(req(&mut args, "--tcp-base")),
+            "--steps" => max_steps = req(&mut args, "--steps"),
+            "--elastic" => elastic_spec = Some(req(&mut args, "--elastic")),
+            "--no-lb" => no_lb = true,
+            other => {
+                eprintln!("mrpic_rank: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(config_path), Some(outdir)) = (config_path, outdir) else {
+        eprintln!("mrpic_rank needs --config and --outdir");
+        std::process::exit(2);
+    };
+    if rank == usize::MAX || ranks == 0 {
+        eprintln!("mrpic_rank needs --rank and --ranks");
+        std::process::exit(2);
+    }
+    let mesh = match (&socket_dir, tcp_base) {
+        (Some(dir), None) => MeshCfg::uds(dir.clone(), ranks, nonce),
+        (None, Some(port)) => MeshCfg::tcp(port, ranks, nonce),
+        _ => {
+            eprintln!("mrpic_rank needs exactly one of --socket-dir or --tcp-base");
+            std::process::exit(2);
+        }
+    };
+    let elastic = elastic_spec.map(|s| {
+        parse_elastic_plan(&s).unwrap_or_else(|e| {
+            eprintln!("mrpic_rank: bad --elastic plan: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let text = std::fs::read_to_string(&config_path).unwrap_or_else(|e| {
+        eprintln!("mrpic_rank: cannot read config {config_path}: {e}");
+        std::process::exit(2);
+    });
+    let cfg = RunConfig::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("mrpic_rank: config error: {e}");
+        std::process::exit(2);
+    });
+    let (mut sim, removals) = cfg.build().unwrap_or_else(|e| {
+        eprintln!("mrpic_rank: config error: {e}");
+        std::process::exit(2);
+    });
+    if no_lb {
+        sim.lb = None;
+    }
+    // Only rank 0 is the reporting replica; the others hold identical
+    // state and stay quiet so N processes do not write N telemetries.
+    if rank == 0 {
+        if let Err(e) = std::fs::create_dir_all(&outdir) {
+            eprintln!(
+                "mrpic_rank: cannot create output dir {}: {e}",
+                outdir.display()
+            );
+            std::process::exit(2);
+        }
+        if let Err(e) = sim.telemetry.open_jsonl(&outdir.join("telemetry.jsonl")) {
+            eprintln!("warning: cannot open telemetry sink: {e}");
+        }
+    }
+    let mut dist = DistSim::process_rank(sim, mesh, rank).unwrap_or_else(|e| {
+        eprintln!("mrpic_rank: rank {rank} cannot join the socket mesh: {e}");
+        std::process::exit(4);
+    });
+    if let Some(events) = elastic {
+        dist.set_elastic_plan(events);
+    }
+
+    let mut removed = vec![false; removals.len()];
+    let mut lb_adoptions = 0u64;
+    let mut imb_sum = 0.0f64;
+    let mut imb_steps = 0u64;
+    let t0 = std::time::Instant::now();
+    while dist.sim.time < cfg.t_end && dist.sim.istep < max_steps {
+        let stats = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dist.step())) {
+            Ok(stats) => stats,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                eprintln!("mrpic_rank: rank {rank} lost the mesh: {msg}");
+                std::process::exit(4);
+            }
+        };
+        lb_adoptions += stats.rebalances;
+        if let Some(x) = dist
+            .sim
+            .telemetry
+            .records()
+            .back()
+            .and_then(|r| r.imbalance)
+        {
+            imb_sum += x;
+            imb_steps += 1;
+        }
+        for (i, &tr) in removals.iter().enumerate() {
+            if !removed[i] && dist.sim.time >= tr {
+                dist.sim.remove_mr_patch();
+                dist.refresh_epoch();
+                removed[i] = true;
+            }
+        }
+        if dist.sim.telemetry.tripped() {
+            break;
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    if rank == 0 {
+        let sim = &dist.sim;
+        let mean_imbalance = (imb_steps > 0).then(|| imb_sum / imb_steps as f64);
+        let summary = serde_json::json!({
+            "ranks": ranks,
+            "final_ranks": dist.nranks(),
+            "steps": sim.istep,
+            "time": sim.time,
+            "wall_seconds": wall,
+            "particles": sim.total_particles(),
+            "window_x0": sim.fs.geom.x0[0],
+            "guard_trips": sim.telemetry.trips().len(),
+            "recoveries": dist.recovery_log.len(),
+            "resizes": dist.resize_log.len(),
+            "lb_adoptions": lb_adoptions,
+            "mean_imbalance": mean_imbalance,
+            "state_digest": format!("{:016x}", sim.state_digest()),
+        });
+        std::fs::write(
+            outdir.join("summary.json"),
+            serde_json::to_string_pretty(&summary).unwrap(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("mrpic_rank: cannot write summary.json: {e}");
+            std::process::exit(2);
+        });
+        for ev in &dist.resize_log {
+            println!(
+                "rank 0: resized {} -> {} rank(s) at step {}",
+                ev.from, ev.to, ev.step,
+            );
+        }
+        println!(
+            "rank 0: {} steps in {:.1} s wall, digest {:016x}",
+            sim.istep,
+            wall,
+            sim.state_digest(),
+        );
+    }
+    dist.sim.telemetry.sync();
+    if dist.sim.telemetry.tripped() {
+        let t = &dist.sim.telemetry.trips()[0];
+        eprintln!(
+            "mrpic_rank: rank {rank} INVARIANT GUARD TRIPPED at step {}: non-finite {} on {} \
+             (box {}, after {})",
+            t.step, t.component, t.grid, t.box_id, t.phase,
+        );
+        std::process::exit(3);
+    }
+}

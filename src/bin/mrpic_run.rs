@@ -16,6 +16,25 @@
 //! transport, with per-rank communication records in the telemetry. The
 //! physics is bitwise identical to a single-rank run.
 //!
+//! `--transport socket` (or `tcp`) promotes the ranks to real OS
+//! processes: this binary becomes a supervisor that spawns one
+//! `mrpic_rank` worker per rank, meshed over Unix-domain sockets in a
+//! private directory under the outdir (or TCP loopback ports from
+//! `--tcp-base`). Rank 0's worker writes the usual `telemetry.jsonl` and
+//! `summary.json` — including a `state_digest` field that must match the
+//! in-process transport bit for bit. Socket files are removed once the
+//! mesh is up; the supervisor deletes the mesh directory on exit.
+//!
+//! `--elastic grow:STEP:K,shrink:STEP:K` schedules rank-count changes
+//! mid-run (any transport): at each trigger step the runtime takes a
+//! checkpoint-epoch barrier, re-partitions with cost-seeded SFC, rebuilds
+//! the transport at the new rank count, and resumes deterministically —
+//! the final state is bitwise identical to an uninterrupted run at the
+//! destination rank count. With `--transport socket` the supervisor
+//! spawns enough workers up front to cover the largest planned size;
+//! workers beyond the current size replicate as spectators until a grow
+//! admits them to the mesh.
+//!
 //! Chaos testing (requires `--ranks` ≥ 2): `--fault-seed N` runs the
 //! built-in chaos plan (delays, corruption, transient failures, plus a
 //! rank crash at step 20) seeded with N; `--fault-plan plan.json` loads
@@ -50,7 +69,7 @@
 use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
 use mrpic::core::sim::Simulation;
-use mrpic::dist::{DistSim, FaultPlan};
+use mrpic::dist::{parse_elastic_plan, DistSim, ElasticAction, ElasticEvent, FaultPlan};
 use mrpic::serve::{fetch_status, submit_job, Budgets, ClientError, JobSpec};
 
 /// The step-loop driver: serial in-process, or the multi-rank runtime
@@ -101,6 +120,142 @@ fn transport_loss_message(payload: &(dyn std::any::Any + Send)) -> Option<String
         .then_some(msg)
 }
 
+/// Supervise an out-of-process run: spawn one `mrpic_rank` worker per
+/// rank (plus spectators up to the largest elastic size), wait for all
+/// of them, clean up the socket directory, and fold the workers' exit
+/// codes into this binary's exit-code contract (2 beats 4 beats 3).
+#[allow(clippy::too_many_arguments)]
+fn run_process_mesh(
+    config: &str,
+    outdir: &std::path::Path,
+    ranks: usize,
+    transport: &str,
+    tcp_base: u16,
+    elastic_spec: Option<&str>,
+    elastic: &Option<Vec<ElasticEvent>>,
+    max_steps: u64,
+    no_lb: bool,
+) -> i32 {
+    // Spawn enough workers to cover the largest planned mesh: a worker
+    // whose rank is beyond the current size replicates as a spectator
+    // until a grow admits it.
+    let mut spawn = ranks;
+    if let Some(events) = elastic {
+        let mut cur = ranks;
+        for ev in events {
+            cur = match ev.action {
+                ElasticAction::Grow(k) => cur + k,
+                ElasticAction::Shrink(k) => cur.saturating_sub(k).max(1),
+            };
+            spawn = spawn.max(cur);
+        }
+    }
+    // Session nonce: pins every handshake to this supervisor invocation
+    // so a stale worker from a previous run cannot join the mesh.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        ^ u64::from(std::process::id()).rotate_left(32);
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("mrpic_rank")))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| {
+            eprintln!("cannot locate the mrpic_rank worker binary next to mrpic_run");
+            std::process::exit(2);
+        });
+    let mesh_dir = outdir.join(format!(".mesh-{nonce:016x}"));
+    if transport == "socket" {
+        if let Err(e) = std::fs::create_dir_all(&mesh_dir) {
+            eprintln!("cannot create socket dir {}: {e}", mesh_dir.display());
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "process mesh: {spawn} worker process(es) over {} ({} active rank(s) at start)",
+        if transport == "tcp" {
+            format!("tcp 127.0.0.1:{tcp_base}+")
+        } else {
+            format!("uds {}", mesh_dir.display())
+        },
+        ranks,
+    );
+    let mut children = Vec::new();
+    for r in 0..spawn {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--config")
+            .arg(config)
+            .arg("--outdir")
+            .arg(if r == 0 {
+                outdir.to_path_buf()
+            } else {
+                outdir.join(format!("rank{r}"))
+            })
+            .arg("--rank")
+            .arg(r.to_string())
+            .arg("--ranks")
+            .arg(ranks.to_string())
+            .arg("--nonce")
+            .arg(nonce.to_string());
+        if transport == "tcp" {
+            cmd.arg("--tcp-base").arg(tcp_base.to_string());
+        } else {
+            cmd.arg("--socket-dir").arg(&mesh_dir);
+        }
+        if max_steps != u64::MAX {
+            cmd.arg("--steps").arg(max_steps.to_string());
+        }
+        if let Some(spec) = elastic_spec {
+            cmd.arg("--elastic").arg(spec);
+        }
+        if no_lb {
+            cmd.arg("--no-lb");
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((r, child)),
+            Err(e) => {
+                eprintln!("cannot spawn rank {r} worker: {e}");
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_dir_all(&mesh_dir);
+                return 2;
+            }
+        }
+    }
+    let mut worst = 0i32;
+    for (r, mut child) in children {
+        let code = match child.wait() {
+            Ok(status) => status.code().unwrap_or(4),
+            Err(e) => {
+                eprintln!("cannot wait for rank {r} worker: {e}");
+                4
+            }
+        };
+        if code != 0 {
+            eprintln!("rank {r} worker exited with code {code}");
+        }
+        // Severity order mirrors the local exit contract: usage/config
+        // errors trump transport loss, which trumps a guard trip.
+        let rank_of = |c: i32| match c {
+            0 => 0,
+            3 => 1,
+            4 => 2,
+            _ => 3,
+        };
+        if rank_of(code) > rank_of(worst) {
+            worst = code;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&mesh_dir);
+    if worst == 0 {
+        println!("process mesh complete; outputs in {}", outdir.display());
+    }
+    worst
+}
+
 fn main() {
     let mut config_path = None;
     let mut outdir_arg = None;
@@ -109,6 +264,9 @@ fn main() {
     let mut fault_plan: Option<FaultPlan> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut no_lb = false;
+    let mut transport = "mem".to_string();
+    let mut tcp_base = 41300u16;
+    let mut elastic_spec: Option<String> = None;
     let mut submit: Option<std::path::PathBuf> = None;
     let mut serve_status: Option<std::path::PathBuf> = None;
     let mut tenant = "default".to_string();
@@ -118,6 +276,25 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-lb" => no_lb = true,
+            "--transport" => {
+                transport = args.next().unwrap_or_default();
+                if !matches!(transport.as_str(), "mem" | "socket" | "tcp") {
+                    eprintln!("--transport needs one of: mem, socket, tcp");
+                    std::process::exit(2);
+                }
+            }
+            "--tcp-base" => {
+                tcp_base = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tcp-base needs a port argument");
+                    std::process::exit(2);
+                });
+            }
+            "--elastic" => {
+                elastic_spec = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--elastic needs a plan argument (grow:STEP:K,shrink:STEP:K)");
+                    std::process::exit(2);
+                }));
+            }
             "--submit" => {
                 let p = args.next().unwrap_or_else(|| {
                     eprintln!("--submit needs a server socket path argument");
@@ -222,6 +399,8 @@ fn main() {
     let path = config_path.unwrap_or_else(|| {
         eprintln!(
             "usage: mrpic_run <config.json> [outdir] [--steps N] [--ranks N] [--no-lb] \
+             [--transport mem|socket|tcp [--tcp-base PORT]] \
+             [--elastic grow:STEP:K,shrink:STEP:K] \
              [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json] \
              [--submit SOCKET [--tenant NAME] [--priority N] [--wall-ceiling SECONDS]] \
              | mrpic_run --serve-status SOCKET"
@@ -232,6 +411,20 @@ fn main() {
         eprintln!("fault injection needs --ranks 2 or more (a crash must leave survivors)");
         std::process::exit(2);
     }
+    if transport != "mem" && fault_plan.is_some() {
+        eprintln!("--fault-seed/--fault-plan are an in-process chaos harness; use --transport mem");
+        std::process::exit(2);
+    }
+    if transport != "mem" && trace_out.is_some() {
+        eprintln!("--trace-out traces the in-process runtime; use --transport mem");
+        std::process::exit(2);
+    }
+    let elastic = elastic_spec.as_deref().map(|s| {
+        parse_elastic_plan(s).unwrap_or_else(|e| {
+            eprintln!("bad --elastic plan: {e}");
+            std::process::exit(2);
+        })
+    });
     let outdir =
         std::path::PathBuf::from(outdir_arg.unwrap_or_else(|| "target/mrpic_run_out".into()));
     if let Err(e) = std::fs::create_dir_all(&outdir) {
@@ -255,6 +448,10 @@ fn main() {
                 "--submit runs the job server-side; --ranks/--fault-*/--trace-out/--no-lb \
                  do not apply (set them in the server or the config)"
             );
+            std::process::exit(2);
+        }
+        if transport != "mem" || elastic.is_some() {
+            eprintln!("--submit runs the job server-side; --transport/--elastic do not apply");
             std::process::exit(2);
         }
         let spec = JobSpec {
@@ -301,6 +498,24 @@ fn main() {
         }
     }
 
+    // Out-of-process transports: become a supervisor. Every rank is a
+    // real `mrpic_rank` OS process; physics and outputs come from rank
+    // 0's worker — this process only spawns, waits, and cleans up.
+    if transport != "mem" {
+        let code = run_process_mesh(
+            &path,
+            &outdir,
+            ranks,
+            &transport,
+            tcp_base,
+            elastic_spec.as_deref(),
+            &elastic,
+            max_steps,
+            no_lb,
+        );
+        std::process::exit(code);
+    }
+
     if trace_out.is_some() {
         mrpic::trace::enable();
     }
@@ -336,7 +551,7 @@ fn main() {
     // the DistSim realigns the mapping to one shard per rank and routes
     // every exchange over the in-process transport (fault-injected when
     // a chaos plan is active).
-    let mut runner = if ranks > 1 {
+    let mut runner = if ranks > 1 || elastic.is_some() {
         Runner::Dist(Box::new(match &fault_plan {
             Some(plan) => {
                 println!(
@@ -354,6 +569,13 @@ fn main() {
     } else {
         Runner::Serial(Box::new(sim))
     };
+    if let (Runner::Dist(d), Some(events)) = (&mut runner, elastic) {
+        println!(
+            "elastic plan: {} rank-count change(s) scheduled",
+            events.len()
+        );
+        d.set_elastic_plan(events);
+    }
     let mut energy_ts = TimeSeries::new("total_energy_joules");
     let mut removed = vec![false; removals.len()];
     let mut lb_adoptions = 0u64;
@@ -424,6 +646,12 @@ fn main() {
                 "recovered from rank {} loss at step {} ({:?} phase): rolled back to step {}, \
                  replayed {} step(s) on {} survivor(s)",
                 ev.dead_rank, ev.detected_step, ev.phase, ev.epoch_step, ev.replayed, ev.survivors,
+            );
+        }
+        for ev in &d.resize_log {
+            println!(
+                "resized {} -> {} rank(s) at step {}",
+                ev.from, ev.to, ev.step
             );
         }
     }
@@ -500,13 +728,14 @@ fn main() {
         write_field_slice(&sim.fs, pick, 0, &outdir.join(format!("{name}.csv")), 1)
             .unwrap_or_else(|e| io_fail("field slice csv", e));
     }
-    let recoveries = match &runner {
-        Runner::Dist(d) => d.recovery_log.len(),
-        Runner::Serial(_) => 0,
+    let (recoveries, resizes, final_ranks) = match &runner {
+        Runner::Dist(d) => (d.recovery_log.len(), d.resize_log.len(), d.nranks()),
+        Runner::Serial(_) => (0, 0, 1),
     };
     let sim = runner.sim();
     let summary = serde_json::json!({
         "ranks": ranks,
+        "final_ranks": final_ranks,
         "steps": sim.istep,
         "time": sim.time,
         "wall_seconds": wall,
@@ -514,8 +743,10 @@ fn main() {
         "window_x0": sim.fs.geom.x0[0],
         "guard_trips": sim.telemetry.trips().len(),
         "recoveries": recoveries,
+        "resizes": resizes,
         "lb_adoptions": lb_adoptions,
         "mean_imbalance": mean_imbalance,
+        "state_digest": format!("{:016x}", sim.state_digest()),
     });
     std::fs::write(
         outdir.join("summary.json"),

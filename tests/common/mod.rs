@@ -1,0 +1,118 @@
+//! Shared fixture of the distributed-runtime test suites (`dist.rs`,
+//! `elastic.rs`): a small moving-window mesh-refined laser-foil run and
+//! a bitwise state comparator.
+#![allow(dead_code)] // each test binary uses its own subset
+
+use mrpic::amr::{IndexBox, IntVect};
+use mrpic::core::laser::antenna_for_a0;
+use mrpic::core::mr::MrConfig;
+use mrpic::core::profile::Profile;
+use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
+use mrpic::core::species::Species;
+use mrpic::field::fieldset::Dim;
+
+/// The same moving-window MR laser-foil run the threading invariants
+/// use: 8 parent boxes, a refined patch, PML, digital filtering.
+pub fn build(seed: u64, window: bool) -> Simulation {
+    let mut b = SimulationBuilder::new(Dim::Two)
+        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
+        .periodic([false, false, true])
+        .pml(8)
+        .max_box(IntVect::new(16, 1, 12))
+        .order(ShapeOrder::Quadratic)
+        .cfl(0.6)
+        .seed(seed)
+        .sort_interval(10)
+        .filter_passes(1)
+        .add_species(
+            Species::electrons(
+                "foil",
+                Profile::Slab {
+                    n0: 2.0e27,
+                    axis: 0,
+                    x0: 4.0e-6,
+                    x1: 4.6e-6,
+                },
+                [2, 1, 2],
+            )
+            .with_thermal([1.0e6; 3]),
+        )
+        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6));
+    if window {
+        b = b.moving_window(6.0e-15);
+    }
+    let mut sim = b.build();
+    sim.add_mr_patch(MrConfig {
+        patch: IndexBox::new(IntVect::new(30, 0, 0), IntVect::new(56, 1, 24)),
+        rr: 2,
+        n_transition: 2,
+        npml: 6,
+        subcycle: false,
+    });
+    sim
+}
+
+pub fn assert_sims_bitwise(a: &Simulation, b: &Simulation) {
+    // Particles, every component to the bit.
+    for (pa, pb) in a.parts.iter().zip(&b.parts) {
+        for (x, y) in pa.bufs.iter().zip(&pb.bufs) {
+            assert_eq!(x.len(), y.len());
+            for i in 0..x.len() {
+                assert_eq!(x.x[i].to_bits(), y.x[i].to_bits());
+                assert_eq!(x.y[i].to_bits(), y.y[i].to_bits());
+                assert_eq!(x.z[i].to_bits(), y.z[i].to_bits());
+                assert_eq!(x.ux[i].to_bits(), y.ux[i].to_bits());
+                assert_eq!(x.uy[i].to_bits(), y.uy[i].to_bits());
+                assert_eq!(x.uz[i].to_bits(), y.uz[i].to_bits());
+                assert_eq!(x.w[i].to_bits(), y.w[i].to_bits());
+            }
+        }
+    }
+    // Parent fields and currents.
+    for c in 0..3 {
+        for fi in 0..a.fs.e[c].nfabs() {
+            assert_eq!(a.fs.e[c].fab(fi).raw(), b.fs.e[c].fab(fi).raw());
+            assert_eq!(a.fs.b[c].fab(fi).raw(), b.fs.b[c].fab(fi).raw());
+            assert_eq!(a.fs.j[c].fab(fi).raw(), b.fs.j[c].fab(fi).raw());
+        }
+    }
+    // MR fine-patch state.
+    match (a.mr.as_ref(), b.mr.as_ref()) {
+        (Some(ma), Some(mb)) => {
+            for c in 0..3 {
+                assert_eq!(ma.fine.e[c].fab(0).raw(), mb.fine.e[c].fab(0).raw());
+                assert_eq!(ma.fine.b[c].fab(0).raw(), mb.fine.b[c].fab(0).raw());
+                assert_eq!(ma.fine.j[c].fab(0).raw(), mb.fine.j[c].fab(0).raw());
+            }
+        }
+        (None, None) => {}
+        _ => panic!("one run has an MR level, the other does not"),
+    }
+    // Belt and braces: the rolled-up digest agrees with the field-by-
+    // field comparison above (it additionally covers istep/time and the
+    // MR coarse/aux arrays).
+    assert_eq!(a.state_digest(), b.state_digest());
+}
+
+/// A fresh, empty scratch directory for a socket mesh; unique per
+/// process and tag so parallel test binaries never collide.
+pub fn mesh_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mrpic-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Assert `dir` holds no leftover socket files, then remove it.
+pub fn assert_mesh_dir_clean(dir: &std::path::Path) {
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "socket files left behind in {}: {leftovers:?}",
+        dir.display()
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -4,98 +4,16 @@
 //! adopted rebalance that physically migrates box data between ranks,
 //! and for randomized layouts under the property tests.
 
+mod common;
+
+use common::{assert_mesh_dir_clean, assert_sims_bitwise, build, mesh_dir};
 use mrpic::amr::{
     BoxArray, DistributionMapping, FabArray, IndexBox, IntVect, Periodicity, Stagger,
     Strategy as DmStrategy,
 };
 use mrpic::core::exchange::StepComm;
-use mrpic::core::laser::antenna_for_a0;
-use mrpic::core::mr::MrConfig;
-use mrpic::core::profile::Profile;
-use mrpic::core::sim::{ShapeOrder, Simulation, SimulationBuilder};
-use mrpic::core::species::Species;
-use mrpic::dist::{boxed, mem_transport, DistComm, DistSim, Phase};
-use mrpic::field::fieldset::Dim;
+use mrpic::dist::{boxed, mem_transport, DistComm, DistSim, MeshCfg, Phase};
 use proptest::prelude::*;
-
-/// The same moving-window MR laser-foil run the threading invariants
-/// use: 8 parent boxes, a refined patch, PML, digital filtering.
-fn build(seed: u64, window: bool) -> Simulation {
-    let mut b = SimulationBuilder::new(Dim::Two)
-        .domain(IntVect::new(64, 1, 24), [0.1e-6; 3], [0.0; 3])
-        .periodic([false, false, true])
-        .pml(8)
-        .max_box(IntVect::new(16, 1, 12))
-        .order(ShapeOrder::Quadratic)
-        .cfl(0.6)
-        .seed(seed)
-        .sort_interval(10)
-        .filter_passes(1)
-        .add_species(
-            Species::electrons(
-                "foil",
-                Profile::Slab {
-                    n0: 2.0e27,
-                    axis: 0,
-                    x0: 4.0e-6,
-                    x1: 4.6e-6,
-                },
-                [2, 1, 2],
-            )
-            .with_thermal([1.0e6; 3]),
-        )
-        .add_laser(antenna_for_a0(1.5, 0.8e-6, 6.0e-15, 1.0e-6, 1.2e-6, 1.5e-6));
-    if window {
-        b = b.moving_window(6.0e-15);
-    }
-    let mut sim = b.build();
-    sim.add_mr_patch(MrConfig {
-        patch: IndexBox::new(IntVect::new(30, 0, 0), IntVect::new(56, 1, 24)),
-        rr: 2,
-        n_transition: 2,
-        npml: 6,
-        subcycle: false,
-    });
-    sim
-}
-
-fn assert_sims_bitwise(a: &Simulation, b: &Simulation) {
-    // Particles, every component to the bit.
-    for (pa, pb) in a.parts.iter().zip(&b.parts) {
-        for (x, y) in pa.bufs.iter().zip(&pb.bufs) {
-            assert_eq!(x.len(), y.len());
-            for i in 0..x.len() {
-                assert_eq!(x.x[i].to_bits(), y.x[i].to_bits());
-                assert_eq!(x.y[i].to_bits(), y.y[i].to_bits());
-                assert_eq!(x.z[i].to_bits(), y.z[i].to_bits());
-                assert_eq!(x.ux[i].to_bits(), y.ux[i].to_bits());
-                assert_eq!(x.uy[i].to_bits(), y.uy[i].to_bits());
-                assert_eq!(x.uz[i].to_bits(), y.uz[i].to_bits());
-                assert_eq!(x.w[i].to_bits(), y.w[i].to_bits());
-            }
-        }
-    }
-    // Parent fields and currents.
-    for c in 0..3 {
-        for fi in 0..a.fs.e[c].nfabs() {
-            assert_eq!(a.fs.e[c].fab(fi).raw(), b.fs.e[c].fab(fi).raw());
-            assert_eq!(a.fs.b[c].fab(fi).raw(), b.fs.b[c].fab(fi).raw());
-            assert_eq!(a.fs.j[c].fab(fi).raw(), b.fs.j[c].fab(fi).raw());
-        }
-    }
-    // MR fine-patch state.
-    match (a.mr.as_ref(), b.mr.as_ref()) {
-        (Some(ma), Some(mb)) => {
-            for c in 0..3 {
-                assert_eq!(ma.fine.e[c].fab(0).raw(), mb.fine.e[c].fab(0).raw());
-                assert_eq!(ma.fine.b[c].fab(0).raw(), mb.fine.b[c].fab(0).raw());
-                assert_eq!(ma.fine.j[c].fab(0).raw(), mb.fine.j[c].fab(0).raw());
-            }
-        }
-        (None, None) => {}
-        _ => panic!("one run has an MR level, the other does not"),
-    }
-}
 
 /// The headline acceptance invariant: the full step over the
 /// message-passing runtime is bitwise identical across 1, 2, and 4 ranks
@@ -294,6 +212,63 @@ fn live_lb_decisions_are_deterministic_and_preserve_state() {
         }
         assert_sims_bitwise(&serial, &a.sim);
     }
+}
+
+/// Cross-transport equivalence, state half: running the moving-window
+/// MR workload over a real Unix-domain-socket mesh — every inter-rank
+/// byte through the kernel, CRC-framed — lands on the bit-identical
+/// final state as the in-process mpsc transport, at 1, 2, and 4 ranks.
+/// The meshes also unlink their socket files once connected.
+#[test]
+fn socket_transport_matches_mem_bitwise_across_rank_counts() {
+    const STEPS: usize = 24;
+    let reference = {
+        let mut d = DistSim::in_process(build(11, true), 2);
+        d.run(STEPS);
+        d.sim
+    };
+    for nranks in [1usize, 2, 4] {
+        let dir = mesh_dir(&format!("sockeq{nranks}"));
+        let cfg = MeshCfg::uds(dir.clone(), nranks, 0xA11CE + nranks as u64);
+        let mut d = DistSim::socket_mesh(build(11, true), cfg)
+            .unwrap_or_else(|e| panic!("{nranks}-rank socket mesh: {e}"));
+        d.run(STEPS);
+        assert_sims_bitwise(&reference, &d.sim);
+        assert_mesh_dir_clean(&dir);
+    }
+}
+
+/// Cross-transport equivalence, schedule half: the socket mesh emits
+/// exactly the same `(step, phase, seq, src, dst)` message schedule as
+/// the mpsc transport — the golden trace is transport-invariant — and
+/// the per-rank telemetry shows real wire bytes moving.
+#[test]
+fn socket_message_schedule_matches_mem_golden_trace() {
+    const STEPS: usize = 10;
+    let golden = {
+        let (mut d, rec) = DistSim::recording(build(11, true), 2);
+        d.run(STEPS);
+        rec.schedule()
+    };
+    assert!(!golden.is_empty(), "a 2-rank MR run must exchange messages");
+    let dir = mesh_dir("sockgold");
+    let mut sim = build(11, true);
+    sim.telemetry.cfg.enabled = true;
+    let (mut d, rec) =
+        DistSim::socket_mesh_recording(sim, MeshCfg::uds(dir.clone(), 2, 0xBEEF)).unwrap();
+    d.run(STEPS);
+    assert_eq!(
+        golden,
+        rec.schedule(),
+        "socket transport must replay the mpsc message schedule exactly"
+    );
+    let last = d.sim.telemetry.records().back().unwrap();
+    assert!(
+        last.ranks.iter().any(|r| r.wire_bytes > 0),
+        "socket run must report wire bytes in the rank telemetry"
+    );
+    assert!(last.ranks.iter().any(|r| r.wire_flushes > 0));
+    assert_mesh_dir_clean(&dir);
 }
 
 fn arb_dom() -> impl Strategy<Value = IndexBox> {

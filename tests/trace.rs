@@ -170,6 +170,8 @@ fn telemetry_records_round_trip_through_serde() {
         recv_wait_seconds: 0.125,
         particle_seconds: 1.5,
         migrated_out: 42,
+        wire_bytes: 512,
+        wire_flushes: 3,
     };
     let s = serde_json::to_string(&rank).unwrap();
     let back: RankStepComm = serde_json::from_str(&s).unwrap();
@@ -182,6 +184,8 @@ fn telemetry_records_round_trip_through_serde() {
     assert_eq!(back.recv_wait_seconds, 0.125);
     assert_eq!(back.particle_seconds, 1.5);
     assert_eq!(back.migrated_out, 42);
+    assert_eq!(back.wire_bytes, 512);
+    assert_eq!(back.wire_flushes, 3);
     // Records written before the recv-wait split still parse (field
     // defaults to zero, reproducing the old busy-time metric).
     let sparse: RankStepComm =

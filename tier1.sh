@@ -39,6 +39,33 @@ cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
     target/tier1_smoke_dist_out --steps 40 --ranks 2
 test -s target/tier1_smoke_dist_out/telemetry.jsonl
 
+# Socket-transport smoke: the same slice again, but the two ranks are
+# real OS processes (`mrpic_rank` workers) meshed over Unix-domain
+# sockets. The run must be guard-clean, publish the same bitwise state
+# digest as the in-process transport, and leave no socket files behind
+# (the supervisor removes the whole mesh directory).
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_sock_out --steps 40 --ranks 2 --transport socket
+test -s target/tier1_smoke_sock_out/telemetry.jsonl
+grep -q '"guard_trips": 0' target/tier1_smoke_sock_out/summary.json
+MEM_DIGEST=$(grep -o '"state_digest": "[0-9a-f]*"' target/tier1_smoke_dist_out/summary.json)
+SOCK_DIGEST=$(grep -o '"state_digest": "[0-9a-f]*"' target/tier1_smoke_sock_out/summary.json)
+test -n "$MEM_DIGEST" && test "$MEM_DIGEST" = "$SOCK_DIGEST"
+test -z "$(find target/tier1_smoke_sock_out -name '*.sock' -o -name '.mesh-*' 2>/dev/null)"
+
+# Elastic smoke: grow 2 -> 4 ranks at step 20 of the same slice. The
+# resize must be recorded in the summary, the per-step rank_count in the
+# telemetry must actually change, and the final state must still be the
+# bitwise state every other transport produced.
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_elastic_out --steps 40 --ranks 2 --elastic grow:20:2
+grep -q '"resizes": 1' target/tier1_smoke_elastic_out/summary.json
+grep -q '"final_ranks": 4' target/tier1_smoke_elastic_out/summary.json
+grep -q '"rank_count":2' target/tier1_smoke_elastic_out/telemetry.jsonl
+grep -q '"rank_count":4' target/tier1_smoke_elastic_out/telemetry.jsonl
+EL_DIGEST=$(grep -o '"state_digest": "[0-9a-f]*"' target/tier1_smoke_elastic_out/summary.json)
+test "$MEM_DIGEST" = "$EL_DIGEST"
+
 # Seeded chaos smoke: the built-in fault plan injects delays, corruption,
 # and transient failures, then crashes rank 1 at step 20; the run must
 # recover (checkpoint rollback + replay on the survivor) and exit 0, with

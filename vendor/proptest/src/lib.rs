@@ -3,8 +3,9 @@
 //! Implements the subset of proptest this workspace uses: the
 //! `proptest!` macro (with an optional `#![proptest_config(...)]`
 //! header), integer/float range strategies, tuple strategies,
-//! `prop_map`, `any::<bool>()`, `prop::collection::vec`, and the
-//! `prop_assert!`/`prop_assert_eq!` macros.
+//! `prop_map`, `any::<bool>()` and `any` over the unsigned ints,
+//! `prop::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!` macros.
 //!
 //! Differences from real proptest: inputs are drawn from a deterministic
 //! splitmix64 stream seeded by the test name (fully reproducible runs, no
@@ -164,6 +165,19 @@ impl Strategy for Any<u64> {
     }
 }
 
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32);
+
 /// The `prop::` namespace (`prop::collection::vec`).
 pub mod prop {
     pub mod collection {
@@ -196,7 +210,9 @@ pub mod prop {
 }
 
 pub mod prelude {
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 #[macro_export]
@@ -206,6 +222,16 @@ macro_rules! prop_assert {
     };
     ($cond:expr, $($fmt:tt)+) => {
         assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
     };
 }
 
