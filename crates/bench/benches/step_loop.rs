@@ -17,6 +17,8 @@
 //! once without — and records the relative step-time overhead (budget:
 //! <5%) plus the per-call cost of a *disabled* span guard, which must
 //! stay in single-digit nanoseconds (one relaxed atomic load).
+//! `metrics_overhead` does the same for the observability plane
+//! (per-step `RankSampler` + `MetricsHub` publication; budget: <1%).
 //!
 //! Run with: `cargo bench -p mrpic-bench --bench step_loop`
 
@@ -275,6 +277,51 @@ fn tracing_overhead_case() -> Value {
     })
 }
 
+/// Metrics-on vs. metrics-off step time on identical MR trajectories:
+/// the sampling arm feeds every step's record to a `RankSampler` and
+/// publishes a sample into a `MetricsHub` each step (the worst cadence
+/// a real run would use). Budget: <1% relative, with the same absolute
+/// floor as the tracing gate so scheduler noise on a sub-ms step cannot
+/// trip it spuriously.
+fn metrics_overhead_case() -> Value {
+    const STEPS: usize = 40;
+    let mut plain = build_mr();
+    let mut metered = build_mr();
+    plain.run(3);
+    metered.run(3);
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        plain.step();
+    }
+    let off_s = t0.elapsed().as_secs_f64() / STEPS as f64;
+    let hub = mrpic_obs::MetricsHub::new("bench");
+    let mut sampler = mrpic_obs::RankSampler::new(0);
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        metered.step();
+        if let Some(rec) = metered.telemetry.records().back() {
+            sampler.observe(rec);
+        }
+        hub.update_rank(sampler.sample());
+    }
+    let on_s = t0.elapsed().as_secs_f64() / STEPS as f64;
+    let overhead_pct = 100.0 * (on_s - off_s) / off_s;
+    assert!(
+        overhead_pct < 1.0 || on_s - off_s < 50e-6,
+        "metrics overhead {overhead_pct:.2}% exceeds the 1% budget \
+         (off {off_s:.6} s/step, on {on_s:.6} s/step)"
+    );
+    let samples = hub.snapshot().samples().len();
+    json!({
+        "case": "metrics_overhead",
+        "steps": STEPS,
+        "metrics_off_step_seconds": off_s,
+        "metrics_on_step_seconds": on_s,
+        "overhead_pct": overhead_pct,
+        "exposition_samples": samples
+    })
+}
+
 /// Per-phase seconds of the uniform-plasma workload at each supported
 /// lane width (the fixed tile size W the blocked kernels process per
 /// iteration). Run inside the single-thread pool.
@@ -390,6 +437,7 @@ fn emit_report() {
         .map(|n| dist_case(build_mr(), n))
         .collect();
     let tracing_overhead = tracing_overhead_case();
+    let metrics_overhead = metrics_overhead_case();
     let report = json!({
         "bench": "step_loop",
         "threads": 1,
@@ -397,7 +445,8 @@ fn emit_report() {
         "lane_width_sweep": sweep,
         "kernel_intensity": intensity,
         "dist_cases": dist_cases,
-        "tracing_overhead": tracing_overhead
+        "tracing_overhead": tracing_overhead,
+        "metrics_overhead": metrics_overhead
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_loop.json");
     let text = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -86,6 +86,11 @@ pub struct RunConfig {
     /// NaN/Inf sentinel cadence in steps; 0 disables the sentinel.
     #[serde(default = "default_sentinel_interval")]
     pub sentinel_interval: u64,
+    /// Rotate the telemetry JSONL sink once it exceeds this many bytes
+    /// (`telemetry.jsonl` → `telemetry.jsonl.1`); 0 keeps one unbounded
+    /// file.
+    #[serde(default)]
+    pub telemetry_rotate_bytes: u64,
 }
 
 fn default_cfl() -> f64 {
@@ -630,6 +635,7 @@ impl RunConfig {
         sim.telemetry.cfg.enabled = self.telemetry;
         sim.telemetry.cfg.probe_interval = self.probe_interval;
         sim.telemetry.cfg.sentinel_interval = self.sentinel_interval;
+        sim.telemetry.cfg.rotate_bytes = self.telemetry_rotate_bytes;
         let mut removals = Vec::new();
         for mp in &self.mr_patches {
             sim.add_mr_patch(MrConfig {
@@ -855,7 +861,8 @@ mod tests {
     fn telemetry_knobs_flow_into_simulation() {
         let text = SAMPLE.replacen(
             "\"t_end\": 2e-14,",
-            "\"t_end\": 2e-14, \"probe_interval\": 5, \"sentinel_interval\": 0,",
+            "\"t_end\": 2e-14, \"probe_interval\": 5, \"sentinel_interval\": 0, \
+             \"telemetry_rotate_bytes\": 1048576,",
             1,
         );
         let cfg = RunConfig::from_json(&text).unwrap();
@@ -863,6 +870,7 @@ mod tests {
         assert!(sim.telemetry.cfg.enabled);
         assert_eq!(sim.telemetry.cfg.probe_interval, 5);
         assert_eq!(sim.telemetry.cfg.sentinel_interval, 0);
+        assert_eq!(sim.telemetry.cfg.rotate_bytes, 1 << 20);
     }
 
     #[test]

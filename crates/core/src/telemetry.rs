@@ -40,6 +40,12 @@ pub struct TelemetryConfig {
     /// Number of most-recent records kept in memory.
     #[serde(default = "default_ring_capacity")]
     pub ring_capacity: usize,
+    /// Rotate the JSONL sink once it exceeds this many bytes: the
+    /// current file moves to `<name>.1` (replacing any previous one)
+    /// and a fresh file continues. 0 disables rotation. Bounds the
+    /// on-disk footprint of long runs at roughly twice the cap.
+    #[serde(default)]
+    pub rotate_bytes: u64,
 }
 
 fn default_enabled() -> bool {
@@ -62,6 +68,7 @@ impl Default for TelemetryConfig {
             probe_interval: 20,
             sentinel_interval: 1,
             ring_capacity: 256,
+            rotate_bytes: 0,
         }
     }
 }
@@ -272,6 +279,10 @@ pub struct Telemetry {
     pub cfg: TelemetryConfig,
     ring: VecDeque<StepRecord>,
     writer: Option<std::io::BufWriter<std::fs::File>>,
+    /// Path of the attached sink (needed to rotate it).
+    sink_path: Option<std::path::PathBuf>,
+    /// Bytes written to the current sink file since (re)open.
+    sink_bytes: u64,
     trips: Vec<GuardTrip>,
     write_error: Option<String>,
 }
@@ -282,6 +293,8 @@ impl Telemetry {
             cfg,
             ring: VecDeque::new(),
             writer: None,
+            sink_path: None,
+            sink_bytes: 0,
             trips: Vec::new(),
             write_error: None,
         }
@@ -291,7 +304,35 @@ impl Telemetry {
     pub fn open_jsonl(&mut self, path: &std::path::Path) -> std::io::Result<()> {
         let f = std::fs::File::create(path)?;
         self.writer = Some(std::io::BufWriter::new(f));
+        self.sink_path = Some(path.to_path_buf());
+        self.sink_bytes = 0;
         Ok(())
+    }
+
+    /// Size-based rotation: flush and close the current sink, move it
+    /// aside as `<name>.1` (replacing any earlier rotation), and start
+    /// a fresh file at the same path. Any failure follows the write
+    /// policy — record the error, drop the sink, keep the run going.
+    fn rotate_sink(&mut self) {
+        let Some(path) = self.sink_path.clone() else {
+            return;
+        };
+        let res = (|| -> std::io::Result<()> {
+            if let Some(w) = &mut self.writer {
+                w.flush()?;
+            }
+            self.writer = None;
+            let mut rotated = path.clone().into_os_string();
+            rotated.push(".1");
+            std::fs::rename(&path, &rotated)?;
+            self.writer = Some(std::io::BufWriter::new(std::fs::File::create(&path)?));
+            self.sink_bytes = 0;
+            Ok(())
+        })();
+        if let Err(e) = res {
+            self.write_error = Some(format!("rotation failed: {e}"));
+            self.writer = None;
+        }
     }
 
     /// True when `istep` is a probe step (field energy, Gauss residual).
@@ -322,11 +363,13 @@ impl Telemetry {
             self.trips.push(trip.clone());
         }
         if let Some(w) = &mut self.writer {
+            let mut written = 0u64;
             let res = serde_json::to_string(&rec)
                 .map_err(|e| std::io::Error::other(e.to_string()))
                 .and_then(|line| {
                     w.write_all(line.as_bytes())?;
                     w.write_all(b"\n")?;
+                    written = line.len() as u64 + 1;
                     if tripping {
                         w.flush()?;
                     }
@@ -335,6 +378,12 @@ impl Telemetry {
             if let Err(e) = res {
                 self.write_error = Some(e.to_string());
                 self.writer = None;
+            }
+            self.sink_bytes += written;
+            // Never rotate the file holding a guard trip out from under
+            // the post-mortem that is about to read it.
+            if self.cfg.rotate_bytes > 0 && self.sink_bytes >= self.cfg.rotate_bytes && !tripping {
+                self.rotate_sink();
             }
         }
         if self.cfg.ring_capacity > 0 {
@@ -746,6 +795,104 @@ mod tests {
         t.sync();
         drop(t);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_rotates_at_byte_cap() {
+        let dir = std::env::temp_dir().join(format!("mrpic_telemetry_rot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Telemetry::new(TelemetryConfig {
+            // A blank record serializes to a few hundred bytes, so a
+            // 1 KiB cap rotates every few records.
+            rotate_bytes: 1024,
+            ..TelemetryConfig::default()
+        });
+        t.open_jsonl(&path).unwrap();
+        for step in 0..40u64 {
+            t.record(blank_record(step, None));
+        }
+        t.sync();
+        assert!(t.write_error().is_none());
+        let rotated = dir.join("telemetry.jsonl.1");
+        assert!(rotated.exists(), "cap exceeded but no rotation happened");
+        // Nothing is lost: current + rotated hold a contiguous suffix
+        // of the record stream ending at the last step. (Earlier
+        // rotations are replaced — the footprint stays bounded.)
+        let read_steps = |p: &std::path::Path| -> Vec<u64> {
+            std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .map(|l| {
+                    serde_json::from_str::<serde_json::Value>(l)
+                        .unwrap()
+                        .get("step")
+                        .and_then(|v| v.as_u64())
+                        .unwrap()
+                })
+                .collect()
+        };
+        let mut steps = read_steps(&rotated);
+        steps.extend(read_steps(&path));
+        assert!(!steps.is_empty());
+        assert_eq!(*steps.last().unwrap(), 39);
+        for w in steps.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "rotation dropped or reordered records");
+        }
+        // Both files stay under roughly the cap plus one record.
+        for p in [&path, &rotated] {
+            assert!(std::fs::metadata(p).unwrap().len() < 2048);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_disabled_by_default() {
+        let dir =
+            std::env::temp_dir().join(format!("mrpic_telemetry_norot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.open_jsonl(&path).unwrap();
+        for step in 0..40u64 {
+            t.record(blank_record(step, None));
+        }
+        t.sync();
+        assert!(!dir.join("telemetry.jsonl.1").exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tripping_record_stays_in_current_file() {
+        let dir =
+            std::env::temp_dir().join(format!("mrpic_telemetry_rot_trip_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Telemetry::new(TelemetryConfig {
+            // Cap small enough that the tripping record itself crosses
+            // it — rotation must still not move it aside.
+            rotate_bytes: 64,
+            ..TelemetryConfig::default()
+        });
+        t.open_jsonl(&path).unwrap();
+        t.record(blank_record(0, None));
+        t.record(blank_record(
+            1,
+            Some(GuardTrip {
+                step: 1,
+                phase: "maxwell".into(),
+                grid: "parent".into(),
+                component: "Ex".into(),
+                box_id: 0,
+            }),
+        ));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"maxwell\""),
+            "tripping record rotated out of the live file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub enum FrameKind {
     HelloAck = 2,
     /// Orderly goodbye from a rank leaving the mesh (elastic shrink).
     Retire = 3,
+    /// Low-rate observability sample (JSON `RankMetrics` payload),
+    /// worker → supervisor. Out-of-band: never part of the step-loop
+    /// schedule, so losing one costs a sample, not determinism.
+    Metrics = 4,
 }
 
 impl FrameKind {
@@ -66,6 +70,7 @@ impl FrameKind {
             1 => Some(FrameKind::Hello),
             2 => Some(FrameKind::HelloAck),
             3 => Some(FrameKind::Retire),
+            4 => Some(FrameKind::Metrics),
             _ => None,
         }
     }
@@ -311,5 +316,16 @@ mod tests {
         let (h, _) = decode(&frame).unwrap();
         assert_eq!(h.kind, FrameKind::Hello);
         assert_eq!(h.tag(), None);
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        let payload = br#"{"rank":3,"step":40}"#;
+        let frame = encode(FrameKind::Metrics, 0, 3, u16::MAX, 7, 40, payload);
+        let (h, body) = decode(&frame).unwrap();
+        assert_eq!(h.kind, FrameKind::Metrics);
+        assert_eq!((h.src, h.seq, h.step), (3, 7, 40));
+        assert_eq!(h.tag(), None);
+        assert_eq!(body, payload);
     }
 }

@@ -22,6 +22,7 @@ pub mod comm;
 pub mod faults;
 pub mod frame;
 pub mod msg;
+pub mod obswire;
 pub mod sim;
 pub mod socket;
 pub mod transport;
@@ -31,6 +32,7 @@ pub use faults::{
     faulty_mem_transport, CrashPoint, FaultInjector, FaultPlan, FaultyEndpoint, PhasePick,
 };
 pub use frame::{FrameError, FrameHeader, FrameKind, FRAME_MAGIC, PROTO_VERSION};
+pub use obswire::{spawn_metrics_listener, MetricsPusher, METRICS_SOCK_FILE};
 pub use sim::{
     boxed, parse_elastic_plan, DistSim, ElasticAction, ElasticEvent, RecoveryEvent, ResizeEvent,
     TransportKind,

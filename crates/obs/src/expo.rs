@@ -1,0 +1,228 @@
+//! Prometheus text-exposition rendering and parsing.
+//!
+//! The subset of the format we emit and accept: `# TYPE` comment lines,
+//! then one `name{label="value",...} number` sample per line. Label
+//! values escape `\`, `"`, and newline as `\\`, `\"`, and `\n`.
+//! Rendering groups consecutive samples by metric name and calls
+//! anything ending in `_total` a counter, the rest gauges. The parser
+//! exists so scrapes can be validated without a real Prometheus: the
+//! `mrpic_top --scrape` path and the round-trip tests both use it.
+
+/// One exposition sample: metric name, label pairs, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Render samples as text exposition. Samples are grouped by name in
+/// first-appearance order; each group gets one `# TYPE` line.
+pub fn render(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for s in samples {
+        if s.name != last_name {
+            let kind = if s.name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!("# TYPE {} {}\n", s.name, kind));
+            last_name = &s.name;
+        }
+        out.push_str(&s.name);
+        if !s.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in s.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(" {}\n", s.value));
+    }
+    out
+}
+
+/// Parse text exposition back into samples. Comment and blank lines are
+/// skipped; a malformed sample line is an error naming the line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}: {line}", ln + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('}') {
+        // `name{...} value`: the value starts after the closing brace.
+        Some(close) => {
+            let tail = line[close + 1..].trim();
+            (&line[..close + 1], tail)
+        }
+        None => line
+            .split_once(' ')
+            .ok_or_else(|| "missing value".to_string())?,
+    };
+    let value: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad value {value:?}"))?;
+    let (name, labels) = match head.find('{') {
+        None => (head.trim().to_string(), Vec::new()),
+        Some(open) => {
+            let name = head[..open].to_string();
+            let body = head[open + 1..]
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (name, parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label missing =".to_string())?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| "label value missing opening quote".to_string())?;
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| "label value missing closing quote".to_string())?;
+        labels.push((key, unescape_label(&rest[..end])));
+        rest = rest[end + 1..].trim_start_matches(',').trim_start();
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_marks_counters_and_gauges() {
+        let text = render(&[
+            Sample {
+                name: "mrpic_wire_bytes_total".into(),
+                labels: vec![("rank".into(), "0".into())],
+                value: 42.0,
+            },
+            Sample {
+                name: "mrpic_step_imbalance".into(),
+                labels: vec![("rank".into(), "0".into())],
+                value: 1.25,
+            },
+        ]);
+        assert!(text.contains("# TYPE mrpic_wire_bytes_total counter\n"));
+        assert!(text.contains("# TYPE mrpic_step_imbalance gauge\n"));
+        assert!(text.contains("mrpic_wire_bytes_total{rank=\"0\"} 42\n"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let samples = vec![
+            Sample {
+                name: "mrpic_uptime_seconds".into(),
+                labels: vec![("source".into(), "run".into())],
+                value: 12.5,
+            },
+            Sample {
+                name: "mrpic_rank_count".into(),
+                labels: Vec::new(),
+                value: 2.0,
+            },
+            Sample {
+                name: "mrpic_serve_job_steps_total".into(),
+                labels: vec![
+                    ("job".into(), "3".into()),
+                    ("tenant".into(), "weird \"name\"\nwith\\stuff".into()),
+                ],
+                value: 75.0,
+            },
+        ];
+        let back = parse(&render(&samples)).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("mrpic_ok 1\nnot a sample line at all").is_err());
+        assert!(parse("name{unterminated=\"x} 1").is_err());
+        assert!(parse("name{k=\"v\"} not_a_number").is_err());
+        assert!(parse("na me 1").is_err());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let got = parse("# HELP x y\n\n# TYPE a gauge\na 3\n").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "a");
+        assert_eq!(got[0].value, 3.0);
+    }
+}

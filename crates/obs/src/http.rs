@@ -1,0 +1,137 @@
+//! Minimal HTTP/1.0 scrape endpoint (and matching client).
+//!
+//! Enough HTTP for a Prometheus scraper and `mrpic_top`, nothing more:
+//! one thread accepts, one short-lived thread per connection reads the
+//! request line, routes `GET /metrics` (text exposition) and
+//! `GET /snapshot` (JSON [`FleetSnapshot`](crate::FleetSnapshot)), and
+//! closes. Binding `127.0.0.1:0` works; the bound address comes back
+//! from [`serve`] so callers can advertise the chosen port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::hub::MetricsHub;
+
+/// Start serving `hub` on `addr` in a detached background thread;
+/// returns the actually-bound address (resolves port 0).
+pub fn serve(hub: MetricsHub, addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("mrpic-obs-http".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { continue };
+                let hub = hub.clone();
+                let _ = std::thread::Builder::new()
+                    .name("mrpic-obs-conn".into())
+                    .spawn(move || handle(hub, stream));
+            }
+        })?;
+    Ok(bound)
+}
+
+fn handle(hub: MetricsHub, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // Read until the end of the request headers (or the buffer cap —
+    // scrapers send tiny requests).
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| {
+            let mut parts = line.split_whitespace();
+            (parts.next() == Some("GET")).then(|| parts.next())?
+        })
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            hub.render_prometheus(),
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            serde_json::to_string_pretty(&hub.snapshot()).unwrap_or_default(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// One-shot `GET http://{addr}{path}`; returns the response body.
+/// Non-2xx statuses are errors.
+pub fn get(addr: &str, path: &str) -> std::io::Result<String> {
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other(format!("cannot resolve {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    let ok = status
+        .split_whitespace()
+        .nth(1)
+        .is_some_and(|code| code.starts_with('2'));
+    if !ok {
+        return Err(std::io::Error::other(format!("HTTP error: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::RankMetrics;
+
+    #[test]
+    fn serve_and_scrape_roundtrip() {
+        let hub = MetricsHub::new("run");
+        hub.update_rank(RankMetrics {
+            rank: 0,
+            step: 17,
+            wire_bytes: 4242,
+            imbalance: Some(1.1),
+            ..RankMetrics::default()
+        });
+        let addr = serve(hub, "127.0.0.1:0").unwrap().to_string();
+
+        let text = get(&addr, "/metrics").unwrap();
+        let samples = crate::expo::parse(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "mrpic_wire_bytes_total" && s.value == 4242.0));
+
+        let snap = get(&addr, "/snapshot").unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&snap).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(crate::SNAPSHOT_SCHEMA)
+        );
+
+        assert!(get(&addr, "/nope").is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The fleet metrics hub: merge point for per-rank samples.
+//!
+//! Cloneable handle around shared state; producers call
+//! [`MetricsHub::update_rank`] (from the step loop, or from the
+//! supervisor thread draining `Metrics` frames) and consumers render a
+//! [`FleetSnapshot`] on demand. One lock, held only for a map insert or
+//! a clone-out — cheap enough for the <1% telemetry budget.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::expo;
+use crate::snapshot::{FleetSnapshot, RankMetrics, ServeMetrics, SNAPSHOT_SCHEMA};
+
+struct HubInner {
+    source: String,
+    started: Instant,
+    ranks: BTreeMap<usize, RankMetrics>,
+    serve: Option<ServeMetrics>,
+}
+
+/// Cloneable, thread-safe merge point for fleet metrics.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsHub")
+    }
+}
+
+impl MetricsHub {
+    /// `source` names the merging process in the snapshot: `"run"` for
+    /// the local runner / process-mesh supervisor, `"serve"` for the
+    /// job server.
+    pub fn new(source: &str) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(HubInner {
+                source: source.to_string(),
+                started: Instant::now(),
+                ranks: BTreeMap::new(),
+                serve: None,
+            })),
+        }
+    }
+
+    /// Merge one rank's sample; the newest sample per rank wins, except
+    /// that a stale generation never overwrites a newer one.
+    pub fn update_rank(&self, m: RankMetrics) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.ranks.get(&m.rank) {
+            Some(old) if old.generation > m.generation => {}
+            _ => {
+                inner.ranks.insert(m.rank, m);
+            }
+        }
+    }
+
+    /// Replace the server-side fleet state (job/tenant/queue rollups).
+    pub fn set_serve(&self, s: ServeMetrics) {
+        self.inner.lock().unwrap().serve = Some(s);
+    }
+
+    /// Drop ranks at or beyond `nranks` (after an elastic shrink).
+    pub fn retain_ranks(&self, nranks: usize) {
+        self.inner.lock().unwrap().ranks.retain(|&r, _| r < nranks);
+    }
+
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let inner = self.inner.lock().unwrap();
+        FleetSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            source: inner.source.clone(),
+            uptime_seconds: inner.started.elapsed().as_secs_f64(),
+            step: inner.ranks.values().map(|m| m.step).max().unwrap_or(0),
+            ranks: inner.ranks.values().cloned().collect(),
+            serve: inner.serve.clone(),
+        }
+    }
+
+    /// Render the current snapshot as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        expo::render(&self.snapshot().samples())
+    }
+
+    /// Write the current snapshot as pretty JSON (the `--metrics-out`
+    /// artifact and `mrpic_prof`'s metrics-snapshot input kind).
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(&self.snapshot())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newest_sample_wins_but_generations_never_regress() {
+        let hub = MetricsHub::new("run");
+        hub.update_rank(RankMetrics {
+            rank: 0,
+            step: 5,
+            generation: 1,
+            ..RankMetrics::default()
+        });
+        hub.update_rank(RankMetrics {
+            rank: 0,
+            step: 3,
+            generation: 0,
+            ..RankMetrics::default()
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.ranks.len(), 1);
+        assert_eq!(snap.ranks[0].step, 5);
+        assert_eq!(snap.step, 5);
+    }
+
+    #[test]
+    fn retain_ranks_drops_shrunk_ranks() {
+        let hub = MetricsHub::new("run");
+        for r in 0..4 {
+            hub.update_rank(RankMetrics {
+                rank: r,
+                step: 1,
+                ..RankMetrics::default()
+            });
+        }
+        hub.retain_ranks(2);
+        assert_eq!(hub.snapshot().ranks.len(), 2);
+    }
+
+    #[test]
+    fn prometheus_render_parses_back() {
+        let hub = MetricsHub::new("run");
+        hub.update_rank(RankMetrics {
+            rank: 0,
+            step: 10,
+            wire_bytes: 999,
+            imbalance: Some(1.5),
+            ..RankMetrics::default()
+        });
+        let text = hub.render_prometheus();
+        let samples = crate::expo::parse(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "mrpic_wire_bytes_total" && s.value == 999.0));
+    }
+
+    #[test]
+    fn json_snapshot_carries_schema() {
+        let hub = MetricsHub::new("serve");
+        let dir = std::env::temp_dir().join(format!("mrpic_obs_hub_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        hub.write_json(&path).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(SNAPSHOT_SCHEMA)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

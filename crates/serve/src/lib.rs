@@ -40,7 +40,7 @@ pub use client::{fetch_status, request_shutdown, submit_job, ClientError, Client
 pub use job::{JobRunner, SliceReport, SliceStatus};
 pub use protocol::{
     read_frame, write_frame, Budgets, JobSpec, JobStatus, JobSummary, Request, Response,
-    StatusReport, TenantStatus,
+    SlotStatus, StatusReport, TenantStatus,
 };
 pub use queue::{schedule_trace, FairQueue, QueuedJob, SimJob};
 pub use server::{install_termination_handlers, Server, ServerConfig, ServerStats};

@@ -191,6 +191,21 @@ pub struct JobStatus {
     pub mean_imbalance: Option<f64>,
 }
 
+/// What one executor slot is doing right now.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlotStatus {
+    pub slot: usize,
+    /// Job currently executing in this slot, `None` when idle.
+    #[serde(default)]
+    pub job_id: Option<u64>,
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// The running job's total completed steps as of its last slice
+    /// boundary — slice progress, coarse to one quantum.
+    #[serde(default)]
+    pub steps_done: u64,
+}
+
 /// Snapshot returned by [`Request::Status`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatusReport {
@@ -202,6 +217,13 @@ pub struct StatusReport {
     pub slots: usize,
     /// Preemption quantum in steps.
     pub quantum: u64,
+    /// Seconds since the server started accepting (`default` so status
+    /// reports from older servers still parse).
+    #[serde(default)]
+    pub uptime_seconds: f64,
+    /// Per-slot occupancy, `slots` entries (empty from older servers).
+    #[serde(default)]
+    pub slots_detail: Vec<SlotStatus>,
     pub tenants: Vec<TenantStatus>,
     pub jobs: Vec<JobStatus>,
 }

@@ -34,9 +34,11 @@
 
 use crate::job::{JobRunner, SliceStatus};
 use crate::protocol::{
-    read_frame, write_frame, JobSpec, JobStatus, Request, Response, StatusReport, TenantStatus,
+    read_frame, write_frame, JobSpec, JobStatus, Request, Response, SlotStatus, StatusReport,
+    TenantStatus,
 };
 use crate::queue::{FairQueue, QueuedJob};
+use mrpic_obs::{JobMetrics, MetricsHub, ServeMetrics, TenantMetrics};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -82,6 +84,10 @@ pub struct ServerConfig {
     pub quantum: u64,
     /// Structured JSONL server log; `None` disables logging.
     pub log_path: Option<PathBuf>,
+    /// Observability hub to push scheduler metrics into; `None` (the
+    /// default) disables the bridge entirely. Unlike the status
+    /// endpoint, the bridge never writes to the server log.
+    pub metrics_hub: Option<MetricsHub>,
 }
 
 impl ServerConfig {
@@ -91,6 +97,7 @@ impl ServerConfig {
             slots: 2,
             quantum: 10,
             log_path: None,
+            metrics_hub: None,
         }
     }
 }
@@ -163,12 +170,17 @@ struct State {
     next_id: u64,
     log: ServerLog,
     stats: ServerStats,
+    /// Job currently executing on each slot (index = worker id); kept
+    /// in lockstep with dispatch/park/retire so status and metrics can
+    /// attribute slots without touching a runner a worker owns.
+    slot_jobs: Vec<Option<u64>>,
 }
 
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     stop: AtomicBool,
+    t0: Instant,
 }
 
 impl Shared {
@@ -189,6 +201,7 @@ impl Shared {
             queue,
             jobs: jmap,
             log,
+            slot_jobs,
             ..
         } = &mut *st;
         // (running, waiting, parked) per tenant.
@@ -230,16 +243,88 @@ impl Shared {
                 }
             })
             .collect();
+        let slots_detail = slot_jobs
+            .iter()
+            .enumerate()
+            .map(|(slot, &job_id)| {
+                let j = job_id.and_then(|id| jmap.get(&id));
+                SlotStatus {
+                    slot,
+                    job_id,
+                    tenant: j.map(|j| j.tenant.clone()),
+                    steps_done: j.map(|j| j.steps_done).unwrap_or(0),
+                }
+            })
+            .collect();
         let report = StatusReport {
             queue_depth: queue.depth(),
             running,
             slots,
             quantum,
+            uptime_seconds: self.t0.elapsed().as_secs_f64(),
+            slots_detail,
             tenants,
             jobs,
         };
         log.event("status", &[("jobs", jmap.len().to_string())]);
         report
+    }
+
+    /// Scheduler state as a [`ServeMetrics`] block for the metrics hub.
+    ///
+    /// Deliberately separate from [`Shared::status_report`]: the bridge
+    /// polls every few hundred milliseconds, and the status path logs a
+    /// `"status"` event per call — polling through it would flood the
+    /// server log and perturb its byte-stable event stream.
+    fn metrics_view(&self, slots: usize, quantum: u64) -> ServeMetrics {
+        let st = self.lock();
+        let mut per_tenant: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut jobs = Vec::new();
+        let mut running = 0u64;
+        for (&id, j) in st.jobs.iter() {
+            let e = per_tenant.entry(j.tenant.clone()).or_default();
+            e.0 += 1;
+            match j.state {
+                JobState::Running => {
+                    e.1 += 1;
+                    running += 1;
+                }
+                JobState::Waiting | JobState::Parked => e.2 += 1,
+                JobState::Done | JobState::Failed => {}
+            }
+            let slot = st
+                .slot_jobs
+                .iter()
+                .position(|&s| s == Some(id))
+                .map(|s| s as u64);
+            jobs.push(JobMetrics {
+                job_id: id,
+                tenant: j.tenant.clone(),
+                state: j.state.as_str().to_string(),
+                priority: j.priority as i64,
+                steps_done: j.steps_done,
+                preemptions: j.preemptions,
+                slot,
+                mean_imbalance: j.mean_imbalance,
+            });
+        }
+        let tenants = per_tenant
+            .into_iter()
+            .map(|(tenant, (njobs, r, w))| TenantMetrics {
+                tenant,
+                jobs: njobs,
+                running: r,
+                waiting: w,
+            })
+            .collect();
+        ServeMetrics {
+            queue_depth: st.queue.depth() as u64,
+            running,
+            slots: slots as u64,
+            quantum,
+            jobs,
+            tenants,
+        }
     }
 }
 
@@ -268,9 +353,11 @@ impl Server {
                 next_id: 1,
                 log,
                 stats: ServerStats::default(),
+                slot_jobs: vec![None; slots],
             }),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            t0: Instant::now(),
         };
         if cfg.socket.exists() {
             std::fs::remove_file(&cfg.socket)?;
@@ -293,6 +380,15 @@ impl Server {
                     scope.spawn(move || worker_loop(shared, w, quantum))
                 })
                 .collect();
+            if let Some(hub) = cfg.metrics_hub.clone() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    while !shared.shutting_down() {
+                        hub.set_serve(shared.metrics_view(slots, quantum));
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                });
+            }
             loop {
                 if shared.shutting_down() {
                     break;
@@ -408,6 +504,7 @@ fn worker_loop(shared: &Shared, worker: usize, quantum: u64) {
             jobs,
             log,
             stats,
+            slot_jobs,
             ..
         } = &mut *st;
         let Some(job) = jobs.get_mut(&job_id) else {
@@ -425,6 +522,7 @@ fn worker_loop(shared: &Shared, worker: usize, quantum: u64) {
             stats.resumes += 1;
         }
         job.state = JobState::Running;
+        slot_jobs[worker] = Some(job_id);
         let events = job.events.clone();
         log.event(
             if resumed { "resume" } else { "dispatch" },
@@ -597,6 +695,9 @@ fn worker_loop(shared: &Shared, worker: usize, quantum: u64) {
                 }
             }
         }
+        // The slice loop only exits when the job left this slot
+        // (retired, failed, parked, or aborted).
+        shared.lock().slot_jobs[worker] = None;
     }
 }
 

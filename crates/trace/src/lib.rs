@@ -43,7 +43,7 @@ pub mod analysis;
 pub mod chrome;
 pub mod metrics;
 
-pub use metrics::{counter, histogram, HistSummary};
+pub use metrics::{counter, histogram, registry_snapshot, HistSummary, RegistrySnapshot};
 
 /// Events per thread ring. At phase/box/message granularity a rank
 /// produces a few hundred events per step, so this holds tens of steps

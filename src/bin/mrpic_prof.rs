@@ -19,13 +19,16 @@
 //! * a critical-path summary through the send/recv dependency DAG.
 //!
 //! **Compare mode** diffs two reports and exits 4 when any tracked
-//! quantity regressed by more than the threshold (default 10%). Three
+//! quantity regressed by more than the threshold (default 10%). Four
 //! file kinds are understood: two Chrome traces (compares wall time,
 //! rank imbalance, and per-name span totals), two `mrpic_run`
 //! `summary.json` files (compares wall seconds and the run-mean
-//! telemetry imbalance), or two `BENCH_step_loop.json` bench reports
+//! telemetry imbalance), two `BENCH_step_loop.json` bench reports
 //! (compares `step_seconds` per case, keyed by case name and rank
-//! count) — so CI can gate on any artifact.
+//! count), or two `mrpic-metrics-v1` fleet snapshots (from
+//! `--metrics-out` / `GET /snapshot`; compares per-rank wire bytes and
+//! wait/exchange seconds plus the fleet imbalance) — so CI can gate on
+//! any artifact, including live-scraped counters.
 //! `--min-improve PCT` inverts the gate: every compared
 //! metric must *improve* by at least PCT, which is how the tier-1 suite
 //! proves live load balancing actually reduced the traced imbalance
@@ -223,11 +226,53 @@ fn summary_metrics(doc: &Value) -> Vec<Metric> {
     v
 }
 
+/// Fleet metrics snapshot (`mrpic-metrics-v1`, written by `mrpic_run
+/// --metrics-out` or fetched from `GET /snapshot`) → per-rank wire and
+/// time counters plus the fleet-mean imbalance, so `--compare` can gate
+/// on scraped counters too. The imbalance label matches the trace and
+/// summary metric for `--only imbalance`.
+fn snapshot_metrics(text: &str, path: &str) -> Vec<Metric> {
+    let snap: mrpic::obs::FleetSnapshot = serde_json::from_str(text)
+        .unwrap_or_else(|e| fail(&format!("{path}: bad metrics snapshot: {e}")));
+    let mut v = Vec::new();
+    let mut imb_sum = 0.0f64;
+    let mut imb_n = 0u32;
+    for r in &snap.ranks {
+        for (what, value) in [
+            ("wire_bytes", r.wire_bytes as f64),
+            ("sent_bytes", r.sent_bytes as f64),
+            ("recv_wait_s", r.recv_wait_seconds),
+            ("exchange_s", r.exchange_seconds),
+        ] {
+            v.push(Metric {
+                label: format!("rank{}:{what}", r.rank),
+                value,
+            });
+        }
+        if let Some(x) = r.mean_imbalance.or(r.imbalance) {
+            imb_sum += x;
+            imb_n += 1;
+        }
+    }
+    if imb_n > 0 {
+        v.push(Metric {
+            label: "imbalance".to_string(),
+            value: imb_sum / imb_n as f64,
+        });
+    }
+    if v.is_empty() {
+        fail(&format!("{path}: metrics snapshot records no ranks"));
+    }
+    v
+}
+
 fn metrics_of(path: &str) -> Vec<Metric> {
     let text = read(path);
     let doc: Value =
         serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("{path} is not JSON: {e}")));
-    if doc.get("traceEvents").is_some() {
+    if doc.get("schema").and_then(|s| s.as_str()) == Some("mrpic-metrics-v1") {
+        snapshot_metrics(&text, path)
+    } else if doc.get("traceEvents").is_some() {
         trace_metrics(&load_trace(path))
     } else if doc.get("wall_seconds").is_some() {
         summary_metrics(&doc)
@@ -240,7 +285,7 @@ fn metrics_of(path: &str) -> Vec<Metric> {
     } else {
         fail(&format!(
             "{path}: not a Chrome trace (traceEvents), run summary (wall_seconds), \
-             or bench report (bench)"
+             bench report (bench), or metrics snapshot (schema mrpic-metrics-v1)"
         ));
     }
 }

@@ -6,8 +6,16 @@
 //! ```text
 //! mrpic_rank --config c.json --outdir out --rank R --ranks N \
 //!            --nonce X (--socket-dir DIR | --tcp-base PORT) \
-//!            [--steps N] [--elastic SPEC] [--no-lb]
+//!            [--steps N] [--elastic SPEC] [--no-lb] \
+//!            [--metrics-sock PATH [--metrics-interval STEPS]]
 //! ```
+//!
+//! `--metrics-sock` points at the supervisor's aggregation socket: every
+//! `--metrics-interval` steps (default 10) this worker pushes one JSON
+//! `RankMetrics` sample as a `Metrics` frame — best-effort, out-of-band,
+//! never part of the deterministic wire schedule. Each worker also arms
+//! a flight recorder; on a guard trip, mesh loss, panic, or SIGUSR1 it
+//! dumps `blackbox.json` into its own outdir.
 //!
 //! Each process runs the full replicated driver (`DistSim::process_rank`):
 //! it steps every rank's share of the physics deterministically, but the
@@ -25,7 +33,11 @@
 //! loss).
 
 use mrpic::core::config::RunConfig;
-use mrpic::dist::{parse_elastic_plan, DistSim, MeshCfg};
+use mrpic::dist::{parse_elastic_plan, DistSim, MeshCfg, MetricsPusher};
+use mrpic::obs::{
+    arm_sigusr1, dump_recorder, install_panic_dump, install_recorder, sigusr1_pending,
+    with_recorder, FlightEvent, FlightRecorder, RankSampler,
+};
 
 fn req<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, what: &str) -> T {
     args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -45,9 +57,20 @@ fn main() {
     let mut max_steps = u64::MAX;
     let mut elastic_spec: Option<String> = None;
     let mut no_lb = false;
+    let mut metrics_sock: Option<std::path::PathBuf> = None;
+    let mut metrics_interval = 10u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--metrics-sock" => {
+                metrics_sock = Some(std::path::PathBuf::from(req::<String>(
+                    &mut args,
+                    "--metrics-sock",
+                )))
+            }
+            "--metrics-interval" => {
+                metrics_interval = req::<u64>(&mut args, "--metrics-interval").max(1)
+            }
             "--config" => config_path = Some(req(&mut args, "--config")),
             "--outdir" => {
                 outdir = Some(std::path::PathBuf::from(req::<String>(
@@ -125,8 +148,22 @@ fn main() {
             eprintln!("warning: cannot open telemetry sink: {e}");
         }
     }
+    // Per-worker observability: flight recorder into this rank's own
+    // outdir, plus (when the supervisor asked) a best-effort metrics
+    // push channel. Neither touches the deterministic wire schedule.
+    install_recorder(FlightRecorder::new(rank, outdir.join("blackbox.json"), 256));
+    install_panic_dump();
+    arm_sigusr1();
+    let mut pusher = match &metrics_sock {
+        Some(path) => MetricsPusher::connect(path, rank),
+        None => MetricsPusher::disabled(),
+    };
+    let mut sampler = RankSampler::new(rank);
+    sampler.include_registry = true;
+
     let mut dist = DistSim::process_rank(sim, mesh, rank).unwrap_or_else(|e| {
         eprintln!("mrpic_rank: rank {rank} cannot join the socket mesh: {e}");
+        let _ = dump_recorder("transport_loss");
         std::process::exit(4);
     });
     if let Some(events) = elastic {
@@ -148,10 +185,32 @@ fn main() {
                     .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .unwrap_or_default();
                 eprintln!("mrpic_rank: rank {rank} lost the mesh: {msg}");
+                with_recorder(|r| {
+                    let step = r.last_step();
+                    r.push(FlightEvent::TransportError { step, detail: msg });
+                });
+                if let Some(p) = dump_recorder("transport_loss") {
+                    eprintln!("mrpic_rank: flight recorder -> {}", p.display());
+                }
                 std::process::exit(4);
             }
         };
         lb_adoptions += stats.rebalances;
+        if let Some(rec) = dist.sim.telemetry.records().back() {
+            with_recorder(|r| r.observe_record(rec));
+            if pusher.is_connected() {
+                sampler.observe(rec);
+            }
+        }
+        if pusher.is_connected() && dist.sim.istep.is_multiple_of(metrics_interval) {
+            sampler.set_generation(dist.resize_log.len() as u64);
+            pusher.push(&sampler.sample());
+        }
+        if sigusr1_pending() {
+            if let Some(p) = dump_recorder("sigusr1") {
+                eprintln!("mrpic_rank: SIGUSR1: flight recorder -> {}", p.display());
+            }
+        }
         if let Some(x) = dist
             .sim
             .telemetry
@@ -178,6 +237,11 @@ fn main() {
     if rank == 0 {
         let sim = &dist.sim;
         let mean_imbalance = (imb_steps > 0).then(|| imb_sum / imb_steps as f64);
+        let failure_step = if sim.telemetry.tripped() {
+            Some(sim.telemetry.trips()[0].step)
+        } else {
+            dist.recovery_log.first().map(|ev| ev.detected_step)
+        };
         let summary = serde_json::json!({
             "ranks": ranks,
             "final_ranks": dist.nranks(),
@@ -191,6 +255,7 @@ fn main() {
             "resizes": dist.resize_log.len(),
             "lb_adoptions": lb_adoptions,
             "mean_imbalance": mean_imbalance,
+            "failure_step": failure_step,
             "state_digest": format!("{:016x}", sim.state_digest()),
         });
         std::fs::write(
@@ -214,6 +279,11 @@ fn main() {
             sim.state_digest(),
         );
     }
+    // One last sample so the supervisor's snapshot reflects the final
+    // step even when the run length is not a multiple of the interval.
+    if pusher.is_connected() {
+        pusher.push(&sampler.sample());
+    }
     dist.sim.telemetry.sync();
     if dist.sim.telemetry.tripped() {
         let t = &dist.sim.telemetry.trips()[0];
@@ -222,6 +292,9 @@ fn main() {
              (box {}, after {})",
             t.step, t.component, t.grid, t.box_id, t.phase,
         );
+        if let Some(p) = dump_recorder("guard_trip") {
+            eprintln!("mrpic_rank: flight recorder -> {}", p.display());
+        }
         std::process::exit(3);
     }
 }

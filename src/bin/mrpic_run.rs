@@ -49,6 +49,20 @@
 //! comm-matrix, and critical-path reports. Tracing also lights up the
 //! per-step histogram summaries in `telemetry.jsonl`.
 //!
+//! Observability: `--metrics-addr HOST:PORT` serves a live Prometheus
+//! text exposition (`GET /metrics`) and JSON fleet snapshot
+//! (`GET /snapshot`) for the run; the bound address is written to
+//! `<outdir>/metrics.addr` so scripts can scrape a port-0 listener.
+//! `--metrics-out PATH` writes one final JSON snapshot at exit.
+//! `--metrics-interval N` sets the sampling cadence in steps (default
+//! 10). With `--transport socket|tcp` the workers push their samples to
+//! this supervisor over a Unix socket in the mesh directory as low-rate
+//! `Metrics` frames. A bounded flight recorder always runs: on a guard
+//! trip, an unrecovered transport loss, a detected rank crash, a panic,
+//! or SIGUSR1, the last ~256 step/LB/fault events are dumped to
+//! `<outdir>/blackbox.json`. `--poison-step N` injects a NaN into Ex
+//! after step N (mem transport only) to exercise that path end to end.
+//!
 //! Server client mode: `--submit SOCKET` sends the config to a running
 //! `mrpic_serve` instead of executing locally, streams the job's
 //! telemetry into `<outdir>/telemetry.jsonl`, and writes the final
@@ -70,6 +84,10 @@ use mrpic::core::config::RunConfig;
 use mrpic::core::diag::{electron_spectrum, write_field_slice, FieldPick, TimeSeries};
 use mrpic::core::sim::Simulation;
 use mrpic::dist::{parse_elastic_plan, DistSim, ElasticAction, ElasticEvent, FaultPlan};
+use mrpic::obs::{
+    arm_sigusr1, dump_recorder, install_panic_dump, install_recorder, sigusr1_pending,
+    with_recorder, FlightEvent, FlightRecorder, MetricsHub, RankSampler,
+};
 use mrpic::serve::{fetch_status, submit_job, Budgets, ClientError, JobSpec};
 
 /// The step-loop driver: serial in-process, or the multi-rank runtime
@@ -135,6 +153,9 @@ fn run_process_mesh(
     elastic: &Option<Vec<ElasticEvent>>,
     max_steps: u64,
     no_lb: bool,
+    metrics_addr: Option<&str>,
+    metrics_out: Option<&std::path::Path>,
+    metrics_interval: u64,
 ) -> i32 {
     // Spawn enough workers to cover the largest planned mesh: a worker
     // whose rank is beyond the current size replicates as a spectator
@@ -165,11 +186,37 @@ fn run_process_mesh(
             eprintln!("cannot locate the mrpic_rank worker binary next to mrpic_run");
             std::process::exit(2);
         });
+    let metrics_on = metrics_addr.is_some() || metrics_out.is_some();
     let mesh_dir = outdir.join(format!(".mesh-{nonce:016x}"));
-    if transport == "socket" {
+    // The mesh directory hosts the rank sockets (uds transport) and the
+    // supervisor's metrics aggregation socket (any transport).
+    if transport == "socket" || metrics_on {
         if let Err(e) = std::fs::create_dir_all(&mesh_dir) {
             eprintln!("cannot create socket dir {}: {e}", mesh_dir.display());
             std::process::exit(2);
+        }
+    }
+    // Metrics plane: aggregate the workers' pushed samples into a fleet
+    // hub, optionally exposed over HTTP while the mesh runs.
+    let hub = metrics_on.then(|| MetricsHub::new("run"));
+    if let Some(hub) = &hub {
+        if let Err(e) = mrpic::dist::spawn_metrics_listener(&mesh_dir, hub.clone()) {
+            eprintln!("cannot bind metrics socket in {}: {e}", mesh_dir.display());
+            std::process::exit(2);
+        }
+    }
+    if let (Some(hub), Some(addr)) = (&hub, metrics_addr) {
+        match mrpic::obs::http::serve(hub.clone(), addr) {
+            Ok(bound) => {
+                println!("metrics: http://{bound}/metrics");
+                if let Err(e) = std::fs::write(outdir.join("metrics.addr"), format!("{bound}\n")) {
+                    eprintln!("warning: cannot write metrics.addr: {e}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics listener {addr}: {e}");
+                std::process::exit(2);
+            }
         }
     }
     println!(
@@ -212,6 +259,12 @@ fn run_process_mesh(
         if no_lb {
             cmd.arg("--no-lb");
         }
+        if metrics_on {
+            cmd.arg("--metrics-sock")
+                .arg(mesh_dir.join(mrpic::dist::METRICS_SOCK_FILE))
+                .arg("--metrics-interval")
+                .arg(metrics_interval.to_string());
+        }
         match cmd.spawn() {
             Ok(child) => children.push((r, child)),
             Err(e) => {
@@ -249,6 +302,12 @@ fn run_process_mesh(
             worst = code;
         }
     }
+    if let (Some(hub), Some(path)) = (&hub, metrics_out) {
+        match hub.write_json(path) {
+            Ok(()) => println!("metrics snapshot -> {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
     let _ = std::fs::remove_dir_all(&mesh_dir);
     if worst == 0 {
         println!("process mesh complete; outputs in {}", outdir.display());
@@ -272,10 +331,42 @@ fn main() {
     let mut tenant = "default".to_string();
     let mut priority = 0i32;
     let mut wall_ceiling: Option<f64> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut metrics_interval = 10u64;
+    let mut poison_step: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-lb" => no_lb = true,
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-addr needs a HOST:PORT argument");
+                    std::process::exit(2);
+                }));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a path argument");
+                    std::process::exit(2);
+                })));
+            }
+            "--metrics-interval" => {
+                metrics_interval = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--metrics-interval needs a positive step count");
+                    std::process::exit(2);
+                });
+                if metrics_interval == 0 {
+                    eprintln!("--metrics-interval needs a positive step count");
+                    std::process::exit(2);
+                }
+            }
+            "--poison-step" => {
+                poison_step = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--poison-step needs a step number argument");
+                    std::process::exit(2);
+                }));
+            }
             "--transport" => {
                 transport = args.next().unwrap_or_default();
                 if !matches!(transport.as_str(), "mem" | "socket" | "tcp") {
@@ -402,6 +493,8 @@ fn main() {
              [--transport mem|socket|tcp [--tcp-base PORT]] \
              [--elastic grow:STEP:K,shrink:STEP:K] \
              [--trace-out trace.json] [--fault-seed N | --fault-plan plan.json] \
+             [--metrics-addr HOST:PORT] [--metrics-out PATH] [--metrics-interval STEPS] \
+             [--poison-step N] \
              [--submit SOCKET [--tenant NAME] [--priority N] [--wall-ceiling SECONDS]] \
              | mrpic_run --serve-status SOCKET"
         );
@@ -417,6 +510,10 @@ fn main() {
     }
     if transport != "mem" && trace_out.is_some() {
         eprintln!("--trace-out traces the in-process runtime; use --transport mem");
+        std::process::exit(2);
+    }
+    if transport != "mem" && poison_step.is_some() {
+        eprintln!("--poison-step injects into the in-process runtime; use --transport mem");
         std::process::exit(2);
     }
     let elastic = elastic_spec.as_deref().map(|s| {
@@ -452,6 +549,12 @@ fn main() {
         }
         if transport != "mem" || elastic.is_some() {
             eprintln!("--submit runs the job server-side; --transport/--elastic do not apply");
+            std::process::exit(2);
+        }
+        if metrics_addr.is_some() || metrics_out.is_some() || poison_step.is_some() {
+            eprintln!(
+                "--submit runs the job server-side; scrape the server's --metrics-addr instead"
+            );
             std::process::exit(2);
         }
         let spec = JobSpec {
@@ -512,6 +615,9 @@ fn main() {
             &elastic,
             max_steps,
             no_lb,
+            metrics_addr.as_deref(),
+            metrics_out.as_deref(),
+            metrics_interval,
         );
         std::process::exit(code);
     }
@@ -576,6 +682,31 @@ fn main() {
         );
         d.set_elastic_plan(events);
     }
+    // Observability plane. The flight recorder is always armed: a
+    // bounded ring of recent step/LB/fault events, written to
+    // blackbox.json only on failure or SIGUSR1. The metrics hub (and
+    // its per-rank samplers) only exists when a consumer asked for it.
+    install_recorder(FlightRecorder::new(0, outdir.join("blackbox.json"), 256));
+    install_panic_dump();
+    arm_sigusr1();
+    let hub = (metrics_addr.is_some() || metrics_out.is_some()).then(|| MetricsHub::new("run"));
+    if let (Some(hub), Some(addr)) = (&hub, metrics_addr.as_deref()) {
+        match mrpic::obs::http::serve(hub.clone(), addr) {
+            Ok(bound) => {
+                println!("metrics: http://{bound}/metrics");
+                if let Err(e) = std::fs::write(outdir.join("metrics.addr"), format!("{bound}\n")) {
+                    eprintln!("warning: cannot write metrics.addr: {e}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics listener {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut samplers: Vec<RankSampler> = Vec::new();
+    let mut recoveries_seen = 0usize;
+    let mut resizes_seen = 0usize;
     let mut energy_ts = TimeSeries::new("total_energy_joules");
     let mut removed = vec![false; removals.len()];
     let mut lb_adoptions = 0u64;
@@ -594,12 +725,108 @@ fn main() {
             Err(payload) => {
                 if let Some(msg) = transport_loss_message(payload.as_ref()) {
                     eprintln!("TRANSPORT LOST: {msg}");
+                    with_recorder(|r| {
+                        let step = r.last_step();
+                        r.push(FlightEvent::TransportError {
+                            step,
+                            detail: msg.clone(),
+                        });
+                    });
+                    if let Some(p) = dump_recorder("transport_loss") {
+                        eprintln!("flight recorder -> {}", p.display());
+                    }
                     std::process::exit(4);
                 }
                 std::panic::resume_unwind(payload);
             }
         };
         lb_adoptions += stats.rebalances;
+        // Feed the step's record to the flight recorder and (when a
+        // consumer exists) the per-rank metrics samplers.
+        if let Some(rec) = runner.sim().telemetry.records().back() {
+            with_recorder(|r| r.observe_record(rec));
+            if hub.is_some() {
+                let nranks = match &runner {
+                    Runner::Dist(d) => d.nranks(),
+                    Runner::Serial(_) => 1,
+                };
+                while samplers.len() < nranks {
+                    samplers.push(RankSampler::new(samplers.len()));
+                    samplers.last_mut().unwrap().include_registry = samplers.len() == 1;
+                }
+                samplers.truncate(nranks.max(1));
+                for s in &mut samplers {
+                    s.observe(rec);
+                }
+            }
+        }
+        if let (Some(hub), Runner::Dist(d)) = (&hub, &runner) {
+            // A shrink leaves stale ranks behind in the hub; drop them.
+            if d.resize_log.len() > resizes_seen {
+                hub.retain_ranks(d.nranks());
+            }
+        }
+        if let Runner::Dist(d) = &runner {
+            // Surface newly logged recoveries and resizes to the flight
+            // recorder; a rank crash (even a recovered one) dumps the
+            // blackbox so the incident is inspectable post-run.
+            if d.recovery_log.len() > recoveries_seen {
+                for ev in &d.recovery_log[recoveries_seen..] {
+                    with_recorder(|r| {
+                        r.push(FlightEvent::Recovery {
+                            step: ev.detected_step,
+                            dead_rank: ev.dead_rank,
+                            epoch_step: ev.epoch_step,
+                            replayed: ev.replayed,
+                        })
+                    });
+                }
+                recoveries_seen = d.recovery_log.len();
+                if let Some(p) = dump_recorder("rank_loss") {
+                    println!("flight recorder -> {}", p.display());
+                }
+            }
+            if d.resize_log.len() > resizes_seen {
+                for ev in &d.resize_log[resizes_seen..] {
+                    with_recorder(|r| {
+                        r.push(FlightEvent::Resize {
+                            step: ev.step,
+                            from: ev.from,
+                            to: ev.to,
+                        })
+                    });
+                }
+                resizes_seen = d.resize_log.len();
+            }
+        }
+        if let Some(hub) = &hub {
+            if runner.sim().istep.is_multiple_of(metrics_interval) {
+                let generation = match &runner {
+                    Runner::Dist(d) => d.resize_log.len() as u64,
+                    Runner::Serial(_) => 0,
+                };
+                for s in &mut samplers {
+                    s.set_generation(generation);
+                    hub.update_rank(s.sample());
+                }
+            }
+        }
+        if sigusr1_pending() {
+            if let Some(p) = dump_recorder("sigusr1") {
+                eprintln!("SIGUSR1: flight recorder -> {}", p.display());
+            }
+        }
+        if let Some(ps) = poison_step {
+            if runner.sim().istep == ps {
+                // Deterministic guard-trip harness: a NaN planted in Ex
+                // must surface as a trip on the next step.
+                let sim = runner.sim_mut();
+                let fab = sim.fs.e[0].fab_mut(0);
+                let lo = fab.valid_pts().lo;
+                fab.set(0, lo, f64::NAN);
+                println!("step {ps}: poisoned Ex (expect a guard trip next step)");
+            }
+        }
         if let Some(x) = runner
             .sim()
             .telemetry
@@ -732,6 +959,17 @@ fn main() {
         Runner::Dist(d) => (d.recovery_log.len(), d.resize_log.len(), d.nranks()),
         Runner::Serial(_) => (0, 0, 1),
     };
+    // The step the run's first failure surfaced at: a guard trip wins,
+    // else the first detected rank loss; null for a clean run. The
+    // blackbox contract asserts its last recorded step equals this.
+    let failure_step = if runner.sim().telemetry.tripped() {
+        Some(runner.sim().telemetry.trips()[0].step)
+    } else {
+        match &runner {
+            Runner::Dist(d) => d.recovery_log.first().map(|ev| ev.detected_step),
+            Runner::Serial(_) => None,
+        }
+    };
     let sim = runner.sim();
     let summary = serde_json::json!({
         "ranks": ranks,
@@ -746,6 +984,7 @@ fn main() {
         "resizes": resizes,
         "lb_adoptions": lb_adoptions,
         "mean_imbalance": mean_imbalance,
+        "failure_step": failure_step,
         "state_digest": format!("{:016x}", sim.state_digest()),
     });
     std::fs::write(
@@ -753,6 +992,19 @@ fn main() {
         serde_json::to_string_pretty(&summary).unwrap(),
     )
     .unwrap_or_else(|e| io_fail("summary.json", e));
+    // Final metrics snapshot: one last sample per rank, then the
+    // one-shot JSON file when requested.
+    if let Some(hub) = &hub {
+        for s in &mut samplers {
+            hub.update_rank(s.sample());
+        }
+        if let Some(path) = &metrics_out {
+            match hub.write_json(path) {
+                Ok(()) => println!("metrics snapshot -> {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
     let sim = runner.sim_mut();
     // Flush + fsync: the run is over, its telemetry must be durable.
     sim.telemetry.sync();
@@ -766,6 +1018,9 @@ fn main() {
             "INVARIANT GUARD TRIPPED at step {}: non-finite {} on {} (box {}, after {})",
             t.step, t.component, t.grid, t.box_id, t.phase,
         );
+        if let Some(p) = dump_recorder("guard_trip") {
+            eprintln!("flight recorder -> {}", p.display());
+        }
         std::process::exit(3);
     }
 }

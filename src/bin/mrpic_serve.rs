@@ -17,6 +17,12 @@
 //! records `serve.*` spans alongside the simulation spans and writes a
 //! Chrome trace at shutdown.
 //!
+//! `--metrics-addr HOST:PORT` serves a Prometheus text exposition of
+//! the scheduler state (queue depth, per-job/per-tenant gauges) on
+//! `GET /metrics` and a JSON snapshot on `GET /snapshot`; port 0 picks
+//! a free port, and the bound address is written to
+//! `--metrics-addr-file PATH` when given (handy for scripted scrapes).
+//!
 //! Shutdown: SIGTERM, SIGINT, or a client `Shutdown` request all drain
 //! cleanly — running jobs are aborted with a terminal event, the log is
 //! fsynced, and the socket file is removed. Exit status 0 after a clean
@@ -27,7 +33,8 @@ use mrpic::serve::{install_termination_handlers, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: mrpic_serve --socket PATH [--slots N] [--quantum STEPS] \
-         [--log server.jsonl] [--trace-out trace.json]"
+         [--log server.jsonl] [--trace-out trace.json] \
+         [--metrics-addr HOST:PORT] [--metrics-addr-file PATH]"
     );
     std::process::exit(2);
 }
@@ -38,6 +45,8 @@ fn main() {
     let mut quantum = 10u64;
     let mut log_path = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_addr_file: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -72,6 +81,12 @@ fn main() {
                     args.next().unwrap_or_else(|| usage()),
                 ))
             }
+            "--metrics-addr" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-addr-file" => {
+                metrics_addr_file = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ))
+            }
             _ => usage(),
         }
     }
@@ -81,11 +96,30 @@ fn main() {
     if trace_out.is_some() {
         mrpic::trace::enable();
     }
+    let metrics_hub = metrics_addr.as_deref().map(|addr| {
+        let hub = mrpic::obs::MetricsHub::new("serve");
+        match mrpic::obs::http::serve(hub.clone(), addr) {
+            Ok(bound) => {
+                println!("mrpic_serve: metrics on http://{bound}/metrics");
+                if let Some(path) = &metrics_addr_file {
+                    if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+                        eprintln!("warning: cannot write {}: {e}", path.display());
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("mrpic_serve: cannot bind metrics listener {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+        hub
+    });
     let cfg = ServerConfig {
         socket: std::path::PathBuf::from(&socket),
         slots,
         quantum,
         log_path,
+        metrics_hub,
     };
     println!("mrpic_serve: listening on {socket} ({slots} slot(s), quantum {quantum} step(s))");
     match Server::new(cfg).run() {

@@ -18,7 +18,9 @@
 //! * [`serve`] — multi-tenant job service: Unix-socket submission,
 //!   weighted-fair scheduling, and checkpoint-backed preemption;
 //! * [`trace`] — low-overhead span tracing, counters/histograms, Chrome
-//!   trace export, and comm-matrix / critical-path analysis.
+//!   trace export, and comm-matrix / critical-path analysis;
+//! * [`obs`] — live observability plane: fleet metrics hub, Prometheus
+//!   text exposition, scrape endpoint, and per-rank flight recorder.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
@@ -29,6 +31,7 @@ pub use mrpic_core as core;
 pub use mrpic_dist as dist;
 pub use mrpic_field as field;
 pub use mrpic_kernels as kernels;
+pub use mrpic_obs as obs;
 pub use mrpic_serve as serve;
 pub use mrpic_trace as trace;
 

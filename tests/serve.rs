@@ -225,11 +225,13 @@ fn high_priority_job_overtakes_running_low_priority_job() {
     std::fs::create_dir_all(&dir).unwrap();
     let socket = dir.join("serve.sock");
     let log = dir.join("server.jsonl");
+    let hub = mrpic::obs::MetricsHub::new("serve");
     let server = Server::new(ServerConfig {
         socket: socket.clone(),
         slots: 1,
         quantum: 2,
         log_path: Some(log.clone()),
+        metrics_hub: Some(hub.clone()),
     });
     let server_thread = std::thread::spawn(move || server.run());
     // Wait for the socket to exist.
@@ -295,6 +297,12 @@ fn high_priority_job_overtakes_running_low_priority_job() {
     assert_eq!(report.running, 0);
     assert!(report.jobs.iter().all(|j| j.state == "done"));
     assert!(report.tenants.iter().any(|t| t.tenant == "hi-tenant"));
+    assert!(report.uptime_seconds > 0.0);
+    assert_eq!(report.slots_detail.len(), 1);
+    assert_eq!(
+        report.slots_detail[0].job_id, None,
+        "no job may occupy the slot once both are done"
+    );
 
     // Client-side artifacts: one telemetry line per step, then summary.
     let lo_telemetry = std::fs::read_to_string(dir.join("lo/telemetry.jsonl")).unwrap();
@@ -315,6 +323,14 @@ fn high_priority_job_overtakes_running_low_priority_job() {
     assert!(stats.preemptions >= 1);
     assert_eq!(stats.resumes, stats.preemptions);
     assert!(!socket.exists(), "socket file must be removed at shutdown");
+
+    // The metrics bridge mirrored the scheduler into the hub without
+    // touching the server log (checked byte-exactly below).
+    let snap = hub.snapshot();
+    let serve = snap.serve.expect("bridge populated serve metrics");
+    assert_eq!(serve.slots, 1);
+    assert_eq!(serve.quantum, 2);
+    assert_eq!(serve.jobs.len(), 2);
 
     // Server log: the high-priority job (id 2) completes before the
     // low-priority one (id 1), and the preempt/resume edges are logged.
@@ -346,6 +362,7 @@ fn rejects_and_budget_failures_over_the_socket() {
         slots: 1,
         quantum: 4,
         log_path: None,
+        metrics_hub: None,
     });
     let server_thread = std::thread::spawn(move || server.run());
     for _ in 0..200 {

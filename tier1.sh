@@ -69,12 +69,69 @@ test "$MEM_DIGEST" = "$EL_DIGEST"
 # Seeded chaos smoke: the built-in fault plan injects delays, corruption,
 # and transient failures, then crashes rank 1 at step 20; the run must
 # recover (checkpoint rollback + replay on the survivor) and exit 0, with
-# the injected-fault counters visible in the telemetry.
+# the injected-fault counters visible in the telemetry. The detected
+# crash must also dump the flight recorder: a well-formed blackbox.json
+# whose last recorded step equals the summary's failure_step.
 cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
     target/tier1_smoke_chaos_out --steps 40 --ranks 2 --fault-seed 42
 test -s target/tier1_smoke_chaos_out/telemetry.jsonl
 grep -q '"faults":{' target/tier1_smoke_chaos_out/telemetry.jsonl
 grep -q '"recoveries":1' target/tier1_smoke_chaos_out/telemetry.jsonl
+grep -q '"schema": "mrpic-blackbox-v1"' target/tier1_smoke_chaos_out/blackbox.json
+grep -q '"reason": "rank_loss"' target/tier1_smoke_chaos_out/blackbox.json
+CHAOS_BB=$(grep -o '"last_step": [0-9]*' target/tier1_smoke_chaos_out/blackbox.json | grep -o '[0-9]*')
+CHAOS_FAIL=$(grep -o '"failure_step": [0-9]*' target/tier1_smoke_chaos_out/summary.json | grep -o '[0-9]*')
+test -n "$CHAOS_BB" && test "$CHAOS_BB" = "$CHAOS_FAIL"
+
+# Forced guard-trip smoke: --poison-step plants a NaN in Ex after step
+# 10, so the sentinel must trip (exit 3) and the flight recorder must
+# dump a blackbox whose last step matches the summary's failure_step.
+set +e
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    target/tier1_smoke_poison_out --steps 40 --poison-step 10
+POISON_CODE=$?
+set -e
+test "$POISON_CODE" = 3
+grep -q '"schema": "mrpic-blackbox-v1"' target/tier1_smoke_poison_out/blackbox.json
+grep -q '"reason": "guard_trip"' target/tier1_smoke_poison_out/blackbox.json
+POISON_BB=$(grep -o '"last_step": [0-9]*' target/tier1_smoke_poison_out/blackbox.json | grep -o '[0-9]*')
+POISON_FAIL=$(grep -o '"failure_step": [0-9]*' target/tier1_smoke_poison_out/summary.json | grep -o '[0-9]*')
+test -n "$POISON_BB" && test "$POISON_BB" = "$POISON_FAIL"
+
+# Live metrics smoke: scrape /metrics mid-run on a 2-process socket
+# mesh. The supervisor aggregates the workers' pushed Metrics frames and
+# serves the fleet exposition; `mrpic_top --scrape` fetches it, validates
+# the Prometheus text format (exit 1 on malformed output), and prints it.
+# Both pinned series must be present and nonzero for rank 0 while the
+# run is still going; the run itself must then finish guard-clean.
+METRICS_DIR=target/tier1_metrics_out
+rm -rf "$METRICS_DIR"
+cargo run --release --bin mrpic_run -- configs/hybrid_target_mr_2d.json \
+    "$METRICS_DIR" --steps 400 --ranks 2 --transport socket \
+    --metrics-addr 127.0.0.1:0 --metrics-interval 2 \
+    --metrics-out "$METRICS_DIR/metrics.json" &
+METRICS_RUN_PID=$!
+for _ in $(seq 200); do [ -f "$METRICS_DIR/metrics.addr" ] && break; sleep 0.1; done
+test -f "$METRICS_DIR/metrics.addr"
+METRICS_ADDR=$(cat "$METRICS_DIR/metrics.addr")
+SCRAPED=0
+for _ in $(seq 100); do
+    if cargo run --release --bin mrpic_top -- --scrape "$METRICS_ADDR" \
+        > "$METRICS_DIR/scrape.txt" 2>/dev/null \
+        && grep -Eq 'mrpic_wire_bytes_total\{rank="0"\} [1-9]' "$METRICS_DIR/scrape.txt" \
+        && grep -Eq 'mrpic_step_imbalance\{rank="0"\} [1-9]' "$METRICS_DIR/scrape.txt"; then
+        SCRAPED=1
+        break
+    fi
+    sleep 0.1
+done
+test "$SCRAPED" = 1
+wait "$METRICS_RUN_PID"
+# The one-shot snapshot must exist and round-trip through mrpic_prof's
+# metrics-snapshot comparer (a self-compare has nothing to regress).
+grep -q '"schema": "mrpic-metrics-v1"' "$METRICS_DIR/metrics.json"
+cargo run --release --bin mrpic_prof -- \
+    --compare "$METRICS_DIR/metrics.json" "$METRICS_DIR/metrics.json" --threshold 5
 
 # Traced 2-rank smoke: --trace-out writes Chrome-trace JSON; mrpic_prof
 # validates that it parses and that spans nest correctly per thread
@@ -134,7 +191,8 @@ rm -rf "$SERVE_DIR"
 mkdir -p "$SERVE_DIR"
 SOCK="$SERVE_DIR/serve.sock"
 cargo run --release --bin mrpic_serve -- --socket "$SOCK" --slots 1 --quantum 5 \
-    --log "$SERVE_DIR/server.jsonl" &
+    --log "$SERVE_DIR/server.jsonl" \
+    --metrics-addr 127.0.0.1:0 --metrics-addr-file "$SERVE_DIR/metrics.addr" &
 SERVE_PID=$!
 for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 test -S "$SOCK"
@@ -152,6 +210,25 @@ for _ in $(seq 300); do
     sleep 0.1
 done
 test "$LO_SEEN" = 1
+
+# With job 1 live, the server's /metrics endpoint must expose the fleet
+# view: scheduler gauges plus the running job's per-tenant series.
+test -f "$SERVE_DIR/metrics.addr"
+SERVE_METRICS_ADDR=$(cat "$SERVE_DIR/metrics.addr")
+SERVE_SCRAPED=0
+for _ in $(seq 100); do
+    if cargo run --release --bin mrpic_top -- --scrape "$SERVE_METRICS_ADDR" \
+        > "$SERVE_DIR/scrape.txt" 2>/dev/null \
+        && grep -q 'mrpic_serve_slots 1' "$SERVE_DIR/scrape.txt" \
+        && grep -Eq 'mrpic_serve_job_steps_total\{job="1",tenant="background",state="running"\}' \
+            "$SERVE_DIR/scrape.txt" \
+        && grep -q 'mrpic_serve_tenant_jobs{tenant="background"} 1' "$SERVE_DIR/scrape.txt"; then
+        SERVE_SCRAPED=1
+        break
+    fi
+    sleep 0.1
+done
+test "$SERVE_SCRAPED" = 1
 
 cargo run --release --bin mrpic_run -- configs/laser_foil_skewed_2d.json "$SERVE_DIR/hi" \
     --submit "$SOCK" --tenant interactive --priority 5 --steps 40
